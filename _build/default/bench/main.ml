@@ -1,0 +1,235 @@
+(* Benchmark harness regenerating every table and figure of the paper's
+   evaluation (section 5). Each experiment prints a table in the shape of
+   the corresponding figure: rows are systems (or configurations), columns
+   the swept parameter; throughput is virtual-time Mops/s (see DESIGN.md on
+   scaling). A Bechamel suite at the end measures the wall-clock cost of
+   miniature instances of each experiment, one Test per table/figure.
+
+   Usage: main.exe [fig8] [fig9] [fig10] [fig11] [fig12] [fig13] [fig14]
+                   [tab2] [tab3] [bechamel] [all] [--scale small|paper]
+   With no figure argument, everything runs at the small scale. *)
+
+open Harness
+
+let scale = ref Experiments.small
+let app_scale = ref App_experiments.small
+
+let thread_header s =
+  "threads:" :: List.map string_of_int s.Experiments.sweep_threads
+
+let run_fig8 () =
+  List.iter
+    (fun (update_pct, rows) ->
+      Table.print
+        ~title:
+          (Printf.sprintf
+             "Figure 8: HashMap throughput (Mops/s), %d%% updates / %d%% \
+              searches"
+             update_pct (100 - update_pct))
+        ~header:(thread_header !scale) rows)
+    (Experiments.fig8 ~scale:!scale ())
+
+let run_fig9 () =
+  Table.print ~title:"Figure 9: Queue throughput (Mops/s), 1:1 enq/deq"
+    ~header:(thread_header !scale)
+    (Experiments.fig9 ~scale:!scale ())
+
+let run_fig10 () =
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "Figure 10: overhead analysis at %d threads (throughput normalised \
+          to Transient<DRAM>)"
+         !scale.Experiments.fig10_threads)
+    ~header:[ "config:"; "Queue"; "HashMap-RI"; "HashMap-WI" ]
+    (Experiments.fig10 ~scale:!scale ())
+
+let run_fig11 () =
+  Table.print
+    ~title:
+      "Figure 11: checkpoint-period sweep (HashMap write-intensive; \
+       normalised throughput and measured effective period)"
+    ~header:[ "period"; "norm. throughput"; "effective period" ]
+    (Experiments.fig11 ~scale:!scale ())
+
+let run_fig12 () =
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "Figure 12: recovery time vs HashMap size (%d recovery threads)"
+         !scale.Experiments.recovery_threads)
+    ~header:[ "buckets"; "recovery (ms)"; "registry entries"; "rolled back" ]
+    (Experiments.fig12 ~scale:!scale ())
+
+let run_fig13 () =
+  Table.print
+    ~title:
+      "Figure 13: compute-intensive applications (execution time normalised \
+       to Transient<DRAM>; last row = section 5.3's naive RP placement)"
+    ~header:[ "config:"; "Dedup"; "Swaptions"; "MatMul"; "LR" ]
+    (App_experiments.fig13 ~scale:!app_scale ())
+
+let run_fig14 () =
+  Table.print
+    ~title:"Figure 14: KV store under YCSB (Kops/s)"
+    ~header:[ "config:"; "read-intensive"; "balanced"; "write-intensive" ]
+    (App_experiments.fig14 ~scale:!app_scale ())
+
+let run_tab2 () =
+  let show name trace =
+    let cells =
+      List.map
+        (fun v ->
+          Fmt.str "%a" Analysis.Idempotence.pp_classification
+            (Analysis.Idempotence.classify trace v))
+        [ "x"; "y" ]
+    in
+    ( name,
+      cells
+      @ [
+          (if Analysis.Idempotence.idempotent trace then "idempotent"
+           else "not idempotent");
+        ] )
+  in
+  Table.print
+    ~title:"Table 2: RAW/WAR dependencies and idempotence (analysis demo)"
+    ~header:[ "sequence"; "x"; "y"; "verdict" ]
+    [
+      show "x=5; y=x (RAW)" Analysis.Idempotence.table2_raw;
+      show "y=x; x=8 (WAR)" Analysis.Idempotence.table2_war;
+    ]
+
+let run_tab3 () =
+  match Loc_report.rows () with
+  | [] ->
+      print_endline
+        "Table 3: sources not found (run from the repository root to count \
+         instrumentation lines)"
+  | rows ->
+      Table.print
+        ~title:
+          "Table 3: ResPCT instrumentation lines in the ported applications"
+        ~header:[ "application"; "instrumented LoC"; "total LoC"; "%" ]
+        rows
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel: wall-clock cost of miniature instances, one per figure. *)
+
+let bechamel () =
+  let open Bechamel in
+  let tiny =
+    {
+      !scale with
+      Experiments.sweep_threads = [ 4 ];
+      duration_ns = 100_000.0;
+      map_prefill = 500;
+      buckets = 500;
+      queue_prefill = 100;
+      fig10_threads = 4;
+      fig11_periods_ns = [ 64_000.0 ];
+      fig12_buckets = [ 2_000 ];
+    }
+  in
+  let tiny_apps =
+    {
+      !app_scale with
+      App_experiments.matmul_n = 12;
+      lr_points = 2_000;
+      swaptions = 32;
+      dedup_chunks = 200;
+      kv_load = 300;
+      kv_run = 900;
+      kv_keys = 300;
+      app_threads = 4;
+    }
+  in
+  let stage f = Staged.stage (fun () -> ignore (f ())) in
+  let tests =
+    Test.make_grouped ~name:"respct-experiments"
+      [
+        Test.make ~name:"fig8-hashmap"
+          (stage (fun () -> Experiments.fig8 ~scale:tiny ()));
+        Test.make ~name:"fig9-queue"
+          (stage (fun () -> Experiments.fig9 ~scale:tiny ()));
+        Test.make ~name:"fig10-overheads"
+          (stage (fun () -> Experiments.fig10 ~scale:tiny ()));
+        Test.make ~name:"fig11-period-sweep"
+          (stage (fun () -> Experiments.fig11 ~scale:tiny ()));
+        Test.make ~name:"fig12-recovery"
+          (stage (fun () -> Experiments.fig12 ~scale:tiny ()));
+        Test.make ~name:"fig13-apps"
+          (stage (fun () -> App_experiments.fig13 ~scale:tiny_apps ()));
+        Test.make ~name:"fig14-kvstore"
+          (stage (fun () -> App_experiments.fig14 ~scale:tiny_apps ()));
+        Test.make ~name:"tab2-idempotence"
+          (stage (fun () ->
+               Analysis.Idempotence.idempotent Analysis.Idempotence.table2_war));
+        Test.make ~name:"tab3-loc" (stage (fun () -> Loc_report.rows ()));
+      ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:10 ~quota:(Time.second 0.5) ~kde:(Some 5) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  print_endline
+    "\n== Bechamel: wall-clock cost of one miniature run per experiment ==";
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some (est :: _) -> Printf.printf "%-45s %12.3f ms/run\n" name (est /. 1e6)
+      | Some [] | None -> Printf.printf "%-45s (no estimate)\n" name)
+    results
+
+let all_experiments =
+  [
+    ("fig8", run_fig8);
+    ("fig9", run_fig9);
+    ("fig10", run_fig10);
+    ("fig11", run_fig11);
+    ("fig12", run_fig12);
+    ("fig13", run_fig13);
+    ("fig14", run_fig14);
+    ("tab2", run_tab2);
+    ("tab3", run_tab3);
+    ("bechamel", bechamel);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse sel = function
+    | [] -> List.rev sel
+    | "--scale" :: s :: rest ->
+        scale := Experiments.scale_of_string s;
+        (app_scale :=
+           match s with
+           | "paper" -> App_experiments.paper
+           | _ -> App_experiments.small);
+        parse sel rest
+    | "all" :: rest -> parse (List.rev_map fst all_experiments @ sel) rest
+    | name :: rest when List.mem_assoc name all_experiments ->
+        parse (name :: sel) rest
+    | name :: _ ->
+        Printf.eprintf "unknown experiment %S; known: %s all --scale\n" name
+          (String.concat " " (List.map fst all_experiments));
+        exit 2
+  in
+  let selected = parse [] args in
+  let selected =
+    if selected = [] then List.map fst all_experiments else selected
+  in
+  Printf.printf
+    "ResPCT evaluation harness — scale=%s (virtual-time results; see \
+     EXPERIMENTS.md)\n"
+    !scale.Experiments.label;
+  List.iter
+    (fun name ->
+      let t0 = Unix.gettimeofday () in
+      (List.assoc name all_experiments) ();
+      Printf.printf "[%s done in %.1fs wall]\n%!" name
+        (Unix.gettimeofday () -. t0))
+    selected

@@ -1,0 +1,157 @@
+(* Command-line front end for the evaluation harness: pick experiments,
+   scale, seed and thread sweep without recompiling. The default `bench`
+   executable runs everything; this tool is for exploring single data
+   points, e.g.
+
+     respct_experiments map --system respct --threads 16 --update 90
+     respct_experiments queue --system pmthreads --threads 64
+     respct_experiments recover --buckets 100000 --recovery-threads 32
+     respct_experiments figures fig8 fig11 --scale paper *)
+
+open Cmdliner
+open Harness
+
+let scale_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("small", Experiments.small); ("paper", Experiments.paper) ])
+        Experiments.small
+    & info [ "scale" ] ~doc:"Experiment scale: small or paper.")
+
+let threads_arg =
+  Arg.(value & opt int 16 & info [ "threads" ] ~doc:"Worker thread count.")
+
+let system_arg =
+  let systems =
+    [
+      ("transient-dram", Systems.Transient_dram);
+      ("transient-nvm", Systems.Transient_nvm);
+      ("respct", Systems.Respct);
+      ("pmthreads", Systems.Pmthreads);
+      ("montage", Systems.Montage);
+      ("clobber", Systems.Clobber);
+      ("quadra", Systems.Quadra);
+      ("soft", Systems.Soft);
+      ("dali", Systems.Dali);
+      ("friedman", Systems.Friedman);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum systems) Systems.Respct
+    & info [ "system" ] ~doc:"Persistence system to run.")
+
+let update_arg =
+  Arg.(
+    value & opt int 50
+    & info [ "update" ] ~doc:"Update percentage of the map mix (rest search).")
+
+let map_cmd =
+  let run scale threads system update_pct =
+    let r, rt = Experiments.map_point ~update_pct scale system ~threads in
+    Printf.printf "%s HashMap %d threads %d%% updates: %.2f Mops/s (%d ops)\n"
+      (Systems.name_of system) threads update_pct r.Workload.mops
+      r.Workload.total_ops;
+    Option.iter
+      (fun rt ->
+        let s = Respct.Runtime.stats rt in
+        Printf.printf "checkpoints=%d flushed=%d addrs effective-period=%.0fus\n"
+          s.Respct.Runtime.checkpoints s.Respct.Runtime.flushed_addrs
+          (Respct.Runtime.mean_effective_period rt /. 1e3))
+      rt
+  in
+  Cmd.v (Cmd.info "map" ~doc:"One HashMap data point (Figure 8 style).")
+    Term.(const run $ scale_arg $ threads_arg $ system_arg $ update_arg)
+
+let queue_cmd =
+  let run scale threads system =
+    let r, _ = Experiments.queue_point scale system ~threads in
+    Printf.printf "%s Queue %d threads: %.2f Mops/s (%d ops)\n"
+      (Systems.name_of system) threads r.Workload.mops r.Workload.total_ops
+  in
+  Cmd.v (Cmd.info "queue" ~doc:"One Queue data point (Figure 9 style).")
+    Term.(const run $ scale_arg $ threads_arg $ system_arg)
+
+let recover_cmd =
+  let buckets_arg =
+    Arg.(value & opt int 64_000 & info [ "buckets" ] ~doc:"HashMap buckets.")
+  in
+  let rthreads_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "recovery-threads" ] ~doc:"Parallel recovery threads.")
+  in
+  let run scale buckets rthreads =
+    let s =
+      { scale with Experiments.fig12_buckets = [ buckets ]; recovery_threads = rthreads }
+    in
+    List.iter
+      (fun (label, cells) ->
+        Printf.printf "buckets=%s recovery=%sms entries=%s rolled-back=%s\n"
+          label (List.nth cells 0) (List.nth cells 1) (List.nth cells 2))
+      (Experiments.fig12 ~scale:s ())
+  in
+  Cmd.v
+    (Cmd.info "recover" ~doc:"Crash + parallel recovery (Figure 12 style).")
+    Term.(const run $ scale_arg $ buckets_arg $ rthreads_arg)
+
+let figures_cmd =
+  let names =
+    Arg.(value & pos_all string [] & info [] ~docv:"FIGURE" ~doc:"fig8..fig14")
+  in
+  let run scale names =
+    let app_scale =
+      if scale.Experiments.label = "paper" then App_experiments.paper
+      else App_experiments.small
+    in
+    let print_rows title header rows = Table.print ~title ~header rows in
+    List.iter
+      (fun name ->
+        match name with
+        | "fig8" ->
+            List.iter
+              (fun (pct, rows) ->
+                print_rows
+                  (Printf.sprintf "Figure 8 (%d%% updates)" pct)
+                  ("threads:"
+                  :: List.map string_of_int scale.Experiments.sweep_threads)
+                  rows)
+              (Experiments.fig8 ~scale ())
+        | "fig9" ->
+            print_rows "Figure 9"
+              ("threads:"
+              :: List.map string_of_int scale.Experiments.sweep_threads)
+              (Experiments.fig9 ~scale ())
+        | "fig10" ->
+            print_rows "Figure 10"
+              [ "config:"; "Queue"; "HashMap-RI"; "HashMap-WI" ]
+              (Experiments.fig10 ~scale ())
+        | "fig11" ->
+            print_rows "Figure 11"
+              [ "period"; "norm. throughput"; "effective period" ]
+              (Experiments.fig11 ~scale ())
+        | "fig12" ->
+            print_rows "Figure 12"
+              [ "buckets"; "recovery (ms)"; "entries"; "rolled back" ]
+              (Experiments.fig12 ~scale ())
+        | "fig13" ->
+            print_rows "Figure 13"
+              [ "config:"; "Dedup"; "Swaptions"; "MatMul"; "LR" ]
+              (App_experiments.fig13 ~scale:app_scale ())
+        | "fig14" ->
+            print_rows "Figure 14"
+              [ "config:"; "RI"; "balanced"; "WI" ]
+              (App_experiments.fig14 ~scale:app_scale ())
+        | other -> Printf.eprintf "unknown figure %s\n" other)
+      names
+  in
+  Cmd.v (Cmd.info "figures" ~doc:"Regenerate selected figures.")
+    Term.(const run $ scale_arg $ names)
+
+let () =
+  let info =
+    Cmd.info "respct_experiments"
+      ~doc:"Explore the ResPCT reproduction's experiments."
+  in
+  exit (Cmd.eval (Cmd.group info [ map_cmd; queue_cmd; recover_cmd; figures_cmd ]))

@@ -1,0 +1,7 @@
+open Harness
+let () =
+  let s = App_experiments.small in
+  List.iter (fun v ->
+    let t = App_experiments.run_app s v `Matmul in
+    Printf.printf "%-16s matmul %.0f us\n" (App_experiments.variant_name v) (t /. 1e3))
+    App_experiments.[App_dram; App_nvm; App_respct]

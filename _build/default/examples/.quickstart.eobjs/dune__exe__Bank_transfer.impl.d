@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Array Printf Respct Simnvm Simsched

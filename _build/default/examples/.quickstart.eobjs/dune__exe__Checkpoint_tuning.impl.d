@@ -1,0 +1,1 @@
+examples/checkpoint_tuning.ml: Harness List Printf Respct

@@ -1,0 +1,1 @@
+examples/kv_recovery.ml: Hashtbl List Option Pds Printf Respct Simnvm Simsched

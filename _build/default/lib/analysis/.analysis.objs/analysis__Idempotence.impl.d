@@ -1,0 +1,1 @@
+lib/analysis/idempotence.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/analysis/racecheck.ml: Hashtbl List Option

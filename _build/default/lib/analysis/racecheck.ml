@@ -1,0 +1,109 @@
+(* Vector-clock data-race checker for access traces.
+
+   ResPCT assumes race-free lock-based programs (paper section 2.1): two
+   conflicting accesses to the same variable must be ordered by
+   happens-before edges induced by lock release/acquire pairs. This checker
+   validates that assumption for recorded traces: it implements the
+   standard vector-clock algorithm (FastTrack-style, unoptimised) over an
+   event list of reads, writes, acquires and releases. *)
+
+type event =
+  | Racq of { thread : int; lock : int }
+  | Rrel of { thread : int; lock : int }
+  | Rread of { thread : int; addr : int }
+  | Rwrite of { thread : int; addr : int }
+
+type race = { addr : int; first_thread : int; second_thread : int }
+
+module Vc = struct
+  type t = (int, int) Hashtbl.t
+
+  let create () : t = Hashtbl.create 8
+  let get (t : t) i = Option.value ~default:0 (Hashtbl.find_opt t i)
+  let set (t : t) i v = Hashtbl.replace t i v
+
+  let join (a : t) (b : t) =
+    Hashtbl.iter (fun i v -> if v > get a i then set a i v) b
+
+  let copy (t : t) : t = Hashtbl.copy t
+
+  (* a <= b pointwise *)
+  let leq (a : t) (b : t) =
+    Hashtbl.fold (fun i v acc -> acc && v <= get b i) a true
+end
+
+type shadow = {
+  mutable last_writes : (int * int) list; (* (thread, clock) per writer *)
+  mutable last_reads : (int * int) list;
+}
+
+let check events =
+  let threads : (int, Vc.t) Hashtbl.t = Hashtbl.create 8 in
+  let locks : (int, Vc.t) Hashtbl.t = Hashtbl.create 8 in
+  let vars : (int, shadow) Hashtbl.t = Hashtbl.create 64 in
+  let races = ref [] in
+  let vc_of thread =
+    match Hashtbl.find_opt threads thread with
+    | Some vc -> vc
+    | None ->
+        let vc = Vc.create () in
+        Vc.set vc thread 1;
+        Hashtbl.add threads thread vc;
+        vc
+  in
+  let shadow_of addr =
+    match Hashtbl.find_opt vars addr with
+    | Some s -> s
+    | None ->
+        let s = { last_writes = []; last_reads = [] } in
+        Hashtbl.add vars addr s;
+        s
+  in
+  let happens_before (thread, clock) vc =
+    (* event (thread, clock) happens-before the state vc *)
+    clock <= Vc.get vc thread
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Racq { thread; lock } -> (
+          let vc = vc_of thread in
+          match Hashtbl.find_opt locks lock with
+          | Some lvc -> Vc.join vc lvc
+          | None -> ())
+      | Rrel { thread; lock } ->
+          let vc = vc_of thread in
+          Hashtbl.replace locks lock (Vc.copy vc);
+          Vc.set vc thread (Vc.get vc thread + 1)
+      | Rread { thread; addr } ->
+          let vc = vc_of thread in
+          let s = shadow_of addr in
+          List.iter
+            (fun (w, c) ->
+              if w <> thread && not (happens_before (w, c) vc) then
+                races := { addr; first_thread = w; second_thread = thread } :: !races)
+            s.last_writes;
+          s.last_reads <-
+            (thread, Vc.get vc thread)
+            :: List.filter (fun (th, _) -> th <> thread) s.last_reads
+      | Rwrite { thread; addr } ->
+          let vc = vc_of thread in
+          let s = shadow_of addr in
+          List.iter
+            (fun (w, c) ->
+              if w <> thread && not (happens_before (w, c) vc) then
+                races := { addr; first_thread = w; second_thread = thread } :: !races)
+            s.last_writes;
+          List.iter
+            (fun (r, c) ->
+              if r <> thread && not (happens_before (r, c) vc) then
+                races := { addr; first_thread = r; second_thread = thread } :: !races)
+            s.last_reads;
+          s.last_writes <- [ (thread, Vc.get vc thread) ];
+          s.last_reads <- [])
+    events;
+  List.rev !races
+
+let race_free events = check events = []
+
+let _ = Vc.leq (* exposed for tests of the vector-clock lattice *)

@@ -1,0 +1,21 @@
+(** Vector-clock data-race checker for access traces.
+
+    ResPCT assumes race-free lock-based programs (paper section 2.1): two
+    conflicting accesses to the same variable must be ordered by the
+    happens-before edges of lock release/acquire pairs. This checker
+    validates the assumption for recorded traces with the standard
+    vector-clock algorithm. *)
+
+type event =
+  | Racq of { thread : int; lock : int }
+  | Rrel of { thread : int; lock : int }
+  | Rread of { thread : int; addr : int }
+  | Rwrite of { thread : int; addr : int }
+
+type race = { addr : int; first_thread : int; second_thread : int }
+
+val check : event list -> race list
+(** All conflicting, unordered access pairs, in trace order. *)
+
+val race_free : event list -> bool
+(** [check events = []]. *)

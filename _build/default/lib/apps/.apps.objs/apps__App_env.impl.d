@@ -1,0 +1,1 @@
+lib/apps/app_env.ml: Array Float Pds Printf Respct Simsched

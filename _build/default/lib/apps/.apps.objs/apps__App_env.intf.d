@@ -1,0 +1,1 @@
+lib/apps/app_env.mli: Pds Respct Simsched

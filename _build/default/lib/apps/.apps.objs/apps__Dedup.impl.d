@@ -1,0 +1,1 @@
+lib/apps/dedup.ml: App_env Option Pds Queue Respct Simnvm Simsched

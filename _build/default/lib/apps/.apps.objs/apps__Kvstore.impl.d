@@ -1,0 +1,1 @@
+lib/apps/kvstore.ml: App_env Array Option Pds Queue Respct Simnvm Simsched Ycsb

@@ -1,0 +1,1 @@
+lib/apps/linreg.ml: App_env Array Respct Simsched

@@ -1,0 +1,1 @@
+lib/apps/matmul.ml: App_env Simsched

@@ -1,0 +1,1 @@
+lib/apps/swaptions.ml: App_env Respct Simsched

@@ -1,0 +1,1 @@
+lib/apps/ycsb.ml: Float Printf Simnvm

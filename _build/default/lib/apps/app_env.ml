@@ -1,0 +1,87 @@
+(* Shared plumbing for the application kernels (paper section 5.3).
+
+   Every kernel runs in one of two variants:
+   - [Transient]: the original program, plain loads and stores (the world's
+     latency config decides whether that means DRAM or NVMM);
+   - [Durable rt]: the ResPCT port -- persistent state in NVMM, updates
+     through update_InCLL / add_modified, restart points per the paper's
+     placement discussion. *)
+
+type persistence = Transient | Durable of Respct.Runtime.t
+
+(* Allocate [words] of application memory: from the ResPCT heap when
+   durable, from a caller-provided transient arena otherwise. *)
+let alloc persistence bump ~slot ~words =
+  match persistence with
+  | Transient -> Pds.Bump.alloc bump ~words
+  | Durable rt -> Respct.Runtime.alloc_raw rt ~slot ~words
+
+let rp persistence ~slot id =
+  match persistence with
+  | Transient -> ()
+  | Durable rt -> Respct.Runtime.rp rt ~slot id
+
+let register persistence ~slot =
+  match persistence with
+  | Transient -> ()
+  | Durable rt -> Respct.Runtime.register rt ~slot
+
+let deregister persistence ~slot =
+  match persistence with
+  | Transient -> ()
+  | Durable rt -> Respct.Runtime.deregister rt ~slot
+
+(* Store a write-once persistent value (no WAR dependency: plain store plus
+   tracking, paper section 3.3.2). *)
+let store_once env persistence ~slot addr v =
+  Simsched.Env.store env addr v;
+  match persistence with
+  | Transient -> ()
+  | Durable rt -> Respct.Runtime.add_modified rt ~slot addr
+
+(* Run [setup] on its own simulated thread, then [nthreads] kernel workers
+   (released by a barrier once setup finished); returns the virtual
+   makespan of the workers. The runtime's coordinator, if any, is stopped
+   by the last worker. *)
+let run_workers ?(setup = fun () -> ()) env persistence ~nthreads body =
+  let sched = Simsched.Env.sched env in
+  let ready = Simsched.Barrier.create ~name:"app-ready" (nthreads + 1) in
+  let starts = Array.make nthreads infinity in
+  let ends = Array.make nthreads 0.0 in
+  let remaining = ref nthreads in
+  ignore
+    (Simsched.Scheduler.spawn ~name:"app-setup" sched (fun () ->
+         setup ();
+         Simsched.Barrier.await sched ready));
+  for w = 0 to nthreads - 1 do
+    ignore
+      (Simsched.Scheduler.spawn ~name:(Printf.sprintf "app%d" w) sched
+         (fun () ->
+           (* Register before the barrier so startup is not measured; the
+              barrier wait is bracketed by checkpoint_allow/prevent (paper
+              section 3.3.3) since a checkpoint may fire meanwhile. *)
+           register persistence ~slot:w;
+           (match persistence with
+           | Transient -> ()
+           | Durable rt -> Respct.Runtime.checkpoint_allow rt ~slot:w);
+           Simsched.Barrier.await sched ready;
+           (match persistence with
+           | Transient -> ()
+           | Durable rt -> Respct.Runtime.checkpoint_prevent_nolock rt ~slot:w);
+           starts.(w) <- Simsched.Scheduler.now sched;
+           body ~slot:w;
+           deregister persistence ~slot:w;
+           ends.(w) <- Simsched.Scheduler.now sched;
+           decr remaining;
+           if !remaining = 0 then
+             match persistence with
+             | Transient -> ()
+             | Durable rt -> Respct.Runtime.stop rt))
+  done;
+  (match Simsched.Scheduler.run sched with
+  | Simsched.Scheduler.Completed -> ()
+  | Simsched.Scheduler.Crash_interrupt _ -> failwith "unexpected crash");
+  (* Makespan of the parallel phase only: input initialisation on the setup
+     thread is not part of the measured kernel. *)
+  Array.fold_left Float.max 0.0 ends
+  -. Array.fold_left Float.min infinity starts

@@ -1,0 +1,33 @@
+(** Shared plumbing for the application kernels (paper section 5.3): each
+    kernel runs either as the original transient program or as its ResPCT
+    port, selected by {!persistence}. *)
+
+type persistence =
+  | Transient  (** plain loads/stores (DRAM or NVMM per the world config) *)
+  | Durable of Respct.Runtime.t  (** the ResPCT port *)
+
+val alloc : persistence -> Pds.Bump.t -> slot:int -> words:int -> int
+(** Application memory: the ResPCT heap when durable, the transient arena
+    otherwise. *)
+
+val rp : persistence -> slot:int -> int -> unit
+(** Restart point (no-op when transient). *)
+
+val register : persistence -> slot:int -> unit
+val deregister : persistence -> slot:int -> unit
+
+val store_once : Simsched.Env.t -> persistence -> slot:int -> int -> int -> unit
+(** Store a write-once persistent value: plain store plus tracking, the
+    paper's rule for WAR-free variables (section 3.3.2). *)
+
+val run_workers :
+  ?setup:(unit -> unit) ->
+  Simsched.Env.t ->
+  persistence ->
+  nthreads:int ->
+  (slot:int -> unit) ->
+  float
+(** Run [setup] on a simulated thread, then the worker bodies (registered,
+    released together by a barrier bracketed with allow/prevent); returns
+    the virtual makespan of the parallel phase. The last worker stops the
+    runtime's coordinator. *)

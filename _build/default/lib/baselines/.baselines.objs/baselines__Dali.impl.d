@@ -1,0 +1,1 @@
+lib/baselines/dali.ml: Array Epoch_gate Hashtbl List Pds Simnvm Simsched

@@ -1,0 +1,1 @@
+lib/baselines/durlin.ml: Fatomic Pds Simnvm Simsched

@@ -1,0 +1,1 @@
+lib/baselines/epoch_gate.ml: Array Float Simsched

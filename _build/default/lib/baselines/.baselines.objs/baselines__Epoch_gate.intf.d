@@ -1,0 +1,1 @@
+lib/baselines/epoch_gate.mli: Simsched

@@ -1,0 +1,1 @@
+lib/baselines/fatomic.ml: Array Hashtbl Pds Simnvm Simsched

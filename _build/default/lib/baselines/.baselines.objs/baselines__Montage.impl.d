@@ -1,0 +1,1 @@
+lib/baselines/montage.ml: Array Epoch_gate List Pds Simnvm Simsched

@@ -1,0 +1,1 @@
+lib/baselines/pmthreads.ml: Epoch_gate Hashtbl Pds Simnvm Simsched

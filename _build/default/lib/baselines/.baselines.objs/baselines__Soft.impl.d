@@ -1,0 +1,1 @@
+lib/baselines/soft.ml: Pds Simnvm Simsched

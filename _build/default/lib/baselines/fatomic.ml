@@ -1,0 +1,140 @@
+(* Failure-atomic sections for the durably linearizable baselines.
+
+   The transient structures from [Pds] run over an intercepted memory
+   interface that records the read and write sets of the current operation;
+   [commit] then applies one of two published persistence disciplines:
+
+   - [Clobber] (Clobber-NVM, ASPLOS'21): undo-log only the WAR variables
+     (stores whose address was read earlier in the same operation); each log
+     entry must persist before the overwrite (pwb + psync on the log), and
+     the write set is flushed with one fence at section exit. Log truncation
+     is a lazy store on a hot line.
+
+   - [Quadra] (Trinity/Quadra, PPoPP'21): In-Cache-Line logging — the first
+     store to each line pays one extra same-line store (the in-line backup,
+     persistence ordering free under PCSO), and the write set is flushed
+     with one fence at section exit. No separate log, no log fences: the
+     InCLL advantage over Clobber is exactly the missing per-WAR-variable
+     pwb+psync.
+
+   Read-only operations have an empty write set and commit for free, as in
+   both original systems. *)
+
+type policy = Clobber | Quadra
+
+type opctx = {
+  reads : (int, unit) Hashtbl.t;
+  logged : (int, unit) Hashtbl.t; (* WAR vars already logged this op *)
+  lines : (int, unit) Hashtbl.t; (* lines written this op *)
+}
+
+type t = {
+  env : Simsched.Env.t;
+  policy : policy;
+  line_words : int;
+  opctxs : opctx array;
+  log_bases : int array; (* per-slot NVM log region bases *)
+  log_cursors : int array; (* per-slot NVM log write cursors *)
+  mutable stats_logged : int;
+  mutable stats_flushed_lines : int;
+}
+
+let interception_ns = 2.0
+
+(* Per-operation transaction bookkeeping (begin/commit metadata, sequence
+   management) that both published systems execute around every operation. *)
+let tx_overhead_ns = 50.0
+let log_entry_words = 2
+
+let create env ~policy ~max_threads ~log_base ~log_words_per_slot =
+  {
+    env;
+    policy;
+    line_words = Simsched.Env.line_words env;
+    opctxs =
+      Array.init max_threads (fun _ ->
+          {
+            reads = Hashtbl.create 32;
+            logged = Hashtbl.create 8;
+            lines = Hashtbl.create 8;
+          });
+    log_bases =
+      Array.init max_threads (fun slot -> log_base + (slot * log_words_per_slot));
+    log_cursors =
+      Array.init max_threads (fun slot -> log_base + (slot * log_words_per_slot));
+    stats_logged = 0;
+    stats_flushed_lines = 0;
+  }
+
+(* Undo-log one variable (Clobber): the entry must reach NVMM before the
+   overwrite, hence the fence on the write-ahead path. *)
+let log_war t ~slot addr old_value =
+  let cur = t.log_cursors.(slot) in
+  Simsched.Env.store t.env cur addr;
+  Simsched.Env.store t.env (cur + 1) old_value;
+  Simsched.Env.pwb t.env cur;
+  Simsched.Env.psync t.env;
+  t.log_cursors.(slot) <- cur + log_entry_words;
+  t.stats_logged <- t.stats_logged + 1
+
+let intercepted_load t ~slot addr =
+  let ctx = t.opctxs.(slot) in
+  Simsched.Scheduler.charge (Simsched.Env.sched t.env) interception_ns;
+  Hashtbl.replace ctx.reads addr ();
+  Simsched.Env.load t.env addr
+
+let intercepted_store t ~slot addr v =
+  let ctx = t.opctxs.(slot) in
+  Simsched.Scheduler.charge (Simsched.Env.sched t.env) interception_ns;
+  let line = Simnvm.Addr.line_of ~line_words:t.line_words addr in
+  (match t.policy with
+  | Clobber ->
+      if Hashtbl.mem ctx.reads addr && not (Hashtbl.mem ctx.logged addr) then begin
+        Hashtbl.replace ctx.logged addr ();
+        log_war t ~slot addr (Simsched.Env.load t.env addr)
+      end
+  | Quadra ->
+      if not (Hashtbl.mem ctx.lines line) then
+        (* In-line backup: one extra store to the same line; PCSO orders it
+           before the data for free. Modelled as its time cost. *)
+        Simsched.Scheduler.charge (Simsched.Env.sched t.env) 6.0);
+  Hashtbl.replace ctx.lines line ();
+  Simsched.Env.store t.env addr v
+
+(* Commit the section: flush the write set, one fence; reset the op
+   context. The log is truncated with a lazy store (no fence), as both
+   systems do off the critical path. *)
+let commit t ~slot =
+  let ctx = t.opctxs.(slot) in
+  if Hashtbl.length ctx.lines > 0 then begin
+    Hashtbl.iter
+      (fun line () ->
+        Simsched.Env.pwb t.env (line * t.line_words);
+        t.stats_flushed_lines <- t.stats_flushed_lines + 1)
+      ctx.lines;
+    Simsched.Env.psync t.env;
+    if t.policy = Clobber && Hashtbl.length ctx.logged > 0 then begin
+      (* reset the per-thread log head (lazy store, no fence) *)
+      t.log_cursors.(slot) <- t.log_bases.(slot);
+      Simsched.Scheduler.charge (Simsched.Env.sched t.env) 6.0
+    end
+  end;
+  Hashtbl.reset ctx.reads;
+  Hashtbl.reset ctx.logged;
+  Hashtbl.reset ctx.lines
+
+let with_op t ~slot f =
+  Simsched.Scheduler.charge (Simsched.Env.sched t.env) tx_overhead_ns;
+  let r = f () in
+  commit t ~slot;
+  r
+
+(* Intercepted memory interface over an NVM arena, for the transient
+   structures. *)
+let mem t bump =
+  {
+    Pds.Mem_iface.load = (fun ~slot addr -> intercepted_load t ~slot addr);
+    store = (fun ~slot addr v -> intercepted_store t ~slot addr v);
+    alloc = (fun ~slot:_ ~words -> Pds.Bump.alloc bump ~words);
+    free = (fun ~slot:_ addr ~words -> Pds.Bump.free bump addr ~words);
+  }

@@ -1,0 +1,1 @@
+lib/harness/app_experiments.ml: Apps List Pds Printf Respct Simnvm Simsched Systems Table

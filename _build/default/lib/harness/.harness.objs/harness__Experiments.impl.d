@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Float List Printf Respct Simnvm Simsched Systems Table Workload

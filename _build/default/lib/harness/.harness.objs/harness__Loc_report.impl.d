@@ -1,0 +1,1 @@
+lib/harness/loc_report.ml: Filename List Printf String Sys

@@ -1,0 +1,1 @@
+lib/harness/rp_advisor.ml: Analysis Hashtbl List Simsched

@@ -1,0 +1,1 @@
+lib/harness/systems.ml: Baselines Pds Respct Simnvm Simsched

@@ -1,0 +1,205 @@
+(* Real-world workload experiments: Figure 13 (compute-intensive
+   applications) and Figure 14 (Memcached-like KV store under YCSB). *)
+
+type app_scale = {
+  matmul_n : int;
+  lr_points : int;
+  swaptions : int;
+  dedup_chunks : int;
+  kv_load : int;
+  kv_run : int;
+  kv_keys : int;
+  app_threads : int;
+  period_ns : float;
+}
+
+let small =
+  {
+    matmul_n = 96;
+    lr_points = 400_000;
+    swaptions = 6_000;
+    dedup_chunks = 8_000;
+    kv_load = 15_000;
+    kv_run = 45_000;
+    kv_keys = 15_000;
+    app_threads = 64;
+    period_ns = 250_000.0;
+  }
+
+let paper =
+  {
+    matmul_n = 96;
+    lr_points = 2_000_000;
+    swaptions = 1024;
+    dedup_chunks = 100_000;
+    kv_load = 1_000_000;
+    kv_run = 1_000_000;
+    kv_keys = 1_000_000;
+    app_threads = 64;
+    period_ns = 64.0e6;
+  }
+
+type variant = App_dram | App_nvm | App_respct
+
+let variant_name = function
+  | App_dram -> "Transient<DRAM>"
+  | App_nvm -> "Transient<NVMM>"
+  | App_respct -> "ResPCT"
+
+(* Build a world sized for an application run; returns (env, persistence,
+   transient arena). *)
+let app_world (s : app_scale) variant ~nthreads ~nvm_words =
+  let p =
+    {
+      Systems.default_params with
+      Systems.max_threads = nthreads + 1;
+      period_ns = s.period_ns;
+      nvm_words;
+      dram_words = nvm_words;
+      registry_per_slot = 1 lsl 14;
+      cache_sets = max 32 (4 * nthreads);
+      cache_ways = 16;
+      flusher_pool = nthreads;
+    }
+  in
+  let kind =
+    match variant with
+    | App_dram -> Systems.Transient_dram
+    | App_nvm | App_respct -> Systems.Transient_nvm
+  in
+  let _mem, _sched, env = Systems.world p ~kind in
+  let mcfg = Simnvm.Memsys.config (Simsched.Env.mem env) in
+  let lw = mcfg.Simnvm.Memsys.line_words in
+  match variant with
+  | App_respct ->
+      let rt = Respct.Runtime.create ~cfg:(Systems.rt_cfg p) env in
+      Respct.Runtime.start rt;
+      (* transient arena unused by durable apps, but harmless to provide *)
+      let bump = Pds.Bump.create env ~base:lw ~limit:(mcfg.Simnvm.Memsys.nvm_words / 2) in
+      (env, Apps.App_env.Durable rt, bump)
+  | App_dram ->
+      let base = mcfg.Simnvm.Memsys.nvm_words in
+      let bump =
+        Pds.Bump.create env ~base ~limit:(base + mcfg.Simnvm.Memsys.dram_words)
+      in
+      (env, Apps.App_env.Transient, bump)
+  | App_nvm ->
+      let bump =
+        Pds.Bump.create env ~base:lw ~limit:(mcfg.Simnvm.Memsys.nvm_words / 2)
+      in
+      (env, Apps.App_env.Transient, bump)
+
+let run_app (s : app_scale) variant = function
+  | `Matmul ->
+      let cfg = { Apps.Matmul.n = s.matmul_n; nthreads = s.app_threads } in
+      let env, p, bump = app_world s variant ~nthreads:s.app_threads ~nvm_words:(1 lsl 21) in
+      fst (Apps.Matmul.run env p cfg ~bump)
+  | `Linreg naive ->
+      let cfg =
+        {
+          Apps.Linreg.points = s.lr_points;
+          nthreads = s.app_threads;
+          granularity = (if naive then `Per_point else `Per_batch 1000);
+        }
+      in
+      let env, p, bump = app_world s variant ~nthreads:s.app_threads ~nvm_words:(1 lsl 23) in
+      fst (Apps.Linreg.run env p cfg ~bump)
+  | `Swaptions naive ->
+      let cfg =
+        {
+          Apps.Swaptions.swaptions = s.swaptions;
+          trials = 60;
+          nthreads = s.app_threads;
+          granularity = (if naive then `Per_trial else `Per_swaption);
+        }
+      in
+      let env, p, bump = app_world s variant ~nthreads:s.app_threads ~nvm_words:(1 lsl 21) in
+      fst (Apps.Swaptions.run env p cfg ~bump)
+  | `Dedup ->
+      let cfg =
+        {
+          Apps.Dedup.default_cfg with
+          Apps.Dedup.chunks = s.dedup_chunks;
+          distinct = s.dedup_chunks / 4;
+        }
+      in
+      let env, p, _bump = app_world s variant ~nthreads:64 ~nvm_words:(1 lsl 21) in
+      fst (Apps.Dedup.run env p cfg)
+
+(* Figure 13: normalised execution time (relative to Transient<DRAM>) for
+   the four applications; plus the RP-placement ablation rows of section
+   5.3 for LR and Swaptions. *)
+let fig13 ?(scale = small) () =
+  let apps =
+    [
+      ("Dedup", `Dedup);
+      ("Swaptions", `Swaptions false);
+      ("MatMul", `Matmul);
+      ("LR", `Linreg false);
+    ]
+  in
+  let base =
+    List.map (fun (name, app) -> (name, run_app scale App_dram app)) apps
+  in
+  let rows =
+    List.map
+      (fun variant ->
+        ( variant_name variant,
+          List.map
+            (fun (name, app) ->
+              let t = run_app scale variant app in
+              Table.fmt_ratio (t /. List.assoc name base))
+            apps ))
+      [ App_dram; App_nvm; App_respct ]
+  in
+  (* section 5.3 ablation: naive RP placement *)
+  let naive =
+    ( "ResPCT (naive RPs)",
+      List.map
+        (fun (name, app) ->
+          match app with
+          | `Swaptions _ ->
+              Table.fmt_ratio
+                (run_app scale App_respct (`Swaptions true)
+                /. List.assoc name base)
+          | `Linreg _ ->
+              Table.fmt_ratio
+                (run_app scale App_respct (`Linreg true) /. List.assoc name base)
+          | `Matmul | `Dedup -> "-")
+        apps )
+  in
+  rows @ [ naive ]
+
+(* Figure 14: KV-store throughput (Kops/s) per YCSB mix and system. *)
+let fig14 ?(scale = small) () =
+  let mixes =
+    [
+      ("read-intensive", Apps.Ycsb.read_intensive);
+      ("balanced", Apps.Ycsb.balanced);
+      ("write-intensive", Apps.Ycsb.write_intensive);
+    ]
+  in
+  List.map
+    (fun variant ->
+      ( variant_name variant,
+        List.map
+          (fun (_name, mix) ->
+            let cfg =
+              {
+                Apps.Kvstore.default_cfg with
+                Apps.Kvstore.keys = scale.kv_keys;
+                buckets = scale.kv_keys;
+                load_ops = scale.kv_load;
+                run_ops = scale.kv_run;
+                mix;
+              }
+            in
+            let env, p, _bump =
+              app_world scale variant
+                ~nthreads:(cfg.Apps.Kvstore.clients + cfg.Apps.Kvstore.workers)
+                ~nvm_words:(1 lsl 22)
+            in
+            let dur, ops = Apps.Kvstore.run env p cfg in
+            Printf.sprintf "%.0f" (float_of_int ops /. dur *. 1e6))
+          mixes ))
+    [ App_dram; App_nvm; App_respct ]

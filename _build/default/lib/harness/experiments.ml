@@ -1,0 +1,295 @@
+(* The paper's evaluation experiments (section 5.1-5.2): one function per
+   figure, returning labelled rows ready for Table.print and for
+   EXPERIMENTS.md.
+
+   Scaling: one simulated memory operation costs tens of virtual
+   nanoseconds, exactly like the hardware, but wall-clock budgets limit how
+   many of them a data point can execute. The [small] scale therefore
+   shrinks both the structures and the checkpoint period so that every
+   epoch still covers thousands of operations per thread — the ratio that
+   determines checkpoint overhead — while the [paper] scale uses the
+   paper's parameters (1M-bucket tables, 64 ms periods) for long runs. *)
+
+type scale = {
+  label : string;
+  sweep_threads : int list; (* x-axis of Figures 8 and 9 *)
+  duration_ns : float; (* measured window per data point *)
+  map_prefill : int;
+  buckets : int;
+  queue_prefill : int;
+  period_ns : float; (* default checkpoint interval *)
+  fig10_threads : int;
+  fig11_periods_ns : float list;
+  fig12_buckets : int list;
+  recovery_threads : int;
+}
+
+let small =
+  {
+    label = "small";
+    sweep_threads = [ 1; 4; 16; 64 ];
+    duration_ns = 3.0e6 (* 3 checkpoint periods *);
+    map_prefill = 80_000;
+    buckets = 40_000;
+    queue_prefill = 1_000;
+    period_ns = 1.0e6 (* 1 ms; epochs span >1k ops/thread *);
+    fig10_threads = 64;
+    fig11_periods_ns =
+      [ 2_000.0; 4_000.0; 8_000.0; 16_000.0; 64_000.0; 256_000.0;
+        1_024_000.0 ];
+    fig12_buckets = [ 4_000; 16_000; 64_000; 256_000 ];
+    recovery_threads = 32;
+  }
+
+let paper =
+  {
+    label = "paper";
+    sweep_threads = [ 1; 4; 8; 16; 32; 64 ];
+    duration_ns = 200.0e6 (* >3 paper-scale periods *);
+    map_prefill = 1_000_000;
+    buckets = 1_000_000;
+    queue_prefill = 1_000;
+    period_ns = 64.0e6;
+    fig10_threads = 64;
+    fig11_periods_ns =
+      [ 1.0e6; 2.0e6; 4.0e6; 8.0e6; 16.0e6; 32.0e6; 64.0e6 ];
+    fig12_buckets = [ 500_000; 1_000_000; 2_000_000; 4_000_000 ];
+    recovery_threads = 32;
+  }
+
+let scale_of_string = function
+  | "small" -> small
+  | "paper" -> paper
+  | s -> invalid_arg (Printf.sprintf "unknown scale %S (small|paper)" s)
+
+(* Memory geometry scaled to the structure size: nodes + registry + slack. *)
+let params_for (s : scale) ~threads ~kind:_ =
+  let pow2_above n =
+    let rec go p = if p >= n then p else go (p * 2) in
+    go 4096
+  in
+  let max_threads = threads + 1 in
+  let registry_per_slot =
+    pow2_above
+      ((s.map_prefill * 3 / threads)
+      + (int_of_float s.duration_ns / 120)
+      + 8_192)
+  in
+  let need =
+    (s.buckets * 16) + (s.map_prefill * 24)
+    + (max_threads * registry_per_slot)
+    + (1 lsl 20)
+  in
+  let nvm_words = pow2_above need in
+  {
+    Systems.default_params with
+    Systems.max_threads;
+    period_ns = s.period_ns;
+    (* one flusher thread per program thread, as in the paper (section 5) *)
+    flusher_pool = threads;
+    buckets = s.buckets;
+    nvm_words;
+    dram_words = nvm_words / 2;
+    registry_per_slot;
+    (* The single simulated cache stands for private caches plus an LLC
+       slice per core: its capacity scales with the thread count (16 KiB
+       per thread, 64 KiB minimum) so per-thread hot state stays resident
+       as it does on real hardware. *)
+    cache_sets = max 32 (4 * threads);
+    cache_ways = 16;
+  }
+
+let map_point ?(update_pct = 50) ?params (s : scale) kind ~threads =
+  let p =
+    match params with Some p -> p | None -> params_for s ~threads ~kind
+  in
+  let sched, env, rt, build = Systems.map_system p kind in
+  let wl =
+    {
+      Workload.nthreads = threads;
+      duration_ns = s.duration_ns;
+      key_space = 2 * s.buckets;
+      update_pct;
+      prefill = s.map_prefill;
+      seed = p.Systems.seed;
+    }
+  in
+  let r = Workload.run_map ~mem:(Simsched.Env.mem env) ~sched ~params:wl ~build () in
+  (r, rt)
+
+let queue_point ?params (s : scale) kind ~threads =
+  let p =
+    match params with Some p -> p | None -> params_for s ~threads ~kind
+  in
+  let sched, env, rt, build = Systems.queue_system p kind in
+  let wl =
+    {
+      Workload.q_nthreads = threads;
+      q_duration_ns = s.duration_ns;
+      q_prefill = s.queue_prefill;
+      q_seed = p.Systems.seed;
+    }
+  in
+  let r =
+    Workload.run_queue ~mem:(Simsched.Env.mem env) ~sched ~params:wl ~build ()
+  in
+  (r, rt)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: HashMap throughput vs threads, three update/search mixes. *)
+
+let fig8 ?(scale = small) () =
+  List.map
+    (fun update_pct ->
+      let rows =
+        List.map
+          (fun kind ->
+            let cells =
+              List.map
+                (fun threads ->
+                  let r, _ = map_point ~update_pct scale kind ~threads in
+                  Table.fmt_mops r.Workload.mops)
+                scale.sweep_threads
+            in
+            (Systems.name_of kind, cells))
+          Systems.map_kinds
+      in
+      (update_pct, rows))
+    [ 10; 50; 90 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: Queue throughput vs threads, 1:1 enqueue/dequeue. *)
+
+let fig9 ?(scale = small) () =
+  List.map
+    (fun kind ->
+      let cells =
+        List.map
+          (fun threads ->
+            let r, _ = queue_point scale kind ~threads in
+            Table.fmt_mops r.Workload.mops)
+          scale.sweep_threads
+      in
+      (Systems.name_of kind, cells))
+    Systems.queue_kinds
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: overhead decomposition at full thread count. Rows are the
+   configurations, columns the three workloads, values normalised to
+   Transient<DRAM>. *)
+
+let fig10 ?(scale = small) () =
+  let threads = scale.fig10_threads in
+  let workloads =
+    [ ("Queue", `Queue); ("HashMap-RI", `Map 10); ("HashMap-WI", `Map 90) ]
+  in
+  let run kind ~mode w =
+    let p = { (params_for scale ~threads ~kind) with Systems.mode } in
+    match w with
+    | `Queue -> (fst (queue_point ~params:p scale kind ~threads)).Workload.mops
+    | `Map update_pct ->
+        (fst (map_point ~update_pct ~params:p scale kind ~threads))
+          .Workload.mops
+  in
+  let configs =
+    [
+      ("Transient<DRAM>", Systems.Transient_dram, Respct.Runtime.Full);
+      ("Transient<NVMM>", Systems.Transient_nvm, Respct.Runtime.Full);
+      ("ResPCT-InCLL", Systems.Respct, Respct.Runtime.Incll_only);
+      ("ResPCT-noFlush", Systems.Respct, Respct.Runtime.No_flush);
+      ("ResPCT", Systems.Respct, Respct.Runtime.Full);
+    ]
+  in
+  let base =
+    List.map (fun (wname, w) -> (wname, run Systems.Transient_dram ~mode:Respct.Runtime.Full w)) workloads
+  in
+  List.map
+    (fun (cname, kind, mode) ->
+      let cells =
+        List.map
+          (fun (wname, w) ->
+            let v = run kind ~mode w in
+            let b = List.assoc wname base in
+            Table.fmt_ratio (v /. b))
+          workloads
+      in
+      (cname, cells))
+    configs
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11: checkpoint-period sweep (write-intensive HashMap, full
+   thread count): normalised throughput and measured effective period. *)
+
+let fig11 ?(scale = small) () =
+  let threads = scale.fig10_threads in
+  let base =
+    (fst (map_point ~update_pct:90 scale Systems.Transient_dram ~threads))
+      .Workload.mops
+  in
+  List.map
+    (fun period_ns ->
+      let p =
+        {
+          (params_for scale ~threads ~kind:Systems.Respct) with
+          Systems.period_ns;
+        }
+      in
+      let r, rt = map_point ~update_pct:90 ~params:p scale Systems.Respct ~threads in
+      let eff =
+        match rt with
+        | Some rt -> Respct.Runtime.mean_effective_period rt
+        | None -> nan
+      in
+      ( Printf.sprintf "%.0f us" (period_ns /. 1e3),
+        [
+          Table.fmt_ratio (r.Workload.mops /. base);
+          (if Float.is_nan eff then "-" else Printf.sprintf "%.0f us" (eff /. 1e3));
+        ] ))
+    scale.fig11_periods_ns
+
+(* ------------------------------------------------------------------ *)
+(* Figure 12: recovery time vs HashMap size. A write-intensive run is
+   crashed mid-epoch; recovery runs with the configured thread count. *)
+
+let fig12 ?(scale = small) () =
+  List.map
+    (fun buckets ->
+      let s = { scale with buckets; map_prefill = buckets * 2 } in
+      let threads = 8 in
+      let p = params_for s ~threads ~kind:Systems.Respct in
+      let sched, env, _rt, build = Systems.map_system p Systems.Respct in
+      let wl =
+        {
+          Workload.nthreads = threads;
+          duration_ns = infinity (* run until the crash *);
+          key_space = 2 * s.buckets;
+          update_pct = 90;
+          prefill = s.map_prefill;
+          seed = p.Systems.seed;
+        }
+      in
+      (* Crash roughly 1.5 periods after the prefill finishes: prefill time
+         is unknown in advance, so run a probe first? Instead: crash far
+         enough to cover prefill + one checkpoint for all sizes. *)
+      let crash_at =
+        (float_of_int s.map_prefill *. 400.0) +. (2.5 *. p.Systems.period_ns)
+      in
+      Simsched.Scheduler.set_crash_at sched crash_at;
+      (try ignore (Workload.run_map ~sched ~params:wl ~build ())
+       with Failure _ -> ());
+      let mem = Simsched.Env.mem env in
+      Simnvm.Memsys.crash mem;
+      let layout =
+        Respct.Layout.v
+          ~line_words:(Simnvm.Memsys.config mem).Simnvm.Memsys.line_words
+          ~nvm_words:p.Systems.nvm_words ~max_threads:p.Systems.max_threads
+          ~registry_per_slot:p.Systems.registry_per_slot
+      in
+      let rep = Respct.Recovery.run ~threads:scale.recovery_threads ~layout mem in
+      ( Printf.sprintf "%d" buckets,
+        [
+          Table.fmt_ms rep.Respct.Recovery.duration_ns;
+          string_of_int rep.Respct.Recovery.scanned;
+          string_of_int (List.length rep.Respct.Recovery.rolled_back);
+        ] ))
+    scale.fig12_buckets

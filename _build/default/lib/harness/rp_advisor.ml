@@ -1,0 +1,86 @@
+(* Automation of the paper's section 3.3.2 rules over recorded executions —
+   the future-work direction of its section 6.
+
+   Given a trace of a simulated run (Simsched.Trace), the advisor:
+
+   - splits each thread's accesses into restart-point-delimited segments
+     and applies the WAR rule per segment: any address read before its
+     first write within a segment needs InCLL logging; addresses only
+     written need tracking (add_modified); the rest of the persistent state
+     needs nothing;
+   - feeds the lock and access events to the vector-clock race checker,
+     validating the race-freedom assumption of section 2.1 that the whole
+     ResPCT design rests on.
+
+   Instrumentation sanity in this repository's own tests: the advisor run
+   over the ResPCT queue and hash map confirms that exactly the variables
+   we made InCLL variables are the ones the rule demands. *)
+
+type report = {
+  needs_logging : int list; (* addresses with a WAR segment somewhere *)
+  write_only : int list; (* persistent but WAR-free: add_modified suffices *)
+  races : Analysis.Racecheck.race list;
+  segments : int; (* RP-delimited segments analysed *)
+}
+
+(* Per-thread segmentation: a Restart_point event closes the current
+   segment. Classification is cumulative across segments: one WAR segment
+   anywhere makes the address require logging. *)
+let analyse ?(addr_filter = fun (_ : int) -> true) events =
+  let war : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let written : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let reads_in_segment : (int, (int, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 8 (* per thread: addresses read before being written *)
+  in
+  let writes_in_segment : (int, (int, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let segments = ref 0 in
+  let tbl_of store tid =
+    match Hashtbl.find_opt store tid with
+    | Some t -> t
+    | None ->
+        let t = Hashtbl.create 32 in
+        Hashtbl.add store tid t;
+        t
+  in
+  let race_events = ref [] in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Simsched.Trace.Load { tid; addr } when addr_filter addr ->
+          let ws = tbl_of writes_in_segment tid in
+          if not (Hashtbl.mem ws addr) then
+            Hashtbl.replace (tbl_of reads_in_segment tid) addr ();
+          race_events := Analysis.Racecheck.Rread { thread = tid; addr } :: !race_events
+      | Simsched.Trace.Store { tid; addr } when addr_filter addr ->
+          Hashtbl.replace written addr ();
+          if Hashtbl.mem (tbl_of reads_in_segment tid) addr then
+            Hashtbl.replace war addr ();
+          Hashtbl.replace (tbl_of writes_in_segment tid) addr ();
+          race_events := Analysis.Racecheck.Rwrite { thread = tid; addr } :: !race_events
+      | Simsched.Trace.Acquire { tid; lock } ->
+          race_events := Analysis.Racecheck.Racq { thread = tid; lock } :: !race_events
+      | Simsched.Trace.Release { tid; lock } ->
+          race_events := Analysis.Racecheck.Rrel { thread = tid; lock } :: !race_events
+      | Simsched.Trace.Restart_point { tid; id = _ } ->
+          incr segments;
+          Hashtbl.remove reads_in_segment tid;
+          Hashtbl.remove writes_in_segment tid
+      | Simsched.Trace.Load _ | Simsched.Trace.Store _ -> ())
+    events;
+  let needs_logging =
+    Hashtbl.fold (fun a () acc -> a :: acc) war [] |> List.sort compare
+  in
+  let write_only =
+    Hashtbl.fold
+      (fun a () acc -> if Hashtbl.mem war a then acc else a :: acc)
+      written []
+    |> List.sort compare
+  in
+  {
+    needs_logging;
+    write_only;
+    races = Analysis.Racecheck.check (List.rev !race_events);
+    segments = !segments;
+  }

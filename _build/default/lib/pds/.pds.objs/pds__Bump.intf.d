@@ -1,0 +1,1 @@
+lib/pds/bump.mli: Simsched

@@ -1,0 +1,1 @@
+lib/pds/hashmap_respct.ml: Array List Ops Respct Simnvm Simsched

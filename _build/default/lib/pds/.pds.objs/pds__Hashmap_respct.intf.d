@@ -1,0 +1,1 @@
+lib/pds/hashmap_respct.mli: Ops Respct Simnvm

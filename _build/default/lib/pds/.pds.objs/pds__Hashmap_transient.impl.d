@@ -1,0 +1,1 @@
+lib/pds/hashmap_transient.ml: Array Mem_iface Ops Simsched

@@ -1,0 +1,1 @@
+lib/pds/hashmap_transient.mli: Mem_iface Ops Simsched

@@ -1,0 +1,1 @@
+lib/pds/mem_iface.ml: Bump Simsched

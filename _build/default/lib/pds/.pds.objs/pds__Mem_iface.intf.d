@@ -1,0 +1,1 @@
+lib/pds/mem_iface.mli: Bump Simsched

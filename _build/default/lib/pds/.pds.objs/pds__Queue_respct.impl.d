@@ -1,0 +1,1 @@
+lib/pds/queue_respct.ml: List Ops Respct Simnvm Simsched

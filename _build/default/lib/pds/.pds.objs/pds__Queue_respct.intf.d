@@ -1,0 +1,1 @@
+lib/pds/queue_respct.mli: Ops Respct Simnvm

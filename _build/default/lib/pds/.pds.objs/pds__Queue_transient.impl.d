@@ -1,0 +1,1 @@
+lib/pds/queue_transient.ml: Mem_iface Ops Simsched

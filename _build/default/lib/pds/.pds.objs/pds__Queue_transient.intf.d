@@ -1,0 +1,1 @@
+lib/pds/queue_transient.mli: Mem_iface Ops Simsched

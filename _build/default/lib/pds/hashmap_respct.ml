@@ -1,0 +1,121 @@
+(* ResPCT-instrumented lock-based hash map.
+
+   Per the paper's rules (section 3.3.2) with restart points placed after
+   each operation:
+
+   - bucket heads and node [next] pointers are read and later written within
+     an epoch (WAR) -> InCLL variables;
+   - node values are updated in place on a duplicate insert -> InCLL;
+   - node keys are written exactly once when the node is linked -> plain
+     persistent words, tracked with add_modified.
+
+   Node layout (one cache line, line-aligned):
+     +0  key               (plain word)
+     +1  value InCLL cell  (record, backup, epoch_id)
+     +4  next  InCLL cell  (record, backup, epoch_id)
+     +7  padding *)
+
+let node_words = 8
+
+type t = {
+  rt : Respct.Runtime.t;
+  env : Simsched.Env.t;
+  buckets : int;
+  heads : int; (* base of the packed bucket-head InCLL cell array *)
+  locks : Simsched.Mutex.t array;
+}
+
+let key_of node = node
+let value_cell node = node + 1
+let next_cell node = node + 4
+
+let create rt ~slot ~buckets =
+  if buckets <= 0 then invalid_arg "Hashmap_respct: buckets must be positive";
+  let heads = Respct.Runtime.alloc_incll_array rt ~slot buckets ~init:0 in
+  {
+    rt;
+    env = Respct.Runtime.env rt;
+    buckets;
+    heads;
+    locks = Array.init buckets (fun _ -> Simsched.Mutex.create ~name:"bucket" ());
+  }
+
+let bucket t key = (key land max_int) mod t.buckets
+let head_cell t b = Respct.Heap.cell_at t.env t.heads b
+let sched t = Simsched.Env.sched t.env
+
+let rec find t ~slot node key =
+  if node = 0 then 0
+  else if Simsched.Env.load t.env (key_of node) = key then node
+  else find t ~slot (Respct.Runtime.read t.rt ~slot (next_cell node)) key
+
+let insert t ~slot ~key ~value =
+  let b = bucket t key in
+  Simsched.Mutex.with_lock (sched t) t.locks.(b) (fun () ->
+      let head = Respct.Runtime.read t.rt ~slot (head_cell t b) in
+      match find t ~slot head key with
+      | 0 ->
+          let node, fresh =
+            Respct.Runtime.alloc_raw_block ~align_line:true t.rt ~slot
+              ~words:node_words
+          in
+          (* The key is written once per node lifetime: WAR-free. *)
+          Simsched.Env.store t.env (key_of node) key;
+          Respct.Runtime.add_modified t.rt ~slot (key_of node);
+          Respct.Runtime.init_incll t.rt ~slot ~fresh (value_cell node) value;
+          Respct.Runtime.init_incll t.rt ~slot ~fresh (next_cell node) head;
+          Respct.Runtime.update t.rt ~slot (head_cell t b) node;
+          true
+      | node ->
+          Respct.Runtime.update t.rt ~slot (value_cell node) value;
+          false)
+
+let search t ~slot ~key =
+  let b = bucket t key in
+  Simsched.Mutex.with_lock (sched t) t.locks.(b) (fun () ->
+      let head = Respct.Runtime.read t.rt ~slot (head_cell t b) in
+      match find t ~slot head key with
+      | 0 -> None
+      | node -> Some (Respct.Runtime.read t.rt ~slot (value_cell node)))
+
+let remove t ~slot ~key =
+  let b = bucket t key in
+  Simsched.Mutex.with_lock (sched t) t.locks.(b) (fun () ->
+      let rec unlink prev node =
+        if node = 0 then false
+        else if Simsched.Env.load t.env (key_of node) = key then begin
+          let nxt = Respct.Runtime.read t.rt ~slot (next_cell node) in
+          if prev = 0 then Respct.Runtime.update t.rt ~slot (head_cell t b) nxt
+          else Respct.Runtime.update t.rt ~slot (next_cell prev) nxt;
+          Respct.Runtime.free t.rt ~slot node ~words:node_words;
+          true
+        end
+        else unlink node (Respct.Runtime.read t.rt ~slot (next_cell node))
+      in
+      unlink 0 (Respct.Runtime.read t.rt ~slot (head_cell t b)))
+
+let ops t : Ops.map =
+  {
+    Ops.insert = (fun ~slot ~key ~value -> insert t ~slot ~key ~value);
+    remove = (fun ~slot ~key -> remove t ~slot ~key);
+    search = (fun ~slot ~key -> search t ~slot ~key);
+    map_rp = (fun ~slot ~id -> Respct.Runtime.rp t.rt ~slot id);
+  }
+
+(* Recovery-time view over the persistent image: rebuild the logical
+   contents bucket by bucket (used by crash-consistency tests). *)
+let persisted_bindings mem t =
+  let record cell = Simnvm.Memsys.persisted mem cell in
+  let rec walk node acc =
+    if node = 0 then acc
+    else
+      walk
+        (record (next_cell node))
+        ((Simnvm.Memsys.persisted mem (key_of node), record (value_cell node))
+        :: acc)
+  in
+  let all = ref [] in
+  for b = 0 to t.buckets - 1 do
+    all := walk (record (head_cell t b)) !all
+  done;
+  List.sort compare !all

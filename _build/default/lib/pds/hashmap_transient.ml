@@ -1,0 +1,90 @@
+(* Transient lock-based hash map (Synch-framework style: one pthread lock
+   per bucket, chained nodes of [key; value; next]).
+
+   This is the "original program" of the paper's evaluation; it runs over
+   NVMM or DRAM depending on the memory interface it is given, and is also
+   the structural core the persistence baselines wrap (PMThreads store
+   interception, Clobber-NVM / Quadra failure-atomic sections). *)
+
+let node_words = 3
+
+type t = {
+  env : Simsched.Env.t;
+  mem : Mem_iface.t;
+  buckets : int;
+  heads : int; (* base address of the bucket-head array *)
+  locks : Simsched.Mutex.t array;
+}
+
+let create env mem ~buckets =
+  if buckets <= 0 then invalid_arg "Hashmap_transient: buckets must be positive";
+  let heads = mem.Mem_iface.alloc ~slot:0 ~words:buckets in
+  (* A fresh simulated arena is zeroed: head = 0 means an empty bucket. *)
+  {
+    env;
+    mem;
+    buckets;
+    heads;
+    locks = Array.init buckets (fun _ -> Simsched.Mutex.create ~name:"bucket" ());
+  }
+
+let bucket t key = (key land max_int) mod t.buckets
+
+let sched t = Simsched.Env.sched t.env
+
+let insert t ~slot ~key ~value =
+  let load = t.mem.Mem_iface.load ~slot and store = t.mem.Mem_iface.store ~slot in
+  let b = bucket t key in
+  Simsched.Mutex.with_lock (sched t) t.locks.(b) (fun () ->
+      let head = load (t.heads + b) in
+      let rec find node =
+        if node = 0 then 0
+        else if load node = key then node
+        else find (load (node + 2))
+      in
+      match find head with
+      | 0 ->
+          let node = t.mem.Mem_iface.alloc ~slot ~words:node_words in
+          store node key;
+          store (node + 1) value;
+          store (node + 2) head;
+          store (t.heads + b) node;
+          true
+      | node ->
+          store (node + 1) value;
+          false)
+
+let search t ~slot ~key =
+  let load = t.mem.Mem_iface.load ~slot in
+  let b = bucket t key in
+  Simsched.Mutex.with_lock (sched t) t.locks.(b) (fun () ->
+      let rec find node =
+        if node = 0 then None
+        else if load node = key then Some (load (node + 1))
+        else find (load (node + 2))
+      in
+      find (load (t.heads + b)))
+
+let remove t ~slot ~key =
+  let load = t.mem.Mem_iface.load ~slot and store = t.mem.Mem_iface.store ~slot in
+  let b = bucket t key in
+  Simsched.Mutex.with_lock (sched t) t.locks.(b) (fun () ->
+      let rec unlink prev node =
+        if node = 0 then false
+        else if load node = key then begin
+          let nxt = load (node + 2) in
+          if prev = 0 then store (t.heads + b) nxt else store (prev + 2) nxt;
+          t.mem.Mem_iface.free ~slot node ~words:node_words;
+          true
+        end
+        else unlink node (load (node + 2))
+      in
+      unlink 0 (load (t.heads + b)))
+
+let ops t : Ops.map =
+  {
+    Ops.insert = (fun ~slot ~key ~value -> insert t ~slot ~key ~value);
+    remove = (fun ~slot ~key -> remove t ~slot ~key);
+    search = (fun ~slot ~key -> search t ~slot ~key);
+    map_rp = Ops.no_rp;
+  }

@@ -1,0 +1,23 @@
+(* Placement-agnostic memory interface for the transient data structures.
+
+   The same structure code runs over NVMM or DRAM (the paper's
+   Transient<NVMM> / Transient<DRAM> configurations), and persistence
+   systems that wrap transient structures inject their own accessors
+   (PMThreads intercepts stores; Clobber-NVM and Quadra intercept loads and
+   stores to build per-operation read/write sets, which is why every
+   accessor carries the thread slot). *)
+
+type t = {
+  load : slot:int -> int -> int;
+  store : slot:int -> int -> int -> unit;
+  alloc : slot:int -> words:int -> int;
+  free : slot:int -> int -> words:int -> unit;
+}
+
+let of_env_bump env bump =
+  {
+    load = (fun ~slot:_ addr -> Simsched.Env.load env addr);
+    store = (fun ~slot:_ addr v -> Simsched.Env.store env addr v);
+    alloc = (fun ~slot:_ ~words -> Bump.alloc bump ~words);
+    free = (fun ~slot:_ addr ~words -> Bump.free bump addr ~words);
+  }

@@ -1,0 +1,18 @@
+(** Placement-agnostic memory interface for the transient data structures.
+
+    The same structure code runs over NVMM or DRAM (the paper's
+    Transient<NVMM> / Transient<DRAM> configurations), and persistence
+    systems that wrap transient structures inject their own accessors
+    (PMThreads intercepts stores; Clobber-NVM and Quadra intercept loads
+    and stores to build per-operation read/write sets — hence the thread
+    slot on every accessor). *)
+
+type t = {
+  load : slot:int -> int -> int;
+  store : slot:int -> int -> int -> unit;
+  alloc : slot:int -> words:int -> int;
+  free : slot:int -> int -> words:int -> unit;
+}
+
+val of_env_bump : Simsched.Env.t -> Bump.t -> t
+(** Plain accessors over an arena: the un-intercepted (transient) case. *)

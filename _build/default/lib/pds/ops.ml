@@ -1,0 +1,44 @@
+(* Closure-record interfaces shared by all map and queue implementations:
+   the workload harness drives any persistence system through these.
+
+   [rp] is the per-iteration restart-point hook the workload driver calls
+   after each completed operation: ResPCT variants bind it to [Runtime.rp],
+   other buffered systems to their own pause point, durable and transient
+   systems to a no-op. *)
+
+type map = {
+  insert : slot:int -> key:int -> value:int -> bool;
+      (* true if the key was absent *)
+  remove : slot:int -> key:int -> bool; (* true if the key was present *)
+  search : slot:int -> key:int -> int option;
+  map_rp : slot:int -> id:int -> unit;
+}
+
+type queue = {
+  enqueue : slot:int -> int -> unit;
+  dequeue : slot:int -> int option; (* None when empty *)
+  queue_rp : slot:int -> id:int -> unit;
+}
+
+let no_rp ~slot:_ ~id:_ = ()
+
+(* Lifecycle hooks of a persistence system: the workload driver registers
+   each worker thread before its first operation, deregisters it after the
+   last one, and stops any background coordinator at the end of the run. *)
+type system = {
+  sys_register : slot:int -> unit;
+  sys_deregister : slot:int -> unit;
+  sys_allow : slot:int -> unit;
+      (* permit checkpoints while this thread blocks (paper section 3.3.3) *)
+  sys_prevent : slot:int -> unit; (* revoke after the blocking call returns *)
+  sys_stop : unit -> unit;
+}
+
+let null_system =
+  {
+    sys_register = (fun ~slot:_ -> ());
+    sys_deregister = (fun ~slot:_ -> ());
+    sys_allow = (fun ~slot:_ -> ());
+    sys_prevent = (fun ~slot:_ -> ());
+    sys_stop = ignore;
+  }

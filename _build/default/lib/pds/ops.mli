@@ -1,0 +1,35 @@
+(** Closure-record interfaces shared by all map and queue implementations;
+    the workload harness drives any persistence system through these. *)
+
+type map = {
+  insert : slot:int -> key:int -> value:int -> bool;
+      (** [true] if the key was absent (value updated otherwise) *)
+  remove : slot:int -> key:int -> bool;  (** [true] if the key was present *)
+  search : slot:int -> key:int -> int option;
+  map_rp : slot:int -> id:int -> unit;
+      (** per-operation restart-point / pause-point hook *)
+}
+
+type queue = {
+  enqueue : slot:int -> int -> unit;
+  dequeue : slot:int -> int option;  (** [None] when empty *)
+  queue_rp : slot:int -> id:int -> unit;
+}
+
+val no_rp : slot:int -> id:int -> unit
+(** The hook for systems without restart points. *)
+
+(** Lifecycle hooks of a persistence system: the workload driver registers
+    each worker thread before its first operation, deregisters it after the
+    last one, brackets blocking waits with allow/prevent (paper section
+    3.3.3), and stops any background coordinator at the end of the run. *)
+type system = {
+  sys_register : slot:int -> unit;
+  sys_deregister : slot:int -> unit;
+  sys_allow : slot:int -> unit;
+  sys_prevent : slot:int -> unit;
+  sys_stop : unit -> unit;
+}
+
+val null_system : system
+(** All hooks are no-ops (transient and purely per-op systems). *)

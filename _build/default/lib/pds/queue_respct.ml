@@ -1,0 +1,91 @@
+(* ResPCT-instrumented lock-based FIFO queue.
+
+   Head and tail pointers and node [next] pointers carry WAR dependencies
+   across restart points -> InCLL variables; node values are written once ->
+   plain words with add_modified. The paper's section 6 notes that InCLL
+   changes the queue's data layout (elements are no longer contiguous):
+   here every node occupies a line-aligned 4-word block.
+
+   Node layout: +0 value (plain), +1 next InCLL cell. *)
+
+let node_words = 4
+
+type t = {
+  rt : Respct.Runtime.t;
+  env : Simsched.Env.t;
+  head_cell : Respct.Incll.cell;
+  tail_cell : Respct.Incll.cell;
+  lock : Simsched.Mutex.t;
+}
+
+let value_of node = node
+let next_cell node = node + 1
+
+let alloc_node t ~slot v next =
+  let node, fresh =
+    Respct.Runtime.alloc_raw_block ~align_line:true t.rt ~slot
+      ~words:node_words
+  in
+  Simsched.Env.store t.env (value_of node) v;
+  Respct.Runtime.add_modified t.rt ~slot (value_of node);
+  Respct.Runtime.init_incll t.rt ~slot ~fresh (next_cell node) next;
+  node
+
+let create rt ~slot =
+  let head_cell = Respct.Runtime.alloc_incll rt ~slot 0 in
+  let tail_cell = Respct.Runtime.alloc_incll rt ~slot 0 in
+  let t =
+    {
+      rt;
+      env = Respct.Runtime.env rt;
+      head_cell;
+      tail_cell;
+      lock = Simsched.Mutex.create ~name:"queue" ();
+    }
+  in
+  let sentinel = alloc_node t ~slot 0 0 in
+  Respct.Runtime.update rt ~slot head_cell sentinel;
+  Respct.Runtime.update rt ~slot tail_cell sentinel;
+  t
+
+let sched t = Simsched.Env.sched t.env
+
+let enqueue t ~slot v =
+  Simsched.Mutex.with_lock (sched t) t.lock (fun () ->
+      let node = alloc_node t ~slot v 0 in
+      let tail = Respct.Runtime.read t.rt ~slot t.tail_cell in
+      Respct.Runtime.update t.rt ~slot (next_cell tail) node;
+      Respct.Runtime.update t.rt ~slot t.tail_cell node)
+
+let dequeue t ~slot =
+  Simsched.Mutex.with_lock (sched t) t.lock (fun () ->
+      let sentinel = Respct.Runtime.read t.rt ~slot t.head_cell in
+      let first = Respct.Runtime.read t.rt ~slot (next_cell sentinel) in
+      if first = 0 then None
+      else begin
+        let v = Simsched.Env.load t.env (value_of first) in
+        Respct.Runtime.update t.rt ~slot t.head_cell first;
+        Respct.Runtime.free t.rt ~slot sentinel ~words:node_words;
+        Some v
+      end)
+
+let head_cell t = t.head_cell
+let tail_cell t = t.tail_cell
+
+let ops t : Ops.queue =
+  {
+    Ops.enqueue = (fun ~slot v -> enqueue t ~slot v);
+    dequeue = (fun ~slot -> dequeue t ~slot);
+    queue_rp = (fun ~slot ~id -> Respct.Runtime.rp t.rt ~slot id);
+  }
+
+(* Recovery-time view: the queue contents in the persistent image, head to
+   tail (used by crash-consistency tests). *)
+let persisted_contents mem t =
+  let record cell = Simnvm.Memsys.persisted mem cell in
+  let sentinel = record t.head_cell in
+  let rec walk node acc =
+    if node = 0 then List.rev acc
+    else walk (record (next_cell node)) (Simnvm.Memsys.persisted mem node :: acc)
+  in
+  walk (record (next_cell sentinel)) []

@@ -1,0 +1,61 @@
+(* Transient lock-based FIFO queue (the paper's "queue protected by one
+   lock"): a sentinel-headed linked list of [value; next] nodes. The head
+   and tail pointers live in simulated memory like the rest of the
+   structure. *)
+
+let node_words = 2
+
+type t = {
+  env : Simsched.Env.t;
+  mem : Mem_iface.t;
+  head_ptr : int;
+  tail_ptr : int;
+  lock : Simsched.Mutex.t;
+}
+
+let create env mem =
+  let ptrs = mem.Mem_iface.alloc ~slot:0 ~words:2 in
+  let sentinel = mem.Mem_iface.alloc ~slot:0 ~words:node_words in
+  mem.Mem_iface.store ~slot:0 (sentinel + 1) 0;
+  mem.Mem_iface.store ~slot:0 ptrs sentinel;
+  mem.Mem_iface.store ~slot:0 (ptrs + 1) sentinel;
+  {
+    env;
+    mem;
+    head_ptr = ptrs;
+    tail_ptr = ptrs + 1;
+    lock = Simsched.Mutex.create ~name:"queue" ();
+  }
+
+let sched t = Simsched.Env.sched t.env
+
+let enqueue t ~slot v =
+  let load = t.mem.Mem_iface.load ~slot and store = t.mem.Mem_iface.store ~slot in
+  Simsched.Mutex.with_lock (sched t) t.lock (fun () ->
+      let node = t.mem.Mem_iface.alloc ~slot ~words:node_words in
+      store node v;
+      store (node + 1) 0;
+      let tail = load t.tail_ptr in
+      store (tail + 1) node;
+      store t.tail_ptr node)
+
+let dequeue t ~slot =
+  let load = t.mem.Mem_iface.load ~slot and store = t.mem.Mem_iface.store ~slot in
+  Simsched.Mutex.with_lock (sched t) t.lock (fun () ->
+      let sentinel = load t.head_ptr in
+      let first = load (sentinel + 1) in
+      if first = 0 then None
+      else begin
+        let v = load first in
+        (* [first] becomes the new sentinel; the old one is reclaimed. *)
+        store t.head_ptr first;
+        t.mem.Mem_iface.free ~slot sentinel ~words:node_words;
+        Some v
+      end)
+
+let ops t : Ops.queue =
+  {
+    Ops.enqueue = (fun ~slot v -> enqueue t ~slot v);
+    dequeue = (fun ~slot -> dequeue t ~slot);
+    queue_rp = Ops.no_rp;
+  }

@@ -1,0 +1,14 @@
+(** Transient lock-based FIFO queue ("queue protected by one lock"):
+    sentinel-headed linked list of [value; next] nodes, head/tail pointers
+    in simulated memory. *)
+
+type t
+
+val node_words : int
+
+val create : Simsched.Env.t -> Mem_iface.t -> t
+val enqueue : t -> slot:int -> int -> unit
+val dequeue : t -> slot:int -> int option
+
+val ops : t -> Ops.queue
+(** Harness-facing closure record (no restart points). *)

@@ -1,0 +1,1 @@
+lib/respct/heap.ml: Hashtbl Incll List Pctx Simnvm Simsched

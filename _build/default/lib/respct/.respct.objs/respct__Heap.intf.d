@@ -1,0 +1,1 @@
+lib/respct/heap.mli: Incll Pctx Simsched

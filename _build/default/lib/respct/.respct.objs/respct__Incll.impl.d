@@ -1,0 +1,1 @@
+lib/respct/incll.ml: Pctx Simnvm Simsched

@@ -1,0 +1,1 @@
+lib/respct/incll.mli: Pctx Simnvm

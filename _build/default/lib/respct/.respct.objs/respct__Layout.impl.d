@@ -1,0 +1,1 @@
+lib/respct/layout.ml: Incll

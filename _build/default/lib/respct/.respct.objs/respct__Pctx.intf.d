@@ -1,0 +1,1 @@
+lib/respct/pctx.mli: Simnvm Simsched

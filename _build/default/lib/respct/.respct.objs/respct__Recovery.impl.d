@@ -1,0 +1,1 @@
+lib/respct/recovery.ml: Array Heap Incll Layout List Runtime Simnvm Simsched

@@ -1,0 +1,1 @@
+lib/respct/recovery.mli: Incll Layout Simnvm

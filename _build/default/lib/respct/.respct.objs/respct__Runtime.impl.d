@@ -1,0 +1,1 @@
+lib/respct/runtime.ml: Array Buffer Float Heap Incll Layout List Pctx Printf Simnvm Simsched

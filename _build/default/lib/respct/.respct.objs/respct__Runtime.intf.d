@@ -1,0 +1,1 @@
+lib/respct/runtime.mli: Heap Incll Layout Pctx Simnvm Simsched

@@ -1,0 +1,74 @@
+(** Persistent-memory allocator (the paper's [alloc_in_nvmm]).
+
+    A bump allocator whose cursor is an InCLL variable (so allocations made
+    during a crashed epoch are reclaimed by the cursor rollback at
+    recovery), with per-thread-slot cache chunks for synchronisation-free
+    small allocations and per-slot, per-size free lists. Freed blocks become
+    reusable only after the next checkpoint, never within the epoch that
+    freed them. Free lists are segregated by size; blocks must not be
+    recycled across different layouts of the same size (see DESIGN.md). *)
+
+type t
+
+val create :
+  ?chunk_words:int ->
+  Simsched.Env.t ->
+  cursor_cell:Incll.cell ->
+  base:int ->
+  limit:int ->
+  t
+(** Attach an allocator to the arena [base, limit) whose persistent cursor
+    lives in [cursor_cell]. [chunk_words] sizes the per-slot cache chunks.
+    @raise Invalid_argument if [base > limit]. *)
+
+val init_cursor : Pctx.t -> t -> unit
+(** Initialise the cursor for a fresh memory image. Must {e not} be called
+    on restart after recovery (the rolled-back cursor is authoritative). *)
+
+val alloc_block :
+  ?align_line:bool ->
+  ?line_start:bool ->
+  Pctx.t ->
+  t ->
+  words:int ->
+  int * bool
+(** Allocate [words] words; the boolean is [true] for a fresh block and
+    [false] for one recycled from a free list (whose InCLL cells, if any,
+    are already registered for recovery). [align_line] keeps the block
+    within one cache line; [line_start] begins it on a line boundary.
+    @raise Failure when the arena is exhausted. *)
+
+val alloc :
+  ?align_line:bool -> ?line_start:bool -> Pctx.t -> t -> words:int -> int
+(** [alloc_block] without the freshness flag. *)
+
+val alloc_incll_block : Pctx.t -> t -> Incll.cell * bool
+(** Allocate one line-resident InCLL cell (uninitialised: call
+    {!Incll.init}); the flag is as in {!alloc_block}. *)
+
+val alloc_incll : Pctx.t -> t -> Incll.cell
+(** [alloc_incll_block] without the freshness flag. *)
+
+val alloc_incll_array_block : Pctx.t -> t -> int -> int * bool
+(** Allocate [n] InCLL cells packed (line_words / 3) per line; returns the
+    base and the freshness flag; address cells with {!cell_at}. *)
+
+val alloc_incll_array : Pctx.t -> t -> int -> int
+(** [alloc_incll_array_block] without the freshness flag. *)
+
+val cell_at : Simsched.Env.t -> int -> int -> Incll.cell
+(** [cell_at env base i]: address of the [i]-th cell of a packed array. *)
+
+val free : Pctx.t -> t -> int -> words:int -> unit
+(** Return a block to the freeing slot's pending list; it becomes reusable
+    after the next checkpoint. *)
+
+val advance_epoch : t -> unit
+(** Runtime hook, called when a checkpoint completes: promote blocks freed
+    during the persisted epoch to the free lists. *)
+
+val cursor : Pctx.t -> t -> int
+(** Current bump cursor (diagnostics). *)
+
+val used : Pctx.t -> t -> int
+(** Words carved from the arena so far (free lists not subtracted). *)

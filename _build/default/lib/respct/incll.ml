@@ -1,0 +1,58 @@
+(* In-Cache-Line Logging (paper Figure 2 and lines 19-29 of Figure 4).
+
+   An InCLL cell is three consecutive words inside a single cache line:
+
+     cell + 0   record    current value of the variable
+     cell + 1   backup    value at the beginning of the epoch of last update
+     cell + 2   epoch_id  epoch of the last update
+
+   Because all three words share a cache line, the PCSO model guarantees
+   that whenever [record]'s new value has reached NVMM, [backup] and
+   [epoch_id] written before it have too -- so the cell carries its own
+   crash-consistent undo log with no pwb/psync on the update path.
+
+   A compiler fence keeps the store order backup -> epoch_id -> record; in
+   the simulator, stores are never reordered, so program order suffices. *)
+
+type cell = Simnvm.Addr.t
+
+let words = 3
+
+let record cell = cell
+let backup cell = cell + 1
+let epoch_id cell = cell + 2
+
+(* Validate that a cell does not straddle a cache line: the whole point of
+   InCLL is single-line residency. Allocation goes through
+   [Heap.alloc_incll], which aligns; this assertion catches misuse. *)
+let check_aligned env cell =
+  let lw = Simsched.Env.line_words env in
+  assert (Simnvm.Addr.same_line ~line_words:lw cell (cell + words - 1))
+
+let init (ctx : Pctx.t) cell v =
+  let env = ctx.env in
+  check_aligned env cell;
+  Simsched.Env.store env (record cell) v;
+  Simsched.Env.store env (backup cell) v;
+  Simsched.Env.store env (epoch_id cell) (ctx.epoch ());
+  ctx.add_modified cell
+
+let read (ctx : Pctx.t) cell = Simsched.Env.load ctx.env (record cell)
+
+let update (ctx : Pctx.t) cell v =
+  let env = ctx.env in
+  let epoch = ctx.epoch () in
+  if Simsched.Env.load env (epoch_id cell) <> epoch then begin
+    (* First update of this variable in the current epoch: log it. *)
+    Simsched.Env.store env (backup cell) (Simsched.Env.load env (record cell));
+    Simsched.Env.store env (epoch_id cell) epoch;
+    ctx.add_modified cell
+  end;
+  Simsched.Env.store env (record cell) v
+
+(* Recovery-time view, reading the NVMM image directly (paper Figure 5). *)
+module Persisted = struct
+  let record mem cell = Simnvm.Memsys.persisted mem cell
+  let backup mem cell = Simnvm.Memsys.persisted mem (cell + 1)
+  let epoch_id mem cell = Simnvm.Memsys.persisted mem (cell + 2)
+end

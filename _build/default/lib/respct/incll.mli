@@ -1,0 +1,38 @@
+(** In-Cache-Line Logging: the [InCLL_data<T>] template of the paper
+    (Figure 2) and its [init_InCLL]/[update_InCLL] operations (Figure 4).
+
+    A cell is three consecutive words ({i record}, {i backup}, {i epoch_id})
+    residing in a single cache line, so PCSO's same-line ordering makes the
+    undo log persist no later than the datum — no flush or fence needed on
+    the update path. *)
+
+type cell = Simnvm.Addr.t
+(** Base address of a cell. Must not straddle a cache line; allocate with
+    {!Heap.alloc_incll}. *)
+
+val words : int
+(** Size of a cell in words (3). *)
+
+val record : cell -> Simnvm.Addr.t
+val backup : cell -> Simnvm.Addr.t
+val epoch_id : cell -> Simnvm.Addr.t
+
+val init : Pctx.t -> cell -> int -> unit
+(** [init ctx cell v]: initialise a freshly allocated cell to value [v]
+    (paper [init_InCLL]); registers the cell for flushing. *)
+
+val read : Pctx.t -> cell -> int
+(** Current value ([record]). *)
+
+val update : Pctx.t -> cell -> int -> unit
+(** [update ctx cell v]: the paper's [update_InCLL] — logs the old value on
+    the first update in the current epoch (and registers the address for
+    flushing), then writes [v]. The caller must hold the lock protecting the
+    variable (section 2.1 assumption). *)
+
+(** Recovery-time accessors reading the NVMM image directly. *)
+module Persisted : sig
+  val record : Simnvm.Memsys.t -> cell -> int
+  val backup : Simnvm.Memsys.t -> cell -> int
+  val epoch_id : Simnvm.Memsys.t -> cell -> int
+end

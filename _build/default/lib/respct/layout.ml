@@ -1,0 +1,85 @@
+(* Fixed NVMM layout of the ResPCT runtime metadata.
+
+   Recovery must find the runtime's own persistent state without any
+   volatile information, so it lives at fixed word addresses:
+
+     0                  global epoch counter (plain word, flushed explicitly)
+     line 1             heap-cursor InCLL cell
+     line 2             slot-count InCLL cell
+     reglen_cells_base  per-slot registry-length InCLL cells (packed)
+     slot_table_base    one word per thread slot: address of its RP_id cell
+     registry_base      per-slot registry segments (addresses of live InCLL
+                        cells, append-only)
+     heap_base          general persistent heap
+
+   The registries materialise the set "every variable in NVMM with InCLL"
+   that the recovery procedure of Figure 5 iterates over. They are per
+   thread slot so that allocation-heavy workloads register cells without
+   any cross-thread synchronisation; each segment's length counter is
+   itself InCLL-protected, so a crash rolls the registries back in lockstep
+   with the heap cursor. *)
+
+type t = {
+  epoch_addr : int;
+  cursor_cell : Incll.cell;
+  slots_cell : Incll.cell;
+  reglen_cells_base : int; (* packed InCLL cell array, one per slot *)
+  slot_table_base : int;
+  registry_base : int;
+  registry_per_slot : int;
+  max_threads : int;
+  heap_base : int;
+  heap_limit : int;
+}
+
+let cells_per_line line_words = max 1 (line_words / Incll.words)
+
+let v ~line_words ~nvm_words ~max_threads ~registry_per_slot =
+  if line_words < 2 * Incll.words then
+    invalid_arg "Layout.v: need at least two InCLL cells per line";
+  let line n = n * line_words in
+  let round_up a = (a + line_words - 1) / line_words * line_words in
+  let reglen_cells_base = line 2 in
+  let reglen_lines =
+    (max_threads + cells_per_line line_words - 1) / cells_per_line line_words
+  in
+  let slot_table_base = reglen_cells_base + (reglen_lines * line_words) in
+  let registry_base = round_up (slot_table_base + max_threads) in
+  let heap_base = round_up (registry_base + (max_threads * registry_per_slot)) in
+  if heap_base >= nvm_words then
+    invalid_arg "Layout.v: NVMM too small for metadata";
+  {
+    epoch_addr = 0;
+    cursor_cell = line 1;
+    slots_cell = line 1 + Incll.words;
+    (* cursor and slot-count cells share line 1: 3 + 3 = 6 words *)
+    reglen_cells_base;
+    slot_table_base;
+    registry_base;
+    registry_per_slot;
+    max_threads;
+    heap_base;
+    heap_limit = nvm_words;
+  }
+
+(* Registry entries are range-encoded: [base * 2^20 + count] covers [count]
+   InCLL cells packed from [base] (cells_per_line per line, the
+   Heap.cell_at rule). A single cell is a range of count 1. This keeps one
+   allocation of a large cell array (e.g. a million bucket heads) to one
+   registry entry. *)
+
+let entry_count_bits = 20
+let max_entry_count = (1 lsl entry_count_bits) - 1
+
+let encode_entry ~base ~count =
+  if count <= 0 || count > max_entry_count then
+    invalid_arg "Layout.encode_entry: bad count";
+  (base lsl entry_count_bits) lor count
+
+let decode_entry e = (e lsr entry_count_bits, e land max_entry_count)
+
+let reglen_cell t ~line_words slot =
+  let per = cells_per_line line_words in
+  t.reglen_cells_base + (slot / per * line_words) + (slot mod per * Incll.words)
+
+let registry_segment t slot = t.registry_base + (slot * t.registry_per_slot)

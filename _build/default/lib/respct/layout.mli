@@ -1,0 +1,44 @@
+(** Fixed NVMM layout of the runtime's persistent metadata: the global
+    epoch, the heap-cursor and slot-count InCLL cells, per-slot
+    registry-length cells, the per-slot RP_id table and the per-slot InCLL
+    registry segments. Recovery locates all of it without any volatile
+    state. *)
+
+type t = {
+  epoch_addr : int;
+  cursor_cell : Incll.cell;
+  slots_cell : Incll.cell;
+  reglen_cells_base : int;
+  slot_table_base : int;
+  registry_base : int;
+  registry_per_slot : int;
+  max_threads : int;
+  heap_base : int;
+  heap_limit : int;
+}
+
+val v :
+  line_words:int ->
+  nvm_words:int ->
+  max_threads:int ->
+  registry_per_slot:int ->
+  t
+(** Compute the layout for a memory geometry.
+    @raise Invalid_argument if the NVMM region cannot hold the metadata or
+    the line size cannot pack two InCLL cells. *)
+
+val max_entry_count : int
+(** Largest cell count one range-encoded registry entry can cover. *)
+
+val encode_entry : base:int -> count:int -> int
+(** Encode a packed range of [count] InCLL cells starting at [base] as one
+    registry entry. @raise Invalid_argument when [count] is out of range. *)
+
+val decode_entry : int -> int * int
+(** Inverse of {!encode_entry}: [(base, count)]. *)
+
+val reglen_cell : t -> line_words:int -> int -> Incll.cell
+(** Registry-length cell of a slot. *)
+
+val registry_segment : t -> int -> int
+(** Base address of a slot's registry segment. *)

@@ -1,0 +1,18 @@
+(* Persistence context: what InCLL updates and persistent-heap operations
+   need to know about the enclosing runtime, without depending on it.
+
+   A context is bound to (runtime, thread slot): [epoch] reads the current
+   global epoch, [add_modified] appends an address to that slot's
+   to_be_flushed list (paper, Table 1), and [slot] keys the per-thread
+   allocator caches. Transient code paths use {!none}. *)
+
+type t = {
+  env : Simsched.Env.t;
+  slot : int;
+  epoch : unit -> int;
+  add_modified : Simnvm.Addr.t -> unit;
+}
+
+(* Context for code running outside any checkpointing runtime (transient
+   programs, test setup): epoch is frozen at 0 and tracking is a no-op. *)
+let none env = { env; slot = 0; epoch = (fun () -> 0); add_modified = ignore }

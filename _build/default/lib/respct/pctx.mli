@@ -1,0 +1,16 @@
+(** Persistence context: the view of the enclosing checkpointing runtime
+    that {!Incll} and {!Heap} operations need — the current epoch, the
+    modification-tracking hook and the thread slot — without a dependency
+    on {!Runtime}. *)
+
+type t = {
+  env : Simsched.Env.t;  (** memory + scheduler *)
+  slot : int;  (** thread slot, keys per-thread allocator caches *)
+  epoch : unit -> int;  (** current global epoch number *)
+  add_modified : Simnvm.Addr.t -> unit;
+      (** register an address for flushing at the next checkpoint *)
+}
+
+val none : Simsched.Env.t -> t
+(** Context for transient code: slot 0, epoch frozen at 0, tracking
+    disabled. *)

@@ -1,0 +1,151 @@
+(* Recovery procedure (paper Figure 5), with the parallel organisation used
+   for the Figure 12 experiment: the per-slot InCLL registries are split
+   into chunks distributed over a configurable number of recovery threads,
+   each rolling back and re-persisting its share.
+
+   Rollback is idempotent: a crash during recovery re-runs it from scratch
+   against the same persistent image (backup words are never modified).
+
+   Per the paper (line 65), the global epoch is left at the failed epoch.
+   A rolled-back cell keeps that epoch in its epoch_id, so the first
+   post-restart update of it correctly skips re-logging (backup already
+   holds the start-of-epoch value) -- but the volatile to_be_flushed lists
+   died in the crash, so the restarted runtime must be re-seeded with the
+   rolled-back cells or their next checkpoint would miss them. [rolled_back]
+   carries that list; [Runtime.restart] consumes it. *)
+
+type report = {
+  failed_epoch : int;
+  scanned : int; (* registry entries examined *)
+  rolled_back : Incll.cell list; (* cells restored from their backup *)
+  duration_ns : float; (* virtual time of the parallel recovery *)
+  rp_ids : (int * int) list; (* (slot, restart-point id) per thread slot *)
+}
+
+(* Roll one cell back if it was modified during the failed epoch; returns
+   true if a rollback happened. Runs inside a recovery thread. *)
+let rollback env ~failed_epoch cell =
+  if Simsched.Env.load env (Incll.epoch_id cell) = failed_epoch then begin
+    let saved = Simsched.Env.load env (Incll.backup cell) in
+    Simsched.Env.store env (Incll.record cell) saved;
+    Simsched.Env.pwb env cell;
+    true
+  end
+  else false
+
+(* Chunks of registry entries handed to the recovery workers. *)
+let chunk_words = 256
+
+let run ?(threads = 1) ?(layout : Layout.t option) mem =
+  let mcfg = Simnvm.Memsys.config mem in
+  let line_words = mcfg.Simnvm.Memsys.line_words in
+  let layout =
+    match layout with
+    | Some l -> l
+    | None ->
+        Layout.v ~line_words ~nvm_words:mcfg.Simnvm.Memsys.nvm_words
+          ~max_threads:Runtime.default_config.Runtime.max_threads
+          ~registry_per_slot:Runtime.default_config.Runtime.registry_per_slot
+  in
+  let failed_epoch = Simnvm.Memsys.persisted mem layout.Layout.epoch_addr in
+  (* Recovery runs on its own scheduler so its virtual duration is the
+     makespan of the parallel scan (Figure 12 measures exactly this). *)
+  let sched = Simsched.Scheduler.create ~seed:17 () in
+  let env = Simsched.Env.make mem sched in
+  let rolled = ref [] in
+  let scanned = ref 0 in
+  ignore
+    (Simsched.Scheduler.spawn ~name:"recovery-main" sched (fun () ->
+         (* Fixed metadata cells first: registry lengths govern the scan,
+            the heap cursor governs reallocation. *)
+         let fixed =
+           layout.Layout.cursor_cell :: layout.Layout.slots_cell
+           :: List.init layout.Layout.max_threads (fun slot ->
+                  Layout.reglen_cell layout ~line_words slot)
+         in
+         let rolled_fixed = List.filter (rollback env ~failed_epoch) fixed in
+         Simsched.Env.psync env;
+         (* Build the chunked work list over all slot segments. *)
+         let work = ref [] in
+         for slot = 0 to layout.Layout.max_threads - 1 do
+           let len =
+             Simsched.Env.load env
+               (Incll.record (Layout.reglen_cell layout ~line_words slot))
+           in
+           scanned := !scanned + len;
+           let base = Layout.registry_segment layout slot in
+           let rec chunks lo =
+             if lo < len then begin
+               work := (base + lo, min len (lo + chunk_words) - lo) :: !work;
+               chunks (lo + chunk_words)
+             end
+           in
+           chunks 0
+         done;
+         let work = Array.of_list !work in
+         let next = ref 0 in
+         let workers = max 1 threads in
+         let done_count = ref 0 in
+         let done_mx = Simsched.Mutex.create () in
+         let done_cv = Simsched.Condvar.create () in
+         for _ = 1 to workers do
+           ignore
+             (Simsched.Scheduler.spawn ~name:"recovery-worker" sched
+                (fun () ->
+                  let local = ref [] in
+                  let continue = ref true in
+                  while !continue do
+                    (* Work stealing from the shared cursor: the fetch is a
+                       host-level operation between yield points, hence
+                       atomic. *)
+                    if !next >= Array.length work then continue := false
+                    else begin
+                      let i = !next in
+                      incr next;
+                      let lo, n = work.(i) in
+                      for e = lo to lo + n - 1 do
+                        let base, count =
+                          Layout.decode_entry (Simsched.Env.load env e)
+                        in
+                        for j = 0 to count - 1 do
+                          let cell = Heap.cell_at env base j in
+                          if rollback env ~failed_epoch cell then
+                            local := cell :: !local
+                        done
+                      done
+                    end
+                  done;
+                  Simsched.Env.psync env;
+                  rolled := List.rev_append !local !rolled;
+                  Simsched.Mutex.with_lock sched done_mx (fun () ->
+                      incr done_count;
+                      Simsched.Condvar.signal sched done_cv)))
+         done;
+         Simsched.Mutex.lock sched done_mx;
+         while !done_count < workers do
+           Simsched.Condvar.wait sched done_cv done_mx
+         done;
+         Simsched.Mutex.unlock sched done_mx;
+         rolled := List.rev_append rolled_fixed !rolled));
+  (match Simsched.Scheduler.run sched with
+  | Simsched.Scheduler.Completed -> ()
+  | Simsched.Scheduler.Crash_interrupt _ -> assert false);
+  (* Collect per-thread restart-point ids from the slot table. *)
+  let slot_count =
+    Simnvm.Memsys.persisted mem (Incll.record layout.Layout.slots_cell)
+  in
+  let rp_ids =
+    List.init slot_count (fun slot ->
+        let cell =
+          Simnvm.Memsys.persisted mem (layout.Layout.slot_table_base + slot)
+        in
+        if cell = 0 then (slot, 0)
+        else (slot, Simnvm.Memsys.persisted mem (Incll.record cell)))
+  in
+  {
+    failed_epoch;
+    scanned = !scanned;
+    rolled_back = !rolled;
+    duration_ns = Simsched.Scheduler.elapsed sched;
+    rp_ids;
+  }

@@ -1,0 +1,22 @@
+(** Recovery procedure (paper Figure 5), parallelised over the InCLL
+    registry as in the Figure 12 experiment.
+
+    Call after {!Simnvm.Memsys.crash}; then attach a new runtime with
+    [Runtime.restart ~reflush:report.rolled_back]. Rollback is idempotent:
+    a crash during recovery simply re-runs it. *)
+
+type report = {
+  failed_epoch : int;  (** epoch the crash interrupted *)
+  scanned : int;  (** registry entries examined *)
+  rolled_back : Incll.cell list;
+      (** cells restored from their backup; feed to [Runtime.restart] *)
+  duration_ns : float;  (** virtual makespan of the parallel recovery *)
+  rp_ids : (int * int) list;
+      (** per thread slot, the restart-point id to resume from *)
+}
+
+val run : ?threads:int -> ?layout:Layout.t -> Simnvm.Memsys.t -> report
+(** Roll back every InCLL cell modified during the failed epoch and
+    re-persist it. [threads] sizes the parallel scan (default 1). [layout]
+    defaults to the layout induced by {!Runtime.default_config}; pass the
+    runtime's own layout when it used a custom config. *)

@@ -1,0 +1,502 @@
+(* The ResPCT checkpointing runtime: epochs, restart points and the periodic
+   checkpoint procedure (paper Figure 4), with the flusher-pool organisation
+   of section 5 ("a pool of flusher threads flushes data to NVMM in
+   parallel").
+
+   Synchronisation differs from the paper's spin loops in mechanism, not in
+   semantics: a runtime mutex [rmx] with two condition variables replaces
+   the [timer]/[perThread_flag] spinning. Under [rmx], the coordinator's
+   "all flags raised" observation and the subsequent flush are atomic with
+   respect to every flag change, which closes the flag-lowering race that
+   the spin-based pseudo-code leaves open. *)
+
+type mode = Full | No_flush | Incll_only
+
+type config = {
+  period_ns : float;
+  flusher_pool : int;
+  mode : mode;
+  max_threads : int;
+  registry_per_slot : int;
+}
+
+let default_config =
+  {
+    period_ns = 64.0e6;
+    (* 64 ms, the paper's default checkpoint interval *)
+    flusher_pool = 8;
+    mode = Full;
+    max_threads = 64;
+    registry_per_slot = 8192;
+  }
+
+type slot_state = {
+  mutable active : bool;
+  mutable flag : bool; (* perThread_flag *)
+  mutable to_flush : int list;
+  mutable to_flush_len : int;
+  mutable rp_cell : Incll.cell; (* 0 = not yet assigned *)
+}
+
+type stats = {
+  mutable checkpoints : int;
+  mutable flushed_addrs : int;
+  mutable flush_ns : float;
+  mutable period_sum : float;
+  mutable last_checkpoint_end : float;
+}
+
+type t = {
+  env : Simsched.Env.t;
+  cfg : config;
+  layout : Layout.t;
+  heap : Heap.t;
+  rmx : Simsched.Mutex.t;
+  regmx : Simsched.Mutex.t; (* serialises slot-count updates *)
+  arrival : Simsched.Condvar.t; (* a flag was raised / a thread left *)
+  finished : Simsched.Condvar.t; (* checkpoint completed *)
+  slots : slot_state array;
+  mutable timer : bool;
+  mutable stop_requested : bool;
+  stats : stats;
+}
+
+(* Cost of the volatile bookkeeping on the hot path: checking [timer],
+   appending to the to_be_flushed list. These touch DRAM-cached state. *)
+let flag_check_ns = 2.0
+let track_ns = 5.0
+
+let fresh_slot () =
+  { active = false; flag = false; to_flush = []; to_flush_len = 0; rp_cell = 0 }
+
+let sched t = Simsched.Env.sched t.env
+let mem t = Simsched.Env.mem t.env
+
+let epoch t = Simsched.Env.load t.env t.layout.Layout.epoch_addr
+
+let add_modified t ~slot addr =
+  let st = t.slots.(slot) in
+  st.to_flush <- addr :: st.to_flush;
+  st.to_flush_len <- st.to_flush_len + 1;
+  Simsched.Scheduler.charge (sched t) track_ns
+
+let ctx t ~slot : Pctx.t =
+  {
+    env = t.env;
+    slot;
+    epoch = (fun () -> epoch t);
+    add_modified = (fun addr -> add_modified t ~slot addr);
+  }
+
+(* Context whose tracked addresses are flushed immediately: used only for
+   initialising a fresh image inside [create], before the simulation runs.
+   The epoch is the sentinel -1, never equal to a real epoch: cells
+   initialised at bootstrap would otherwise believe they had already been
+   logged and tracked in epoch 0, and their epoch-0 updates would never
+   reach the first checkpoint's flush list. *)
+let bootstrap_ctx t : Pctx.t =
+  {
+    env = t.env;
+    slot = 0;
+    epoch = (fun () -> -1);
+    add_modified =
+      (fun addr ->
+        Simnvm.Memsys.pwb (mem t) addr;
+        Simnvm.Memsys.psync (mem t));
+  }
+
+let make_internal ?(cfg = default_config) env =
+  let mcfg = Simnvm.Memsys.config (Simsched.Env.mem env) in
+  let layout =
+    Layout.v ~line_words:mcfg.Simnvm.Memsys.line_words
+      ~nvm_words:mcfg.Simnvm.Memsys.nvm_words ~max_threads:cfg.max_threads
+      ~registry_per_slot:cfg.registry_per_slot
+  in
+  let heap =
+    Heap.create env ~cursor_cell:layout.Layout.cursor_cell
+      ~base:layout.Layout.heap_base ~limit:layout.Layout.heap_limit
+  in
+  {
+    env;
+    cfg;
+    layout;
+    heap;
+    rmx = Simsched.Mutex.create ~name:"respct" ();
+    regmx = Simsched.Mutex.create ~name:"registry" ();
+    arrival = Simsched.Condvar.create ~name:"arrival" ();
+    finished = Simsched.Condvar.create ~name:"finished" ();
+    slots = Array.init cfg.max_threads (fun _ -> fresh_slot ());
+    timer = false;
+    stop_requested = false;
+    stats =
+      {
+        checkpoints = 0;
+        flushed_addrs = 0;
+        flush_ns = 0.0;
+        period_sum = 0.0;
+        last_checkpoint_end = 0.0;
+      };
+  }
+
+(* Initialise a fresh persistent image: epoch 0 and the metadata cells are
+   made persistent immediately so that a crash before the first checkpoint
+   recovers the empty initial state. *)
+let create ?cfg env =
+  let t = make_internal ?cfg env in
+  let m = mem t in
+  let bctx = bootstrap_ctx t in
+  Simsched.Env.store t.env t.layout.Layout.epoch_addr 0;
+  Simnvm.Memsys.pwb m t.layout.Layout.epoch_addr;
+  Heap.init_cursor bctx t.heap;
+  Incll.init bctx t.layout.Layout.slots_cell 0;
+  let mcfg = Simnvm.Memsys.config m in
+  for slot = 0 to t.cfg.max_threads - 1 do
+    Incll.init bctx
+      (Layout.reglen_cell t.layout ~line_words:mcfg.Simnvm.Memsys.line_words
+         slot)
+      0
+  done;
+  Simnvm.Memsys.psync m;
+  t
+
+(* Attach a runtime to a memory image that just went through recovery.
+   [reflush] seeds the to_be_flushed list with the cells the recovery rolled
+   back: they carry the current (failed) epoch number in their epoch_id, so
+   their next update skips logging and would otherwise never be re-flushed
+   (see Recovery). They are assigned to slot 0. *)
+let restart ?cfg ?(reflush = []) env =
+  let t = make_internal ?cfg env in
+  let st = t.slots.(0) in
+  st.to_flush <- reflush;
+  st.to_flush_len <- List.length reflush;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* InCLL registry: recovery enumerates live cells through it. Each slot
+   appends to its own segment, so no cross-thread synchronisation is
+   needed on the allocation path. *)
+
+let line_words t = Simsched.Env.line_words t.env
+
+let register_range t ~slot ~base ~count =
+  let c = ctx t ~slot in
+  let lencell = Layout.reglen_cell t.layout ~line_words:(line_words t) slot in
+  let len = Incll.read c lencell in
+  if len >= t.layout.Layout.registry_per_slot then
+    failwith
+      (Printf.sprintf "Runtime: InCLL registry full (slot %d, cap %d)" slot
+         t.layout.Layout.registry_per_slot);
+  let entry = Layout.registry_segment t.layout slot + len in
+  Simsched.Env.store t.env entry (Layout.encode_entry ~base ~count);
+  add_modified t ~slot entry;
+  Incll.update c lencell (len + 1)
+
+let register_cell t ~slot cell = register_range t ~slot ~base:cell ~count:1
+
+(* ------------------------------------------------------------------ *)
+(* Thread registration *)
+
+let register t ~slot =
+  if slot < 0 || slot >= t.cfg.max_threads then
+    invalid_arg "Runtime.register: slot out of range";
+  let st = t.slots.(slot) in
+  if st.active then invalid_arg "Runtime.register: slot already active";
+  Simsched.Mutex.with_lock (sched t) t.rmx (fun () ->
+      st.active <- true;
+      st.flag <- false);
+  (* Assign the persistent RP_id cell: reuse the one recorded in the slot
+     table by a pre-crash run, otherwise allocate and publish it. *)
+  let table_addr = t.layout.Layout.slot_table_base + slot in
+  let recorded = Simsched.Env.load t.env table_addr in
+  let c = ctx t ~slot in
+  if recorded <> 0 then st.rp_cell <- recorded
+  else begin
+    let cell, fresh = Heap.alloc_incll_block c t.heap in
+    Incll.init c cell 0;
+    if fresh then register_cell t ~slot cell;
+    Simsched.Env.store t.env table_addr cell;
+    add_modified t ~slot table_addr;
+    Simsched.Mutex.with_lock (sched t) t.regmx (fun () ->
+        let count = Incll.read c t.layout.Layout.slots_cell in
+        if slot + 1 > count then
+          Incll.update c t.layout.Layout.slots_cell (slot + 1));
+    st.rp_cell <- cell
+  end
+
+let deregister t ~slot =
+  let st = t.slots.(slot) in
+  Simsched.Mutex.with_lock (sched t) t.rmx (fun () ->
+      st.active <- false;
+      st.flag <- false;
+      (* A departing thread may be the last one a checkpoint waits for. *)
+      Simsched.Condvar.signal (sched t) t.arrival)
+
+let spawn ?name t ~slot f =
+  Simsched.Scheduler.spawn ?name (sched t) (fun () ->
+      register t ~slot;
+      match f (ctx t ~slot) with
+      | () -> deregister t ~slot
+      | exception e ->
+          if e <> Simsched.Scheduler.Crashed then deregister t ~slot;
+          raise e)
+
+(* ------------------------------------------------------------------ *)
+(* InCLL allocation *)
+
+let alloc_incll t ~slot v =
+  let c = ctx t ~slot in
+  let cell, fresh = Heap.alloc_incll_block c t.heap in
+  Incll.init c cell v;
+  if fresh then register_cell t ~slot cell;
+  cell
+
+let alloc_incll_array t ~slot n ~init:v =
+  let c = ctx t ~slot in
+  let base, fresh = Heap.alloc_incll_array_block c t.heap n in
+  for i = 0 to n - 1 do
+    Incll.init c (Heap.cell_at t.env base i) v
+  done;
+  if fresh then begin
+    (* One range-encoded registry entry per chunk of the array. Chunks
+       start on line boundaries so the packed-cell rule (Heap.cell_at)
+       decodes identically from each chunk base. *)
+    let cpl = max 1 (line_words t / Incll.words) in
+    let per = Layout.max_entry_count / cpl * cpl in
+    let rec cover i =
+      if i < n then begin
+        let count = min per (n - i) in
+        register_range t ~slot ~base:(Heap.cell_at t.env base i) ~count;
+        cover (i + count)
+      end
+    in
+    cover 0
+  end;
+  base
+
+let alloc_raw ?line_start t ~slot ~words =
+  Heap.alloc ?line_start (ctx t ~slot) t.heap ~words
+
+let alloc_raw_block ?align_line ?line_start t ~slot ~words =
+  Heap.alloc_block ?align_line ?line_start (ctx t ~slot) t.heap ~words
+
+(* Initialise an InCLL cell embedded in a block obtained from
+   [alloc_raw_block]: registered for recovery only when the block is fresh
+   (a recycled block's cells are already in the registry). *)
+let init_incll t ~slot ~fresh cell v =
+  Incll.init (ctx t ~slot) cell v;
+  if fresh then register_cell t ~slot cell
+
+let free t ~slot addr ~words = Heap.free (ctx t ~slot) t.heap addr ~words
+
+let update t ~slot cell v = Incll.update (ctx t ~slot) cell v
+let read t ~slot cell = Incll.read (ctx t ~slot) cell
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing *)
+
+let all_flags_raised t =
+  Array.for_all (fun st -> (not st.active) || st.flag) t.slots
+
+(* Flush the gathered addresses, modelling the flusher-thread pool: the
+   pwb costs are accumulated off the coordinator's clock, divided by the
+   pool width, and charged as the parallel flush's makespan. *)
+let flush_with_pool t addrs =
+  let m = mem t in
+  let saved = Simnvm.Memsys.get_charge m in
+  let acc = ref 0.0 in
+  Simnvm.Memsys.set_charge m (fun ns -> acc := !acc +. ns);
+  List.iter (fun addr -> Simnvm.Memsys.pwb m addr) addrs;
+  Simnvm.Memsys.psync m;
+  Simnvm.Memsys.set_charge m saved;
+  let makespan = !acc /. float_of_int (max 1 t.cfg.flusher_pool) in
+  Simsched.Scheduler.charge (sched t) makespan;
+  t.stats.flush_ns <- t.stats.flush_ns +. makespan
+
+(* The body of the checkpoint procedure, to be called with [rmx] held and
+   all flags raised: flush, advance the epoch, release the epoch's frees.
+   [on_flushed] runs between the flush and the epoch increment, while every
+   application thread is still quiescent: at that instant the persistent
+   image is exactly the state at the start of the next epoch, which test
+   oracles snapshot to verify recovery. *)
+let checkpoint_body ?(on_flushed = fun (_ : int) -> ()) t =
+  let addrs, count =
+    Array.fold_left
+      (fun (acc, n) st ->
+        let l = st.to_flush in
+        let k = st.to_flush_len in
+        st.to_flush <- [];
+        st.to_flush_len <- 0;
+        (List.rev_append l acc, n + k))
+      ([], 0) t.slots
+  in
+  (match t.cfg.mode with
+  | Full -> flush_with_pool t addrs
+  | No_flush | Incll_only -> ());
+  let e = epoch t in
+  on_flushed (e + 1);
+  Simsched.Env.store t.env t.layout.Layout.epoch_addr (e + 1);
+  Simsched.Env.pwb t.env t.layout.Layout.epoch_addr;
+  Simsched.Env.psync t.env;
+  Heap.advance_epoch t.heap;
+  let now = Simsched.Scheduler.now (sched t) in
+  t.stats.checkpoints <- t.stats.checkpoints + 1;
+  t.stats.flushed_addrs <- t.stats.flushed_addrs + count;
+  if t.stats.checkpoints > 1 then
+    t.stats.period_sum <-
+      t.stats.period_sum +. (now -. t.stats.last_checkpoint_end);
+  t.stats.last_checkpoint_end <- now
+
+(* One full checkpoint: raise the timer, wait for every active thread to
+   reach a restart point, flush, release. Runs on the coordinator thread
+   (or directly on a test thread). *)
+let run_checkpoint ?on_flushed t =
+  let s = sched t in
+  Simsched.Mutex.lock s t.rmx;
+  t.timer <- true;
+  while not (all_flags_raised t) do
+    Simsched.Condvar.wait s t.arrival t.rmx
+  done;
+  checkpoint_body ?on_flushed t;
+  t.timer <- false;
+  Simsched.Condvar.broadcast s t.finished;
+  Simsched.Mutex.unlock s t.rmx
+
+let coordinator t () =
+  let s = sched t in
+  let rec loop deadline =
+    Simsched.Scheduler.sleep_until s deadline;
+    if not t.stop_requested then begin
+      run_checkpoint t;
+      let next =
+        Float.max (deadline +. t.cfg.period_ns) (Simsched.Scheduler.now s)
+      in
+      loop next
+    end
+  in
+  loop (Simsched.Scheduler.now s +. t.cfg.period_ns)
+
+let start t =
+  match t.cfg.mode with
+  | Incll_only -> ()
+  | Full | No_flush ->
+      ignore (Simsched.Scheduler.spawn ~name:"respct-coordinator" (sched t)
+                (coordinator t))
+
+let stop t = t.stop_requested <- true
+
+(* ------------------------------------------------------------------ *)
+(* Restart points (paper section 3.3) *)
+
+let rp t ~slot id =
+  let st = t.slots.(slot) in
+  Simsched.Trace.emit
+    (Simsched.Trace.Restart_point
+       { tid = Simsched.Scheduler.current_tid_opt (sched t); id });
+  Incll.update (ctx t ~slot) st.rp_cell id;
+  let s = sched t in
+  Simsched.Scheduler.charge s flag_check_ns;
+  if t.timer then begin
+    Simsched.Mutex.lock s t.rmx;
+    if t.timer then begin
+      st.flag <- true;
+      Simsched.Condvar.signal s t.arrival;
+      while t.timer do
+        Simsched.Condvar.wait s t.finished t.rmx
+      done;
+      st.flag <- false
+    end;
+    Simsched.Mutex.unlock s t.rmx
+  end
+
+(* Fast path without the runtime mutex, like the paper's plain flag store:
+   the flag is raised before [timer] is checked, so either the coordinator's
+   scan (under rmx) already sees it, or we observe the raised timer and
+   deliver the signal under rmx. Cooperative execution makes the two
+   volatile accesses sequentially consistent. *)
+let checkpoint_allow t ~slot =
+  let s = sched t in
+  t.slots.(slot).flag <- true;
+  Simsched.Scheduler.charge s flag_check_ns;
+  if t.timer then
+    Simsched.Mutex.with_lock s t.rmx (fun () ->
+        Simsched.Condvar.signal s t.arrival)
+
+(* checkpoint_prevent (paper lines 32-39). [app_mutex] is the application
+   mutex re-acquired by the cond_wait that just returned; it must be
+   released while waiting for an ongoing checkpoint, and rmx must never be
+   held while blocking on it. *)
+let checkpoint_prevent t ~slot app_mutex =
+  let s = sched t in
+  let st = t.slots.(slot) in
+  st.flag <- false;
+  Simsched.Scheduler.charge s flag_check_ns;
+  (* Fast path: no pending checkpoint, the flag store suffices. If the
+     coordinator raced us and already observed the raised flag, [timer] is
+     true here and the slow path below blocks on rmx until the checkpoint
+     completes, preserving quiescence. *)
+  if t.timer then begin
+    Simsched.Mutex.lock s t.rmx;
+    st.flag <- false;
+    if t.timer then begin
+      st.flag <- true;
+      Simsched.Condvar.signal s t.arrival;
+      Simsched.Mutex.unlock s app_mutex;
+      while t.timer do
+        Simsched.Condvar.wait s t.finished t.rmx
+      done;
+      Simsched.Mutex.unlock s t.rmx;
+      Simsched.Mutex.lock s app_mutex;
+      Simsched.Mutex.with_lock s t.rmx (fun () -> st.flag <- false)
+    end
+    else Simsched.Mutex.unlock s t.rmx
+  end
+
+(* Simplified variant for blocking calls outside critical sections. *)
+let checkpoint_prevent_nolock t ~slot =
+  let s = sched t in
+  let st = t.slots.(slot) in
+  st.flag <- false;
+  Simsched.Scheduler.charge s flag_check_ns;
+  if t.timer then begin
+    Simsched.Mutex.lock s t.rmx;
+    st.flag <- false;
+    if t.timer then begin
+      st.flag <- true;
+      Simsched.Condvar.signal s t.arrival;
+      while t.timer do
+        Simsched.Condvar.wait s t.finished t.rmx
+      done;
+      st.flag <- false
+    end;
+    Simsched.Mutex.unlock s t.rmx
+  end
+
+(* Figure 7: condition-variable wait wrapped in allow/prevent. *)
+let cond_wait t ~slot cv app_mutex =
+  checkpoint_allow t ~slot;
+  Simsched.Condvar.wait (sched t) cv app_mutex;
+  checkpoint_prevent t ~slot app_mutex
+
+(* ------------------------------------------------------------------ *)
+(* Introspection *)
+
+let debug_flags t =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "timer=%b stop=%b " t.timer t.stop_requested);
+  Array.iteri
+    (fun i st ->
+      if st.active then
+        Buffer.add_string b (Printf.sprintf "[%d:%b]" i st.flag))
+    t.slots;
+  Buffer.contents b
+
+let stats t = t.stats
+let heap t = t.heap
+let layout t = t.layout
+let env t = t.env
+let rp_id t ~slot = read t ~slot t.slots.(slot).rp_cell
+
+let mean_effective_period t =
+  if t.stats.checkpoints <= 1 then nan
+  else t.stats.period_sum /. float_of_int (t.stats.checkpoints - 1)

@@ -1,0 +1,160 @@
+(** The ResPCT checkpointing runtime (paper Figure 4): epochs, restart
+    points, modification tracking and the periodic checkpoint procedure with
+    a flusher-thread pool.
+
+    Typical life cycle:
+    {ol
+    {- [create env] initialises a fresh persistent image (or
+       [restart env] after {!Recovery});}
+    {- [start t] launches the periodic checkpoint coordinator;}
+    {- application threads are launched with [spawn], allocate persistent
+       state with [alloc_incll]/[alloc_raw], update it with [update] (the
+       paper's [update_InCLL]) or plain stores + [add_modified], and call
+       [rp] at their restart points;}
+    {- [stop t] ends the coordinator once the workers are done.}} *)
+
+type mode =
+  | Full  (** complete algorithm *)
+  | No_flush
+      (** checkpoints run but skip the flush (Figure 10, ResPCT-noFlush) *)
+  | Incll_only
+      (** no coordinator at all: InCLL + tracking costs only (Figure 10,
+          ResPCT-InCLL) *)
+
+type config = {
+  period_ns : float;  (** checkpoint interval (paper default: 64 ms) *)
+  flusher_pool : int;  (** parallel flusher threads at checkpoint time *)
+  mode : mode;
+  max_threads : int;  (** thread-slot capacity *)
+  registry_per_slot : int;  (** registry capacity per thread slot *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable checkpoints : int;
+  mutable flushed_addrs : int;  (** addresses flushed across all checkpoints *)
+  mutable flush_ns : float;  (** virtual time spent flushing *)
+  mutable period_sum : float;
+  mutable last_checkpoint_end : float;
+}
+
+type t
+
+val create : ?cfg:config -> Simsched.Env.t -> t
+(** Initialise a runtime over a fresh persistent image; epoch 0 and the
+    metadata cells are persisted immediately, so a crash before the first
+    checkpoint recovers the empty initial state. *)
+
+val restart : ?cfg:config -> ?reflush:Incll.cell list -> Simsched.Env.t -> t
+(** Attach a runtime to a recovered image. [reflush] must be the
+    [rolled_back] list of the {!Recovery.report}: those cells carry the
+    failed epoch in their epoch_id, so their next update skips logging and
+    they would otherwise never be re-flushed. *)
+
+val start : t -> unit
+(** Spawn the periodic checkpoint coordinator (no-op in [Incll_only] mode).
+    Call before [Scheduler.run]. *)
+
+val stop : t -> unit
+(** Ask the coordinator to exit at its next period boundary. *)
+
+val spawn : ?name:string -> t -> slot:int -> (Pctx.t -> unit) -> int
+(** Launch an application thread bound to a slot: registers the slot
+    (allocating or recovering its persistent RP_id cell), runs the body with
+    the slot's persistence context, deregisters on normal exit. *)
+
+val register : t -> slot:int -> unit
+(** Low-level: bind the calling simulated thread to a slot. *)
+
+val deregister : t -> slot:int -> unit
+(** Low-level: release a slot (checkpoints stop waiting for it). *)
+
+val ctx : t -> slot:int -> Pctx.t
+(** Persistence context of a slot (epoch lookup + tracking hook). *)
+
+val rp : t -> slot:int -> int -> unit
+(** Restart point (paper [RP(id)]): persist the RP id in the thread's RP_id
+    cell; if a checkpoint is pending, raise the thread's flag and block
+    until the checkpoint completes. [id] must be unique per call site and
+    stable across runs. Never call inside a critical section. *)
+
+val checkpoint_allow : t -> slot:int -> unit
+(** Permit checkpoints to proceed without this thread (before a blocking
+    call, paper Figure 7). *)
+
+val checkpoint_prevent : t -> slot:int -> Simsched.Mutex.t -> unit
+(** Revoke the permission after a [cond_wait] returned, waiting out any
+    ongoing checkpoint while temporarily releasing the application mutex
+    (paper lines 32-39). *)
+
+val checkpoint_prevent_nolock : t -> slot:int -> unit
+(** Variant for blocking calls made outside critical sections. *)
+
+val cond_wait : t -> slot:int -> Simsched.Condvar.t -> Simsched.Mutex.t -> unit
+(** Condition-variable wait wrapped in allow/prevent (paper Figure 7). *)
+
+val run_checkpoint : ?on_flushed:(int -> unit) -> t -> unit
+(** Execute one full checkpoint synchronously (the coordinator's body):
+    raise the timer, wait for all active threads to reach restart points,
+    flush, advance the epoch. [on_flushed next_epoch] runs between the flush
+    and the epoch increment, while all threads are quiescent — at that
+    instant the persistent image is exactly the state recovery would restore
+    for a crash in [next_epoch]; test oracles snapshot it there. Exposed for
+    deterministic tests. *)
+
+val alloc_incll : t -> slot:int -> int -> Incll.cell
+(** Allocate, initialise and register one InCLL-protected variable. *)
+
+val alloc_incll_array : t -> slot:int -> int -> init:int -> int
+(** Allocate a packed array of [n] registered InCLL cells, all initialised
+    to [init]; address cells with {!Heap.cell_at}. *)
+
+val alloc_raw : ?line_start:bool -> t -> slot:int -> words:int -> int
+(** Allocate unlogged persistent words (for WAR-free data: persist them with
+    plain stores + {!add_modified}). *)
+
+val alloc_raw_block :
+  ?align_line:bool ->
+  ?line_start:bool ->
+  t ->
+  slot:int ->
+  words:int ->
+  int * bool
+(** As {!alloc_raw}, also reporting whether the block is fresh (see
+    {!Heap.alloc_block}); needed when the block embeds InCLL cells. *)
+
+val init_incll : t -> slot:int -> fresh:bool -> Incll.cell -> int -> unit
+(** Initialise an InCLL cell embedded in a block from {!alloc_raw_block};
+    registers it for recovery only when the block is fresh. *)
+
+val free : t -> slot:int -> int -> words:int -> unit
+(** Release a heap block (reusable after the next checkpoint). *)
+
+val update : t -> slot:int -> Incll.cell -> int -> unit
+(** The paper's [update_InCLL]. Caller must hold the variable's lock. *)
+
+val read : t -> slot:int -> Incll.cell -> int
+(** Current value of an InCLL variable. *)
+
+val add_modified : t -> slot:int -> Simnvm.Addr.t -> unit
+(** The paper's [add_modified]: register a plain persistent address for
+    flushing at the next checkpoint. *)
+
+val epoch : t -> int
+(** Current global epoch. *)
+
+val debug_flags : t -> string
+(** Debug helper: timer state and the per-slot flags of active threads. *)
+
+val stats : t -> stats
+val heap : t -> Heap.t
+val layout : t -> Layout.t
+val env : t -> Simsched.Env.t
+
+val rp_id : t -> slot:int -> int
+(** Last restart-point id persisted for the slot. *)
+
+val mean_effective_period : t -> float
+(** Mean measured distance between checkpoint completions (section 5.2's
+    effective period; [nan] with fewer than two checkpoints). *)

@@ -1,0 +1,1 @@
+lib/simnvm/addr.ml: Fmt

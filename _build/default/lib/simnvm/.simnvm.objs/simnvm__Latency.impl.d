@@ -1,0 +1,1 @@
+lib/simnvm/latency.ml: Fmt

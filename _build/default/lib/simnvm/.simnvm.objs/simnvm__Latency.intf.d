@@ -1,0 +1,1 @@
+lib/simnvm/latency.mli: Fmt

@@ -1,0 +1,1 @@
+lib/simnvm/memsys.ml: Addr Array Hashtbl Latency Option Printf Rng Stats

@@ -1,0 +1,1 @@
+lib/simnvm/memsys.mli: Addr Latency Stats

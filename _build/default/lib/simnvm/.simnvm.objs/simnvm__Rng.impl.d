@@ -1,0 +1,1 @@
+lib/simnvm/rng.ml: Int64

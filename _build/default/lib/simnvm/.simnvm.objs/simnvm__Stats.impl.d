@@ -1,0 +1,1 @@
+lib/simnvm/stats.ml: Fmt

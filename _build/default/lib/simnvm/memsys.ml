@@ -1,0 +1,360 @@
+(* Simulated memory system: a volatile set-associative cache in front of a
+   persistent NVMM image and a volatile DRAM region.
+
+   The address space is split by [nvm_words]: addresses in [0, nvm_words) are
+   NVMM-backed (they survive [crash]); addresses in
+   [nvm_words, nvm_words + dram_words) are DRAM-backed (lost at a crash).
+
+   Persistency model (PCSO, as on x86 with Intel DCPMM in App Direct mode):
+   - stores land in the cache; a dirty line may be written back to its
+     backing store at any time (spontaneous eviction, capacity eviction);
+   - a write-back copies the line as a whole, so two stores to the same line
+     can never persist out of program order -- the property In-Cache-Line
+     Logging relies on;
+   - [pwb] (clwb) persists one line, [psync] (sfence) orders: here pwb applies
+     the write-back eagerly, which is a legal (conservative) PCSO behaviour,
+     and psync only charges the fence cost.
+
+   The [pcso] configuration flag exists for the ablation of DESIGN.md (5.1):
+   with [pcso = false], write-backs persist a random subset of the line's
+   dirty words, deliberately violating same-line ordering; the InCLL
+   crash-consistency property tests then fail, demonstrating the invariant
+   is load-bearing. *)
+
+type config = {
+  nvm_words : int;
+  dram_words : int;
+  line_words : int;
+  sets : int;
+  ways : int;
+  latency : Latency.t;
+  evict_rate : float;
+  seed : int;
+  eadr : bool;
+  pcso : bool;
+}
+
+let default_config =
+  {
+    nvm_words = 1 lsl 20;
+    dram_words = 1 lsl 18;
+    line_words = Addr.default_line_words;
+    sets = 1024;
+    ways = 8;
+    latency = Latency.default;
+    evict_rate = 0.002;
+    seed = 42;
+    eadr = false;
+    pcso = true;
+  }
+
+type line = {
+  mutable tag : int; (* line index in the address space; -1 = invalid *)
+  data : int array;
+  mutable dirty : bool;
+  mutable dirty_mask : int; (* bitmask of dirty words, for the pcso ablation *)
+  mutable lru : int;
+  mutable last_writer : int; (* thread that last wrote the line; -1 = shared *)
+}
+
+type t = {
+  cfg : config;
+  pmem : int array; (* the persistent NVMM image *)
+  dram : int array;
+  lines : line array; (* sets * ways, row-major by set *)
+  mutable stamp : int;
+  rng : Rng.t;
+  stats : Stats.t;
+  mutable charge : float -> unit;
+  mutable current_tid : unit -> int;
+  recent_fills : int array; (* ring of recently filled line numbers *)
+  recent_index : (int, int) Hashtbl.t; (* line -> occurrences in the ring *)
+  mutable recent_pos : int;
+}
+
+let no_charge (_ : float) = ()
+let no_tid () = -1
+
+(* MESI-style coherence approximation: reading a line last written by a
+   different core pays a cache-to-cache transfer and demotes the line to
+   shared; writing a line one does not own exclusively pays the
+   invalidation round. Modelled on top of the single simulated cache. *)
+let coherence_read_ns = 60.0
+let coherence_write_ns = 80.0
+
+(* Next-line hardware prefetcher: a miss whose predecessor line was filled
+   recently is served from the prefetch stream at a fraction of the miss
+   latency. Sequential kernels (matrix rows, point streams) hide most of
+   the NVMM latency this way, as they do on real hardware. *)
+let prefetch_window = 256
+let prefetched_miss_ns = 12.0
+
+let create cfg =
+  if cfg.nvm_words mod cfg.line_words <> 0 then
+    invalid_arg "Memsys.create: nvm_words must be line-aligned";
+  if cfg.line_words > 62 then
+    invalid_arg "Memsys.create: line_words must fit a dirty bitmask";
+  let mk_line _ =
+    {
+      tag = -1;
+      data = Array.make cfg.line_words 0;
+      dirty = false;
+      dirty_mask = 0;
+      lru = 0;
+      last_writer = -1;
+    }
+  in
+  {
+    cfg;
+    pmem = Array.make cfg.nvm_words 0;
+    dram = Array.make cfg.dram_words 0;
+    lines = Array.init (cfg.sets * cfg.ways) mk_line;
+    stamp = 0;
+    rng = Rng.create cfg.seed;
+    stats = Stats.create ();
+    charge = no_charge;
+    current_tid = no_tid;
+    recent_fills = Array.make prefetch_window (-1);
+    recent_index = Hashtbl.create (2 * prefetch_window);
+    recent_pos = 0;
+  }
+
+let config t = t.cfg
+let stats t = t.stats
+let set_charge t f = t.charge <- f
+let get_charge t = t.charge
+let set_tid_provider t f = t.current_tid <- f
+
+let is_nvm t addr = addr < t.cfg.nvm_words
+
+let check_addr t addr =
+  if addr < 0 || addr >= t.cfg.nvm_words + t.cfg.dram_words then
+    invalid_arg (Printf.sprintf "Memsys: address %d out of range" addr)
+
+(* Backing-store accessors, indexed by line number. *)
+
+let backing_read t lineno off =
+  let addr = (lineno * t.cfg.line_words) + off in
+  if is_nvm t addr then t.pmem.(addr) else t.dram.(addr - t.cfg.nvm_words)
+
+let backing_write t lineno off v =
+  let addr = (lineno * t.cfg.line_words) + off in
+  if is_nvm t addr then t.pmem.(addr) <- v
+  else t.dram.(addr - t.cfg.nvm_words) <- v
+
+(* Persist a cached line to its backing store. Under PCSO the whole line is
+   copied atomically; under the ablation only a random subset of the dirty
+   words lands, modelling word-granular (non-PCSO) write-back hardware. *)
+let write_back t line =
+  let lineno = line.tag in
+  let nvm = is_nvm t (lineno * t.cfg.line_words) in
+  if t.cfg.pcso then
+    for off = 0 to t.cfg.line_words - 1 do
+      backing_write t lineno off line.data.(off)
+    done
+  else
+    for off = 0 to t.cfg.line_words - 1 do
+      if line.dirty_mask land (1 lsl off) <> 0 && Rng.bool t.rng then
+        backing_write t lineno off line.data.(off)
+    done;
+  line.dirty <- false;
+  line.dirty_mask <- 0;
+  if nvm then t.stats.nvm_writebacks <- t.stats.nvm_writebacks + 1
+  else t.stats.dram_writebacks <- t.stats.dram_writebacks + 1;
+  nvm
+
+(* Set index uses a multiplicative hash, as real LLCs hash addresses to
+   slices: without it, regular allocation strides (per-thread heap chunks)
+   alias into a handful of sets and thrash artificially. *)
+let set_of t lineno =
+  (lineno * 0x9E3779B1) lsr 11 land max_int mod t.cfg.sets
+
+let find_line t lineno =
+  let base = set_of t lineno * t.cfg.ways in
+  let rec scan i =
+    if i >= t.cfg.ways then None
+    else
+      let line = t.lines.(base + i) in
+      if line.tag = lineno then Some line else scan (i + 1)
+  in
+  scan 0
+
+(* Victim: an invalid way if any, else the least recently used. *)
+let victim t lineno =
+  let base = set_of t lineno * t.cfg.ways in
+  let best = ref t.lines.(base) in
+  (try
+     for i = 0 to t.cfg.ways - 1 do
+       let line = t.lines.(base + i) in
+       if line.tag = -1 then begin
+         best := line;
+         raise Exit
+       end;
+       if line.lru < !best.lru then best := line
+     done
+   with Exit -> ());
+  !best
+
+let touch t line =
+  t.stamp <- t.stamp + 1;
+  line.lru <- t.stamp
+
+(* Bring a line into the cache, returning it. Charges miss cost (and the
+   victim write-back cost, which delays the fill) via the charge hook. *)
+let fill t lineno =
+  let lat = t.cfg.latency in
+  let line = victim t lineno in
+  if line.tag >= 0 && line.dirty then begin
+    let nvm = write_back t line in
+    t.charge (if nvm then lat.nvm_writeback_ns else lat.dram_writeback_ns)
+  end;
+  line.tag <- lineno;
+  line.dirty <- false;
+  line.dirty_mask <- 0;
+  line.last_writer <- -1;
+  for off = 0 to t.cfg.line_words - 1 do
+    line.data.(off) <- backing_read t lineno off
+  done;
+  let prefetched = Hashtbl.mem t.recent_index (lineno - 1) in
+  (let old = t.recent_fills.(t.recent_pos) in
+   if old >= 0 then begin
+     match Hashtbl.find_opt t.recent_index old with
+     | Some 1 -> Hashtbl.remove t.recent_index old
+     | Some n -> Hashtbl.replace t.recent_index old (n - 1)
+     | None -> ()
+   end;
+   t.recent_fills.(t.recent_pos) <- lineno;
+   Hashtbl.replace t.recent_index lineno
+     (1 + Option.value ~default:0 (Hashtbl.find_opt t.recent_index lineno));
+   t.recent_pos <- (t.recent_pos + 1) mod prefetch_window);
+  if is_nvm t (lineno * t.cfg.line_words) then begin
+    t.stats.nvm_misses <- t.stats.nvm_misses + 1;
+    t.charge (if prefetched then prefetched_miss_ns else lat.nvm_miss_ns)
+  end
+  else begin
+    t.stats.dram_misses <- t.stats.dram_misses + 1;
+    t.charge (if prefetched then prefetched_miss_ns else lat.dram_miss_ns)
+  end;
+  line
+
+let lookup t addr =
+  let lineno = Addr.line_of ~line_words:t.cfg.line_words addr in
+  let line =
+    match find_line t lineno with
+    | Some line ->
+        t.stats.hits <- t.stats.hits + 1;
+        t.charge t.cfg.latency.cache_hit_ns;
+        line
+    | None -> fill t lineno
+  in
+  touch t line;
+  line
+
+(* Background hardware may write any dirty line back at any moment: with
+   probability [evict_rate] per store, persist one random dirty line. Not
+   charged to the running thread (it is asynchronous hardware activity).
+   This is what creates the partial-persistence hazard that undo logging
+   must defend against. *)
+let spontaneous_eviction t =
+  if t.cfg.evict_rate > 0.0 && Rng.float t.rng < t.cfg.evict_rate then begin
+    let i = Rng.int t.rng (Array.length t.lines) in
+    let line = t.lines.(i) in
+    if line.tag >= 0 && line.dirty then begin
+      ignore (write_back t line);
+      t.stats.spontaneous_evictions <- t.stats.spontaneous_evictions + 1
+    end
+  end
+
+let load t addr =
+  check_addr t addr;
+  t.stats.loads <- t.stats.loads + 1;
+  let line = lookup t addr in
+  let me = t.current_tid () in
+  if line.last_writer >= 0 && line.last_writer <> me then begin
+    t.charge coherence_read_ns;
+    line.last_writer <- -1
+  end;
+  line.data.(Addr.offset_in_line ~line_words:t.cfg.line_words addr)
+
+let store t addr v =
+  check_addr t addr;
+  t.stats.stores <- t.stats.stores + 1;
+  let line = lookup t addr in
+  let me = t.current_tid () in
+  if me >= 0 && line.last_writer <> me then t.charge coherence_write_ns;
+  if me >= 0 then line.last_writer <- me;
+  let off = Addr.offset_in_line ~line_words:t.cfg.line_words addr in
+  line.data.(off) <- v;
+  line.dirty <- true;
+  line.dirty_mask <- line.dirty_mask lor (1 lsl off);
+  t.charge t.cfg.latency.store_extra_ns;
+  spontaneous_eviction t
+
+let pwb t addr =
+  check_addr t addr;
+  t.stats.pwbs <- t.stats.pwbs + 1;
+  let lineno = Addr.line_of ~line_words:t.cfg.line_words addr in
+  match find_line t lineno with
+  | Some line when line.dirty ->
+      ignore (write_back t line);
+      t.charge t.cfg.latency.clwb_ns
+  | Some _ | None ->
+      (* clwb of a clean or absent line: issue cost only. *)
+      t.charge (t.cfg.latency.clwb_ns /. 8.0)
+
+let psync t =
+  t.stats.psyncs <- t.stats.psyncs + 1;
+  t.charge t.cfg.latency.sfence_ns
+
+(* Deterministically persist-and-invalidate the line holding [addr]; used by
+   tests to force a chosen partial state into NVMM before a crash. *)
+let force_evict t addr =
+  check_addr t addr;
+  let lineno = Addr.line_of ~line_words:t.cfg.line_words addr in
+  match find_line t lineno with
+  | Some line ->
+      if line.dirty then ignore (write_back t line);
+      line.tag <- -1
+  | None -> ()
+
+(* Drop the line holding [addr] without writing it back: used by tests to
+   guarantee a store did NOT persist. *)
+let drop_line t addr =
+  check_addr t addr;
+  let lineno = Addr.line_of ~line_words:t.cfg.line_words addr in
+  match find_line t lineno with
+  | Some line ->
+      line.tag <- -1;
+      line.dirty <- false;
+      line.dirty_mask <- 0
+  | None -> ()
+
+let is_cached_dirty t addr =
+  let lineno = Addr.line_of ~line_words:t.cfg.line_words addr in
+  match find_line t lineno with Some line -> line.dirty | None -> false
+
+let crash t =
+  t.stats.crashes <- t.stats.crashes + 1;
+  if t.cfg.eadr then
+    (* eADR: the cache is in the persistent domain; dirty NVMM lines are
+       drained by the battery-backed flush on power failure. *)
+    Array.iter
+      (fun line ->
+        if line.tag >= 0 && line.dirty && is_nvm t (line.tag * t.cfg.line_words)
+        then ignore (write_back t line))
+      t.lines;
+  Array.iter
+    (fun line ->
+      line.tag <- -1;
+      line.dirty <- false;
+      line.dirty_mask <- 0)
+    t.lines;
+  Array.fill t.dram 0 (Array.length t.dram) 0
+
+let persisted t addr =
+  if addr < 0 || addr >= t.cfg.nvm_words then
+    invalid_arg "Memsys.persisted: address not in NVMM";
+  t.pmem.(addr)
+
+let flush_all t =
+  Array.iter (fun line -> if line.tag >= 0 && line.dirty then ignore (write_back t line)) t.lines

@@ -1,0 +1,95 @@
+(** Simulated memory system: a volatile set-associative cache in front of a
+    persistent NVMM image and a volatile DRAM region.
+
+    The address space is split: word addresses in [0, nvm_words) are
+    NVMM-backed and survive {!crash}; addresses in
+    [nvm_words, nvm_words + dram_words) are DRAM-backed and are lost.
+
+    Write-back follows the x86 PCSO persistency model: a dirty line may be
+    written back at any time (spontaneous eviction), and a write-back copies
+    the line as a whole — so two stores to the same line never persist out of
+    program order, which is the property In-Cache-Line Logging relies on.
+    {!pwb} models [clwb] and {!psync} models [sfence].
+
+    Latency costs are reported through a pluggable charge hook
+    ({!set_charge}), which the scheduler binds to the virtual clock of the
+    running simulated thread. *)
+
+type config = {
+  nvm_words : int;  (** words of persistent memory (line-aligned) *)
+  dram_words : int;  (** words of volatile DRAM *)
+  line_words : int;  (** words per cache line *)
+  sets : int;  (** cache sets *)
+  ways : int;  (** cache associativity *)
+  latency : Latency.t;  (** cost model *)
+  evict_rate : float;  (** per-store probability of a spontaneous eviction *)
+  seed : int;  (** RNG seed for eviction *)
+  eadr : bool;  (** cache in the persistent domain (paper section 6) *)
+  pcso : bool;
+      (** [true]: line-snapshot write-back (x86 PCSO). [false]: word-granular
+          write-back ablation that deliberately breaks same-line ordering. *)
+}
+
+val default_config : config
+(** 8 MiB NVMM / 2 MiB DRAM address space, 512 KiB 8-way cache with 64-byte
+    lines, Optane-like latencies, PCSO on, eADR off. *)
+
+type t
+
+val create : config -> t
+(** Fresh memory system with a zeroed persistent image.
+    @raise Invalid_argument if [nvm_words] is not line-aligned. *)
+
+val config : t -> config
+val stats : t -> Stats.t
+
+val set_charge : t -> (float -> unit) -> unit
+(** Install the hook that receives the nanosecond cost of each operation. *)
+
+val get_charge : t -> float -> unit
+(** Current charge hook (used to save/restore around flusher-pool costing). *)
+
+val set_tid_provider : t -> (unit -> int) -> unit
+(** Install the hook identifying the running simulated thread (-1 when
+    none). Enables the MESI-style coherence cost model: reading a line last
+    written by a different thread pays a cache-to-cache transfer, writing a
+    line not exclusively owned pays an invalidation round. *)
+
+val is_nvm : t -> Addr.t -> bool
+(** Whether the address is NVMM-backed. *)
+
+val load : t -> Addr.t -> int
+(** Read a word through the cache. *)
+
+val store : t -> Addr.t -> int -> unit
+(** Write a word through the cache (write-allocate); may trigger a
+    spontaneous eviction of some dirty line. *)
+
+val pwb : t -> Addr.t -> unit
+(** [clwb]: persist the line holding the address. Eager application is a
+    legal conservative PCSO behaviour. *)
+
+val psync : t -> unit
+(** [sfence]: ordering fence (cost only, since {!pwb} applies eagerly). *)
+
+val crash : t -> unit
+(** Power failure: drop all volatile state (cache contents and the whole
+    DRAM region). Under eADR, dirty NVMM lines are drained first. *)
+
+val persisted : t -> Addr.t -> int
+(** Read the NVMM image directly, bypassing the cache (recovery-time and
+    test-oracle view). @raise Invalid_argument outside the NVMM region. *)
+
+val force_evict : t -> Addr.t -> unit
+(** Deterministically write back and invalidate the line holding the address
+    (test hook: force a chosen partial state into NVMM). *)
+
+val drop_line : t -> Addr.t -> unit
+(** Invalidate the line holding the address {e without} write-back (test
+    hook: guarantee a store did not persist). *)
+
+val is_cached_dirty : t -> Addr.t -> bool
+(** Whether the line holding the address is cached and dirty. *)
+
+val flush_all : t -> unit
+(** Write back every dirty line (test hook / clean shutdown). *)

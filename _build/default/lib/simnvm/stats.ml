@@ -1,0 +1,59 @@
+(* Event counters of the simulated memory system. *)
+
+type t = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable hits : int;
+  mutable dram_misses : int;
+  mutable nvm_misses : int;
+  mutable dram_writebacks : int;
+  mutable nvm_writebacks : int;
+  mutable pwbs : int;
+  mutable psyncs : int;
+  mutable spontaneous_evictions : int;
+  mutable crashes : int;
+}
+
+let create () =
+  {
+    loads = 0;
+    stores = 0;
+    hits = 0;
+    dram_misses = 0;
+    nvm_misses = 0;
+    dram_writebacks = 0;
+    nvm_writebacks = 0;
+    pwbs = 0;
+    psyncs = 0;
+    spontaneous_evictions = 0;
+    crashes = 0;
+  }
+
+let reset t =
+  t.loads <- 0;
+  t.stores <- 0;
+  t.hits <- 0;
+  t.dram_misses <- 0;
+  t.nvm_misses <- 0;
+  t.dram_writebacks <- 0;
+  t.nvm_writebacks <- 0;
+  t.pwbs <- 0;
+  t.psyncs <- 0;
+  t.spontaneous_evictions <- 0;
+  t.crashes <- 0
+
+let accesses t = t.loads + t.stores
+
+let hit_rate t =
+  let n = accesses t in
+  if n = 0 then 1.0 else float_of_int t.hits /. float_of_int n
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>accesses=%d (loads=%d stores=%d) hit_rate=%.3f@,\
+     misses: dram=%d nvm=%d@,\
+     writebacks: dram=%d nvm=%d spontaneous=%d@,\
+     pwb=%d psync=%d crashes=%d@]"
+    (accesses t) t.loads t.stores (hit_rate t) t.dram_misses t.nvm_misses
+    t.dram_writebacks t.nvm_writebacks t.spontaneous_evictions t.pwbs t.psyncs
+    t.crashes

@@ -1,0 +1,26 @@
+(** Event counters of the simulated memory system. *)
+
+type t = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable hits : int;
+  mutable dram_misses : int;
+  mutable nvm_misses : int;
+  mutable dram_writebacks : int;
+  mutable nvm_writebacks : int;
+  mutable pwbs : int;
+  mutable psyncs : int;
+  mutable spontaneous_evictions : int;
+  mutable crashes : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val accesses : t -> int
+(** Total loads + stores. *)
+
+val hit_rate : t -> float
+(** Cache hit rate over all accesses; 1.0 when no access happened. *)
+
+val pp : t Fmt.t

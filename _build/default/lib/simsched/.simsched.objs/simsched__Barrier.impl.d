@@ -1,0 +1,1 @@
+lib/simsched/barrier.ml: Condvar Mutex Printf Scheduler

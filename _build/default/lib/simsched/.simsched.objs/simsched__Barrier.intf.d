@@ -1,0 +1,1 @@
+lib/simsched/barrier.mli: Scheduler

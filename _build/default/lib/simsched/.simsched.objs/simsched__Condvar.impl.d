@@ -1,0 +1,1 @@
+lib/simsched/condvar.ml: List Mutex Printf Queue Scheduler String

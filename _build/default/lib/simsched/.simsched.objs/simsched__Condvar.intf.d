@@ -1,0 +1,1 @@
+lib/simsched/condvar.mli: Mutex Scheduler

@@ -1,0 +1,1 @@
+lib/simsched/env.ml: Hashtbl Mutex Scheduler Simnvm Trace

@@ -1,0 +1,1 @@
+lib/simsched/env.mli: Scheduler Simnvm

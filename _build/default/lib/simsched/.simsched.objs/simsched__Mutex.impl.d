@@ -1,0 +1,1 @@
+lib/simsched/mutex.ml: List Printf Queue Scheduler Trace

@@ -1,0 +1,1 @@
+lib/simsched/mutex.mli: Scheduler

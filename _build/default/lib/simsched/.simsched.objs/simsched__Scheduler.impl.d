@@ -1,0 +1,1 @@
+lib/simsched/scheduler.ml: Effect Float List Printf Simnvm String

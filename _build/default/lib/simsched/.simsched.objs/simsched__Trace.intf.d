@@ -1,0 +1,1 @@
+lib/simsched/trace.mli:

@@ -1,0 +1,94 @@
+(* Execution environment binding a memory system to a scheduler.
+
+   All simulated programs access memory exclusively through these wrappers:
+   latencies flow into the running thread's virtual clock (the charge hook is
+   installed by [make]) and every access is a preemption point, so the
+   scheduler can interleave threads as real hardware would. *)
+
+type t = {
+  mem : Simnvm.Memsys.t;
+  sched : Scheduler.t;
+  rmw_tokens : (int, Mutex.t) Hashtbl.t;
+      (* per-line exclusive-ownership tokens: conflicting RMWs on one line
+         serialise on real hardware (the line passes core to core), which a
+         pure time charge cannot express *)
+}
+
+let make mem sched =
+  Simnvm.Memsys.set_charge mem (fun ns -> Scheduler.charge sched ns);
+  Simnvm.Memsys.set_tid_provider mem (fun () -> Scheduler.current_tid_opt sched);
+  { mem; sched; rmw_tokens = Hashtbl.create 64 }
+
+let mem t = t.mem
+let sched t = t.sched
+
+let load t addr =
+  let v = Simnvm.Memsys.load t.mem addr in
+  Trace.emit (Trace.Load { tid = Scheduler.current_tid_opt t.sched; addr });
+  Scheduler.poll t.sched;
+  v
+
+let store t addr v =
+  Simnvm.Memsys.store t.mem addr v;
+  Trace.emit (Trace.Store { tid = Scheduler.current_tid_opt t.sched; addr });
+  Scheduler.poll t.sched
+
+let pwb t addr =
+  Simnvm.Memsys.pwb t.mem addr;
+  Scheduler.poll t.sched
+
+let psync t =
+  Simnvm.Memsys.psync t.mem;
+  Scheduler.poll t.sched
+
+(* Conflicting atomic RMWs on one cache line serialise: the line is a token
+   passed exclusively between cores, which a pure time charge cannot
+   express. [serialize_rmw] holds the line's token across [f] (a hidden
+   mutex whose hand-off gives exact virtual-time serialisation, including a
+   line-transfer cost on contention). Lock-free algorithms additionally
+   wrap their linearisation + flush sequences in it -- the real dependent
+   chain that successive operations wait on. Reentrancy is not supported:
+   nest [cas]/[faa] on a different line only. *)
+let serialize_rmw t addr f =
+  let lw = (Simnvm.Memsys.config t.mem).Simnvm.Memsys.line_words in
+  let line = Simnvm.Addr.line_of ~line_words:lw addr in
+  let token =
+    match Hashtbl.find_opt t.rmw_tokens line with
+    | Some m -> m
+    | None ->
+        let m = Mutex.create ~name:"rmw-token" () in
+        Hashtbl.add t.rmw_tokens line m;
+        m
+  in
+  Mutex.with_lock t.sched token (fun () ->
+      let result = f () in
+      Scheduler.charge t.sched 8.0;
+      result)
+
+(* Atomic compare-and-swap: no preemption point separates the read from the
+   write, so it is atomic in the simulation exactly as the hardware
+   instruction is. Charged as a store plus an RMW penalty; algorithms whose
+   RMWs contend on one line must additionally wrap their dependent
+   sequences in [serialize_rmw]. *)
+let cas t addr ~expected ~desired =
+  let v = Simnvm.Memsys.load t.mem addr in
+  let ok = v = expected in
+  if ok then Simnvm.Memsys.store t.mem addr desired;
+  Scheduler.charge t.sched 8.0;
+  Scheduler.poll t.sched;
+  ok
+
+(* Atomic fetch-and-add, same atomicity argument as [cas]. *)
+let faa t addr delta =
+  let v = Simnvm.Memsys.load t.mem addr in
+  Simnvm.Memsys.store t.mem addr (v + delta);
+  Scheduler.charge t.sched 8.0;
+  Scheduler.poll t.sched;
+  v
+
+(* Pure computation cost (the non-memory work of an application kernel). *)
+let compute t ns =
+  Scheduler.charge t.sched ns;
+  Scheduler.poll t.sched
+
+let line_words t = (Simnvm.Memsys.config t.mem).Simnvm.Memsys.line_words

@@ -1,0 +1,268 @@
+(* Deterministic cooperative scheduler with virtual per-thread clocks.
+
+   Simulated threads are OCaml 5 effect-based fibers. Each thread owns a
+   virtual clock (nanoseconds); memory and synchronisation operations charge
+   their latency to the clock of the running thread. The scheduler always
+   dispatches the ready thread with the smallest clock (conservative
+   discrete-event simulation), so:
+
+   - lock contention serialises critical sections in virtual time,
+   - "throughput at N threads" is well defined on a single host core,
+   - executions are exactly reproducible from the seed.
+
+   Preemption is cooperative: running code calls [poll] (the Env memory
+   wrappers do it after every simulated memory access); [poll] switches
+   threads when the running clock exceeds the next ready clock plus the
+   configured quantum.
+
+   Crash injection: [set_crash_at] declares a virtual instant; once every
+   ready thread has reached it, [run] stops dispatching, discontinues all
+   fibers and reports [Crashed]. Combined with [Simnvm.Memsys.crash] this
+   models a whole-machine power failure at an arbitrary moment. *)
+
+exception Crashed
+exception Deadlock of string
+
+type outcome = Completed | Crash_interrupt of float
+
+type entry = Thunk of (unit -> unit) | Started
+
+type thread = {
+  tid : int;
+  name : string;
+  mutable clock : float;
+  mutable status : status;
+  mutable entry : entry;
+  mutable k : (unit, unit) Effect.Deep.continuation option;
+}
+
+and status = Ready | Running | Blocked | Finished
+
+type t = {
+  mutable threads : thread list; (* newest first *)
+  mutable current : thread option;
+  mutable bound : float; (* preemption bound for the running thread *)
+  mutable crash_at : float option;
+  mutable failure : exn option;
+  mutable next_tid : int;
+  quantum : float;
+  jitter : float;
+  rng : Simnvm.Rng.t;
+}
+
+type _ Effect.t += Preempt : unit Effect.t | Block : unit Effect.t
+
+let create ?(seed = 1) ?(quantum = 0.0) ?(jitter = 0.0) () =
+  {
+    threads = [];
+    current = None;
+    bound = infinity;
+    crash_at = None;
+    failure = None;
+    next_tid = 0;
+    quantum;
+    jitter;
+    rng = Simnvm.Rng.create seed;
+  }
+
+let current t =
+  match t.current with
+  | Some th -> th
+  | None -> invalid_arg "Scheduler: no simulated thread is running"
+
+let current_tid t = (current t).tid
+let current_tid_opt t = match t.current with Some th -> th.tid | None -> -1
+let now t = match t.current with Some th -> th.clock | None -> 0.0
+
+(* A thread becoming Ready while another runs must tighten the runner's
+   preemption bound: the bound was computed at dispatch time, and without
+   this a thread woken mid-slice (lock hand-off, broadcast) would not get
+   the processor until the runner blocked by itself -- entire epochs could
+   execute against a stale-infinite bound. *)
+let tighten_bound t clock =
+  if t.current <> None then t.bound <- Float.min t.bound (clock +. t.quantum)
+
+let spawn ?(name = "thread") t f =
+  let clock = match t.current with Some th -> th.clock | None -> 0.0 in
+  let th =
+    {
+      tid = t.next_tid;
+      name;
+      clock;
+      status = Ready;
+      entry = Thunk f;
+      k = None;
+    }
+  in
+  t.next_tid <- t.next_tid + 1;
+  t.threads <- th :: t.threads;
+  tighten_bound t clock;
+  th.tid
+
+let thread_clock t tid =
+  match List.find_opt (fun th -> th.tid = tid) t.threads with
+  | Some th -> th.clock
+  | None -> invalid_arg "Scheduler.thread_clock: unknown tid"
+
+let elapsed t =
+  List.fold_left (fun acc th -> Float.max acc th.clock) 0.0 t.threads
+
+let charge t ns =
+  match t.current with
+  | None -> () (* setup code outside the simulation is free *)
+  | Some th ->
+      let ns =
+        if t.jitter > 0.0 then
+          ns *. (1.0 +. (t.jitter *. (Simnvm.Rng.float t.rng -. 0.5)))
+        else ns
+      in
+      th.clock <- th.clock +. ns
+
+let advance_to t at =
+  match t.current with
+  | None -> ()
+  | Some th -> if at > th.clock then th.clock <- at
+
+let poll t =
+  match t.current with
+  | None -> ()
+  | Some th -> if th.clock > t.bound then Effect.perform Preempt
+
+let yield t =
+  match t.current with None -> () | Some _ -> Effect.perform Preempt
+
+let sleep_until t time =
+  let th = current t in
+  if time > th.clock then th.clock <- time;
+  Effect.perform Preempt
+
+let sleep t dur = sleep_until t (now t +. dur)
+
+let block t =
+  let th = current t in
+  th.status <- Blocked;
+  Effect.perform Block;
+  (* Re-entry point after wakeup. *)
+  ()
+
+let wakeup t tid ~at =
+  match List.find_opt (fun th -> th.tid = tid) t.threads with
+  | None -> invalid_arg "Scheduler.wakeup: unknown tid"
+  | Some th ->
+      if th.status <> Blocked then
+        invalid_arg "Scheduler.wakeup: thread is not blocked";
+      th.status <- Ready;
+      if at > th.clock then th.clock <- at;
+      tighten_bound t th.clock
+
+let set_crash_at t time = t.crash_at <- Some time
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch loop *)
+
+let handler t th =
+  {
+    Effect.Deep.retc = (fun () -> th.status <- Finished);
+    exnc =
+      (fun e ->
+        th.status <- Finished;
+        match e with Crashed -> () | e -> t.failure <- Some e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Preempt ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                th.k <- Some k;
+                th.status <- Ready)
+        | Block ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                th.k <- Some k
+                (* status was set to Blocked by [block] before performing *))
+        | _ -> None);
+  }
+
+let pick_min_ready t =
+  List.fold_left
+    (fun acc th ->
+      match (th.status, acc) with
+      | Ready, None -> Some th
+      | Ready, Some best -> if th.clock < best.clock then Some th else acc
+      | (Running | Blocked | Finished), _ -> acc)
+    None t.threads
+
+(* Smallest ready clock excluding [th]: the next point at which another
+   thread should get the processor in virtual time. *)
+let next_other_clock t th =
+  List.fold_left
+    (fun acc other ->
+      if other.tid <> th.tid && other.status = Ready then
+        Float.min acc other.clock
+      else acc)
+    infinity t.threads
+
+let dispatch t th =
+  th.status <- Running;
+  t.current <- Some th;
+  let bound = next_other_clock t th +. t.quantum in
+  t.bound <-
+    (match t.crash_at with Some c -> Float.min bound c | None -> bound);
+  (match th.entry with
+  | Thunk f ->
+      th.entry <- Started;
+      Effect.Deep.match_with f () (handler t th)
+  | Started -> (
+      match th.k with
+      | Some k ->
+          th.k <- None;
+          Effect.Deep.continue k ()
+      | None -> assert false));
+  t.current <- None;
+  if th.status = Running then th.status <- Ready
+
+let kill_all t =
+  List.iter
+    (fun th ->
+      (match th.k with
+      | Some k -> (
+          th.k <- None;
+          t.current <- Some th;
+          try Effect.Deep.discontinue k Crashed with Crashed -> ())
+      | None -> ());
+      t.current <- None;
+      th.status <- Finished)
+    t.threads
+
+let describe_blocked t =
+  t.threads
+  |> List.filter (fun th -> th.status = Blocked)
+  |> List.map (fun th -> Printf.sprintf "%s#%d@%.0fns" th.name th.tid th.clock)
+  |> String.concat ", "
+
+let run t =
+  let rec loop () =
+    (match t.failure with
+    | Some e ->
+        t.failure <- None;
+        kill_all t;
+        raise e
+    | None -> ());
+    match pick_min_ready t with
+    | None ->
+        if List.exists (fun th -> th.status = Blocked) t.threads then
+          raise
+            (Deadlock
+               (Printf.sprintf "no runnable thread; blocked: %s"
+                  (describe_blocked t)))
+        else Completed
+    | Some th -> (
+        match t.crash_at with
+        | Some c when th.clock >= c ->
+            kill_all t;
+            Crash_interrupt c
+        | Some _ | None ->
+            dispatch t th;
+            loop ())
+  in
+  loop ()

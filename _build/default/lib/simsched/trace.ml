@@ -1,0 +1,48 @@
+(* Execution tracing.
+
+   When a recorder is installed, the environment and the synchronisation
+   primitives emit one event per memory access, lock operation and restart
+   point. The harness feeds these traces to the WAR/idempotence analyser
+   and the race checker (Analysis), automating the variable-classification
+   rules of the paper's section 3.3.2 — the direction its section 6 calls
+   future work.
+
+   The recorder is process-global (one traced world at a time), which keeps
+   the zero-cost-when-disabled fast path a single ref read. *)
+
+type event =
+  | Load of { tid : int; addr : int }
+  | Store of { tid : int; addr : int }
+  | Acquire of { tid : int; lock : int }
+  | Release of { tid : int; lock : int }
+  | Restart_point of { tid : int; id : int }
+
+type recorder = { mutable events : event list; mutable count : int }
+
+let current : recorder option ref = ref None
+
+let start () =
+  let r = { events = []; count = 0 } in
+  current := Some r;
+  r
+
+let stop () = current := None
+
+let emit ev =
+  match !current with
+  | None -> ()
+  | Some r ->
+      r.events <- ev :: r.events;
+      r.count <- r.count + 1
+
+let events r = List.rev r.events
+
+(* Run [f] with tracing enabled, then restore the previous recorder. *)
+let record f =
+  let saved = !current in
+  let r = start () in
+  Fun.protect
+    ~finally:(fun () -> current := saved)
+    (fun () ->
+      let v = f () in
+      (v, events r))

@@ -1,0 +1,30 @@
+(** Execution tracing: when a recorder is installed, {!Env} and {!Mutex}
+    emit one event per memory access and lock operation, and the ResPCT
+    runtime emits restart-point markers. The harness feeds the traces to
+    the WAR/idempotence and race analyses, automating the paper's section
+    3.3.2 classification rules. One traced world at a time. *)
+
+type event =
+  | Load of { tid : int; addr : int }
+  | Store of { tid : int; addr : int }
+  | Acquire of { tid : int; lock : int }
+  | Release of { tid : int; lock : int }
+  | Restart_point of { tid : int; id : int }
+
+type recorder
+
+val start : unit -> recorder
+(** Install a fresh recorder. *)
+
+val stop : unit -> unit
+(** Remove the current recorder. *)
+
+val emit : event -> unit
+(** Record an event (no-op when no recorder is installed). *)
+
+val events : recorder -> event list
+(** Events in program order. *)
+
+val record : (unit -> 'a) -> 'a * event list
+(** Run a computation under a fresh recorder and return its trace;
+    restores the previous recorder afterwards. *)

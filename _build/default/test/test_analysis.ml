@@ -1,0 +1,157 @@
+(* Tests for the analysis extensions: the idempotence/WAR rule of paper
+   section 3.3.2 (Table 2) and the vector-clock race checker validating
+   the race-freedom assumption of section 2.1. *)
+
+open Analysis
+
+let classification =
+  Alcotest.testable Idempotence.pp_classification ( = )
+
+let test_table2 () =
+  (* x=5; y=x : both RAW, idempotent *)
+  Alcotest.check classification "RAW x" Idempotence.Raw
+    (Idempotence.classify Idempotence.table2_raw "x");
+  Alcotest.(check bool) "RAW idempotent" true
+    (Idempotence.idempotent Idempotence.table2_raw);
+  (* y=x; x=8 : x is WAR, not idempotent *)
+  Alcotest.check classification "WAR x" Idempotence.War
+    (Idempotence.classify Idempotence.table2_war "x");
+  Alcotest.(check bool) "WAR not idempotent" false
+    (Idempotence.idempotent Idempotence.table2_war)
+
+let test_classify_cases () =
+  let open Idempotence in
+  Alcotest.check classification "read-only" No_dependency
+    (classify [ Read "a"; Read "a" ] "a");
+  Alcotest.check classification "never accessed" No_dependency
+    (classify [ Read "a" ] "b");
+  Alcotest.check classification "write-only" Raw
+    (classify [ Write "a" ] "a");
+  Alcotest.check classification "write then read then write = RAW" Raw
+    (classify [ Write "a"; Read "a"; Write "a" ] "a");
+  Alcotest.check classification "reads of others don't matter" War
+    (classify [ Read "b"; Read "a"; Write "b"; Write "a" ] "a")
+
+let test_needs_logging_matches_paper_example () =
+  (* The paper's x^p snippet between RPs: x is read then written in the
+     loop (WAR -> InCLL); p is written once then only read (no logging). *)
+  let open Idempotence in
+  let trace =
+    [
+      Write "p";
+      Read "p";
+      Read "x";
+      Write "x";
+      Read "p";
+      Read "x";
+      Write "x";
+    ]
+  in
+  Alcotest.(check (list string)) "only x needs logging" [ "x" ]
+    (needs_logging trace)
+
+(* ------------------------------------------------------------------ *)
+(* Race checker *)
+
+let test_locked_accesses_race_free () =
+  let open Racecheck in
+  let events =
+    [
+      Racq { thread = 1; lock = 0 };
+      Rwrite { thread = 1; addr = 100 };
+      Rrel { thread = 1; lock = 0 };
+      Racq { thread = 2; lock = 0 };
+      Rread { thread = 2; addr = 100 };
+      Rwrite { thread = 2; addr = 100 };
+      Rrel { thread = 2; lock = 0 };
+    ]
+  in
+  Alcotest.(check bool) "race free" true (race_free events)
+
+let test_unlocked_write_write_races () =
+  let open Racecheck in
+  let events =
+    [
+      Rwrite { thread = 1; addr = 100 };
+      Rwrite { thread = 2; addr = 100 };
+    ]
+  in
+  Alcotest.(check bool) "detected" false (race_free events);
+  match check events with
+  | [ { addr; first_thread; second_thread } ] ->
+      Alcotest.(check int) "addr" 100 addr;
+      Alcotest.(check (pair int int)) "threads" (1, 2)
+        (first_thread, second_thread)
+  | races -> Alcotest.failf "expected one race, got %d" (List.length races)
+
+let test_read_write_race () =
+  let open Racecheck in
+  let events =
+    [
+      Racq { thread = 1; lock = 0 };
+      Rread { thread = 1; addr = 7 };
+      Rrel { thread = 1; lock = 0 };
+      (* writer uses a different lock: still a race with the read *)
+      Racq { thread = 2; lock = 9 };
+      Rwrite { thread = 2; addr = 7 };
+      Rrel { thread = 2; lock = 9 };
+    ]
+  in
+  Alcotest.(check bool) "different locks do not order" false
+    (race_free events)
+
+let test_hb_transitivity () =
+  let open Racecheck in
+  (* T1 -> (lock A) -> T2 -> (lock B) -> T3: T3's write is ordered after
+     T1's via the chain, no race. *)
+  let events =
+    [
+      Rwrite { thread = 1; addr = 42 };
+      Racq { thread = 1; lock = 1 };
+      Rrel { thread = 1; lock = 1 };
+      Racq { thread = 2; lock = 1 };
+      Racq { thread = 2; lock = 2 };
+      Rrel { thread = 2; lock = 2 };
+      Rrel { thread = 2; lock = 1 };
+      Racq { thread = 3; lock = 2 };
+      Rwrite { thread = 3; addr = 42 };
+      Rrel { thread = 3; lock = 2 };
+    ]
+  in
+  Alcotest.(check bool) "transitive happens-before" true (race_free events)
+
+let test_same_thread_never_races () =
+  let open Racecheck in
+  let events =
+    [
+      Rwrite { thread = 1; addr = 5 };
+      Rread { thread = 1; addr = 5 };
+      Rwrite { thread = 1; addr = 5 };
+    ]
+  in
+  Alcotest.(check bool) "program order" true (race_free events)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "idempotence",
+        [
+          Alcotest.test_case "Table 2" `Quick test_table2;
+          Alcotest.test_case "classification cases" `Quick test_classify_cases;
+          Alcotest.test_case "paper x^p example" `Quick
+            test_needs_logging_matches_paper_example;
+        ] );
+      ( "racecheck",
+        [
+          Alcotest.test_case "locked accesses race-free" `Quick
+            test_locked_accesses_race_free;
+          Alcotest.test_case "unlocked write-write race" `Quick
+            test_unlocked_write_write_races;
+          Alcotest.test_case "different locks race" `Quick
+            test_read_write_race;
+          Alcotest.test_case "happens-before transitivity" `Quick
+            test_hb_transitivity;
+          Alcotest.test_case "same thread never races" `Quick
+            test_same_thread_never_races;
+        ] );
+    ]

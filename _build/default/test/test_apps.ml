@@ -1,0 +1,201 @@
+(* Tests for the application kernels: every variant must compute the right
+   answer (persistence must never change results), and the KV store must
+   complete its workload under checkpointing. *)
+
+open Harness
+
+let tiny =
+  {
+    App_experiments.matmul_n = 12;
+    lr_points = 4_000;
+    swaptions = 48;
+    dedup_chunks = 600;
+    kv_load = 400;
+    kv_run = 1_200;
+    kv_keys = 400;
+    app_threads = 8;
+    period_ns = 30_000.0;
+  }
+
+let variants =
+  App_experiments.[ App_dram; App_nvm; App_respct ]
+
+let test_matmul_correct () =
+  let cfg = { Apps.Matmul.n = tiny.App_experiments.matmul_n; nthreads = 8 } in
+  List.iter
+    (fun variant ->
+      let env, p, bump =
+        App_experiments.app_world tiny variant ~nthreads:8 ~nvm_words:(1 lsl 18)
+      in
+      let _t, c = Apps.Matmul.run env p cfg ~bump in
+      for i = 0 to cfg.Apps.Matmul.n - 1 do
+        for j = 0 to cfg.Apps.Matmul.n - 1 do
+          Alcotest.(check int)
+            (Printf.sprintf "%s C[%d,%d]"
+               (App_experiments.variant_name variant)
+               i j)
+            (Apps.Matmul.expected_cell cfg i j)
+            (Simsched.Env.load env (c + (i * cfg.Apps.Matmul.n) + j))
+        done
+      done)
+    variants
+
+let test_linreg_totals () =
+  let check granularity =
+    let cfg =
+      {
+        Apps.Linreg.points = tiny.App_experiments.lr_points;
+        nthreads = 8;
+        granularity;
+      }
+    in
+    let expected = Apps.Linreg.expected cfg in
+    List.iter
+      (fun variant ->
+        let env, p, bump =
+          App_experiments.app_world tiny variant ~nthreads:8
+            ~nvm_words:(1 lsl 18)
+        in
+        let _t, totals = Apps.Linreg.run env p cfg ~bump in
+        Alcotest.(check bool)
+          (App_experiments.variant_name variant ^ " accumulators")
+          true
+          (totals = expected))
+      variants
+  in
+  check (`Per_batch 500);
+  check `Per_point
+
+let test_swaptions_prices () =
+  List.iter
+    (fun granularity ->
+      let cfg =
+        {
+          Apps.Swaptions.swaptions = tiny.App_experiments.swaptions;
+          trials = 20;
+          nthreads = 8;
+          granularity;
+        }
+      in
+      List.iter
+        (fun variant ->
+          let env, p, bump =
+            App_experiments.app_world tiny variant ~nthreads:8
+              ~nvm_words:(1 lsl 18)
+          in
+          let _t, prices = Apps.Swaptions.run env p cfg ~bump in
+          for s = 0 to cfg.Apps.Swaptions.swaptions - 1 do
+            Alcotest.(check int)
+              (Printf.sprintf "price %d" s)
+              (Apps.Swaptions.expected_price cfg s)
+              (Simsched.Env.load env (prices + s))
+          done)
+        variants)
+    [ `Per_swaption; `Per_trial ]
+
+let test_dedup_unique_count () =
+  let cfg =
+    {
+      Apps.Dedup.default_cfg with
+      Apps.Dedup.chunks = tiny.App_experiments.dedup_chunks;
+      distinct = 97;
+      hashers = 4;
+      writers = 3;
+    }
+  in
+  (* All 97 distinct contents appear in 600 chunks (the stream cycles), so
+     every variant must find exactly 97 unique chunks. *)
+  List.iter
+    (fun variant ->
+      let env, p, _bump =
+        App_experiments.app_world tiny variant ~nthreads:8
+          ~nvm_words:(1 lsl 18)
+      in
+      let _t, unique = Apps.Dedup.run env p cfg in
+      Alcotest.(check int)
+        (App_experiments.variant_name variant ^ " unique chunks")
+        97 unique)
+    variants
+
+let test_kvstore_completes () =
+  List.iter
+    (fun variant ->
+      let cfg =
+        {
+          Apps.Kvstore.clients = 8;
+          workers = 2;
+          keys = tiny.App_experiments.kv_keys;
+          buckets = tiny.App_experiments.kv_keys;
+          load_ops = tiny.App_experiments.kv_load;
+          run_ops = tiny.App_experiments.kv_run;
+          mix = Apps.Ycsb.balanced;
+        }
+      in
+      let env, p, _bump =
+        App_experiments.app_world tiny variant ~nthreads:10
+          ~nvm_words:(1 lsl 19)
+      in
+      let dur, ops = Apps.Kvstore.run env p cfg in
+      Alcotest.(check bool)
+        (App_experiments.variant_name variant ^ " completed all ops")
+        true
+        (ops = cfg.Apps.Kvstore.run_ops / cfg.Apps.Kvstore.clients
+               * cfg.Apps.Kvstore.clients);
+      Alcotest.(check bool) "positive duration" true (dur > 0.0))
+    variants
+
+(* ------------------------------------------------------------------ *)
+(* YCSB generator *)
+
+let test_zipf_bounds_and_skew () =
+  let z = Apps.Ycsb.make_zipf 1000 in
+  let rng = Simnvm.Rng.create 5 in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to 50_000 do
+    let k = Apps.Ycsb.sample_zipf z rng in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 1000);
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* zipfian: rank 0 far more popular than rank 500 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "skewed (%d vs %d)" counts.(0) counts.(500))
+    true
+    (counts.(0) > 20 * max 1 counts.(500))
+
+let test_ycsb_mix_ratio () =
+  let z = Apps.Ycsb.make_zipf 100 in
+  let rng = Simnvm.Rng.create 6 in
+  let reads = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    match Apps.Ycsb.next_op Apps.Ycsb.read_intensive z rng with
+    | Apps.Ycsb.Get _ -> incr reads
+    | Apps.Ycsb.Put _ -> ()
+  done;
+  let pct = 100 * !reads / n in
+  Alcotest.(check bool)
+    (Printf.sprintf "~90%% reads (%d%%)" pct)
+    true
+    (pct >= 88 && pct <= 92)
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "kernels",
+        [
+          Alcotest.test_case "matmul result (all variants)" `Quick
+            test_matmul_correct;
+          Alcotest.test_case "linreg totals (both granularities)" `Quick
+            test_linreg_totals;
+          Alcotest.test_case "swaptions prices" `Quick test_swaptions_prices;
+          Alcotest.test_case "dedup unique count" `Quick
+            test_dedup_unique_count;
+          Alcotest.test_case "kvstore completes" `Quick test_kvstore_completes;
+        ] );
+      ( "ycsb",
+        [
+          Alcotest.test_case "zipf bounds and skew" `Quick
+            test_zipf_bounds_and_skew;
+          Alcotest.test_case "mix ratio" `Quick test_ycsb_mix_ratio;
+        ] );
+    ]

@@ -1,0 +1,313 @@
+(* Tests for the experiment harness: workload drivers produce sane
+   measurements, the eADR ablation makes flushes free, the table renderer
+   is well-formed, and Loc_report finds the sources. *)
+
+let tiny =
+  {
+    Harness.Experiments.small with
+    Harness.Experiments.sweep_threads = [ 2 ];
+    duration_ns = 100_000.0;
+    map_prefill = 400;
+    buckets = 200;
+    queue_prefill = 50;
+    period_ns = 25_000.0;
+    fig10_threads = 2;
+    fig12_buckets = [ 400 ];
+    recovery_threads = 2;
+  }
+
+let test_map_point_sane () =
+  List.iter
+    (fun kind ->
+      let r, _ =
+        Harness.Experiments.map_point ~update_pct:50 tiny kind ~threads:2
+      in
+      Alcotest.(check bool)
+        (Harness.Systems.name_of kind ^ " throughput positive")
+        true
+        (r.Harness.Workload.mops > 0.0);
+      Alcotest.(check bool) "ops counted" true (r.Harness.Workload.total_ops > 0))
+    Harness.Systems.map_kinds
+
+let test_queue_point_sane () =
+  List.iter
+    (fun kind ->
+      let r, _ = Harness.Experiments.queue_point tiny kind ~threads:2 in
+      Alcotest.(check bool)
+        (Harness.Systems.name_of kind ^ " throughput positive")
+        true
+        (r.Harness.Workload.mops > 0.0))
+    Harness.Systems.queue_kinds
+
+let test_respct_checkpoints_during_measurement () =
+  let r, rt =
+    Harness.Experiments.map_point ~update_pct:90 tiny Harness.Systems.Respct
+      ~threads:2
+  in
+  ignore r;
+  match rt with
+  | None -> Alcotest.fail "runtime expected"
+  | Some rt ->
+      let s = Respct.Runtime.stats rt in
+      Alcotest.(check bool)
+        (Printf.sprintf "checkpoints ran (%d)" s.Respct.Runtime.checkpoints)
+        true
+        (s.Respct.Runtime.checkpoints >= 2);
+      Alcotest.(check bool) "flushed addresses" true
+        (s.Respct.Runtime.flushed_addrs > 0)
+
+(* eADR ablation (paper section 6): with the cache in the persistent
+   domain, flushes are free; ResPCT's checkpoint flush time collapses. *)
+let test_eadr_ablation () =
+  let run eadr =
+    let p =
+      {
+        (Harness.Experiments.params_for tiny ~threads:2
+           ~kind:Harness.Systems.Respct)
+        with
+        Harness.Systems.eadr;
+      }
+    in
+    let r, rt =
+      Harness.Experiments.map_point ~update_pct:90 ~params:p tiny
+        Harness.Systems.Respct ~threads:2
+    in
+    match rt with
+    | Some rt -> (r.Harness.Workload.mops, (Respct.Runtime.stats rt).Respct.Runtime.flush_ns)
+    | None -> Alcotest.fail "runtime expected"
+  in
+  let mops_off, flush_off = run false in
+  let mops_on, flush_on = run true in
+  Alcotest.(check bool)
+    (Printf.sprintf "eADR flush time ~0 (%.0f vs %.0f ns)" flush_on flush_off)
+    true
+    (flush_on < flush_off /. 10.0);
+  Alcotest.(check bool) "throughput not worse under eADR" true
+    (mops_on >= mops_off *. 0.9)
+
+(* The non-PCSO ablation at the workload level: running the full ResPCT
+   HashMap on word-granular write-back hardware must eventually produce a
+   recovery mismatch (DESIGN.md ablation 1). Covered at cell granularity in
+   test_respct; here we only ensure the flag plumbs through the harness. *)
+let test_fig10_shape () =
+  let rows = Harness.Experiments.fig10 ~scale:tiny () in
+  Alcotest.(check int) "five configurations" 5 (List.length rows);
+  List.iter
+    (fun (_name, cells) -> Alcotest.(check int) "three workloads" 3 (List.length cells))
+    rows;
+  (* Transient<DRAM> row is the normalisation base: all 1.00 *)
+  let _, base = List.hd rows in
+  List.iter (fun c -> Alcotest.(check string) "unit base" "1.00" c) base
+
+let test_fig12_rows () =
+  let rows = Harness.Experiments.fig12 ~scale:tiny () in
+  List.iter
+    (fun (label, cells) ->
+      Alcotest.(check bool) (label ^ " recovery time parses") true
+        (float_of_string (List.nth cells 0) >= 0.0);
+      Alcotest.(check bool) "entries scanned" true
+        (int_of_string (List.nth cells 1) > 0))
+    rows
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_table_render () =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Harness.Table.print ~out:ppf ~title:"t" ~header:[ "a"; "b" ]
+    [ ("row1", [ "1" ]); ("row2", [ "2" ]) ];
+  Format.pp_print_flush ppf ();
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "title present" true (contains s "== t ==");
+  Alcotest.(check bool) "rows present" true
+    (contains s "row1" && contains s "row2");
+  (* padding: every data row has the same width *)
+  let lines =
+    List.filter (fun l -> String.length l > 0 && l.[0] = '|')
+      (String.split_on_char '\n' s)
+  in
+  let widths = List.sort_uniq compare (List.map String.length lines) in
+  Alcotest.(check int) "aligned" 1 (List.length widths)
+
+let test_loc_report () =
+  (* dune runs tests inside _build: the sources are one level up. *)
+  let rows =
+    List.concat_map
+      (fun root -> Harness.Loc_report.rows ~root ())
+      [ "."; ".."; "../.."; "../../.." ]
+  in
+  match rows with
+  | [] -> Alcotest.fail "sources not found"
+  | rows ->
+      List.iter
+        (fun (name, cells) ->
+          let instrumented = int_of_string (List.nth cells 0) in
+          let total = int_of_string (List.nth cells 1) in
+          Alcotest.(check bool) (name ^ " counts sane") true
+            (instrumented > 0 && instrumented < total))
+        rows
+
+(* ------------------------------------------------------------------ *)
+(* RP advisor over recorded traces (the section 6 automation extension) *)
+
+let traced_queue_world () =
+  let mem =
+    Simnvm.Memsys.create
+      { Simnvm.Memsys.default_config with nvm_words = 1 lsl 18 }
+  in
+  let sched = Simsched.Scheduler.create ~seed:3 () in
+  let env = Simsched.Env.make mem sched in
+  let cfg =
+    {
+      Respct.Runtime.period_ns = 1.0e9 (* no checkpoint during the trace *);
+      flusher_pool = 2;
+      mode = Respct.Runtime.Full;
+      max_threads = 4;
+      registry_per_slot = 4096;
+    }
+  in
+  let rt = Respct.Runtime.create ~cfg env in
+  (mem, sched, rt)
+
+let test_advisor_queue_war_rule () =
+  let _mem, sched, rt = traced_queue_world () in
+  let q = ref None in
+  let value_addr = ref 0 in
+  ignore
+    (Respct.Runtime.spawn rt ~slot:0 (fun _ctx ->
+         let queue = Pds.Queue_respct.create rt ~slot:0 in
+         q := Some queue;
+         Respct.Runtime.rp rt ~slot:0 1;
+         for i = 1 to 20 do
+           Pds.Queue_respct.enqueue queue ~slot:0 i;
+           ignore (Pds.Queue_respct.dequeue queue ~slot:0);
+           Respct.Runtime.rp rt ~slot:0 2
+         done));
+  let heap_base = (Respct.Runtime.layout rt).Respct.Layout.heap_base in
+  let (), events =
+    Simsched.Trace.record (fun () ->
+        match Simsched.Scheduler.run sched with
+        | Simsched.Scheduler.Completed -> ()
+        | Simsched.Scheduler.Crash_interrupt _ -> Alcotest.fail "crash")
+  in
+  ignore !value_addr;
+  let report =
+    Harness.Rp_advisor.analyse ~addr_filter:(fun a -> a >= heap_base) events
+  in
+  let queue = Option.get !q in
+  let head = Respct.Incll.record (Pds.Queue_respct.head_cell queue) in
+  let tail = Respct.Incll.record (Pds.Queue_respct.tail_cell queue) in
+  (* The rule derives exactly our instrumentation choices: head and tail
+     pointers are WAR across restart points -> they are InCLL variables. *)
+  Alcotest.(check bool) "head needs logging" true
+    (List.mem head report.Harness.Rp_advisor.needs_logging);
+  Alcotest.(check bool) "tail needs logging" true
+    (List.mem tail report.Harness.Rp_advisor.needs_logging);
+  Alcotest.(check bool) "segments seen" true
+    (report.Harness.Rp_advisor.segments >= 20);
+  Alcotest.(check bool) "write-only data exists (payload words)" true
+    (report.Harness.Rp_advisor.write_only <> [])
+
+let test_advisor_race_freedom_of_map () =
+  let mem =
+    Simnvm.Memsys.create
+      { Simnvm.Memsys.default_config with nvm_words = 1 lsl 18 }
+  in
+  let sched = Simsched.Scheduler.create ~seed:5 () in
+  let env = Simsched.Env.make mem sched in
+  let cfg =
+    {
+      Respct.Runtime.period_ns = 50_000.0;
+      flusher_pool = 2;
+      mode = Respct.Runtime.Full;
+      max_threads = 4;
+      registry_per_slot = 4096;
+    }
+  in
+  let rt = Respct.Runtime.create ~cfg env in
+  Respct.Runtime.start rt;
+  let m = ref None in
+  (* Publication through a lock: the happens-before edge a correct pthread
+     program gets from pthread_create / synchronised publication. Without
+     it the checker rightly flags the init-vs-first-use accesses. *)
+  let pub = Simsched.Mutex.create ~name:"publish" () in
+  for w = 0 to 1 do
+    ignore
+      (Respct.Runtime.spawn rt ~slot:w (fun _ctx ->
+           if w = 0 then
+             Simsched.Mutex.with_lock sched pub (fun () ->
+                 m := Some (Pds.Hashmap_respct.create rt ~slot:0 ~buckets:16));
+           let rec wait_published () =
+             let ready =
+               Simsched.Mutex.with_lock sched pub (fun () -> !m <> None)
+             in
+             if not ready then begin
+               Simsched.Scheduler.sleep sched 200.0;
+               wait_published ()
+             end
+           in
+           wait_published ();
+           let map = Option.get !m in
+           let rng = Simnvm.Rng.create (w + 11) in
+           for i = 1 to 200 do
+             ignore
+               (Pds.Hashmap_respct.insert map ~slot:w
+                  ~key:(Simnvm.Rng.int rng 64) ~value:i);
+             Respct.Runtime.rp rt ~slot:w 1
+           done;
+           if w = 0 then Respct.Runtime.stop rt))
+  done;
+  let heap_base = (Respct.Runtime.layout rt).Respct.Layout.heap_base in
+  let (), events =
+    Simsched.Trace.record (fun () ->
+        match Simsched.Scheduler.run sched with
+        | Simsched.Scheduler.Completed -> ()
+        | Simsched.Scheduler.Crash_interrupt _ -> Alcotest.fail "crash")
+  in
+  let report =
+    Harness.Rp_advisor.analyse ~addr_filter:(fun a -> a >= heap_base) events
+  in
+  (* The lock-per-bucket map keeps the section 2.1 assumption: the shared
+     structure accesses are race-free. (Per-thread RP cells and tracking
+     are private by construction.) *)
+  Alcotest.(check int) "no data races on the shared structure" 0
+    (List.length report.Harness.Rp_advisor.races)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "workloads",
+        [
+          Alcotest.test_case "map point per system" `Quick test_map_point_sane;
+          Alcotest.test_case "queue point per system" `Quick
+            test_queue_point_sane;
+          Alcotest.test_case "checkpoints during measurement" `Quick
+            test_respct_checkpoints_during_measurement;
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "eADR makes flushes free" `Quick test_eadr_ablation;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "fig10 shape" `Quick test_fig10_shape;
+          Alcotest.test_case "fig12 rows" `Quick test_fig12_rows;
+        ] );
+      ( "reporting",
+        [
+          Alcotest.test_case "table render" `Quick test_table_render;
+          Alcotest.test_case "loc report" `Quick test_loc_report;
+        ] );
+      ( "rp advisor",
+        [
+          Alcotest.test_case "queue WAR rule matches instrumentation" `Quick
+            test_advisor_queue_war_rule;
+          Alcotest.test_case "map trace is race-free" `Quick
+            test_advisor_race_freedom_of_map;
+        ] );
+    ]

@@ -1,0 +1,397 @@
+(* Tests for the simulated memory hierarchy: cache coherence, persistency
+   semantics (PCSO), crash behaviour, eviction, cost accounting. *)
+
+open Simnvm
+
+let cfg ?(evict_rate = 0.0) ?(eadr = false) ?(pcso = true) ?(sets = 64)
+    ?(ways = 4) () =
+  { Memsys.default_config with evict_rate; eadr; pcso; sets; ways }
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.bits a) (Rng.bits b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10);
+    let f = Rng.float r in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_split_independent () =
+  let r = Rng.create 3 in
+  let r' = Rng.split r in
+  let xs = List.init 20 (fun _ -> Rng.bits r) in
+  let ys = List.init 20 (fun _ -> Rng.bits r') in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+(* ------------------------------------------------------------------ *)
+(* Addr *)
+
+let lw = 8
+
+let test_addr_arith () =
+  Alcotest.(check int) "line_of" 2 (Addr.line_of ~line_words:lw 17);
+  Alcotest.(check int) "line_base" 16 (Addr.line_base ~line_words:lw 17);
+  Alcotest.(check int) "offset" 1 (Addr.offset_in_line ~line_words:lw 17);
+  Alcotest.(check bool) "same line" true (Addr.same_line ~line_words:lw 16 23);
+  Alcotest.(check bool) "diff line" false (Addr.same_line ~line_words:lw 15 16)
+
+let test_addr_align_for () =
+  (* 3 words starting at offset 6 of an 8-word line must skip to next line. *)
+  Alcotest.(check int) "skip" 16 (Addr.align_for ~line_words:lw ~words:3 14);
+  Alcotest.(check int) "fits" 13 (Addr.align_for ~line_words:lw ~words:3 13);
+  Alcotest.(check int) "exact end" 5 (Addr.align_for ~line_words:lw ~words:3 5);
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Addr.align_for: allocation larger than a cache line")
+    (fun () -> ignore (Addr.align_for ~line_words:lw ~words:9 0))
+
+(* ------------------------------------------------------------------ *)
+(* Memsys basics *)
+
+let test_store_load_roundtrip () =
+  let m = Memsys.create (cfg ()) in
+  Memsys.store m 100 42;
+  Alcotest.(check int) "read back" 42 (Memsys.load m 100);
+  Memsys.store m 100 43;
+  Alcotest.(check int) "overwrite" 43 (Memsys.load m 100)
+
+let test_unflushed_store_lost_on_crash () =
+  let m = Memsys.create (cfg ()) in
+  Memsys.store m 100 42;
+  Alcotest.(check int) "not yet persistent" 0 (Memsys.persisted m 100);
+  Memsys.crash m;
+  Alcotest.(check int) "lost" 0 (Memsys.persisted m 100);
+  Alcotest.(check int) "load sees NVMM image" 0 (Memsys.load m 100)
+
+let test_pwb_persists () =
+  let m = Memsys.create (cfg ()) in
+  Memsys.store m 100 42;
+  Memsys.pwb m 100;
+  Memsys.psync m;
+  Memsys.crash m;
+  Alcotest.(check int) "survived" 42 (Memsys.load m 100)
+
+let test_flush_all () =
+  let m = Memsys.create (cfg ()) in
+  for i = 0 to 99 do
+    Memsys.store m i i
+  done;
+  Memsys.flush_all m;
+  Memsys.crash m;
+  for i = 0 to 99 do
+    Alcotest.(check int) "persisted" i (Memsys.load m i)
+  done
+
+let test_dram_lost_on_crash () =
+  let m = Memsys.create (cfg ()) in
+  let dram_addr = (Memsys.config m).Memsys.nvm_words + 5 in
+  Memsys.store m dram_addr 7;
+  Memsys.pwb m dram_addr;
+  (* even an explicit write-back does not make DRAM survive *)
+  Memsys.crash m;
+  Alcotest.(check int) "dram zeroed" 0 (Memsys.load m dram_addr)
+
+let test_persisted_rejects_dram () =
+  let m = Memsys.create (cfg ()) in
+  let dram_addr = (Memsys.config m).Memsys.nvm_words in
+  Alcotest.check_raises "reject"
+    (Invalid_argument "Memsys.persisted: address not in NVMM") (fun () ->
+      ignore (Memsys.persisted m dram_addr))
+
+let test_force_evict_and_drop () =
+  let m = Memsys.create (cfg ()) in
+  Memsys.store m 8 1;
+  Memsys.force_evict m 8;
+  Alcotest.(check int) "evicted line persisted" 1 (Memsys.persisted m 8);
+  Memsys.store m 16 2;
+  Memsys.drop_line m 16;
+  Alcotest.(check int) "dropped line lost" 0 (Memsys.persisted m 16);
+  Alcotest.(check int) "reload from NVMM" 0 (Memsys.load m 16)
+
+let test_capacity_eviction_persists () =
+  (* Touch far more lines than the cache holds: dirty victims are written
+     back, so their values must be visible in the NVMM image. *)
+  let m = Memsys.create (cfg ~sets:4 ~ways:2 ()) in
+  let n = 512 in
+  for i = 0 to n - 1 do
+    Memsys.store m (i * lw) i
+  done;
+  let s = Memsys.stats m in
+  Alcotest.(check bool) "writebacks happened" true (s.Stats.nvm_writebacks > 0);
+  let persisted = ref 0 in
+  for i = 0 to n - 1 do
+    if Memsys.persisted m (i * lw) = i then incr persisted
+  done;
+  Alcotest.(check bool) "most lines persisted" true (!persisted >= n - (4 * 2))
+
+let test_coherence_after_eviction () =
+  (* Values remain coherent through the cache regardless of evictions. *)
+  let m = Memsys.create (cfg ~sets:2 ~ways:1 ~evict_rate:0.5 ()) in
+  let r = Rng.create 11 in
+  let model = Hashtbl.create 64 in
+  for _ = 1 to 5000 do
+    let a = Rng.int r 256 in
+    if Rng.bool r then begin
+      let v = Rng.bits r in
+      Memsys.store m a v;
+      Hashtbl.replace model a v
+    end
+    else
+      let expected = Option.value ~default:0 (Hashtbl.find_opt model a) in
+      Alcotest.(check int) "coherent" expected (Memsys.load m a)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* PCSO: same-line ordering, the InCLL foundation *)
+
+(* Write backup at [base], then record at [base+1] (same line). Under PCSO,
+   whenever the record value is persistent the backup must be too. *)
+let pcso_trial ~pcso seed =
+  let m = Memsys.create (cfg ~pcso ~evict_rate:0.3 ~sets:2 ~ways:1 ()) in
+  let m =
+    ignore seed;
+    m
+  in
+  let r = Rng.create seed in
+  let base = 64 in
+  let violation = ref false in
+  for round = 1 to 200 do
+    Memsys.store m base round (* backup *);
+    Memsys.store m (base + 1) round (* record *);
+    (* stir the cache to provoke evictions *)
+    for _ = 1 to 4 do
+      Memsys.store m (Rng.int r 128 * lw) round
+    done;
+    if Memsys.persisted m (base + 1) = round && Memsys.persisted m base <> round
+    then violation := true
+  done;
+  !violation
+
+let test_pcso_same_line_ordering () =
+  for seed = 1 to 20 do
+    Alcotest.(check bool) "no violation under PCSO" false
+      (pcso_trial ~pcso:true seed)
+  done
+
+let test_non_pcso_ablation_violates () =
+  (* The word-granular ablation must be able to violate same-line ordering:
+     at least one of many seeds shows a violation. *)
+  let any = ref false in
+  for seed = 1 to 50 do
+    if pcso_trial ~pcso:false seed then any := true
+  done;
+  Alcotest.(check bool) "ablation violates ordering" true !any
+
+(* ------------------------------------------------------------------ *)
+(* eADR *)
+
+let test_eadr_crash_drains_cache () =
+  let m = Memsys.create (cfg ~eadr:true ()) in
+  Memsys.store m 100 42;
+  Memsys.crash m;
+  Alcotest.(check int) "drained by battery" 42 (Memsys.load m 100)
+
+let test_eadr_does_not_drain_dram () =
+  let m = Memsys.create (cfg ~eadr:true ()) in
+  let dram_addr = (Memsys.config m).Memsys.nvm_words + 3 in
+  Memsys.store m dram_addr 9;
+  Memsys.crash m;
+  Alcotest.(check int) "dram still volatile" 0 (Memsys.load m dram_addr)
+
+(* ------------------------------------------------------------------ *)
+(* Cost accounting *)
+
+let with_cost m f =
+  let acc = ref 0.0 in
+  Memsys.set_charge m (fun c -> acc := !acc +. c);
+  f ();
+  Memsys.set_charge m (fun _ -> ());
+  !acc
+
+let test_costs_hit_vs_miss () =
+  let m = Memsys.create (cfg ()) in
+  let miss = with_cost m (fun () -> ignore (Memsys.load m 100)) in
+  let hit = with_cost m (fun () -> ignore (Memsys.load m 100)) in
+  Alcotest.(check bool) "miss dearer than hit" true (miss > hit);
+  Alcotest.(check bool) "hit positive" true (hit > 0.0)
+
+let test_costs_nvm_vs_dram_miss () =
+  let m = Memsys.create (cfg ()) in
+  let nvm = with_cost m (fun () -> ignore (Memsys.load m 0)) in
+  let dram_addr = (Memsys.config m).Memsys.nvm_words in
+  let dram = with_cost m (fun () -> ignore (Memsys.load m dram_addr)) in
+  Alcotest.(check bool) "NVM miss dearer than DRAM miss" true (nvm > dram)
+
+let test_costs_pwb_psync () =
+  let m = Memsys.create (cfg ()) in
+  Memsys.store m 100 1;
+  let flush =
+    with_cost m (fun () ->
+        Memsys.pwb m 100;
+        Memsys.psync m)
+  in
+  let lat = (Memsys.config m).Memsys.latency in
+  Alcotest.(check (float 0.001))
+    "clwb + sfence"
+    (lat.Latency.clwb_ns +. lat.Latency.sfence_ns)
+    flush
+
+let test_eadr_flush_free () =
+  let lat = Latency.eadr_of Latency.default in
+  let m = Memsys.create { (cfg ()) with latency = lat; eadr = true } in
+  Memsys.store m 100 1;
+  let flush =
+    with_cost m (fun () ->
+        Memsys.pwb m 100;
+        Memsys.psync m)
+  in
+  Alcotest.(check (float 0.001)) "free under eADR" 0.0 flush
+
+let test_stats_counters () =
+  let m = Memsys.create (cfg ()) in
+  ignore (Memsys.load m 0);
+  Memsys.store m 0 1;
+  Memsys.pwb m 0;
+  Memsys.psync m;
+  let s = Memsys.stats m in
+  Alcotest.(check int) "loads" 1 s.Stats.loads;
+  Alcotest.(check int) "stores" 1 s.Stats.stores;
+  Alcotest.(check int) "pwbs" 1 s.Stats.pwbs;
+  Alcotest.(check int) "psyncs" 1 s.Stats.psyncs;
+  Alcotest.(check int) "hits" 1 s.Stats.hits;
+  Stats.reset s;
+  Alcotest.(check int) "reset" 0 (Stats.accesses s)
+
+let test_create_validation () =
+  Alcotest.check_raises "unaligned nvm"
+    (Invalid_argument "Memsys.create: nvm_words must be line-aligned")
+    (fun () -> ignore (Memsys.create { (cfg ()) with nvm_words = 100 }))
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties *)
+
+let prop_flush_all_makes_everything_persistent =
+  QCheck.Test.make ~name:"flush_all persists the full store history"
+    ~count:100
+    QCheck.(list (pair (int_bound 255) (int_bound 10_000)))
+    (fun writes ->
+      let m = Memsys.create (cfg ~evict_rate:0.1 ~sets:2 ~ways:2 ()) in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (a, v) ->
+          Memsys.store m a v;
+          Hashtbl.replace model a v)
+        writes;
+      Memsys.flush_all m;
+      Hashtbl.fold (fun a v acc -> acc && Memsys.persisted m a = v) model true)
+
+let prop_persisted_only_written_values =
+  (* At any moment, the persistent value of an address is one of the values
+     ever stored there (no invented values, no torn words). *)
+  QCheck.Test.make ~name:"NVMM image only holds written values" ~count:100
+    QCheck.(list (pair (int_bound 63) (int_bound 100)))
+    (fun writes ->
+      let m = Memsys.create (cfg ~evict_rate:0.4 ~sets:2 ~ways:1 ()) in
+      let history = Hashtbl.create 16 in
+      List.iter
+        (fun (a, v) ->
+          Memsys.store m a v;
+          Hashtbl.replace history (a, v) ())
+        writes;
+      let ok = ref true in
+      for a = 0 to 63 do
+        let p = Memsys.persisted m a in
+        if p <> 0 && not (Hashtbl.mem history (a, p)) then ok := false
+      done;
+      !ok)
+
+let prop_crash_then_load_equals_persisted =
+  QCheck.Test.make ~name:"after crash, load = persisted everywhere" ~count:50
+    QCheck.(list (pair (int_bound 127) small_int))
+    (fun writes ->
+      let m = Memsys.create (cfg ~evict_rate:0.2 ~sets:4 ~ways:2 ()) in
+      List.iter (fun (a, v) -> Memsys.store m a v) writes;
+      let image = Array.init 128 (fun a -> Memsys.persisted m a) in
+      Memsys.crash m;
+      let ok = ref true in
+      for a = 0 to 127 do
+        if Memsys.load m a <> image.(a) then ok := false
+      done;
+      !ok)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "simnvm"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split independent" `Quick
+            test_rng_split_independent;
+        ] );
+      ( "addr",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_addr_arith;
+          Alcotest.test_case "align_for" `Quick test_addr_align_for;
+        ] );
+      ( "memsys",
+        [
+          Alcotest.test_case "store/load roundtrip" `Quick
+            test_store_load_roundtrip;
+          Alcotest.test_case "unflushed store lost on crash" `Quick
+            test_unflushed_store_lost_on_crash;
+          Alcotest.test_case "pwb persists" `Quick test_pwb_persists;
+          Alcotest.test_case "flush_all" `Quick test_flush_all;
+          Alcotest.test_case "DRAM lost on crash" `Quick
+            test_dram_lost_on_crash;
+          Alcotest.test_case "persisted rejects DRAM" `Quick
+            test_persisted_rejects_dram;
+          Alcotest.test_case "force_evict / drop_line" `Quick
+            test_force_evict_and_drop;
+          Alcotest.test_case "capacity eviction persists" `Quick
+            test_capacity_eviction_persists;
+          Alcotest.test_case "coherence under eviction" `Quick
+            test_coherence_after_eviction;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+        ] );
+      ( "pcso",
+        [
+          Alcotest.test_case "same-line ordering holds" `Quick
+            test_pcso_same_line_ordering;
+          Alcotest.test_case "word-granular ablation violates" `Quick
+            test_non_pcso_ablation_violates;
+        ] );
+      ( "eadr",
+        [
+          Alcotest.test_case "crash drains NVMM lines" `Quick
+            test_eadr_crash_drains_cache;
+          Alcotest.test_case "DRAM still volatile" `Quick
+            test_eadr_does_not_drain_dram;
+        ] );
+      ( "costs",
+        [
+          Alcotest.test_case "hit vs miss" `Quick test_costs_hit_vs_miss;
+          Alcotest.test_case "NVM vs DRAM miss" `Quick
+            test_costs_nvm_vs_dram_miss;
+          Alcotest.test_case "pwb + psync" `Quick test_costs_pwb_psync;
+          Alcotest.test_case "eADR flush free" `Quick test_eadr_flush_free;
+          Alcotest.test_case "stats counters" `Quick test_stats_counters;
+        ] );
+      ( "properties",
+        qcheck
+          [
+            prop_flush_all_makes_everything_persistent;
+            prop_persisted_only_written_values;
+            prop_crash_then_load_equals_persisted;
+          ] );
+    ]

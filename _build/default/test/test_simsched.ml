@@ -1,0 +1,483 @@
+(* Tests for the cooperative virtual-time scheduler: clock semantics,
+   min-clock dispatch order, mutexes, condition variables, barriers, sleep,
+   deadlock detection and crash injection. *)
+
+open Simsched
+
+let outcome =
+  Alcotest.testable
+    (fun ppf -> function
+      | Scheduler.Completed -> Fmt.string ppf "Completed"
+      | Scheduler.Crash_interrupt t -> Fmt.pf ppf "Crash@%.0f" t)
+    ( = )
+
+(* ------------------------------------------------------------------ *)
+(* Basic execution *)
+
+let test_spawn_and_run () =
+  let s = Scheduler.create () in
+  let hits = ref 0 in
+  for _ = 1 to 5 do
+    ignore (Scheduler.spawn s (fun () -> incr hits))
+  done;
+  Alcotest.check outcome "completed" Scheduler.Completed (Scheduler.run s);
+  Alcotest.(check int) "all ran" 5 !hits
+
+let test_charge_advances_clock () =
+  let s = Scheduler.create () in
+  let seen = ref 0.0 in
+  ignore
+    (Scheduler.spawn s (fun () ->
+         Scheduler.charge s 100.0;
+         Scheduler.charge s 50.0;
+         seen := Scheduler.now s));
+  ignore (Scheduler.run s);
+  Alcotest.(check (float 0.001)) "clock" 150.0 !seen;
+  Alcotest.(check (float 0.001)) "elapsed" 150.0 (Scheduler.elapsed s)
+
+let test_min_clock_order () =
+  (* A cheap thread and an expensive thread interleave in clock order: the
+     observed sequence of (tid, clock) pairs must be sorted by clock. *)
+  let s = Scheduler.create () in
+  let log = ref [] in
+  let worker cost n () =
+    for _ = 1 to n do
+      Scheduler.charge s cost;
+      log := Scheduler.now s :: !log;
+      Scheduler.poll s
+    done
+  in
+  ignore (Scheduler.spawn s (worker 10.0 30));
+  ignore (Scheduler.spawn s (worker 35.0 10));
+  ignore (Scheduler.run s);
+  let times = Array.of_list (List.rev !log) in
+  (* Each thread may overrun the preemption bound by at most one operation
+     (charge-then-poll), so inversions are bounded by the largest op cost. *)
+  let max_op = 35.0 in
+  let running_max = ref neg_infinity in
+  Array.iter
+    (fun t ->
+      Alcotest.(check bool) "bounded inversion" true (t >= !running_max -. max_op);
+      if t > !running_max then running_max := t)
+    times
+
+let test_spawn_inside_thread () =
+  let s = Scheduler.create () in
+  let child_ran = ref false in
+  ignore
+    (Scheduler.spawn s (fun () ->
+         Scheduler.charge s 42.0;
+         ignore (Scheduler.spawn s (fun () -> child_ran := true))));
+  ignore (Scheduler.run s);
+  Alcotest.(check bool) "child ran" true !child_ran
+
+let test_exception_propagates () =
+  let s = Scheduler.create () in
+  ignore (Scheduler.spawn s (fun () -> failwith "boom"));
+  Alcotest.check_raises "reraised" (Failure "boom") (fun () ->
+      ignore (Scheduler.run s))
+
+let test_determinism () =
+  let run_once () =
+    let s = Scheduler.create ~seed:9 ~jitter:0.2 () in
+    let m = Mutex.create () in
+    let acc = ref [] in
+    for i = 1 to 4 do
+      ignore
+        (Scheduler.spawn s (fun () ->
+             for _ = 1 to 20 do
+               Mutex.lock s m;
+               Scheduler.charge s 30.0;
+               acc := i :: !acc;
+               Mutex.unlock s m;
+               Scheduler.poll s
+             done))
+    done;
+    ignore (Scheduler.run s);
+    (!acc, Scheduler.elapsed s)
+  in
+  let a1, e1 = run_once () in
+  let a2, e2 = run_once () in
+  Alcotest.(check (list int)) "same interleaving" a1 a2;
+  Alcotest.(check (float 0.0001)) "same makespan" e1 e2
+
+(* ------------------------------------------------------------------ *)
+(* Mutex *)
+
+let test_mutex_serialises () =
+  (* Contended critical sections are serialised by lock hand-off; an
+     uncontended re-acquisition may overlap the previous section by at most
+     the scheduler quantum plus one operation (see Mutex). Threads poll
+     inside the section, as all simulated memory accesses do. *)
+  let s = Scheduler.create () in
+  let m = Mutex.create () in
+  let sections = ref [] in
+  for _ = 1 to 4 do
+    ignore
+      (Scheduler.spawn s (fun () ->
+           for _ = 1 to 10 do
+             Mutex.lock s m;
+             let start = Scheduler.now s in
+             for _ = 1 to 10 do
+               Scheduler.charge s 10.0;
+               Scheduler.poll s
+             done;
+             sections := (start, Scheduler.now s) :: !sections;
+             Mutex.unlock s m
+           done))
+  done;
+  ignore (Scheduler.run s);
+  let by_start = List.sort compare !sections in
+  let max_overlap = 12.0 (* one op past the zero quantum *) in
+  let rec check_bounded = function
+    | (_, e1) :: ((s2, _) :: _ as rest) ->
+        Alcotest.(check bool) "bounded overlap" true (s2 >= e1 -. max_overlap);
+        check_bounded rest
+    | [ _ ] | [] -> ()
+  in
+  check_bounded by_start
+
+let test_mutex_unlock_not_owner () =
+  let s = Scheduler.create () in
+  let m = Mutex.create ~name:"m" () in
+  ignore
+    (Scheduler.spawn s (fun () ->
+         Alcotest.check_raises "not owner"
+           (Invalid_argument "Mutex.unlock(m): not the owner") (fun () ->
+             Mutex.unlock s m)));
+  ignore (Scheduler.run s)
+
+let test_mutex_try_lock () =
+  let s = Scheduler.create () in
+  let m = Mutex.create () in
+  let results = ref [] in
+  ignore
+    (Scheduler.spawn s (fun () ->
+         results := Mutex.try_lock s m :: !results;
+         results := Mutex.try_lock s m :: !results;
+         Mutex.unlock s m;
+         results := Mutex.try_lock s m :: !results;
+         Mutex.unlock s m));
+  ignore (Scheduler.run s);
+  Alcotest.(check (list bool)) "try results" [ true; false; true ]
+    (List.rev !results)
+
+let test_with_lock_releases_on_exn () =
+  let s = Scheduler.create () in
+  let m = Mutex.create () in
+  ignore
+    (Scheduler.spawn s (fun () ->
+         (try Mutex.with_lock s m (fun () -> failwith "inner") with
+         | Failure _ -> ());
+         Alcotest.(check bool) "released" true (Mutex.holder m = None)));
+  ignore (Scheduler.run s)
+
+let test_contended_lock_advances_clock () =
+  (* A thread blocked on a contended lock resumes no earlier than the
+     release time (the exact hand-off path). *)
+  let s = Scheduler.create () in
+  let m = Mutex.create () in
+  let t2_entry = ref 0.0 in
+  ignore
+    (Scheduler.spawn s (fun () ->
+         Mutex.lock s m;
+         Scheduler.charge s 1000.0;
+         Scheduler.poll s;
+         Mutex.unlock s m));
+  ignore
+    (Scheduler.spawn s (fun () ->
+         Scheduler.charge s 10.0;
+         Scheduler.poll s;
+         Mutex.lock s m;
+         t2_entry := Scheduler.now s;
+         Mutex.unlock s m));
+  ignore (Scheduler.run s);
+  Alcotest.(check bool) "waited until release" true (!t2_entry >= 1000.0)
+
+(* ------------------------------------------------------------------ *)
+(* Condvar *)
+
+let test_condvar_producer_consumer () =
+  let s = Scheduler.create () in
+  let m = Mutex.create () in
+  let cv = Condvar.create () in
+  let queue = Queue.create () in
+  let consumed = ref [] in
+  ignore
+    (Scheduler.spawn s ~name:"consumer" (fun () ->
+         for _ = 1 to 10 do
+           Mutex.lock s m;
+           while Queue.is_empty queue do
+             Condvar.wait s cv m
+           done;
+           consumed := Queue.pop queue :: !consumed;
+           Mutex.unlock s m
+         done));
+  ignore
+    (Scheduler.spawn s ~name:"producer" (fun () ->
+         for i = 1 to 10 do
+           Scheduler.charge s 50.0;
+           Mutex.lock s m;
+           Queue.push i queue;
+           Condvar.signal s cv;
+           Mutex.unlock s m;
+           Scheduler.poll s
+         done));
+  Alcotest.check outcome "completed" Scheduler.Completed (Scheduler.run s);
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    (List.rev !consumed)
+
+let test_condvar_broadcast () =
+  let s = Scheduler.create () in
+  let m = Mutex.create () in
+  let cv = Condvar.create () in
+  let go = ref false in
+  let woken = ref 0 in
+  for _ = 1 to 5 do
+    ignore
+      (Scheduler.spawn s (fun () ->
+           Mutex.lock s m;
+           while not !go do
+             Condvar.wait s cv m
+           done;
+           incr woken;
+           Mutex.unlock s m))
+  done;
+  ignore
+    (Scheduler.spawn s (fun () ->
+         Scheduler.charge s 500.0;
+         Mutex.lock s m;
+         go := true;
+         Condvar.broadcast s cv;
+         Mutex.unlock s m));
+  Alcotest.check outcome "completed" Scheduler.Completed (Scheduler.run s);
+  Alcotest.(check int) "all woken" 5 !woken
+
+let test_condvar_signal_no_waiter () =
+  let s = Scheduler.create () in
+  let cv = Condvar.create () in
+  ignore (Scheduler.spawn s (fun () -> Condvar.signal s cv));
+  Alcotest.check outcome "no-op" Scheduler.Completed (Scheduler.run s)
+
+(* ------------------------------------------------------------------ *)
+(* Barrier / sleep / deadlock *)
+
+let test_barrier_syncs_clocks () =
+  let s = Scheduler.create () in
+  let b = Barrier.create 3 in
+  let after = ref [] in
+  List.iter
+    (fun cost ->
+      ignore
+        (Scheduler.spawn s (fun () ->
+             Scheduler.charge s cost;
+             Scheduler.poll s;
+             Barrier.await s b;
+             after := Scheduler.now s :: !after)))
+    [ 100.0; 2000.0; 500.0 ];
+  ignore (Scheduler.run s);
+  List.iter
+    (fun t -> Alcotest.(check bool) "past slowest" true (t >= 2000.0))
+    !after
+
+let test_sleep_until_orders_timer () =
+  (* A timer thread sleeping to t=1000 must observe work done by a worker
+     before t=1000 and none of the work after. *)
+  let s = Scheduler.create () in
+  let progress = ref 0 in
+  let seen = ref (-1) in
+  ignore
+    (Scheduler.spawn s ~name:"worker" (fun () ->
+         for _ = 1 to 100 do
+           Scheduler.charge s 100.0;
+           incr progress;
+           Scheduler.poll s
+         done));
+  ignore
+    (Scheduler.spawn s ~name:"timer" (fun () ->
+         Scheduler.sleep_until s 1000.0;
+         seen := !progress));
+  ignore (Scheduler.run s);
+  (* ~10 units of 100ns work fit before t=1000. *)
+  Alcotest.(check bool) "timer saw partial progress" true
+    (!seen >= 9 && !seen <= 11)
+
+let test_deadlock_detection () =
+  let s = Scheduler.create () in
+  let a = Mutex.create ~name:"a" () in
+  let b = Mutex.create ~name:"b" () in
+  ignore
+    (Scheduler.spawn s (fun () ->
+         Mutex.lock s a;
+         Scheduler.charge s 100.0;
+         Scheduler.yield s;
+         Mutex.lock s b;
+         Mutex.unlock s b;
+         Mutex.unlock s a));
+  ignore
+    (Scheduler.spawn s (fun () ->
+         Mutex.lock s b;
+         Scheduler.charge s 100.0;
+         Scheduler.yield s;
+         Mutex.lock s a;
+         Mutex.unlock s a;
+         Mutex.unlock s b));
+  (match Scheduler.run s with
+  | exception Scheduler.Deadlock _ -> ()
+  | _ -> Alcotest.fail "expected deadlock")
+
+(* ------------------------------------------------------------------ *)
+(* Crash injection *)
+
+let test_crash_interrupts () =
+  let s = Scheduler.create () in
+  let steps = ref 0 in
+  ignore
+    (Scheduler.spawn s (fun () ->
+         for _ = 1 to 1000 do
+           Scheduler.charge s 100.0;
+           incr steps;
+           Scheduler.poll s
+         done));
+  Scheduler.set_crash_at s 5_000.0;
+  (match Scheduler.run s with
+  | Scheduler.Crash_interrupt t ->
+      Alcotest.(check (float 0.001)) "crash time" 5_000.0 t
+  | Scheduler.Completed -> Alcotest.fail "expected crash");
+  Alcotest.(check bool) "stopped near crash point" true
+    (!steps >= 49 && !steps <= 51)
+
+let test_crash_before_any_work () =
+  let s = Scheduler.create () in
+  ignore (Scheduler.spawn s (fun () -> Scheduler.charge s 10.0));
+  Scheduler.set_crash_at s 0.0;
+  match Scheduler.run s with
+  | Scheduler.Crash_interrupt _ -> ()
+  | Scheduler.Completed -> Alcotest.fail "expected crash"
+
+let test_completion_before_crash () =
+  let s = Scheduler.create () in
+  ignore (Scheduler.spawn s (fun () -> Scheduler.charge s 10.0));
+  Scheduler.set_crash_at s 1_000_000.0;
+  Alcotest.check outcome "completed first" Scheduler.Completed
+    (Scheduler.run s)
+
+let test_crash_holds_locks () =
+  (* A crash must not run unlock paths: the lock stays held afterwards. *)
+  let s = Scheduler.create () in
+  let m = Mutex.create () in
+  ignore
+    (Scheduler.spawn s (fun () ->
+         Mutex.with_lock s m (fun () ->
+             for _ = 1 to 100 do
+               Scheduler.charge s 100.0;
+               Scheduler.poll s
+             done)));
+  Scheduler.set_crash_at s 500.0;
+  (match Scheduler.run s with
+  | Scheduler.Crash_interrupt _ -> ()
+  | Scheduler.Completed -> Alcotest.fail "expected crash");
+  Alcotest.(check bool) "lock still held" true (Mutex.holder m <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Env integration *)
+
+let test_env_charges_thread () =
+  let mem = Simnvm.Memsys.create Simnvm.Memsys.default_config in
+  let s = Scheduler.create () in
+  let env = Env.make mem s in
+  let t_end = ref 0.0 in
+  ignore
+    (Scheduler.spawn s (fun () ->
+         Env.store env 100 7;
+         Alcotest.(check int) "value" 7 (Env.load env 100);
+         Env.pwb env 100;
+         Env.psync env;
+         Env.compute env 1000.0;
+         t_end := Scheduler.now s));
+  ignore (Scheduler.run s);
+  Alcotest.(check bool) "time charged" true (!t_end > 1000.0)
+
+let test_env_two_threads_parallel_time () =
+  (* Two independent threads doing the same work should finish at roughly
+     the same virtual instant (parallel execution), not double time. *)
+  let mem = Simnvm.Memsys.create Simnvm.Memsys.default_config in
+  let s = Scheduler.create () in
+  let env = Env.make mem s in
+  let ends = ref [] in
+  for i = 0 to 1 do
+    ignore
+      (Scheduler.spawn s (fun () ->
+           for j = 0 to 999 do
+             Env.store env ((i * 4096) + (j mod 512)) j
+           done;
+           ends := Scheduler.now s :: !ends))
+  done;
+  ignore (Scheduler.run s);
+  match !ends with
+  | [ a; b ] ->
+      let ratio = Float.max a b /. Float.min a b in
+      Alcotest.(check bool) "parallel, not serial" true (ratio < 1.5)
+  | _ -> Alcotest.fail "expected two threads"
+
+let () =
+  Alcotest.run "simsched"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "spawn and run" `Quick test_spawn_and_run;
+          Alcotest.test_case "charge advances clock" `Quick
+            test_charge_advances_clock;
+          Alcotest.test_case "min-clock dispatch order" `Quick
+            test_min_clock_order;
+          Alcotest.test_case "spawn inside thread" `Quick
+            test_spawn_inside_thread;
+          Alcotest.test_case "exception propagates" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "deterministic" `Quick test_determinism;
+        ] );
+      ( "mutex",
+        [
+          Alcotest.test_case "serialises critical sections" `Quick
+            test_mutex_serialises;
+          Alcotest.test_case "unlock by non-owner" `Quick
+            test_mutex_unlock_not_owner;
+          Alcotest.test_case "try_lock" `Quick test_mutex_try_lock;
+          Alcotest.test_case "with_lock releases on exn" `Quick
+            test_with_lock_releases_on_exn;
+          Alcotest.test_case "contention advances clock" `Quick
+            test_contended_lock_advances_clock;
+        ] );
+      ( "condvar",
+        [
+          Alcotest.test_case "producer/consumer" `Quick
+            test_condvar_producer_consumer;
+          Alcotest.test_case "broadcast" `Quick test_condvar_broadcast;
+          Alcotest.test_case "signal without waiter" `Quick
+            test_condvar_signal_no_waiter;
+        ] );
+      ( "coordination",
+        [
+          Alcotest.test_case "barrier syncs clocks" `Quick
+            test_barrier_syncs_clocks;
+          Alcotest.test_case "sleep_until orders timer" `Quick
+            test_sleep_until_orders_timer;
+          Alcotest.test_case "deadlock detection" `Quick
+            test_deadlock_detection;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "crash interrupts" `Quick test_crash_interrupts;
+          Alcotest.test_case "crash at t=0" `Quick test_crash_before_any_work;
+          Alcotest.test_case "completion before crash" `Quick
+            test_completion_before_crash;
+          Alcotest.test_case "crash holds locks" `Quick test_crash_holds_locks;
+        ] );
+      ( "env",
+        [
+          Alcotest.test_case "charges thread clock" `Quick
+            test_env_charges_thread;
+          Alcotest.test_case "parallel virtual time" `Quick
+            test_env_two_threads_parallel_time;
+        ] );
+    ]
