@@ -7,17 +7,43 @@
 
    Usage: main.exe [fig8] [fig9] [fig10] [fig11] [fig12] [fig13] [fig14]
                    [tab2] [tab3] [bechamel] [all] [--scale small|paper]
-   With no figure argument, everything runs at the small scale. *)
+                   [--json out.json]
+   With no figure argument, everything runs at the small scale.
+
+   With --json, every figX experiment additionally contributes its
+   structured results — per-point throughput, memory-event counters,
+   metric registry and span breakdown — to one results document written
+   when all selected experiments have run. The figures run once; the ASCII
+   table and the JSON are two views of the same points. *)
 
 open Harness
 
 let scale = ref Experiments.small
 let app_scale = ref App_experiments.small
 
+(* --json sink: experiments append structured results here (newest first);
+   the document is written after the selected experiments have run. *)
+let json_path : string option ref = ref None
+let json_acc : Obs.Json.t list ref = ref []
+let collect j = if !json_path <> None then json_acc := j :: !json_acc
+
+let scale_params () =
+  [
+    ("scale", Obs.Json.String !scale.Experiments.label);
+    ( "sweep_threads",
+      Obs.Json.List
+        (List.map (fun t -> Obs.Json.Int t) !scale.Experiments.sweep_threads)
+    );
+  ]
+
+let mops_cells pts =
+  List.map (fun pt -> Table.fmt_mops (Experiments.point_mops pt)) pts
+
 let thread_header s =
   "threads:" :: List.map string_of_int s.Experiments.sweep_threads
 
 let run_fig8 () =
+  let groups = Experiments.fig8_points ~scale:!scale () in
   List.iter
     (fun (update_pct, rows) ->
       Table.print
@@ -26,15 +52,61 @@ let run_fig8 () =
              "Figure 8: HashMap throughput (Mops/s), %d%% updates / %d%% \
               searches"
              update_pct (100 - update_pct))
-        ~header:(thread_header !scale) rows)
-    (Experiments.fig8 ~scale:!scale ())
+        ~header:(thread_header !scale)
+        (List.map (fun (name, pts) -> (name, mops_cells pts)) rows))
+    groups;
+  (* The throughput series (one per system x mix, indexed by the thread
+     sweep) summarise what the per-point objects carry in full. *)
+  let series =
+    Obs.Json.Obj
+      (List.concat_map
+         (fun (update_pct, rows) ->
+           List.map
+             (fun (name, pts) ->
+               ( Printf.sprintf "%s/upd%d" name update_pct,
+                 Obs.Json.List
+                   (List.map
+                      (fun pt -> Obs.Json.Float (Experiments.point_mops pt))
+                      pts) ))
+             rows)
+         groups)
+  in
+  collect
+    (Obs.Run.experiment "fig8" ~params:(scale_params ())
+       ~extra:[ ("throughput_series_mops", series) ]
+       (List.concat_map
+          (fun (_, rows) -> List.concat_map snd rows)
+          groups))
 
 let run_fig9 () =
+  let rows = Experiments.fig9_points ~scale:!scale () in
   Table.print ~title:"Figure 9: Queue throughput (Mops/s), 1:1 enq/deq"
     ~header:(thread_header !scale)
-    (Experiments.fig9 ~scale:!scale ())
+    (List.map (fun (name, pts) -> (name, mops_cells pts)) rows);
+  let series =
+    Obs.Json.Obj
+      (List.map
+         (fun (name, pts) ->
+           ( name,
+             Obs.Json.List
+               (List.map
+                  (fun pt -> Obs.Json.Float (Experiments.point_mops pt))
+                  pts) ))
+         rows)
+  in
+  collect
+    (Obs.Run.experiment "fig9" ~params:(scale_params ())
+       ~extra:[ ("throughput_series_mops", series) ]
+       (List.concat_map snd rows))
 
 let run_fig10 () =
+  let rows = Experiments.fig10_points ~scale:!scale () in
+  let base =
+    match rows with
+    | (_, cells) :: _ ->
+        List.map (fun (w, pt) -> (w, Experiments.point_mops pt)) cells
+    | [] -> []
+  in
   Table.print
     ~title:
       (Printf.sprintf
@@ -42,24 +114,83 @@ let run_fig10 () =
           to Transient<DRAM>)"
          !scale.Experiments.fig10_threads)
     ~header:[ "config:"; "Queue"; "HashMap-RI"; "HashMap-WI" ]
-    (Experiments.fig10 ~scale:!scale ())
+    (List.map
+       (fun (cname, cells) ->
+         ( cname,
+           List.map
+             (fun (wname, pt) ->
+               Table.fmt_ratio
+                 (Experiments.point_mops pt /. List.assoc wname base))
+             cells ))
+       rows);
+  collect
+    (Obs.Run.experiment "fig10" ~params:(scale_params ())
+       (List.concat_map
+          (fun (cname, cells) ->
+            List.map
+              (fun (wname, pt) ->
+                {
+                  pt with
+                  Obs.Run.label = Printf.sprintf "%s/%s" cname wname;
+                  params =
+                    pt.Obs.Run.params
+                    @ [
+                        ("config", Obs.Json.String cname);
+                        ("workload", Obs.Json.String wname);
+                      ];
+                })
+              cells)
+          rows))
 
 let run_fig11 () =
+  let base, sweep = Experiments.fig11_points ~scale:!scale () in
+  let base_mops = Experiments.point_mops base in
   Table.print
     ~title:
       "Figure 11: checkpoint-period sweep (HashMap write-intensive; \
        normalised throughput and measured effective period)"
     ~header:[ "period"; "norm. throughput"; "effective period" ]
-    (Experiments.fig11 ~scale:!scale ())
+    (List.map
+       (fun (period_ns, pt) ->
+         let eff = Experiments.point_eff pt in
+         ( Printf.sprintf "%.0f us" (period_ns /. 1e3),
+           [
+             Table.fmt_ratio (Experiments.point_mops pt /. base_mops);
+             (if Float.is_nan eff then "-"
+              else Printf.sprintf "%.0f us" (eff /. 1e3));
+           ] ))
+       sweep);
+  collect
+    (Obs.Run.experiment "fig11" ~params:(scale_params ())
+       ({ base with Obs.Run.label = "baseline/" ^ base.Obs.Run.label }
+       :: List.map
+            (fun (period_ns, pt) ->
+              {
+                pt with
+                Obs.Run.params =
+                  pt.Obs.Run.params
+                  @ [ ("period_ns", Obs.Json.Float period_ns) ];
+              })
+            sweep))
 
 let run_fig12 () =
+  let pts = Experiments.fig12_points ~scale:!scale () in
   Table.print
     ~title:
       (Printf.sprintf
          "Figure 12: recovery time vs HashMap size (%d recovery threads)"
          !scale.Experiments.recovery_threads)
     ~header:[ "buckets"; "recovery (ms)"; "registry entries"; "rolled back" ]
-    (Experiments.fig12 ~scale:!scale ())
+    (List.map
+       (fun pt ->
+         ( pt.Obs.Run.label,
+           [
+             Table.fmt_ms (Experiments.point_extra_float pt "duration_ns");
+             string_of_int (Experiments.point_extra_int pt "scanned");
+             string_of_int (Experiments.point_extra_int pt "rolled_back");
+           ] ))
+       pts);
+  collect (Obs.Run.experiment "fig12" ~params:(scale_params ()) pts)
 
 let run_fig13 () =
   Table.print
@@ -210,11 +341,15 @@ let () =
            | "paper" -> App_experiments.paper
            | _ -> App_experiments.small);
         parse sel rest
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse sel rest
     | "all" :: rest -> parse (List.rev_map fst all_experiments @ sel) rest
     | name :: rest when List.mem_assoc name all_experiments ->
         parse (name :: sel) rest
     | name :: _ ->
-        Printf.eprintf "unknown experiment %S; known: %s all --scale\n" name
+        Printf.eprintf
+          "unknown experiment %S; known: %s all --scale --json\n" name
           (String.concat " " (List.map fst all_experiments));
         exit 2
   in
@@ -222,6 +357,14 @@ let () =
   let selected =
     if selected = [] then List.map fst all_experiments else selected
   in
+  (* Fail on an unwritable sink now, not after minutes of experiments. *)
+  (match !json_path with
+  | None -> ()
+  | Some path -> (
+      try close_out (open_out path)
+      with Sys_error msg ->
+        Printf.eprintf "cannot write --json sink: %s\n" msg;
+        exit 2));
   Printf.printf
     "ResPCT evaluation harness — scale=%s (virtual-time results; see \
      EXPERIMENTS.md)\n"
@@ -232,4 +375,12 @@ let () =
       (List.assoc name all_experiments) ();
       Printf.printf "[%s done in %.1fs wall]\n%!" name
         (Unix.gettimeofday () -. t0))
-    selected
+    selected;
+  match !json_path with
+  | None -> ()
+  | Some path ->
+      Obs.Json.to_file path
+        (Obs.Run.document
+           ~meta:[ ("scale", Obs.Json.String !scale.Experiments.label) ]
+           (List.rev !json_acc));
+      Printf.printf "[structured results written to %s]\n%!" path

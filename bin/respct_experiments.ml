@@ -47,31 +47,68 @@ let update_arg =
     value & opt int 50
     & info [ "update" ] ~doc:"Update percentage of the map mix (rest search).")
 
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Also write the point's structured results (throughput, \
+           memory-event counters, span breakdown) to $(docv).")
+
+let write_point_json path name pt =
+  (try Obs.Json.to_file path (Obs.Run.document [ Obs.Run.experiment name [ pt ] ])
+   with Sys_error msg ->
+     Printf.eprintf "cannot write --json sink: %s\n" msg;
+     exit 2);
+  Printf.printf "[structured results written to %s]\n" path
+
 let map_cmd =
-  let run scale threads system update_pct =
-    let r, rt = Experiments.map_point ~update_pct scale system ~threads in
-    Printf.printf "%s HashMap %d threads %d%% updates: %.2f Mops/s (%d ops)\n"
-      (Systems.name_of system) threads update_pct r.Workload.mops
-      r.Workload.total_ops;
-    Option.iter
-      (fun rt ->
-        let s = Respct.Runtime.stats rt in
-        Printf.printf "checkpoints=%d flushed=%d addrs effective-period=%.0fus\n"
-          s.Respct.Runtime.checkpoints s.Respct.Runtime.flushed_addrs
-          (Respct.Runtime.mean_effective_period rt /. 1e3))
-      rt
+  let run scale threads system update_pct json =
+    match json with
+    | None ->
+        let r, rt = Experiments.map_point ~update_pct scale system ~threads in
+        Printf.printf
+          "%s HashMap %d threads %d%% updates: %.2f Mops/s (%d ops)\n"
+          (Systems.name_of system) threads update_pct r.Workload.mops
+          r.Workload.total_ops;
+        Option.iter
+          (fun rt ->
+            let s = Respct.Runtime.stats rt in
+            Printf.printf
+              "checkpoints=%d flushed=%d addrs effective-period=%.0fus\n"
+              s.Respct.Runtime.checkpoints s.Respct.Runtime.flushed_addrs
+              (Respct.Runtime.mean_effective_period rt /. 1e3))
+          rt
+    | Some path ->
+        let pt =
+          Experiments.map_point_obs ~update_pct scale system ~threads
+        in
+        Printf.printf "%s HashMap %d threads %d%% updates: %.2f Mops/s\n"
+          (Systems.name_of system) threads update_pct
+          (Experiments.point_mops pt);
+        write_point_json path "map" pt
   in
   Cmd.v (Cmd.info "map" ~doc:"One HashMap data point (Figure 8 style).")
-    Term.(const run $ scale_arg $ threads_arg $ system_arg $ update_arg)
+    Term.(const run $ scale_arg $ threads_arg $ system_arg $ update_arg
+          $ json_arg)
 
 let queue_cmd =
-  let run scale threads system =
-    let r, _ = Experiments.queue_point scale system ~threads in
-    Printf.printf "%s Queue %d threads: %.2f Mops/s (%d ops)\n"
-      (Systems.name_of system) threads r.Workload.mops r.Workload.total_ops
+  let run scale threads system json =
+    match json with
+    | None ->
+        let r, _ = Experiments.queue_point scale system ~threads in
+        Printf.printf "%s Queue %d threads: %.2f Mops/s (%d ops)\n"
+          (Systems.name_of system) threads r.Workload.mops r.Workload.total_ops
+    | Some path ->
+        let pt = Experiments.queue_point_obs scale system ~threads in
+        Printf.printf "%s Queue %d threads: %.2f Mops/s\n"
+          (Systems.name_of system) threads
+          (Experiments.point_mops pt);
+        write_point_json path "queue" pt
   in
   Cmd.v (Cmd.info "queue" ~doc:"One Queue data point (Figure 9 style).")
-    Term.(const run $ scale_arg $ threads_arg $ system_arg)
+    Term.(const run $ scale_arg $ threads_arg $ system_arg $ json_arg)
 
 let recover_cmd =
   let buckets_arg =

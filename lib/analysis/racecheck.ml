@@ -3,9 +3,15 @@
    ResPCT assumes race-free lock-based programs (paper section 2.1): two
    conflicting accesses to the same variable must be ordered by
    happens-before edges induced by lock release/acquire pairs. This checker
-   validates that assumption for recorded traces: it implements the
-   standard vector-clock algorithm (FastTrack-style, unoptimised) over an
-   event list of reads, writes, acquires and releases. *)
+   validates that assumption: it implements the standard vector-clock
+   algorithm (FastTrack-style, unoptimised) over reads, writes, acquires
+   and releases.
+
+   The checker is streaming: [create] makes an empty state, [push] feeds
+   one event, [races] reads the verdicts so far. That shape lets it sit
+   directly on a trace bus as a subscriber, consuming events as the
+   simulation produces them, with the batch [check] kept as a wrapper for
+   recorded event lists. *)
 
 type event =
   | Racq of { thread : int; lock : int }
@@ -37,72 +43,92 @@ type shadow = {
   mutable last_reads : (int * int) list;
 }
 
+type t = {
+  threads : (int, Vc.t) Hashtbl.t;
+  locks : (int, Vc.t) Hashtbl.t;
+  vars : (int, shadow) Hashtbl.t;
+  mutable found : race list; (* newest first *)
+  mutable n_races : int;
+}
+
+let create () =
+  {
+    threads = Hashtbl.create 8;
+    locks = Hashtbl.create 8;
+    vars = Hashtbl.create 64;
+    found = [];
+    n_races = 0;
+  }
+
+let vc_of t thread =
+  match Hashtbl.find_opt t.threads thread with
+  | Some vc -> vc
+  | None ->
+      let vc = Vc.create () in
+      Vc.set vc thread 1;
+      Hashtbl.add t.threads thread vc;
+      vc
+
+let shadow_of t addr =
+  match Hashtbl.find_opt t.vars addr with
+  | Some s -> s
+  | None ->
+      let s = { last_writes = []; last_reads = [] } in
+      Hashtbl.add t.vars addr s;
+      s
+
+(* event (thread, clock) happens-before the state vc *)
+let happens_before (thread, clock) vc = clock <= Vc.get vc thread
+
+let report t addr first second =
+  t.found <- { addr; first_thread = first; second_thread = second } :: t.found;
+  t.n_races <- t.n_races + 1
+
+let push t ev =
+  match ev with
+  | Racq { thread; lock } -> (
+      let vc = vc_of t thread in
+      match Hashtbl.find_opt t.locks lock with
+      | Some lvc -> Vc.join vc lvc
+      | None -> ())
+  | Rrel { thread; lock } ->
+      let vc = vc_of t thread in
+      Hashtbl.replace t.locks lock (Vc.copy vc);
+      Vc.set vc thread (Vc.get vc thread + 1)
+  | Rread { thread; addr } ->
+      let vc = vc_of t thread in
+      let s = shadow_of t addr in
+      List.iter
+        (fun (w, c) ->
+          if w <> thread && not (happens_before (w, c) vc) then
+            report t addr w thread)
+        s.last_writes;
+      s.last_reads <-
+        (thread, Vc.get vc thread)
+        :: List.filter (fun (th, _) -> th <> thread) s.last_reads
+  | Rwrite { thread; addr } ->
+      let vc = vc_of t thread in
+      let s = shadow_of t addr in
+      List.iter
+        (fun (w, c) ->
+          if w <> thread && not (happens_before (w, c) vc) then
+            report t addr w thread)
+        s.last_writes;
+      List.iter
+        (fun (r, c) ->
+          if r <> thread && not (happens_before (r, c) vc) then
+            report t addr r thread)
+        s.last_reads;
+      s.last_writes <- [ (thread, Vc.get vc thread) ];
+      s.last_reads <- []
+
+let races t = List.rev t.found
+let race_count t = t.n_races
+
 let check events =
-  let threads : (int, Vc.t) Hashtbl.t = Hashtbl.create 8 in
-  let locks : (int, Vc.t) Hashtbl.t = Hashtbl.create 8 in
-  let vars : (int, shadow) Hashtbl.t = Hashtbl.create 64 in
-  let races = ref [] in
-  let vc_of thread =
-    match Hashtbl.find_opt threads thread with
-    | Some vc -> vc
-    | None ->
-        let vc = Vc.create () in
-        Vc.set vc thread 1;
-        Hashtbl.add threads thread vc;
-        vc
-  in
-  let shadow_of addr =
-    match Hashtbl.find_opt vars addr with
-    | Some s -> s
-    | None ->
-        let s = { last_writes = []; last_reads = [] } in
-        Hashtbl.add vars addr s;
-        s
-  in
-  let happens_before (thread, clock) vc =
-    (* event (thread, clock) happens-before the state vc *)
-    clock <= Vc.get vc thread
-  in
-  List.iter
-    (fun ev ->
-      match ev with
-      | Racq { thread; lock } -> (
-          let vc = vc_of thread in
-          match Hashtbl.find_opt locks lock with
-          | Some lvc -> Vc.join vc lvc
-          | None -> ())
-      | Rrel { thread; lock } ->
-          let vc = vc_of thread in
-          Hashtbl.replace locks lock (Vc.copy vc);
-          Vc.set vc thread (Vc.get vc thread + 1)
-      | Rread { thread; addr } ->
-          let vc = vc_of thread in
-          let s = shadow_of addr in
-          List.iter
-            (fun (w, c) ->
-              if w <> thread && not (happens_before (w, c) vc) then
-                races := { addr; first_thread = w; second_thread = thread } :: !races)
-            s.last_writes;
-          s.last_reads <-
-            (thread, Vc.get vc thread)
-            :: List.filter (fun (th, _) -> th <> thread) s.last_reads
-      | Rwrite { thread; addr } ->
-          let vc = vc_of thread in
-          let s = shadow_of addr in
-          List.iter
-            (fun (w, c) ->
-              if w <> thread && not (happens_before (w, c) vc) then
-                races := { addr; first_thread = w; second_thread = thread } :: !races)
-            s.last_writes;
-          List.iter
-            (fun (r, c) ->
-              if r <> thread && not (happens_before (r, c) vc) then
-                races := { addr; first_thread = r; second_thread = thread } :: !races)
-            s.last_reads;
-          s.last_writes <- [ (thread, Vc.get vc thread) ];
-          s.last_reads <- [])
-    events;
-  List.rev !races
+  let t = create () in
+  List.iter (push t) events;
+  races t
 
 let race_free events = check events = []
 

@@ -14,6 +14,23 @@ type event =
 
 type race = { addr : int; first_thread : int; second_thread : int }
 
+(** {2 Streaming interface} — the shape a trace-bus subscriber needs *)
+
+type t
+(** Checker state accumulating happens-before knowledge event by event. *)
+
+val create : unit -> t
+
+val push : t -> event -> unit
+(** Feed one event in trace order. *)
+
+val races : t -> race list
+(** Races detected so far, in trace order. *)
+
+val race_count : t -> int
+
+(** {2 Batch interface over recorded traces} *)
+
 val check : event list -> race list
 (** All conflicting, unordered access pairs, in trace order. *)
 

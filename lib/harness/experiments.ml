@@ -136,49 +136,163 @@ let queue_point ?params (s : scale) kind ~threads =
   (r, rt)
 
 (* ------------------------------------------------------------------ *)
+(* Instrumented points: the same worlds as [map_point]/[queue_point], with
+   the observability probes attached — a Memobs counter registry on the
+   memory-event pipeline (reset at the measurement-window start, so like
+   Stats it covers the window only), span profiling on the ResPCT runtime,
+   and the checkpoint statistics — all bundled into an [Obs.Run.point].
+   Probes are pure observation: the virtual-time results are bit-identical
+   to the uninstrumented points. *)
+
+let checkpoint_extra rt =
+  match rt with
+  | None -> []
+  | Some rt ->
+      let cs = Respct.Runtime.stats rt in
+      let eff = Respct.Runtime.mean_effective_period rt in
+      [
+        ("checkpoints", Obs.Json.Int cs.Respct.Runtime.checkpoints);
+        ("flushed_addrs", Obs.Json.Int cs.Respct.Runtime.flushed_addrs);
+        ("flush_ns", Obs.Json.Float cs.Respct.Runtime.flush_ns);
+        ( "effective_period_ns",
+          if Float.is_nan eff then Obs.Json.Null else Obs.Json.Float eff );
+      ]
+
+let workload_extra (r : Workload.result) =
+  [
+    ("total_ops", Obs.Json.Int r.Workload.total_ops);
+    ("elapsed_ns", Obs.Json.Float r.Workload.elapsed_ns);
+  ]
+
+let instrument env rt =
+  let mem = Simsched.Env.mem env in
+  let registry = Obs.Metrics.create () in
+  let _probe, _sub = Obs.Memobs.attach registry mem in
+  let spans = Obs.Span.create () in
+  Option.iter (fun rt -> Respct.Runtime.set_spans rt spans) rt;
+  (registry, spans, fun () -> Obs.Metrics.reset registry)
+
+let map_point_obs ?(update_pct = 50) ?params (s : scale) kind ~threads =
+  let p =
+    match params with Some p -> p | None -> params_for s ~threads ~kind
+  in
+  let sched, env, rt, build = Systems.map_system p kind in
+  let registry, spans, reset = instrument env rt in
+  let wl =
+    {
+      Workload.nthreads = threads;
+      duration_ns = s.duration_ns;
+      key_space = 2 * s.buckets;
+      update_pct;
+      prefill = s.map_prefill;
+      seed = p.Systems.seed;
+    }
+  in
+  let r =
+    Workload.run_map ~mem:(Simsched.Env.mem env) ~on_window:reset ~sched
+      ~params:wl ~build ()
+  in
+  Obs.Run.point
+    ~params:
+      [
+        ("system", Obs.Json.String (Systems.name_of kind));
+        ("threads", Obs.Json.Int threads);
+        ("update_pct", Obs.Json.Int update_pct);
+      ]
+    ~throughput_mops:r.Workload.mops
+    ~stats:(Simnvm.Memsys.stats (Simsched.Env.mem env))
+    ~metrics:registry ~spans
+    ~extra:(workload_extra r @ checkpoint_extra rt)
+    (Systems.name_of kind)
+
+let queue_point_obs ?params (s : scale) kind ~threads =
+  let p =
+    match params with Some p -> p | None -> params_for s ~threads ~kind
+  in
+  let sched, env, rt, build = Systems.queue_system p kind in
+  let registry, spans, reset = instrument env rt in
+  let wl =
+    {
+      Workload.q_nthreads = threads;
+      q_duration_ns = s.duration_ns;
+      q_prefill = s.queue_prefill;
+      q_seed = p.Systems.seed;
+    }
+  in
+  let r =
+    Workload.run_queue ~mem:(Simsched.Env.mem env) ~on_window:reset ~sched
+      ~params:wl ~build ()
+  in
+  Obs.Run.point
+    ~params:
+      [
+        ("system", Obs.Json.String (Systems.name_of kind));
+        ("threads", Obs.Json.Int threads);
+      ]
+    ~throughput_mops:r.Workload.mops
+    ~stats:(Simnvm.Memsys.stats (Simsched.Env.mem env))
+    ~metrics:registry ~spans
+    ~extra:(workload_extra r @ checkpoint_extra rt)
+    (Systems.name_of kind)
+
+let point_mops (pt : Obs.Run.point) =
+  match pt.Obs.Run.throughput_mops with Some x -> x | None -> nan
+
+(* ------------------------------------------------------------------ *)
 (* Figure 8: HashMap throughput vs threads, three update/search mixes. *)
+
+(* Structured form: per update ratio, per system, one instrumented point
+   per thread count. The ASCII table and the JSON export both read off
+   these points. [update_pcts]/[kinds]/[threads] narrow the sweep (the
+   determinism regression test runs a single cell). *)
+let fig8_points ?(scale = small) ?(update_pcts = [ 10; 50; 90 ])
+    ?(kinds = Systems.map_kinds) ?threads () =
+  let sweep = Option.value ~default:scale.sweep_threads threads in
+  List.map
+    (fun update_pct ->
+      ( update_pct,
+        List.map
+          (fun kind ->
+            ( Systems.name_of kind,
+              List.map
+                (fun threads -> map_point_obs ~update_pct scale kind ~threads)
+                sweep ))
+          kinds ))
+    update_pcts
 
 let fig8 ?(scale = small) () =
   List.map
-    (fun update_pct ->
-      let rows =
+    (fun (update_pct, rows) ->
+      ( update_pct,
         List.map
-          (fun kind ->
-            let cells =
-              List.map
-                (fun threads ->
-                  let r, _ = map_point ~update_pct scale kind ~threads in
-                  Table.fmt_mops r.Workload.mops)
-                scale.sweep_threads
-            in
-            (Systems.name_of kind, cells))
-          Systems.map_kinds
-      in
-      (update_pct, rows))
-    [ 10; 50; 90 ]
+          (fun (name, pts) ->
+            (name, List.map (fun pt -> Table.fmt_mops (point_mops pt)) pts))
+          rows ))
+    (fig8_points ~scale ())
 
 (* ------------------------------------------------------------------ *)
 (* Figure 9: Queue throughput vs threads, 1:1 enqueue/dequeue. *)
 
-let fig9 ?(scale = small) () =
+let fig9_points ?(scale = small) ?(kinds = Systems.queue_kinds) ?threads () =
+  let sweep = Option.value ~default:scale.sweep_threads threads in
   List.map
     (fun kind ->
-      let cells =
-        List.map
-          (fun threads ->
-            let r, _ = queue_point scale kind ~threads in
-            Table.fmt_mops r.Workload.mops)
-          scale.sweep_threads
-      in
-      (Systems.name_of kind, cells))
-    Systems.queue_kinds
+      ( Systems.name_of kind,
+        List.map (fun threads -> queue_point_obs scale kind ~threads) sweep ))
+    kinds
+
+let fig9 ?(scale = small) () =
+  List.map
+    (fun (name, pts) ->
+      (name, List.map (fun pt -> Table.fmt_mops (point_mops pt)) pts))
+    (fig9_points ~scale ())
 
 (* ------------------------------------------------------------------ *)
 (* Figure 10: overhead decomposition at full thread count. Rows are the
    configurations, columns the three workloads, values normalised to
    Transient<DRAM>. *)
 
-let fig10 ?(scale = small) () =
+let fig10_points ?(scale = small) () =
   let threads = scale.fig10_threads in
   let workloads =
     [ ("Queue", `Queue); ("HashMap-RI", `Map 10); ("HashMap-WI", `Map 90) ]
@@ -186,10 +300,9 @@ let fig10 ?(scale = small) () =
   let run kind ~mode w =
     let p = { (params_for scale ~threads ~kind) with Systems.mode } in
     match w with
-    | `Queue -> (fst (queue_point ~params:p scale kind ~threads)).Workload.mops
+    | `Queue -> queue_point_obs ~params:p scale kind ~threads
     | `Map update_pct ->
-        (fst (map_point ~update_pct ~params:p scale kind ~threads))
-          .Workload.mops
+        map_point_obs ~update_pct ~params:p scale kind ~threads
   in
   let configs =
     [
@@ -200,58 +313,82 @@ let fig10 ?(scale = small) () =
       ("ResPCT", Systems.Respct, Respct.Runtime.Full);
     ]
   in
-  let base =
-    List.map (fun (wname, w) -> (wname, run Systems.Transient_dram ~mode:Respct.Runtime.Full w)) workloads
-  in
   List.map
     (fun (cname, kind, mode) ->
-      let cells =
-        List.map
-          (fun (wname, w) ->
-            let v = run kind ~mode w in
-            let b = List.assoc wname base in
-            Table.fmt_ratio (v /. b))
-          workloads
-      in
-      (cname, cells))
+      ( cname,
+        List.map (fun (wname, w) -> (wname, run kind ~mode w)) workloads ))
     configs
+
+let fig10 ?(scale = small) () =
+  let rows = fig10_points ~scale () in
+  (* The first config is the Transient<DRAM> baseline everything else is
+     normalised to. *)
+  let base =
+    match rows with
+    | (_, cells) :: _ -> List.map (fun (w, pt) -> (w, point_mops pt)) cells
+    | [] -> []
+  in
+  List.map
+    (fun (cname, cells) ->
+      ( cname,
+        List.map
+          (fun (wname, pt) ->
+            Table.fmt_ratio (point_mops pt /. List.assoc wname base))
+          cells ))
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* Figure 11: checkpoint-period sweep (write-intensive HashMap, full
    thread count): normalised throughput and measured effective period. *)
 
-let fig11 ?(scale = small) () =
+let point_eff (pt : Obs.Run.point) =
+  match List.assoc_opt "effective_period_ns" pt.Obs.Run.extra with
+  | Some (Obs.Json.Float f) -> f
+  | _ -> nan
+
+(* Structured form: the Transient<DRAM> baseline point plus one ResPCT
+   point per configured period (its extras carry the measured effective
+   period). *)
+let fig11_points ?(scale = small) () =
   let threads = scale.fig10_threads in
   let base =
-    (fst (map_point ~update_pct:90 scale Systems.Transient_dram ~threads))
-      .Workload.mops
+    map_point_obs ~update_pct:90 scale Systems.Transient_dram ~threads
   in
+  let sweep =
+    List.map
+      (fun period_ns ->
+        let p =
+          {
+            (params_for scale ~threads ~kind:Systems.Respct) with
+            Systems.period_ns;
+          }
+        in
+        ( period_ns,
+          map_point_obs ~update_pct:90 ~params:p scale Systems.Respct ~threads
+        ))
+      scale.fig11_periods_ns
+  in
+  (base, sweep)
+
+let fig11 ?(scale = small) () =
+  let base, sweep = fig11_points ~scale () in
+  let base_mops = point_mops base in
   List.map
-    (fun period_ns ->
-      let p =
-        {
-          (params_for scale ~threads ~kind:Systems.Respct) with
-          Systems.period_ns;
-        }
-      in
-      let r, rt = map_point ~update_pct:90 ~params:p scale Systems.Respct ~threads in
-      let eff =
-        match rt with
-        | Some rt -> Respct.Runtime.mean_effective_period rt
-        | None -> nan
-      in
+    (fun (period_ns, pt) ->
+      let eff = point_eff pt in
       ( Printf.sprintf "%.0f us" (period_ns /. 1e3),
         [
-          Table.fmt_ratio (r.Workload.mops /. base);
-          (if Float.is_nan eff then "-" else Printf.sprintf "%.0f us" (eff /. 1e3));
+          Table.fmt_ratio (point_mops pt /. base_mops);
+          (if Float.is_nan eff then "-"
+           else Printf.sprintf "%.0f us" (eff /. 1e3));
         ] ))
-    scale.fig11_periods_ns
+    sweep
 
 (* ------------------------------------------------------------------ *)
 (* Figure 12: recovery time vs HashMap size. A write-intensive run is
    crashed mid-epoch; recovery runs with the configured thread count. *)
 
-let fig12 ?(scale = small) () =
+let fig12_points ?(scale = small) () =
   List.map
     (fun buckets ->
       let s = { scale with buckets; map_prefill = buckets * 2 } in
@@ -285,11 +422,46 @@ let fig12 ?(scale = small) () =
           ~nvm_words:p.Systems.nvm_words ~max_threads:p.Systems.max_threads
           ~registry_per_slot:p.Systems.registry_per_slot
       in
-      let rep = Respct.Recovery.run ~threads:scale.recovery_threads ~layout mem in
-      ( Printf.sprintf "%d" buckets,
-        [
-          Table.fmt_ms rep.Respct.Recovery.duration_ns;
-          string_of_int rep.Respct.Recovery.scanned;
-          string_of_int (List.length rep.Respct.Recovery.rolled_back);
-        ] ))
+      let spans = Obs.Span.create () in
+      let rep =
+        Respct.Recovery.run ~threads:scale.recovery_threads ~layout ~spans mem
+      in
+      Obs.Run.point
+        ~params:
+          [
+            ("buckets", Obs.Json.Int buckets);
+            ("recovery_threads", Obs.Json.Int scale.recovery_threads);
+          ]
+        ~spans
+        ~extra:
+          [
+            ("duration_ns", Obs.Json.Float rep.Respct.Recovery.duration_ns);
+            ("scanned", Obs.Json.Int rep.Respct.Recovery.scanned);
+            ( "rolled_back",
+              Obs.Json.Int (List.length rep.Respct.Recovery.rolled_back) );
+            ("failed_epoch", Obs.Json.Int rep.Respct.Recovery.failed_epoch);
+          ]
+        (string_of_int buckets))
     scale.fig12_buckets
+
+let point_extra_float pt key =
+  match List.assoc_opt key pt.Obs.Run.extra with
+  | Some (Obs.Json.Float f) -> f
+  | Some (Obs.Json.Int i) -> float_of_int i
+  | _ -> nan
+
+let point_extra_int pt key =
+  match List.assoc_opt key pt.Obs.Run.extra with
+  | Some (Obs.Json.Int i) -> i
+  | _ -> 0
+
+let fig12 ?(scale = small) () =
+  List.map
+    (fun pt ->
+      ( pt.Obs.Run.label,
+        [
+          Table.fmt_ms (point_extra_float pt "duration_ns");
+          string_of_int (point_extra_int pt "scanned");
+          string_of_int (point_extra_int pt "rolled_back");
+        ] ))
+    (fig12_points ~scale ())

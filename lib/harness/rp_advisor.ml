@@ -44,7 +44,7 @@ let analyse ?(addr_filter = fun (_ : int) -> true) events =
         Hashtbl.add store tid t;
         t
   in
-  let race_events = ref [] in
+  let checker = Analysis.Racecheck.create () in
   List.iter
     (fun ev ->
       match ev with
@@ -52,22 +52,31 @@ let analyse ?(addr_filter = fun (_ : int) -> true) events =
           let ws = tbl_of writes_in_segment tid in
           if not (Hashtbl.mem ws addr) then
             Hashtbl.replace (tbl_of reads_in_segment tid) addr ();
-          race_events := Analysis.Racecheck.Rread { thread = tid; addr } :: !race_events
+          Analysis.Racecheck.push checker
+            (Analysis.Racecheck.Rread { thread = tid; addr })
       | Simsched.Trace.Store { tid; addr } when addr_filter addr ->
           Hashtbl.replace written addr ();
           if Hashtbl.mem (tbl_of reads_in_segment tid) addr then
             Hashtbl.replace war addr ();
           Hashtbl.replace (tbl_of writes_in_segment tid) addr ();
-          race_events := Analysis.Racecheck.Rwrite { thread = tid; addr } :: !race_events
+          Analysis.Racecheck.push checker
+            (Analysis.Racecheck.Rwrite { thread = tid; addr })
       | Simsched.Trace.Acquire { tid; lock } ->
-          race_events := Analysis.Racecheck.Racq { thread = tid; lock } :: !race_events
+          Analysis.Racecheck.push checker
+            (Analysis.Racecheck.Racq { thread = tid; lock })
       | Simsched.Trace.Release { tid; lock } ->
-          race_events := Analysis.Racecheck.Rrel { thread = tid; lock } :: !race_events
+          Analysis.Racecheck.push checker
+            (Analysis.Racecheck.Rrel { thread = tid; lock })
       | Simsched.Trace.Restart_point { tid; id = _ } ->
           incr segments;
           Hashtbl.remove reads_in_segment tid;
           Hashtbl.remove writes_in_segment tid
-      | Simsched.Trace.Load _ | Simsched.Trace.Store _ -> ())
+      (* An Rmw marker follows the load/store pair Env already emitted for
+         the atomic op, so the access itself is accounted above; persistence
+         instructions and compute charges carry no WAR information. *)
+      | Simsched.Trace.Load _ | Simsched.Trace.Store _
+      | Simsched.Trace.Rmw _ | Simsched.Trace.Pwb _
+      | Simsched.Trace.Psync _ | Simsched.Trace.Compute _ -> ())
     events;
   let needs_logging =
     Hashtbl.fold (fun a () acc -> a :: acc) war [] |> List.sort compare
@@ -81,6 +90,37 @@ let analyse ?(addr_filter = fun (_ : int) -> true) events =
   {
     needs_logging;
     write_only;
-    races = Analysis.Racecheck.check (List.rev !race_events);
+    races = Analysis.Racecheck.races checker;
     segments = !segments;
   }
+
+(* Subscriber-style capture: attach a recorder to the world's trace bus,
+   run the workload, analyse what was seen. The advisor is just one more
+   pipeline consumer; other subscribers on the same bus are unaffected. *)
+let capture ?addr_filter bus f =
+  let v, events = Simsched.Trace.record bus f in
+  (v, analyse ?addr_filter events)
+
+(* Attach the streaming vector-clock checker directly to a trace bus: races
+   are detected as the simulation produces events, with nothing recorded.
+   Returns the live checker and the subscription for detaching. *)
+let race_checker_on ?(addr_filter = fun (_ : int) -> true) bus =
+  let checker = Analysis.Racecheck.create () in
+  let sub =
+    Simsched.Trace.subscribe bus (fun ev ->
+        match ev with
+        | Simsched.Trace.Load { tid; addr } when addr_filter addr ->
+            Analysis.Racecheck.push checker
+              (Analysis.Racecheck.Rread { thread = tid; addr })
+        | Simsched.Trace.Store { tid; addr } when addr_filter addr ->
+            Analysis.Racecheck.push checker
+              (Analysis.Racecheck.Rwrite { thread = tid; addr })
+        | Simsched.Trace.Acquire { tid; lock } ->
+            Analysis.Racecheck.push checker
+              (Analysis.Racecheck.Racq { thread = tid; lock })
+        | Simsched.Trace.Release { tid; lock } ->
+            Analysis.Racecheck.push checker
+              (Analysis.Racecheck.Rrel { thread = tid; lock })
+        | _ -> ())
+  in
+  (checker, sub)

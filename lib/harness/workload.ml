@@ -35,8 +35,8 @@ let prefill_key i key_space = (i * 2654435761) land max_int mod key_space
    the structure; the workers then prefill their shares in parallel, meet at
    a barrier, and each runs operations for [duration_ns] of virtual time
    (the paper's methodology: fixed duration, count completed operations). *)
-let drive ?mem ~sched ~nthreads ~seed ~setup ~prefill_total ~prefill_op
-    ~duration_ns ~run_op () =
+let drive ?mem ?(on_window = fun () -> ()) ~sched ~nthreads ~seed ~setup
+    ~prefill_total ~prefill_op ~duration_ns ~run_op () =
   let ready = Simsched.Barrier.create ~name:"ready" (nthreads + 1) in
   let start = Simsched.Barrier.create ~name:"start" nthreads in
   let remaining = ref nthreads in
@@ -70,11 +70,15 @@ let drive ?mem ~sched ~nthreads ~seed ~setup ~prefill_total ~prefill_op
            (!sys).Pds.Ops.sys_allow ~slot;
            Simsched.Barrier.await sched start;
            (!sys).Pds.Ops.sys_prevent ~slot;
-           (* Memory statistics cover the measured window only. *)
-           if slot = 0 then
+           (* Memory statistics cover the measured window only; [on_window]
+              lets callers reset their own probes (metric registries) at the
+              same instant. *)
+           if slot = 0 then begin
              Option.iter
                (fun m -> Simnvm.Stats.reset (Simnvm.Memsys.stats m))
                mem;
+             on_window ()
+           end;
            let rng = Simnvm.Rng.create ((seed * 8191) + w) in
            starts.(w) <- Simsched.Scheduler.now sched;
            let deadline = starts.(w) +. duration_ns in
@@ -108,7 +112,7 @@ let drive ?mem ~sched ~nthreads ~seed ~setup ~prefill_total ~prefill_op
 (* Map workload: [build] runs inside the setup thread and returns the ops
    record plus the system hooks. Update operations are half inserts, half
    removes (paper section 5.1). *)
-let run_map ?mem ~sched ~(params : map_params) ~build () =
+let run_map ?mem ?on_window ~sched ~(params : map_params) ~build () =
   let ops = ref None in
   let setup () =
     let o, sys = build () in
@@ -133,12 +137,12 @@ let run_map ?mem ~sched ~(params : map_params) ~build () =
     else ignore (o.Pds.Ops.search ~slot ~key);
     o.Pds.Ops.map_rp ~slot ~id:1
   in
-  drive ?mem ~sched ~nthreads:params.nthreads ~seed:params.seed ~setup
-    ~prefill_total:params.prefill ~prefill_op
+  drive ?mem ?on_window ~sched ~nthreads:params.nthreads ~seed:params.seed
+    ~setup ~prefill_total:params.prefill ~prefill_op
     ~duration_ns:params.duration_ns ~run_op ()
 
 (* Queue workload: 1:1 enqueue/dequeue mix (paper Figure 9). *)
-let run_queue ?mem ~sched ~(params : queue_params) ~build () =
+let run_queue ?mem ?on_window ~sched ~(params : queue_params) ~build () =
   let ops = ref None in
   let setup () =
     let o, sys = build () in
@@ -156,6 +160,6 @@ let run_queue ?mem ~sched ~(params : queue_params) ~build () =
     else ignore (o.Pds.Ops.dequeue ~slot);
     o.Pds.Ops.queue_rp ~slot ~id:1
   in
-  drive ?mem ~sched ~nthreads:params.q_nthreads ~seed:params.q_seed ~setup
-    ~prefill_total:params.q_prefill ~prefill_op
+  drive ?mem ?on_window ~sched ~nthreads:params.q_nthreads ~seed:params.q_seed
+    ~setup ~prefill_total:params.q_prefill ~prefill_op
     ~duration_ns:params.q_duration_ns ~run_op ()

@@ -36,7 +36,7 @@ let rollback env ~failed_epoch cell =
 (* Chunks of registry entries handed to the recovery workers. *)
 let chunk_words = 256
 
-let run ?(threads = 1) ?(layout : Layout.t option) mem =
+let run ?(threads = 1) ?(layout : Layout.t option) ?spans mem =
   let mcfg = Simnvm.Memsys.config mem in
   let line_words = mcfg.Simnvm.Memsys.line_words in
   let layout =
@@ -142,10 +142,8 @@ let run ?(threads = 1) ?(layout : Layout.t option) mem =
         if cell = 0 then (slot, 0)
         else (slot, Simnvm.Memsys.persisted mem (Incll.record cell)))
   in
-  {
-    failed_epoch;
-    scanned = !scanned;
-    rolled_back = !rolled;
-    duration_ns = Simsched.Scheduler.elapsed sched;
-    rp_ids;
-  }
+  let duration_ns = Simsched.Scheduler.elapsed sched in
+  (match spans with
+  | Some r -> Obs.Span.emit r ~name:"recovery" ~t0:0.0 ~t1:duration_ns
+  | None -> ());
+  { failed_epoch; scanned = !scanned; rolled_back = !rolled; duration_ns; rp_ids }

@@ -15,8 +15,10 @@ type report = {
       (** per thread slot, the restart-point id to resume from *)
 }
 
-val run : ?threads:int -> ?layout:Layout.t -> Simnvm.Memsys.t -> report
+val run :
+  ?threads:int -> ?layout:Layout.t -> ?spans:Obs.Span.t -> Simnvm.Memsys.t -> report
 (** Roll back every InCLL cell modified during the failed epoch and
     re-persist it. [threads] sizes the parallel scan (default 1). [layout]
     defaults to the layout induced by {!Runtime.default_config}; pass the
-    runtime's own layout when it used a custom config. *)
+    runtime's own layout when it used a custom config. [spans] receives a
+    single ["recovery"] span covering the parallel scan's virtual makespan. *)

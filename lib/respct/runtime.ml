@@ -59,6 +59,9 @@ type t = {
   mutable timer : bool;
   mutable stop_requested : bool;
   stats : stats;
+  mutable spans : Obs.Span.t option;
+      (* phase profiling sink: checkpoint / wait / flush / epoch intervals
+         on the virtual clock; observation only, charges nothing *)
 }
 
 (* Cost of the volatile bookkeeping on the hot path: checking [timer],
@@ -136,7 +139,16 @@ let make_internal ?(cfg = default_config) env =
         period_sum = 0.0;
         last_checkpoint_end = 0.0;
       };
+    spans = None;
   }
+
+let set_spans t r = t.spans <- Some r
+let spans t = t.spans
+
+let emit_span t name t0 t1 =
+  match t.spans with
+  | Some r -> Obs.Span.emit r ~name ~t0 ~t1
+  | None -> ()
 
 (* Initialise a fresh persistent image: epoch 0 and the metadata cells are
    made persistent immediately so that a crash before the first checkpoint
@@ -302,6 +314,7 @@ let all_flags_raised t =
    pool width, and charged as the parallel flush's makespan. *)
 let flush_with_pool t addrs =
   let m = mem t in
+  let t0 = Simsched.Scheduler.now (sched t) in
   let saved = Simnvm.Memsys.get_charge m in
   let acc = ref 0.0 in
   Simnvm.Memsys.set_charge m (fun ns -> acc := !acc +. ns);
@@ -310,7 +323,8 @@ let flush_with_pool t addrs =
   Simnvm.Memsys.set_charge m saved;
   let makespan = !acc /. float_of_int (max 1 t.cfg.flusher_pool) in
   Simsched.Scheduler.charge (sched t) makespan;
-  t.stats.flush_ns <- t.stats.flush_ns +. makespan
+  t.stats.flush_ns <- t.stats.flush_ns +. makespan;
+  emit_span t "checkpoint.flush" t0 (Simsched.Scheduler.now (sched t))
 
 (* The body of the checkpoint procedure, to be called with [rmx] held and
    all flags raised: flush, advance the epoch, release the epoch's frees.
@@ -339,6 +353,10 @@ let checkpoint_body ?(on_flushed = fun (_ : int) -> ()) t =
   Simsched.Env.psync t.env;
   Heap.advance_epoch t.heap;
   let now = Simsched.Scheduler.now (sched t) in
+  (* The epoch span runs from the previous checkpoint's completion to this
+     one's (from time 0 for the first), the interval during which the
+     just-flushed modifications accumulated. *)
+  emit_span t "epoch" t.stats.last_checkpoint_end now;
   t.stats.checkpoints <- t.stats.checkpoints + 1;
   t.stats.flushed_addrs <- t.stats.flushed_addrs + count;
   if t.stats.checkpoints > 1 then
@@ -351,15 +369,18 @@ let checkpoint_body ?(on_flushed = fun (_ : int) -> ()) t =
    (or directly on a test thread). *)
 let run_checkpoint ?on_flushed t =
   let s = sched t in
+  let t0 = Simsched.Scheduler.now s in
   Simsched.Mutex.lock s t.rmx;
   t.timer <- true;
   while not (all_flags_raised t) do
     Simsched.Condvar.wait s t.arrival t.rmx
   done;
+  emit_span t "checkpoint.wait" t0 (Simsched.Scheduler.now s);
   checkpoint_body ?on_flushed t;
   t.timer <- false;
   Simsched.Condvar.broadcast s t.finished;
-  Simsched.Mutex.unlock s t.rmx
+  Simsched.Mutex.unlock s t.rmx;
+  emit_span t "checkpoint" t0 (Simsched.Scheduler.now s)
 
 let coordinator t () =
   let s = sched t in
@@ -389,9 +410,11 @@ let stop t = t.stop_requested <- true
 
 let rp t ~slot id =
   let st = t.slots.(slot) in
-  Simsched.Trace.emit
-    (Simsched.Trace.Restart_point
-       { tid = Simsched.Scheduler.current_tid_opt (sched t); id });
+  (let bus = Simsched.Scheduler.trace_bus (sched t) in
+   if Simsched.Trace.active bus then
+     Simsched.Trace.emit bus
+       (Simsched.Trace.Restart_point
+          { tid = Simsched.Scheduler.current_tid_opt (sched t); id }));
   Incll.update (ctx t ~slot) st.rp_cell id;
   let s = sched t in
   Simsched.Scheduler.charge s flag_check_ns;

@@ -147,6 +147,15 @@ val epoch : t -> int
 val debug_flags : t -> string
 (** Debug helper: timer state and the per-slot flags of active threads. *)
 
+val set_spans : t -> Obs.Span.t -> unit
+(** Attach a span recorder: checkpoints thereafter report
+    ["checkpoint"] (timer raised to release), ["checkpoint.wait"]
+    (quiescence wait), ["checkpoint.flush"] (parallel flush makespan) and
+    ["epoch"] (previous checkpoint end to this one) intervals on the
+    virtual clock. Pure observation: attaching one changes no charge. *)
+
+val spans : t -> Obs.Span.t option
+
 val stats : t -> stats
 val heap : t -> Heap.t
 val layout : t -> Layout.t

@@ -1,0 +1,40 @@
+(* Typed events of the simulated memory system.
+
+   Every observable action of Memsys — accesses, cache outcomes,
+   write-backs, persistence instructions, crashes — is described by one
+   constructor. Memsys publishes these through a subscriber list
+   (Memsys.subscribe); Stats, the observability metric registry and any
+   test-local probe are ordinary subscribers on that one pipeline, so
+   instrumentation composes instead of being hard-wired into the memory
+   model. *)
+
+type backing = Nvm | Dram
+
+type t =
+  | Load of { tid : int; addr : int }
+  | Store of { tid : int; addr : int }
+  | Hit of { addr : int }
+  | Miss of { backing : backing; addr : int; prefetched : bool }
+  | Writeback of { backing : backing; line : int }
+  | Pwb of { tid : int; addr : int; dirty : bool }
+  | Psync of { tid : int }
+  | Eviction of { line : int } (* spontaneous background eviction *)
+  | Crash of { eadr : bool }
+
+let backing_label = function Nvm -> "nvm" | Dram -> "dram"
+
+let pp ppf = function
+  | Load { tid; addr } -> Fmt.pf ppf "load[%d] %d" tid addr
+  | Store { tid; addr } -> Fmt.pf ppf "store[%d] %d" tid addr
+  | Hit { addr } -> Fmt.pf ppf "hit %d" addr
+  | Miss { backing; addr; prefetched } ->
+      Fmt.pf ppf "miss(%s%s) %d" (backing_label backing)
+        (if prefetched then ",prefetched" else "")
+        addr
+  | Writeback { backing; line } ->
+      Fmt.pf ppf "writeback(%s) line %d" (backing_label backing) line
+  | Pwb { tid; addr; dirty } ->
+      Fmt.pf ppf "pwb[%d] %d%s" tid addr (if dirty then "" else " (clean)")
+  | Psync { tid } -> Fmt.pf ppf "psync[%d]" tid
+  | Eviction { line } -> Fmt.pf ppf "eviction line %d" line
+  | Crash { eadr } -> Fmt.pf ppf "crash%s" (if eadr then " (eadr)" else "")

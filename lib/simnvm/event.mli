@@ -1,0 +1,25 @@
+(** Typed events of the simulated memory system.
+
+    {!Memsys} publishes one event per observable action through its
+    subscriber list ({!Memsys.subscribe}); {!Stats} and the observability
+    layer consume them as ordinary subscribers on that single pipeline. *)
+
+type backing = Nvm | Dram
+
+type t =
+  | Load of { tid : int; addr : int }
+  | Store of { tid : int; addr : int }
+  | Hit of { addr : int }  (** access served by the cache *)
+  | Miss of { backing : backing; addr : int; prefetched : bool }
+      (** line fill from the backing store (possibly the prefetch stream) *)
+  | Writeback of { backing : backing; line : int }
+      (** dirty line persisted to its backing store (any cause) *)
+  | Pwb of { tid : int; addr : int; dirty : bool }
+      (** clwb issued; [dirty] tells whether a write-back actually happened *)
+  | Psync of { tid : int }  (** sfence *)
+  | Eviction of { line : int }
+      (** spontaneous background eviction (the hazard undo logging fights) *)
+  | Crash of { eadr : bool }  (** power failure *)
+
+val backing_label : backing -> string
+val pp : t Fmt.t

@@ -57,6 +57,8 @@ type line = {
   mutable last_writer : int; (* thread that last wrote the line; -1 = shared *)
 }
 
+type subscription = int
+
 type t = {
   cfg : config;
   pmem : int array; (* the persistent NVMM image *)
@@ -65,6 +67,8 @@ type t = {
   mutable stamp : int;
   rng : Rng.t;
   stats : Stats.t;
+  mutable subs : (subscription * (Event.t -> unit)) array;
+  mutable next_sub : int;
   mutable charge : float -> unit;
   mutable current_tid : unit -> int;
   recent_fills : int array; (* ring of recently filled line numbers *)
@@ -74,6 +78,31 @@ type t = {
 
 let no_charge (_ : float) = ()
 let no_tid () = -1
+
+(* Event pipeline. Emission sites guard on [has_subs] before constructing
+   the event, so a memory system with every subscriber detached pays only a
+   length test per operation. Subscribers run in attach order, which keeps
+   event delivery (and therefore anything derived from it) deterministic. *)
+
+let[@inline] has_subs t = Array.length t.subs > 0
+
+let emit t ev =
+  let subs = t.subs in
+  for i = 0 to Array.length subs - 1 do
+    (snd (Array.unsafe_get subs i)) ev
+  done
+
+let subscribe t f =
+  let id = t.next_sub in
+  t.next_sub <- id + 1;
+  t.subs <- Array.append t.subs [| (id, f) |];
+  id
+
+let unsubscribe t id =
+  t.subs <- Array.of_list (List.filter (fun (i, _) -> i <> id) (Array.to_list t.subs))
+
+let clear_subscribers t = t.subs <- [||]
+let subscriber_count t = Array.length t.subs
 
 (* MESI-style coherence approximation: reading a line last written by a
    different core pays a cache-to-cache transfer and demotes the line to
@@ -104,20 +133,26 @@ let create cfg =
       last_writer = -1;
     }
   in
-  {
-    cfg;
-    pmem = Array.make cfg.nvm_words 0;
-    dram = Array.make cfg.dram_words 0;
-    lines = Array.init (cfg.sets * cfg.ways) mk_line;
-    stamp = 0;
-    rng = Rng.create cfg.seed;
-    stats = Stats.create ();
-    charge = no_charge;
-    current_tid = no_tid;
-    recent_fills = Array.make prefetch_window (-1);
-    recent_index = Hashtbl.create (2 * prefetch_window);
-    recent_pos = 0;
-  }
+  let t =
+    {
+      cfg;
+      pmem = Array.make cfg.nvm_words 0;
+      dram = Array.make cfg.dram_words 0;
+      lines = Array.init (cfg.sets * cfg.ways) mk_line;
+      stamp = 0;
+      rng = Rng.create cfg.seed;
+      stats = Stats.create ();
+      subs = [||];
+      next_sub = 0;
+      charge = no_charge;
+      current_tid = no_tid;
+      recent_fills = Array.make prefetch_window (-1);
+      recent_index = Hashtbl.create (2 * prefetch_window);
+      recent_pos = 0;
+    }
+  in
+  ignore (subscribe t (Stats.subscriber t.stats) : subscription);
+  t
 
 let config t = t.cfg
 let stats t = t.stats
@@ -159,8 +194,10 @@ let write_back t line =
     done;
   line.dirty <- false;
   line.dirty_mask <- 0;
-  if nvm then t.stats.nvm_writebacks <- t.stats.nvm_writebacks + 1
-  else t.stats.dram_writebacks <- t.stats.dram_writebacks + 1;
+  if has_subs t then
+    emit t
+      (Event.Writeback
+         { backing = (if nvm then Event.Nvm else Event.Dram); line = lineno });
   nvm
 
 (* Set index uses a multiplicative hash, as real LLCs hash addresses to
@@ -227,14 +264,18 @@ let fill t lineno =
    Hashtbl.replace t.recent_index lineno
      (1 + Option.value ~default:0 (Hashtbl.find_opt t.recent_index lineno));
    t.recent_pos <- (t.recent_pos + 1) mod prefetch_window);
-  if is_nvm t (lineno * t.cfg.line_words) then begin
-    t.stats.nvm_misses <- t.stats.nvm_misses + 1;
+  let nvm = is_nvm t (lineno * t.cfg.line_words) in
+  if has_subs t then
+    emit t
+      (Event.Miss
+         {
+           backing = (if nvm then Event.Nvm else Event.Dram);
+           addr = lineno * t.cfg.line_words;
+           prefetched;
+         });
+  if nvm then
     t.charge (if prefetched then prefetched_miss_ns else lat.nvm_miss_ns)
-  end
-  else begin
-    t.stats.dram_misses <- t.stats.dram_misses + 1;
-    t.charge (if prefetched then prefetched_miss_ns else lat.dram_miss_ns)
-  end;
+  else t.charge (if prefetched then prefetched_miss_ns else lat.dram_miss_ns);
   line
 
 let lookup t addr =
@@ -242,7 +283,7 @@ let lookup t addr =
   let line =
     match find_line t lineno with
     | Some line ->
-        t.stats.hits <- t.stats.hits + 1;
+        if has_subs t then emit t (Event.Hit { addr });
         t.charge t.cfg.latency.cache_hit_ns;
         line
     | None -> fill t lineno
@@ -261,13 +302,14 @@ let spontaneous_eviction t =
     let line = t.lines.(i) in
     if line.tag >= 0 && line.dirty then begin
       ignore (write_back t line);
-      t.stats.spontaneous_evictions <- t.stats.spontaneous_evictions + 1
+      if has_subs t then emit t (Event.Eviction { line = line.tag })
     end
   end
 
 let load t addr =
   check_addr t addr;
-  t.stats.loads <- t.stats.loads + 1;
+  if has_subs t then
+    emit t (Event.Load { tid = t.current_tid (); addr });
   let line = lookup t addr in
   let me = t.current_tid () in
   if line.last_writer >= 0 && line.last_writer <> me then begin
@@ -278,7 +320,8 @@ let load t addr =
 
 let store t addr v =
   check_addr t addr;
-  t.stats.stores <- t.stats.stores + 1;
+  if has_subs t then
+    emit t (Event.Store { tid = t.current_tid (); addr });
   let line = lookup t addr in
   let me = t.current_tid () in
   if me >= 0 && line.last_writer <> me then t.charge coherence_write_ns;
@@ -292,9 +335,13 @@ let store t addr v =
 
 let pwb t addr =
   check_addr t addr;
-  t.stats.pwbs <- t.stats.pwbs + 1;
   let lineno = Addr.line_of ~line_words:t.cfg.line_words addr in
-  match find_line t lineno with
+  let found = find_line t lineno in
+  if has_subs t then begin
+    let dirty = match found with Some line -> line.dirty | None -> false in
+    emit t (Event.Pwb { tid = t.current_tid (); addr; dirty })
+  end;
+  match found with
   | Some line when line.dirty ->
       ignore (write_back t line);
       t.charge t.cfg.latency.clwb_ns
@@ -303,7 +350,7 @@ let pwb t addr =
       t.charge (t.cfg.latency.clwb_ns /. 8.0)
 
 let psync t =
-  t.stats.psyncs <- t.stats.psyncs + 1;
+  if has_subs t then emit t (Event.Psync { tid = t.current_tid () });
   t.charge t.cfg.latency.sfence_ns
 
 (* Deterministically persist-and-invalidate the line holding [addr]; used by
@@ -334,7 +381,7 @@ let is_cached_dirty t addr =
   match find_line t lineno with Some line -> line.dirty | None -> false
 
 let crash t =
-  t.stats.crashes <- t.stats.crashes + 1;
+  if has_subs t then emit t (Event.Crash { eadr = t.cfg.eadr });
   if t.cfg.eadr then
     (* eADR: the cache is in the persistent domain; dirty NVMM lines are
        drained by the battery-backed flush on power failure. *)

@@ -41,7 +41,32 @@ val create : config -> t
     @raise Invalid_argument if [nvm_words] is not line-aligned. *)
 
 val config : t -> config
+
 val stats : t -> Stats.t
+(** The counter record updated by the default {!Stats.subscriber} attached
+    at creation. After {!clear_subscribers} the record freezes. *)
+
+(** {2 Event pipeline}
+
+    Every observable action is published as a typed {!Event.t} to the
+    subscriber list, in attach order. With no subscribers attached the
+    pipeline costs one length test per operation (no event is even
+    constructed). {!create} attaches one default subscriber: the stats
+    counters. *)
+
+type subscription
+
+val subscribe : t -> (Event.t -> unit) -> subscription
+(** Attach a subscriber; it observes every subsequent event. *)
+
+val unsubscribe : t -> subscription -> unit
+(** Detach one subscriber (no-op if already detached). *)
+
+val clear_subscribers : t -> unit
+(** Detach every subscriber, including the default stats counter — the
+    zero-cost configuration for hot benchmarking runs. *)
+
+val subscriber_count : t -> int
 
 val set_charge : t -> (float -> unit) -> unit
 (** Install the hook that receives the nanosecond cost of each operation. *)

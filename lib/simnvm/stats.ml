@@ -42,6 +42,27 @@ let reset t =
   t.spontaneous_evictions <- 0;
   t.crashes <- 0
 
+(* Stats is one subscriber of the Memsys event pipeline: Memsys.create
+   attaches [subscriber] by default, so the counters keep their historical
+   meaning while Memsys itself stays free of instrumentation concerns. *)
+let subscriber t (ev : Event.t) =
+  match ev with
+  | Event.Load _ -> t.loads <- t.loads + 1
+  | Event.Store _ -> t.stores <- t.stores + 1
+  | Event.Hit _ -> t.hits <- t.hits + 1
+  | Event.Miss { backing = Event.Dram; _ } ->
+      t.dram_misses <- t.dram_misses + 1
+  | Event.Miss { backing = Event.Nvm; _ } -> t.nvm_misses <- t.nvm_misses + 1
+  | Event.Writeback { backing = Event.Dram; _ } ->
+      t.dram_writebacks <- t.dram_writebacks + 1
+  | Event.Writeback { backing = Event.Nvm; _ } ->
+      t.nvm_writebacks <- t.nvm_writebacks + 1
+  | Event.Pwb _ -> t.pwbs <- t.pwbs + 1
+  | Event.Psync _ -> t.psyncs <- t.psyncs + 1
+  | Event.Eviction _ ->
+      t.spontaneous_evictions <- t.spontaneous_evictions + 1
+  | Event.Crash _ -> t.crashes <- t.crashes + 1
+
 let accesses t = t.loads + t.stores
 
 let hit_rate t =

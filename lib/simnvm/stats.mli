@@ -17,6 +17,11 @@ type t = {
 val create : unit -> t
 val reset : t -> unit
 
+val subscriber : t -> Event.t -> unit
+(** Fold one memory event into the counters. {!Memsys.create} attaches this
+    to its own pipeline by default; detaching it ({!Memsys.clear_subscribers})
+    freezes the counters. *)
+
 val accesses : t -> int
 (** Total loads + stores. *)
 

@@ -3,11 +3,18 @@
    All simulated programs access memory exclusively through these wrappers:
    latencies flow into the running thread's virtual clock (the charge hook is
    installed by [make]) and every access is a preemption point, so the
-   scheduler can interleave threads as real hardware would. *)
+   scheduler can interleave threads as real hardware would.
+
+   Every wrapper — including the atomic RMWs and pure-compute charges —
+   publishes on the world's trace bus (Scheduler.trace_bus), so analyses
+   that consume traces (race checker, RP advisor) see the complete access
+   stream. Emission is guarded on [Trace.active]: an untraced world pays
+   one array-length test per access. *)
 
 type t = {
   mem : Simnvm.Memsys.t;
   sched : Scheduler.t;
+  bus : Trace.bus;
   rmw_tokens : (int, Mutex.t) Hashtbl.t;
       (* per-line exclusive-ownership tokens: conflicting RMWs on one line
          serialise on real hardware (the line passes core to core), which a
@@ -17,28 +24,38 @@ type t = {
 let make mem sched =
   Simnvm.Memsys.set_charge mem (fun ns -> Scheduler.charge sched ns);
   Simnvm.Memsys.set_tid_provider mem (fun () -> Scheduler.current_tid_opt sched);
-  { mem; sched; rmw_tokens = Hashtbl.create 64 }
+  { mem; sched; bus = Scheduler.trace_bus sched; rmw_tokens = Hashtbl.create 64 }
 
 let mem t = t.mem
 let sched t = t.sched
+let bus t = t.bus
 
 let load t addr =
   let v = Simnvm.Memsys.load t.mem addr in
-  Trace.emit (Trace.Load { tid = Scheduler.current_tid_opt t.sched; addr });
+  if Trace.active t.bus then
+    Trace.emit t.bus
+      (Trace.Load { tid = Scheduler.current_tid_opt t.sched; addr });
   Scheduler.poll t.sched;
   v
 
 let store t addr v =
   Simnvm.Memsys.store t.mem addr v;
-  Trace.emit (Trace.Store { tid = Scheduler.current_tid_opt t.sched; addr });
+  if Trace.active t.bus then
+    Trace.emit t.bus
+      (Trace.Store { tid = Scheduler.current_tid_opt t.sched; addr });
   Scheduler.poll t.sched
 
 let pwb t addr =
   Simnvm.Memsys.pwb t.mem addr;
+  if Trace.active t.bus then
+    Trace.emit t.bus
+      (Trace.Pwb { tid = Scheduler.current_tid_opt t.sched; addr });
   Scheduler.poll t.sched
 
 let psync t =
   Simnvm.Memsys.psync t.mem;
+  if Trace.active t.bus then
+    Trace.emit t.bus (Trace.Psync { tid = Scheduler.current_tid_opt t.sched });
   Scheduler.poll t.sched
 
 (* Conflicting atomic RMWs on one cache line serialise: the line is a token
@@ -65,6 +82,19 @@ let serialize_rmw t addr f =
       Scheduler.charge t.sched 8.0;
       result)
 
+(* The traced view of an atomic RMW: the load (and, on success, the store)
+   appear as ordinary access events so the WAR rule and the race checker
+   account for them, and an Rmw marker records their atomicity. Before this
+   went through the bus, cas/faa bypassed tracing entirely and RMW-heavy
+   structures were silently invisible to the analyses. *)
+let emit_rmw t ~addr ~wrote =
+  if Trace.active t.bus then begin
+    let tid = Scheduler.current_tid_opt t.sched in
+    Trace.emit t.bus (Trace.Load { tid; addr });
+    if wrote then Trace.emit t.bus (Trace.Store { tid; addr });
+    Trace.emit t.bus (Trace.Rmw { tid; addr })
+  end
+
 (* Atomic compare-and-swap: no preemption point separates the read from the
    write, so it is atomic in the simulation exactly as the hardware
    instruction is. Charged as a store plus an RMW penalty; algorithms whose
@@ -74,6 +104,7 @@ let cas t addr ~expected ~desired =
   let v = Simnvm.Memsys.load t.mem addr in
   let ok = v = expected in
   if ok then Simnvm.Memsys.store t.mem addr desired;
+  emit_rmw t ~addr ~wrote:ok;
   Scheduler.charge t.sched 8.0;
   Scheduler.poll t.sched;
   ok
@@ -82,6 +113,7 @@ let cas t addr ~expected ~desired =
 let faa t addr delta =
   let v = Simnvm.Memsys.load t.mem addr in
   Simnvm.Memsys.store t.mem addr (v + delta);
+  emit_rmw t ~addr ~wrote:true;
   Scheduler.charge t.sched 8.0;
   Scheduler.poll t.sched;
   v
@@ -89,6 +121,9 @@ let faa t addr delta =
 (* Pure computation cost (the non-memory work of an application kernel). *)
 let compute t ns =
   Scheduler.charge t.sched ns;
+  if Trace.active t.bus then
+    Trace.emit t.bus
+      (Trace.Compute { tid = Scheduler.current_tid_opt t.sched; ns });
   Scheduler.poll t.sched
 
 let line_words t = (Simnvm.Memsys.config t.mem).Simnvm.Memsys.line_words

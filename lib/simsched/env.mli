@@ -12,6 +12,12 @@ val make : Simnvm.Memsys.t -> Scheduler.t -> t
 val mem : t -> Simnvm.Memsys.t
 val sched : t -> Scheduler.t
 
+val bus : t -> Trace.bus
+(** The world's trace bus (same as [Scheduler.trace_bus (sched t)]): every
+    wrapper below publishes its access on it, including {!cas}/{!faa}
+    (which emit the constituent load/store plus an [Rmw] marker) and
+    {!compute}. *)
+
 val load : t -> Simnvm.Addr.t -> int
 (** Read a word; charges latency; preemption point. *)
 

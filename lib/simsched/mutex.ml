@@ -84,7 +84,8 @@ let lock sched m =
      Scheduler.charge sched coherence_ns;
      m.last_owner <- me
    end);
-  Trace.emit (Trace.Acquire { tid = me; lock = m.id })
+  let bus = Scheduler.trace_bus sched in
+  if Trace.active bus then Trace.emit bus (Trace.Acquire { tid = me; lock = m.id })
 
 let unlock sched m =
   let me = Scheduler.current_tid sched in
@@ -93,7 +94,8 @@ let unlock sched m =
   | Some _ | None ->
       invalid_arg (Printf.sprintf "Mutex.unlock(%s): not the owner" m.name));
   Scheduler.charge sched unlock_ns;
-  Trace.emit (Trace.Release { tid = me; lock = m.id });
+  let bus = Scheduler.trace_bus sched in
+  if Trace.active bus then Trace.emit bus (Trace.Release { tid = me; lock = m.id });
   m.last_release <- Scheduler.now sched;
   match Queue.take_opt m.waiters with
   | Some next ->

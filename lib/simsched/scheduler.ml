@@ -48,6 +48,7 @@ type t = {
   quantum : float;
   jitter : float;
   rng : Simnvm.Rng.t;
+  bus : Trace.bus; (* this world's trace-event bus *)
 }
 
 type _ Effect.t += Preempt : unit Effect.t | Block : unit Effect.t
@@ -63,7 +64,10 @@ let create ?(seed = 1) ?(quantum = 0.0) ?(jitter = 0.0) () =
     quantum;
     jitter;
     rng = Simnvm.Rng.create seed;
+    bus = Trace.create_bus ();
   }
+
+let trace_bus t = t.bus
 
 let current t =
   match t.current with

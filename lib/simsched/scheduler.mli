@@ -31,6 +31,11 @@ val create : ?seed:int -> ?quantum:float -> ?jitter:float -> unit -> t
     [jitter] randomises charges by the given relative amplitude, to vary
     interleavings across seeds in crash-injection tests. *)
 
+val trace_bus : t -> Trace.bus
+(** This world's trace-event bus: {!Env}, {!Mutex} and the ResPCT runtime
+    publish on it, analyses subscribe to it. One bus per scheduler, so
+    traced worlds compose and parallel worlds stay isolated. *)
+
 val spawn : ?name:string -> t -> (unit -> unit) -> int
 (** Register a new simulated thread and return its tid. Its initial clock is
     the spawner's current clock (0 outside the simulation). *)

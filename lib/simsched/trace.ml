@@ -1,48 +1,89 @@
-(* Execution tracing.
+(* Execution tracing as a per-world event bus.
 
-   When a recorder is installed, the environment and the synchronisation
-   primitives emit one event per memory access, lock operation and restart
-   point. The harness feeds these traces to the WAR/idempotence analyser
-   and the race checker (Analysis), automating the variable-classification
-   rules of the paper's section 3.3.2 — the direction its section 6 calls
-   future work.
+   Each scheduler owns one bus. The environment publishes every memory
+   access (plain loads/stores, RMWs, persistence instructions, compute
+   charges), the synchronisation primitives publish lock operations, and
+   the ResPCT runtime publishes restart-point markers — all on the same
+   bus. Consumers (the WAR/idempotence analyser, the vector-clock race
+   checker, the RP advisor, observability probes) attach as subscribers;
+   nothing is process-global, so traced worlds compose and parallel worlds
+   cannot observe each other.
 
-   The recorder is process-global (one traced world at a time), which keeps
-   the zero-cost-when-disabled fast path a single ref read. *)
+   The disabled fast path is one array-length test: producers guard with
+   [active] before even constructing an event. *)
 
 type event =
   | Load of { tid : int; addr : int }
   | Store of { tid : int; addr : int }
+  | Rmw of { tid : int; addr : int }
+  | Pwb of { tid : int; addr : int }
+  | Psync of { tid : int }
+  | Compute of { tid : int; ns : float }
   | Acquire of { tid : int; lock : int }
   | Release of { tid : int; lock : int }
   | Restart_point of { tid : int; id : int }
 
-type recorder = { mutable events : event list; mutable count : int }
+type subscription = int
 
-let current : recorder option ref = ref None
+type bus = {
+  mutable sinks : (subscription * (event -> unit)) array;
+  mutable next_sub : int;
+}
 
-let start () =
-  let r = { events = []; count = 0 } in
-  current := Some r;
+let create_bus () = { sinks = [||]; next_sub = 0 }
+let[@inline] active b = Array.length b.sinks > 0
+
+let emit b ev =
+  let sinks = b.sinks in
+  for i = 0 to Array.length sinks - 1 do
+    (snd (Array.unsafe_get sinks i)) ev
+  done
+
+let subscribe b f =
+  let id = b.next_sub in
+  b.next_sub <- id + 1;
+  b.sinks <- Array.append b.sinks [| (id, f) |];
+  id
+
+let unsubscribe b id =
+  b.sinks <-
+    Array.of_list (List.filter (fun (i, _) -> i <> id) (Array.to_list b.sinks))
+
+(* ------------------------------------------------------------------ *)
+(* Recorder: the accumulate-then-analyse subscriber used by the offline
+   analyses (Rp_advisor, idempotence). *)
+
+type recorder = {
+  mutable events : event list; (* newest first *)
+  mutable count : int;
+  mutable sub : subscription option;
+}
+
+let attach b =
+  let r = { events = []; count = 0; sub = None } in
+  let id =
+    subscribe b (fun ev ->
+        r.events <- ev :: r.events;
+        r.count <- r.count + 1)
+  in
+  r.sub <- Some id;
   r
 
-let stop () = current := None
-
-let emit ev =
-  match !current with
+let detach b r =
+  match r.sub with
+  | Some id ->
+      unsubscribe b id;
+      r.sub <- None
   | None -> ()
-  | Some r ->
-      r.events <- ev :: r.events;
-      r.count <- r.count + 1
 
 let events r = List.rev r.events
+let count r = r.count
 
-(* Run [f] with tracing enabled, then restore the previous recorder. *)
-let record f =
-  let saved = !current in
-  let r = start () in
+(* Run [f] with a fresh recorder attached, then detach it. *)
+let record b f =
+  let r = attach b in
   Fun.protect
-    ~finally:(fun () -> current := saved)
+    ~finally:(fun () -> detach b r)
     (fun () ->
       let v = f () in
       (v, events r))

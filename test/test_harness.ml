@@ -190,7 +190,7 @@ let test_advisor_queue_war_rule () =
          done));
   let heap_base = (Respct.Runtime.layout rt).Respct.Layout.heap_base in
   let (), events =
-    Simsched.Trace.record (fun () ->
+    Simsched.Trace.record (Simsched.Scheduler.trace_bus sched) (fun () ->
         match Simsched.Scheduler.run sched with
         | Simsched.Scheduler.Completed -> ()
         | Simsched.Scheduler.Crash_interrupt _ -> Alcotest.fail "crash")
@@ -264,7 +264,7 @@ let test_advisor_race_freedom_of_map () =
   done;
   let heap_base = (Respct.Runtime.layout rt).Respct.Layout.heap_base in
   let (), events =
-    Simsched.Trace.record (fun () ->
+    Simsched.Trace.record (Simsched.Scheduler.trace_bus sched) (fun () ->
         match Simsched.Scheduler.run sched with
         | Simsched.Scheduler.Completed -> ()
         | Simsched.Scheduler.Crash_interrupt _ -> Alcotest.fail "crash")
@@ -277,6 +277,28 @@ let test_advisor_race_freedom_of_map () =
      are private by construction.) *)
   Alcotest.(check int) "no data races on the shared structure" 0
     (List.length report.Harness.Rp_advisor.races)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism of the structured-results path *)
+
+(* Two same-seed runs must produce byte-identical JSON documents: the
+   simulation is deterministic and the exporter iterates only
+   insertion-ordered structures (never hash tables). *)
+let test_structured_results_deterministic () =
+  let digest () =
+    let pt =
+      Harness.Experiments.map_point_obs ~update_pct:50 tiny
+        Harness.Systems.Respct ~threads:2
+    in
+    Obs.Json.to_string (Obs.Run.document [ Obs.Run.experiment "det" [ pt ] ])
+  in
+  let a = digest () in
+  let b = digest () in
+  Alcotest.(check bool) "non-trivial output" true (String.length a > 200);
+  Alcotest.(check string)
+    "byte-identical documents"
+    (Digest.to_hex (Digest.string a))
+    (Digest.to_hex (Digest.string b))
 
 let () =
   Alcotest.run "harness"
@@ -297,6 +319,8 @@ let () =
         [
           Alcotest.test_case "fig10 shape" `Quick test_fig10_shape;
           Alcotest.test_case "fig12 rows" `Quick test_fig12_rows;
+          Alcotest.test_case "structured results deterministic" `Quick
+            test_structured_results_deterministic;
         ] );
       ( "reporting",
         [

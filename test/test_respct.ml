@@ -473,6 +473,46 @@ let test_non_pcso_breaks_recovery () =
     (Printf.sprintf "found %d violations" !violations)
     true (!violations > 0)
 
+(* Under eADR the cache sits inside the persistent domain (paper §2.1):
+   checkpoints still run — the epoch still advances and addresses are still
+   gathered — but the flush phase must cost zero virtual time. *)
+let test_eadr_checkpoint_flush_free () =
+  let cfg = rt_cfg () in
+  let mem =
+    Memsys.create
+      { (mem_cfg ()) with eadr = true; latency = Latency.eadr_of Latency.default }
+  in
+  let sched = Scheduler.create ~seed:1 () in
+  let env = Env.make mem sched in
+  let rt = Runtime.create ~cfg env in
+  let spans = Obs.Span.create () in
+  Runtime.set_spans rt spans;
+  ignore
+    (Runtime.spawn rt ~slot:0 (fun _ctx ->
+         let cell = Runtime.alloc_incll rt ~slot:0 0 in
+         let rec loop i =
+           Runtime.update rt ~slot:0 cell i;
+           Runtime.rp rt ~slot:0 1;
+           loop (i + 1)
+         in
+         loop 1));
+  ignore
+    (Scheduler.spawn ~name:"cp" sched (fun () ->
+         Scheduler.sleep sched 20_000.0;
+         Runtime.run_checkpoint rt;
+         Scheduler.sleep sched 1_000_000.0));
+  Scheduler.set_crash_at sched 60_000.0;
+  ignore (Scheduler.run sched);
+  let s = Runtime.stats rt in
+  Alcotest.(check bool) "checkpoint ran" true (s.Runtime.checkpoints >= 1);
+  Alcotest.(check bool)
+    "addresses gathered" true
+    (s.Runtime.flushed_addrs > 0);
+  Alcotest.(check (float 1e-6)) "flush costs nothing" 0.0 s.Runtime.flush_ns;
+  Alcotest.(check (float 1e-6))
+    "flush span zero-width" 0.0
+    (Obs.Span.total_ns spans "checkpoint.flush")
+
 (* ------------------------------------------------------------------ *)
 (* Condition variables under checkpointing (paper Figure 7) *)
 
@@ -582,6 +622,8 @@ let () =
             test_restart_and_second_crash;
           Alcotest.test_case "non-PCSO ablation breaks recovery" `Quick
             test_non_pcso_breaks_recovery;
+          Alcotest.test_case "eADR checkpoint flush free" `Quick
+            test_eadr_checkpoint_flush_free;
         ] );
       ( "condvar",
         [

@@ -276,6 +276,73 @@ let test_create_validation () =
     (fun () -> ignore (Memsys.create { (cfg ()) with nvm_words = 100 }))
 
 (* ------------------------------------------------------------------ *)
+(* Event pipeline *)
+
+let kind_of (ev : Event.t) =
+  match ev with
+  | Event.Load _ -> "load"
+  | Event.Store _ -> "store"
+  | Event.Hit _ -> "hit"
+  | Event.Miss _ -> "miss"
+  | Event.Writeback _ -> "writeback"
+  | Event.Pwb _ -> "pwb"
+  | Event.Psync _ -> "psync"
+  | Event.Eviction _ -> "eviction"
+  | Event.Crash _ -> "crash"
+
+let test_pipeline_delivery () =
+  let m = Memsys.create (cfg ()) in
+  let seen = ref [] in
+  let _sub = Memsys.subscribe m (fun ev -> seen := kind_of ev :: !seen) in
+  Memsys.store m 0 1;
+  ignore (Memsys.load m 0);
+  Memsys.pwb m 0;
+  Memsys.psync m;
+  (* Access events precede their hit/miss resolution; the pwb of a dirty
+     line carries its write-back; everything arrives in program order. *)
+  Alcotest.(check (list string))
+    "event sequence"
+    [ "store"; "miss"; "load"; "hit"; "pwb"; "writeback"; "psync" ]
+    (List.rev !seen);
+  (* The default Stats subscriber saw the same events. *)
+  let s = Memsys.stats m in
+  Alcotest.(check int) "stats loads" 1 s.Stats.loads;
+  Alcotest.(check int) "stats stores" 1 s.Stats.stores;
+  Alcotest.(check int) "stats pwbs" 1 s.Stats.pwbs
+
+let test_pipeline_unsubscribe () =
+  let m = Memsys.create (cfg ()) in
+  (* Stats is subscriber #0, attached by create. *)
+  Alcotest.(check int) "default count" 1 (Memsys.subscriber_count m);
+  let n = ref 0 in
+  let sub = Memsys.subscribe m (fun _ -> incr n) in
+  Alcotest.(check int) "after subscribe" 2 (Memsys.subscriber_count m);
+  Memsys.store m 0 1;
+  let seen_before = !n in
+  Alcotest.(check bool) "saw events" true (seen_before > 0);
+  Memsys.unsubscribe m sub;
+  Alcotest.(check int) "after unsubscribe" 1 (Memsys.subscriber_count m);
+  Memsys.store m 8 2;
+  Alcotest.(check int) "no further delivery" seen_before !n;
+  (* unsubscribing twice is a harmless no-op *)
+  Memsys.unsubscribe m sub;
+  Alcotest.(check int) "double detach no-op" 1 (Memsys.subscriber_count m)
+
+let test_pipeline_clear_freezes_stats () =
+  let m = Memsys.create (cfg ()) in
+  Memsys.store m 0 1;
+  let s = Memsys.stats m in
+  Alcotest.(check int) "counted" 1 s.Stats.stores;
+  Memsys.clear_subscribers m;
+  Alcotest.(check int) "no subscribers" 0 (Memsys.subscriber_count m);
+  Memsys.store m 8 2;
+  ignore (Memsys.load m 8);
+  Alcotest.(check int) "stats frozen" 1 s.Stats.stores;
+  Alcotest.(check int) "loads frozen" 0 s.Stats.loads;
+  (* semantics are unaffected: the zero-subscriber path still works *)
+  Alcotest.(check int) "value intact" 2 (Memsys.load m 8)
+
+(* ------------------------------------------------------------------ *)
 (* QCheck properties *)
 
 let prop_flush_all_makes_everything_persistent =
@@ -363,6 +430,13 @@ let () =
           Alcotest.test_case "coherence under eviction" `Quick
             test_coherence_after_eviction;
           Alcotest.test_case "create validation" `Quick test_create_validation;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "delivery order" `Quick test_pipeline_delivery;
+          Alcotest.test_case "unsubscribe" `Quick test_pipeline_unsubscribe;
+          Alcotest.test_case "clear freezes stats" `Quick
+            test_pipeline_clear_freezes_stats;
         ] );
       ( "pcso",
         [

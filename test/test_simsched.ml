@@ -420,6 +420,83 @@ let test_env_two_threads_parallel_time () =
       Alcotest.(check bool) "parallel, not serial" true (ratio < 1.5)
   | _ -> Alcotest.fail "expected two threads"
 
+(* ------------------------------------------------------------------ *)
+(* Trace bus *)
+
+let kind_of (ev : Trace.event) =
+  match ev with
+  | Trace.Load _ -> "load"
+  | Trace.Store _ -> "store"
+  | Trace.Rmw _ -> "rmw"
+  | Trace.Pwb _ -> "pwb"
+  | Trace.Psync _ -> "psync"
+  | Trace.Compute _ -> "compute"
+  | Trace.Acquire _ -> "acquire"
+  | Trace.Release _ -> "release"
+  | Trace.Restart_point _ -> "rp"
+
+let traced f =
+  let mem = Simnvm.Memsys.create Simnvm.Memsys.default_config in
+  let s = Scheduler.create () in
+  let env = Env.make mem s in
+  let (), tr =
+    Trace.record (Scheduler.trace_bus s) (fun () ->
+        ignore (Scheduler.spawn s (fun () -> f env));
+        ignore (Scheduler.run s))
+  in
+  List.map kind_of tr
+
+let test_trace_full_stream () =
+  (* Every Env wrapper publishes on the world's bus. *)
+  Alcotest.(check (list string))
+    "full stream"
+    [ "store"; "load"; "pwb"; "psync"; "compute" ]
+    (traced (fun env ->
+         Env.store env 0 1;
+         ignore (Env.load env 0);
+         Env.pwb env 0;
+         Env.psync env;
+         Env.compute env 50.0))
+
+let test_trace_rmw_regression () =
+  (* Regression: cas/faa used to bypass tracing entirely, leaving RMW-heavy
+     structures invisible to the race checker and RP advisor. Each RMW must
+     appear as load(+store on write)+rmw. *)
+  Alcotest.(check (list string))
+    "successful cas" [ "load"; "store"; "rmw" ]
+    (traced (fun env -> ignore (Env.cas env 0 ~expected:0 ~desired:1)));
+  Alcotest.(check (list string))
+    "failed cas emits no store" [ "load"; "rmw" ]
+    (traced (fun env -> ignore (Env.cas env 0 ~expected:99 ~desired:1)));
+  Alcotest.(check (list string))
+    "faa" [ "load"; "store"; "rmw" ]
+    (traced (fun env -> ignore (Env.faa env 0 7)))
+
+let test_trace_mutex_events () =
+  let s = Scheduler.create () in
+  let m = Mutex.create () in
+  let (), tr =
+    Trace.record (Scheduler.trace_bus s) (fun () ->
+        ignore
+          (Scheduler.spawn s (fun () ->
+               Mutex.with_lock s m (fun () -> Scheduler.charge s 10.0)));
+        ignore (Scheduler.run s))
+  in
+  Alcotest.(check (list string))
+    "lock events" [ "acquire"; "release" ]
+    (List.filter
+       (fun k -> k = "acquire" || k = "release")
+       (List.map kind_of tr))
+
+let test_trace_inactive_by_default () =
+  let s = Scheduler.create () in
+  let bus = Scheduler.trace_bus s in
+  Alcotest.(check bool) "inactive" false (Trace.active bus);
+  let sub = Trace.subscribe bus (fun _ -> ()) in
+  Alcotest.(check bool) "active" true (Trace.active bus);
+  Trace.unsubscribe bus sub;
+  Alcotest.(check bool) "inactive again" false (Trace.active bus)
+
 let () =
   Alcotest.run "simsched"
     [
@@ -479,5 +556,14 @@ let () =
             test_env_charges_thread;
           Alcotest.test_case "parallel virtual time" `Quick
             test_env_two_threads_parallel_time;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "full access stream" `Quick test_trace_full_stream;
+          Alcotest.test_case "cas/faa traced (regression)" `Quick
+            test_trace_rmw_regression;
+          Alcotest.test_case "mutex events" `Quick test_trace_mutex_events;
+          Alcotest.test_case "inactive by default" `Quick
+            test_trace_inactive_by_default;
         ] );
     ]
