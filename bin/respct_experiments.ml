@@ -186,9 +186,137 @@ let figures_cmd =
   Cmd.v (Cmd.info "figures" ~doc:"Regenerate selected figures.")
     Term.(const run $ scale_arg $ names)
 
+let crashmatrix_cmd =
+  let deep_arg =
+    Arg.(
+      value & flag
+      & info [ "deep" ]
+          ~doc:"Deep preset (more ops, seeds and schedules) instead of smoke.")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ] ~doc:"Smoke preset (the default; kept for clarity).")
+  in
+  let scenario_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"PREFIX"
+          ~doc:"Only run scenarios whose id starts with $(docv).")
+  in
+  let no_pcso_arg =
+    Arg.(
+      value & flag
+      & info [ "no-pcso" ]
+          ~doc:"Run under the word-granular write-back ablation.")
+  in
+  let ablation_arg =
+    Arg.(
+      value & flag
+      & info [ "ablation-check" ]
+          ~doc:
+            "Check the PCSO-reliance asymmetry: under word-granular \
+             write-back, InCLL-based systems must report violations and \
+             explicitly-flushing systems must not.")
+  in
+  let no_schedules_arg =
+    Arg.(
+      value & flag
+      & info [ "no-schedules" ] ~doc:"Skip the schedule-exploration sweeps.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"SCENARIO"
+          ~doc:
+            "Replay one counterexample (as printed by a failing run) \
+             instead of exploring; combine with --ops, --sched-seed, \
+             --mem-seed, --crash-index, --image and --no-pcso.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 18 & info [ "ops" ] ~doc:"Replay: operation count.")
+  in
+  let sched_seed_arg =
+    Arg.(
+      value & opt int 1 & info [ "sched-seed" ] ~doc:"Replay: scheduler seed.")
+  in
+  let mem_seed_arg =
+    Arg.(value & opt int 1 & info [ "mem-seed" ] ~doc:"Replay: memory seed.")
+  in
+  let crash_index_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "crash-index" ] ~doc:"Replay: persist-event boundary to crash at.")
+  in
+  let image_arg =
+    Arg.(
+      value & opt string "baseline"
+      & info [ "image" ] ~docv:"VARIANT"
+          ~doc:
+            "Replay: adversarial image variant (baseline, all, line:N or \
+             word:N).")
+  in
+  let run deep _smoke scenario no_pcso ablation no_schedules replay ops
+      sched_seed mem_seed crash_index image =
+    let ppf = Fmt.stdout in
+    match replay with
+    | Some id -> (
+        match Crashtest.Scenarios.find id with
+        | None ->
+            Fmt.epr "unknown scenario %s (know: %s)@." id
+              (String.concat ", "
+                 (List.map
+                    (fun (e : Crashtest.Scenarios.entry) -> e.id)
+                    Crashtest.Scenarios.all));
+            exit 2
+        | Some e -> (
+            match Crashtest.Report.variant_of_string image with
+            | Error msg ->
+                Fmt.epr "%s@." msg;
+                exit 2
+            | Ok variant -> (
+                let sc =
+                  e.Crashtest.Scenarios.build ~sched_seed ~mem_seed
+                    ~pcso:(not no_pcso) ~n_ops:ops
+                in
+                match
+                  Crashtest.Explore.check_point sc ~crash_index ~variant
+                with
+                | Ok () ->
+                    Fmt.pf ppf "replay %s: recovery passed (no violation)@." id
+                | Error reason ->
+                    Fmt.pf ppf "replay %s: violation reproduced: %s@." id
+                      reason;
+                    exit 1)))
+    | None ->
+        let p = if deep then Crashtest.Matrix.deep else Crashtest.Matrix.smoke in
+        let filter = scenario in
+        let ok =
+          if ablation then Crashtest.Matrix.ablation_check ?filter p ppf
+          else
+            Crashtest.Matrix.run ~pcso:(not no_pcso) ?filter
+              ~schedules:(not no_schedules) p ppf
+        in
+        if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "crashmatrix"
+       ~doc:
+         "Exhaustive crash-point and schedule exploration with \
+          durable-linearizability oracles over ResPCT and all baselines.")
+    Term.(
+      const run $ deep_arg $ smoke_arg $ scenario_arg $ no_pcso_arg
+      $ ablation_arg $ no_schedules_arg $ replay_arg $ ops_arg $ sched_seed_arg
+      $ mem_seed_arg $ crash_index_arg $ image_arg)
+
 let () =
   let info =
     Cmd.info "respct_experiments"
       ~doc:"Explore the ResPCT reproduction's experiments."
   in
-  exit (Cmd.eval (Cmd.group info [ map_cmd; queue_cmd; recover_cmd; figures_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ map_cmd; queue_cmd; recover_cmd; figures_cmd; crashmatrix_cmd ]))

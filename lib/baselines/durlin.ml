@@ -17,42 +17,66 @@ let setup env ~policy ~max_threads =
   let bump = Pds.Bump.create env ~base:lw ~limit:log_base in
   (fa, Fatomic.mem fa bump)
 
+let map_ops fa m =
+  {
+    Pds.Ops.insert =
+      (fun ~slot ~key ~value ->
+        Fatomic.with_op fa ~slot (fun () ->
+            Pds.Hashmap_transient.insert m ~slot ~key ~value));
+    remove =
+      (fun ~slot ~key ->
+        Fatomic.with_op fa ~slot (fun () ->
+            Pds.Hashmap_transient.remove m ~slot ~key));
+    search =
+      (fun ~slot ~key ->
+        Fatomic.with_op fa ~slot (fun () ->
+            Pds.Hashmap_transient.search m ~slot ~key));
+    map_rp = Pds.Ops.no_rp;
+  }
+
+let queue_ops fa q =
+  {
+    Pds.Ops.enqueue =
+      (fun ~slot v ->
+        Fatomic.with_op fa ~slot (fun () ->
+            Pds.Queue_transient.enqueue q ~slot v));
+    dequeue =
+      (fun ~slot ->
+        Fatomic.with_op fa ~slot (fun () ->
+            Pds.Queue_transient.dequeue q ~slot));
+    queue_rp = Pds.Ops.no_rp;
+  }
+
 let make_map env ~policy ~max_threads ~buckets =
   let fa, mem = setup env ~policy ~max_threads in
   let m = Pds.Hashmap_transient.create env mem ~buckets in
-  let ops =
-    {
-      Pds.Ops.insert =
-        (fun ~slot ~key ~value ->
-          Fatomic.with_op fa ~slot (fun () ->
-              Pds.Hashmap_transient.insert m ~slot ~key ~value));
-      remove =
-        (fun ~slot ~key ->
-          Fatomic.with_op fa ~slot (fun () ->
-              Pds.Hashmap_transient.remove m ~slot ~key));
-      search =
-        (fun ~slot ~key ->
-          Fatomic.with_op fa ~slot (fun () ->
-              Pds.Hashmap_transient.search m ~slot ~key));
-      map_rp = Pds.Ops.no_rp;
-    }
-  in
-  (ops, Pds.Ops.null_system)
+  (map_ops fa m, Pds.Ops.null_system)
 
 let make_queue env ~policy ~max_threads =
   let fa, mem = setup env ~policy ~max_threads in
   let q = Pds.Queue_transient.create env mem in
-  let ops =
-    {
-      Pds.Ops.enqueue =
-        (fun ~slot v ->
-          Fatomic.with_op fa ~slot (fun () ->
-              Pds.Queue_transient.enqueue q ~slot v));
-      dequeue =
-        (fun ~slot ->
-          Fatomic.with_op fa ~slot (fun () ->
-              Pds.Queue_transient.dequeue q ~slot));
-      queue_rp = Pds.Ops.no_rp;
-    }
+  (queue_ops fa q, Pds.Ops.null_system)
+
+(* Crash-test handles: same construction, but with shadow capture enabled
+   and the failure-atomic machinery plus the structure handle exposed, so
+   the crash explorer can run shadow recovery and read the persisted
+   contents. Creation runs inside its own atomic section: a crash between
+   creation and the first operation rolls back to a committed empty
+   structure. *)
+
+let make_map_instrumented env ~policy ~max_threads ~buckets =
+  let fa, mem = setup env ~policy ~max_threads in
+  Fatomic.set_shadow fa true;
+  let m =
+    Fatomic.with_op fa ~slot:0 (fun () ->
+        Pds.Hashmap_transient.create env mem ~buckets)
   in
-  (ops, Pds.Ops.null_system)
+  (fa, m, map_ops fa m)
+
+let make_queue_instrumented env ~policy ~max_threads =
+  let fa, mem = setup env ~policy ~max_threads in
+  Fatomic.set_shadow fa true;
+  let q =
+    Fatomic.with_op fa ~slot:0 (fun () -> Pds.Queue_transient.create env mem)
+  in
+  (fa, q, queue_ops fa q)

@@ -26,6 +26,10 @@ type opctx = {
   reads : (int, unit) Hashtbl.t;
   logged : (int, unit) Hashtbl.t; (* WAR vars already logged this op *)
   lines : (int, unit) Hashtbl.t; (* lines written this op *)
+  (* Shadow bookkeeping for crash-test recovery (set_shadow): *)
+  pre_words : (int, int) Hashtbl.t; (* addr -> pre-op value *)
+  line_snaps : (int, int array list) Hashtbl.t;
+      (* line -> cached images, newest first; the last one is pre-op *)
 }
 
 type t = {
@@ -35,6 +39,7 @@ type t = {
   opctxs : opctx array;
   log_bases : int array; (* per-slot NVM log region bases *)
   log_cursors : int array; (* per-slot NVM log write cursors *)
+  mutable shadow : bool;
   mutable stats_logged : int;
   mutable stats_flushed_lines : int;
 }
@@ -57,14 +62,36 @@ let create env ~policy ~max_threads ~log_base ~log_words_per_slot =
             reads = Hashtbl.create 32;
             logged = Hashtbl.create 8;
             lines = Hashtbl.create 8;
+            pre_words = Hashtbl.create 8;
+            line_snaps = Hashtbl.create 8;
           });
     log_bases =
       Array.init max_threads (fun slot -> log_base + (slot * log_words_per_slot));
     log_cursors =
       Array.init max_threads (fun slot -> log_base + (slot * log_words_per_slot));
+    shadow = false;
     stats_logged = 0;
     stats_flushed_lines = 0;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Crash-test shadow: what each published system's recovery procedure
+   would reconstruct from its persistent log, maintained host-side.
+
+   Clobber keeps an undo log in NVMM but truncates it with a volatile
+   cursor; Quadra's in-line backups are modelled as a time cost only. The
+   shadow captures the information those logs durably contain — the
+   pre-operation value of every word the in-flight section overwrote
+   (Clobber), respectively the per-line store-order image sequence that
+   in-line backups pin under PCSO (Quadra) — with zero virtual-time or
+   event footprint (Memsys.peek), so watched runs stay bit-identical. *)
+
+let set_shadow t on = t.shadow <- on
+
+let snapshot_line t line =
+  let mem = Simsched.Env.mem t.env in
+  Array.init t.line_words (fun off ->
+      Simnvm.Memsys.peek mem ((line * t.line_words) + off))
 
 (* Undo-log one variable (Clobber): the entry must reach NVMM before the
    overwrite, hence the fence on the write-ahead path. *)
@@ -87,6 +114,13 @@ let intercepted_store t ~slot addr v =
   let ctx = t.opctxs.(slot) in
   Simsched.Scheduler.charge (Simsched.Env.sched t.env) interception_ns;
   let line = Simnvm.Addr.line_of ~line_words:t.line_words addr in
+  if t.shadow then begin
+    let mem = Simsched.Env.mem t.env in
+    if not (Hashtbl.mem ctx.pre_words addr) then
+      Hashtbl.replace ctx.pre_words addr (Simnvm.Memsys.peek mem addr);
+    if not (Hashtbl.mem ctx.line_snaps line) then
+      Hashtbl.replace ctx.line_snaps line [ snapshot_line t line ]
+  end;
   (match t.policy with
   | Clobber ->
       if Hashtbl.mem ctx.reads addr && not (Hashtbl.mem ctx.logged addr) then begin
@@ -99,7 +133,10 @@ let intercepted_store t ~slot addr v =
            before the data for free. Modelled as its time cost. *)
         Simsched.Scheduler.charge (Simsched.Env.sched t.env) 6.0);
   Hashtbl.replace ctx.lines line ();
-  Simsched.Env.store t.env addr v
+  Simsched.Env.store t.env addr v;
+  if t.shadow then
+    Hashtbl.replace ctx.line_snaps line
+      (snapshot_line t line :: Hashtbl.find ctx.line_snaps line)
 
 (* Commit the section: flush the write set, one fence; reset the op
    context. The log is truncated with a lazy store (no fence), as both
@@ -121,13 +158,64 @@ let commit t ~slot =
   end;
   Hashtbl.reset ctx.reads;
   Hashtbl.reset ctx.logged;
-  Hashtbl.reset ctx.lines
+  Hashtbl.reset ctx.lines;
+  Hashtbl.reset ctx.pre_words;
+  Hashtbl.reset ctx.line_snaps
 
 let with_op t ~slot f =
   Simsched.Scheduler.charge (Simsched.Env.sched t.env) tx_overhead_ns;
   let r = f () in
   commit t ~slot;
   r
+
+(* Post-crash recovery against the shadow, applied directly to the NVMM
+   image. Clobber undoes every word the in-flight section overwrote (its
+   undo log persists before each overwrite, so the pre-image is always
+   recoverable). Quadra first validates each written line against the
+   sequence of cached images the section produced: under PCSO a write-back
+   is a line snapshot, so the persisted line must equal one of them — a
+   line matching none is torn (two stores of one line persisted out of
+   order), exactly what the word-granular ablation produces and what
+   in-line logging cannot recover from. *)
+
+type shadow_recovery =
+  | Rolled_back of int  (** in-flight sections undone *)
+  | Torn_line of int  (** persisted line state unreachable under PCSO *)
+
+let recover_shadow t =
+  let mem = Simsched.Env.mem t.env in
+  let torn = ref None in
+  let rolled = ref 0 in
+  Array.iter
+    (fun ctx ->
+      match t.policy with
+      | Clobber ->
+          if Hashtbl.length ctx.pre_words > 0 then incr rolled;
+          Hashtbl.fold (fun addr pre acc -> (addr, pre) :: acc) ctx.pre_words []
+          |> List.sort compare
+          |> List.iter (fun (addr, pre) ->
+                 Simnvm.Memsys.poke_persisted mem addr pre)
+      | Quadra ->
+          if Hashtbl.length ctx.line_snaps > 0 then incr rolled;
+          Hashtbl.fold (fun line snaps acc -> (line, snaps) :: acc)
+            ctx.line_snaps []
+          |> List.sort compare
+          |> List.iter (fun (line, snaps) ->
+                 let current =
+                   Array.init t.line_words (fun off ->
+                       Simnvm.Memsys.persisted mem ((line * t.line_words) + off))
+                 in
+                 if List.exists (fun s -> s = current) snaps then
+                   let pre = List.nth snaps (List.length snaps - 1) in
+                   Array.iteri
+                     (fun off v ->
+                       Simnvm.Memsys.poke_persisted mem
+                         ((line * t.line_words) + off)
+                         v)
+                     pre
+                 else if !torn = None then torn := Some line))
+    t.opctxs;
+  match !torn with Some line -> Torn_line line | None -> Rolled_back !rolled
 
 (* Intercepted memory interface over an NVM arena, for the transient
    structures. *)

@@ -92,11 +92,37 @@ let dequeue t ~slot:_ =
       in
       retry ())
 
+let ops t =
+  {
+    Pds.Ops.enqueue = (fun ~slot v -> enqueue t ~slot v);
+    dequeue = (fun ~slot -> dequeue t ~slot);
+    queue_rp = Pds.Ops.no_rp;
+  }
+
 let make_queue env =
   let t = create env in
-  ( {
-      Pds.Ops.enqueue = (fun ~slot v -> enqueue t ~slot v);
-      dequeue = (fun ~slot -> dequeue t ~slot);
-      queue_rp = Pds.Ops.no_rp;
-    },
-    Pds.Ops.null_system )
+  (ops t, Pds.Ops.null_system)
+
+(* Crash-test handle: the structure stays exposed for the persisted-image
+   reader below. *)
+let make_queue_instrumented env =
+  let t = create env in
+  (t, ops t)
+
+(* Recovery-time oracle view: the persisted head pointer names the sentinel;
+   the queue contents follow its persisted next chain — what the published
+   recovery procedure walks after a crash. *)
+let persisted_contents mem t =
+  let p = Simnvm.Memsys.persisted mem in
+  (* Fuel bounds the walk: corrupt crash images can tie the chain into a
+     cycle. *)
+  let rec walk node acc fuel =
+    if node = 0 then List.rev acc
+    else if fuel = 0 then failwith "persisted queue chain is cyclic"
+    else walk (p (node + 1)) (p node :: acc) (fuel - 1)
+  in
+  let sentinel = p t.head_ptr in
+  if sentinel = 0 then []
+  else
+    walk (p (sentinel + 1)) []
+      (Simnvm.Memsys.config mem).Simnvm.Memsys.nvm_words

@@ -8,7 +8,14 @@
    one flush + fence.
 
    Volatile node: [key; value; pnode; next] in DRAM.
-   Persistent node: [key; value; valid] in NVMM. *)
+   Persistent node: [key; value; valid] in NVMM.
+
+   The [valid] word models SOFT's per-word validity-bit scheme: it holds an
+   integrity tag derived from key and value (never 0), so a torn pnode —
+   some words persisted, others not, as word-granular hardware can produce
+   before the flush — fails the tag check at recovery and reads as absent,
+   exactly like a pnode whose validity bits disagree in the published
+   algorithm. Invalidation stores 0. *)
 
 let vnode_words = 4
 let pnode_words = 3
@@ -40,14 +47,20 @@ let rec find t node key =
   else if Simsched.Env.load t.env node = key then node
   else find t (Simsched.Env.load t.env (node + 3)) key
 
+(* Validity tag of a pnode (never 0, the invalidated state). *)
+let tag ~key ~value = ((key * 0x9E3779B1) lxor value lxor 0x5BF03635) lor 1
+
 (* Persist a pnode: one flush + one fence, the whole durability cost of a
-   SOFT update. *)
-let persist_pnode t ~key ~value ~valid =
+   SOFT update (two flushes only when the pnode straddles a line). *)
+let persist_pnode t ~key ~value =
   let p = Pds.Bump.alloc t.nvm_bump ~words:pnode_words in
   Simsched.Env.store t.env p key;
   Simsched.Env.store t.env (p + 1) value;
-  Simsched.Env.store t.env (p + 2) valid;
+  Simsched.Env.store t.env (p + 2) (tag ~key ~value);
   Simsched.Env.pwb t.env p;
+  let lw = Simsched.Env.line_words t.env in
+  if not (Simnvm.Addr.same_line ~line_words:lw p (p + pnode_words - 1)) then
+    Simsched.Env.pwb t.env (p + pnode_words - 1);
   Simsched.Env.psync t.env;
   p
 
@@ -57,7 +70,7 @@ let insert t ~slot:_ ~key ~value =
     let head = Simsched.Env.load t.env b in
     match find t head key with
     | 0 ->
-        let p = persist_pnode t ~key ~value ~valid:1 in
+        let p = persist_pnode t ~key ~value in
         let v = Pds.Bump.alloc t.dram_bump ~words:vnode_words in
         Simsched.Env.store t.env v key;
         Simsched.Env.store t.env (v + 1) value;
@@ -71,7 +84,7 @@ let insert t ~slot:_ ~key ~value =
     | node ->
         (* update in place: new pnode persisted, old one invalidated *)
         let p_old = Simsched.Env.load t.env (node + 2) in
-        let p = persist_pnode t ~key ~value ~valid:1 in
+        let p = persist_pnode t ~key ~value in
         Simsched.Env.store t.env (node + 1) value;
         Simsched.Env.store t.env (node + 2) p;
         Simsched.Env.store t.env (p_old + 2) 0;
@@ -107,12 +120,38 @@ let remove t ~slot:_ ~key =
   and unlink_retry () = unlink 0 (Simsched.Env.load t.env b) in
   unlink_retry ()
 
+let ops t =
+  {
+    Pds.Ops.insert = (fun ~slot ~key ~value -> insert t ~slot ~key ~value);
+    remove = (fun ~slot ~key -> remove t ~slot ~key);
+    search = (fun ~slot ~key -> search t ~slot ~key);
+    map_rp = Pds.Ops.no_rp;
+  }
+
 let make_map env ~buckets =
+  (ops (create env ~buckets), Pds.Ops.null_system)
+
+(* Crash-test handle: the structure stays exposed for the persisted-image
+   reader below. *)
+let make_map_instrumented env ~buckets =
   let t = create env ~buckets in
-  ( {
-      Pds.Ops.insert = (fun ~slot ~key ~value -> insert t ~slot ~key ~value);
-      remove = (fun ~slot ~key -> remove t ~slot ~key);
-      search = (fun ~slot ~key -> search t ~slot ~key);
-      map_rp = Pds.Ops.no_rp;
-    },
-    Pds.Ops.null_system )
+  (t, ops t)
+
+(* Recovery-time oracle view: scan the pnode arena (pnodes are uniform
+   3-word blocks, never freed) and keep every pnode whose validity tag
+   checks out — exactly what SOFT's recovery rebuilds the map from. A key
+   may appear twice (new pnode persisted before the old is invalidated);
+   the oracle resolves the choice. *)
+let persisted_bindings mem t =
+  let mcfg = Simnvm.Memsys.config mem in
+  let base = mcfg.Simnvm.Memsys.line_words in
+  let stop = base + Pds.Bump.used t.nvm_bump ~base in
+  let p = Simnvm.Memsys.persisted mem in
+  let acc = ref [] in
+  let a = ref base in
+  while !a + pnode_words <= stop do
+    let key = p !a and value = p (!a + 1) and valid = p (!a + 2) in
+    if valid <> 0 && valid = tag ~key ~value then acc := (key, value) :: !acc;
+    a := !a + pnode_words
+  done;
+  List.sort compare !acc

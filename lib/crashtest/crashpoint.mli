@@ -1,0 +1,29 @@
+(** Crash-point enumeration: count the persist-relevant event boundaries of
+    a deterministic execution, then re-execute and crash at a chosen one. *)
+
+exception Crash_now
+(** Raised by the crash subscriber at the chosen boundary. Simulated code
+    must not catch it; it unwinds to {!run_to}. *)
+
+val persist_event : nvm_words:int -> Simnvm.Event.t -> bool
+(** Whether the event can change what a power failure leaves in NVMM: an
+    NVMM store, an NVMM write-back, or a fence. *)
+
+val pilot :
+  Simnvm.Memsys.t -> completed:(unit -> int) -> (unit -> unit) -> int * int array
+(** [pilot mem ~completed run] executes [run] to completion with a counting
+    subscriber attached and returns [(boundaries, completed_at)]:
+    the number of persist-relevant events, and per event the value of
+    [completed ()] at the instant it fired (the determinism reference for
+    re-executions). The subscriber is detached on every exit path. *)
+
+val run_to :
+  Simnvm.Memsys.t ->
+  crash_index:int ->
+  (unit -> unit) ->
+  [ `Completed | `Crashed ]
+(** Re-execute, raising {!Crash_now} exactly when persist-relevant event
+    [crash_index] fires (events [0 .. crash_index - 1] complete; the
+    triggering event does not). [`Completed] means the boundary was never
+    reached — for a deterministic world, a divergence from the pilot. The
+    subscriber is detached on every exit path. *)

@@ -1,0 +1,172 @@
+(* The crash matrix: every scenario × every crash boundary × every
+   adversarial image, plus the schedule sweeps, behind two presets.
+
+   [run] is the correctness gate (zero violations expected everywhere);
+   [ablation_check] flips the world to word-granular write-back and
+   checks the *asymmetry*: systems whose recovery leans on PCSO's
+   same-line store ordering (ResPCT's InCLL, Quadra's in-line logging)
+   must break, systems that persist each datum with explicit flushes
+   before depending on it (Clobber's write-ahead undo log, SOFT's
+   validity-tagged pnodes, FriedmanQueue) must keep passing. A matrix
+   where everything passes under the ablation would mean the explorer
+   cannot see persist-order bugs at all. *)
+
+type preset = {
+  label : string;
+  map_ops : int;
+  queue_ops : int;
+  seeds : (int * int) list;  (** (sched_seed, mem_seed) pairs *)
+  max_images : int;
+  sched_seeds : int list;
+  sched_delays : float list;
+  sched_stride : int;
+}
+
+let smoke =
+  {
+    label = "smoke";
+    map_ops = 18;
+    queue_ops = 14;
+    seeds = [ (1, 1) ];
+    max_images = 48;
+    sched_seeds = [ 1; 2 ];
+    sched_delays = [ 400.0 ];
+    sched_stride = 7;
+  }
+
+let deep =
+  {
+    label = "deep";
+    map_ops = 40;
+    queue_ops = 32;
+    seeds = [ (1, 1); (2, 3); (5, 7) ];
+    max_images = 160;
+    sched_seeds = [ 1; 2; 3; 4; 5; 6 ];
+    sched_delays = [ 150.0; 1200.0 ];
+    sched_stride = 3;
+  }
+
+let n_ops_for p = function
+  | Scenarios.Map -> p.map_ops
+  | Scenarios.Queue -> p.queue_ops
+
+let entries ?filter () =
+  match filter with
+  | None -> Scenarios.all
+  | Some f ->
+      List.filter
+        (fun (e : Scenarios.entry) ->
+          let len = String.length f in
+          String.length e.id >= len
+          && (String.sub e.id 0 len = f || e.id = f))
+        Scenarios.all
+
+let explore_entry ~pcso ~p (e : Scenarios.entry) =
+  List.map
+    (fun (sched_seed, mem_seed) ->
+      let n_ops = n_ops_for p e.Scenarios.structure in
+      let sc = e.Scenarios.build ~sched_seed ~mem_seed ~pcso ~n_ops in
+      Explore.explore ~max_images_per_point:p.max_images sc)
+    p.seeds
+
+let shrunk ~pcso (e : Scenarios.entry) (o : Explore.outcome) =
+  match o.Explore.failures with
+  | [] -> None
+  | f :: _ ->
+      let s = o.Explore.scenario in
+      let rebuild ~n_ops =
+        e.Scenarios.build ~sched_seed:s.Explore.sched_seed
+          ~mem_seed:s.Explore.mem_seed ~pcso ~n_ops
+      in
+      Some (Shrink.minimize ~rebuild ~n_ops:s.Explore.n_ops f)
+
+let run ?(pcso = true) ?filter ?(schedules = true) p ppf =
+  Fmt.pf ppf "crash matrix (%s, %s)@."
+    p.label
+    (if pcso then "PCSO" else "word-granular ablation");
+  let violations = ref 0 in
+  List.iter
+    (fun (e : Scenarios.entry) ->
+      List.iter
+        (fun (o : Explore.outcome) ->
+          Fmt.pf ppf "  %a@." Report.pp_outcome o;
+          if o.Explore.failures <> [] then begin
+            violations := !violations + List.length o.Explore.failures;
+            List.iteri
+              (fun i f ->
+                if i < 3 then Fmt.pf ppf "    %a@." Report.pp_failure f)
+              o.Explore.failures;
+            match shrunk ~pcso e o with
+            | None -> ()
+            | Some c -> Fmt.pf ppf "    %a@." Report.pp_counterexample c
+          end)
+        (explore_entry ~pcso ~p e))
+    (entries ?filter ());
+  let sched_failures =
+    if not schedules then []
+    else
+      List.concat_map
+        (fun spec ->
+          Schedule.sweep spec ~seeds:p.sched_seeds ~delays:p.sched_delays
+            ~stride:p.sched_stride)
+        Schedule.all_specs
+  in
+  if schedules then
+    Fmt.pf ppf "  schedule sweeps: %d specs, %s@."
+      (List.length Schedule.all_specs)
+      (match sched_failures with
+      | [] -> "ok"
+      | fs -> Printf.sprintf "FAIL (%d)" (List.length fs));
+  List.iter (fun f -> Fmt.pf ppf "    %a@." Schedule.pp_failure f) sched_failures;
+  let ok = !violations = 0 && sched_failures = [] in
+  Fmt.pf ppf "crash matrix %s: %s@." p.label
+    (if ok then "PASS"
+     else
+       Printf.sprintf "FAIL (%d crash violations, %d schedule failures)"
+         !violations
+         (List.length sched_failures));
+  ok
+
+let ablation_check ?filter p ppf =
+  Fmt.pf ppf "ablation asymmetry check (%s): word-granular write-back@."
+    p.label;
+  let ok = ref true in
+  List.iter
+    (fun (e : Scenarios.entry) ->
+      let sched_seed, mem_seed = List.hd p.seeds in
+      let n_ops = n_ops_for p e.Scenarios.structure in
+      let sc = e.Scenarios.build ~sched_seed ~mem_seed ~pcso:false ~n_ops in
+      (* A first failure settles the verdict for systems expected to
+         break; only the ones expected to hold need the full sweep. *)
+      let o =
+        Explore.explore ~max_images_per_point:p.max_images
+          ~stop_at_first_failure:(e.Scenarios.expect_ablation = `Breaks)
+          sc
+      in
+      let broke = o.Explore.failures <> [] in
+      let expected = e.Scenarios.expect_ablation = `Breaks in
+      let verdict =
+        match (broke, expected) with
+        | true, true -> "breaks (expected: relies on PCSO)"
+        | false, false -> "holds (expected: explicit flush ordering)"
+        | true, false ->
+            ok := false;
+            "UNEXPECTED BREAK"
+        | false, true ->
+            ok := false;
+            "UNEXPECTEDLY HOLDS (explorer lost its teeth?)"
+      in
+      Fmt.pf ppf "  %-18s boundaries=%-5d images=%-5d %s@." e.Scenarios.id
+        o.Explore.boundaries o.Explore.images verdict;
+      if broke then begin
+        (match o.Explore.failures with
+        | f :: _ -> Fmt.pf ppf "    first: %a@." Report.pp_failure f
+        | [] -> ());
+        if expected then
+          match shrunk ~pcso:false e o with
+          | None -> ()
+          | Some c -> Fmt.pf ppf "    %a@." Report.pp_counterexample c
+      end)
+    (entries ?filter ());
+  Fmt.pf ppf "ablation asymmetry: %s@." (if !ok then "PASS" else "FAIL");
+  !ok

@@ -1,0 +1,36 @@
+(** The crash matrix: every scenario × crash boundary × adversarial image,
+    plus the schedule sweeps, behind [smoke] (CI) and [deep] (scheduled
+    run) presets. *)
+
+type preset = {
+  label : string;
+  map_ops : int;
+  queue_ops : int;
+  seeds : (int * int) list;  (** (sched_seed, mem_seed) pairs *)
+  max_images : int;  (** adversarial-image cap per crash point *)
+  sched_seeds : int list;
+  sched_delays : float list;
+  sched_stride : int;  (** every n-th sync point gets a preemption *)
+}
+
+val smoke : preset
+val deep : preset
+
+val run :
+  ?pcso:bool ->
+  ?filter:string ->
+  ?schedules:bool ->
+  preset ->
+  Format.formatter ->
+  bool
+(** Explore every (filtered) scenario under every seed pair, print one row
+    per outcome with shrunk counterexamples for failures, then run the
+    schedule sweeps. Returns whether everything passed. [filter] keeps
+    scenarios whose id starts with the given prefix. *)
+
+val ablation_check : ?filter:string -> preset -> Format.formatter -> bool
+(** Re-run the matrix under word-granular write-back and check the
+    asymmetry: PCSO-reliant systems (ResPCT-InCLL, Quadra) must report
+    violations, explicitly-flushing systems (Clobber, SOFT, FriedmanQueue)
+    and the buffered epoch systems must not. Returns whether every
+    expectation held. *)

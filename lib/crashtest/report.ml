@@ -1,0 +1,60 @@
+(* Rendering and (de)serialisation of explorer results: every failure is
+   printed with the full replay recipe, so a CI log line can be turned
+   back into a single re-execution. *)
+
+let variant_to_string = function
+  | Explore.Baseline -> "baseline"
+  | Explore.Evict_all -> "all"
+  | Explore.Evict_line l -> Printf.sprintf "line:%d" l
+  | Explore.Evict_word a -> Printf.sprintf "word:%d" a
+
+let variant_of_string s =
+  match String.split_on_char ':' s with
+  | [ "baseline" ] -> Ok Explore.Baseline
+  | [ "all" ] -> Ok Explore.Evict_all
+  | [ "line"; n ] -> (
+      match int_of_string_opt n with
+      | Some l -> Ok (Explore.Evict_line l)
+      | None -> Error ("bad line number: " ^ n))
+  | [ "word"; n ] -> (
+      match int_of_string_opt n with
+      | Some a -> Ok (Explore.Evict_word a)
+      | None -> Error ("bad word address: " ^ n))
+  | _ -> Error ("bad variant (baseline|all|line:N|word:N): " ^ s)
+
+let pp_variant ppf v = Fmt.string ppf (variant_to_string v)
+
+let pp_failure ppf (f : Explore.failure) =
+  Fmt.pf ppf "crash@%d image=%a: %s" f.Explore.crash_index pp_variant
+    f.Explore.variant f.Explore.reason
+
+let replay_args (c : Shrink.counterexample) =
+  Printf.sprintf
+    "--replay %s --ops %d --sched-seed %d --mem-seed %d --crash-index %d \
+     --image %s%s"
+    c.Shrink.scenario c.Shrink.n_ops c.Shrink.sched_seed c.Shrink.mem_seed
+    c.Shrink.crash_index
+    (variant_to_string c.Shrink.variant)
+    (if c.Shrink.pcso then "" else " --no-pcso")
+
+let pp_counterexample ppf (c : Shrink.counterexample) =
+  Fmt.pf ppf
+    "@[<v2>counterexample %s (shrunk to %d ops):@,\
+     seeds: scheduler=%d memory=%d pcso=%b@,\
+     crash index %d, image %a@,\
+     %s@,\
+     replay: crashmatrix %s@]"
+    c.Shrink.scenario c.Shrink.n_ops c.Shrink.sched_seed c.Shrink.mem_seed
+    c.Shrink.pcso c.Shrink.crash_index pp_variant c.Shrink.variant
+    c.Shrink.reason (replay_args c)
+
+let pp_outcome ppf (o : Explore.outcome) =
+  let s = o.Explore.scenario in
+  Fmt.pf ppf "%-18s ops=%-3d boundaries=%-5d images=%-5d%s %s"
+    s.Explore.name s.Explore.n_ops o.Explore.boundaries o.Explore.images
+    (if o.Explore.truncated > 0 then
+       Printf.sprintf " (cap dropped %d)" o.Explore.truncated
+     else "")
+    (match o.Explore.failures with
+    | [] -> "ok"
+    | fs -> Printf.sprintf "FAIL (%d violations)" (List.length fs))

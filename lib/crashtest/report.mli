@@ -1,0 +1,13 @@
+(** Rendering and (de)serialisation of explorer results; every failure
+    prints the full replay recipe for the [crashmatrix] CLI. *)
+
+val variant_to_string : Explore.variant -> string
+val variant_of_string : string -> (Explore.variant, string) result
+val pp_variant : Explore.variant Fmt.t
+val pp_failure : Explore.failure Fmt.t
+
+val replay_args : Shrink.counterexample -> string
+(** The [crashmatrix] argument string reproducing the counterexample. *)
+
+val pp_counterexample : Shrink.counterexample Fmt.t
+val pp_outcome : Explore.outcome Fmt.t

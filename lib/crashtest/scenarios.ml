@@ -1,0 +1,679 @@
+(* Crash-test scenarios: one deterministic single-producer world per
+   (system, structure) pair, each with the strongest oracle its
+   persistence contract supports.
+
+   - ResPCT (and the raw-word variant): last-checkpoint oracle. The
+     manual checkpoint coordinator snapshots the host-side reference
+     model inside [run_checkpoint ~on_flushed] — the instant every thread
+     is quiescent at a restart point, when the logical state recovery
+     must restore for a crash in the *next* epoch is exactly the model.
+     Comparing the recovered bindings against the *model* (not against a
+     persisted-image snapshot) is what catches tracking bugs such as a
+     missing [add_modified]: a never-flushed cell is stale in both the
+     image snapshot and the recovered image, but not in the model.
+
+   - Clobber / Quadra: durable-linearizability oracle. Shadow recovery
+     (Fatomic.recover_shadow) reconstructs what each published log
+     durably contains; the result must be the reference state after [c]
+     or [c + 1] completed operations ([c + 1] when the in-flight
+     operation's effects persisted in full before the crash). Quadra
+     additionally reports torn lines — persisted line states unreachable
+     under PCSO — which is precisely what the word-granular ablation
+     produces and in-cache-line logging cannot recover from.
+
+   - SOFT: durable-linearizability with per-key choice. An in-flight
+     update legitimately leaves both the old and the new pnode valid;
+     recovery may keep either, so the oracle accepts any per-key choice
+     function that reproduces state [c] or [c + 1].
+
+   - FriedmanQueue: durable linearizability on the persisted head chain.
+
+   - PMThreads / Montage / Dali: progress-and-determinism oracle only.
+     Their recovery procedures are modelled as time costs, not as
+     content transformations, so the explorer checks that every crash
+     boundary is reachable deterministically (same completed-op count as
+     the pilot) and that recovery hooks do not raise. *)
+
+let nvm_words = 1 lsl 16
+let dram_words = 1 lsl 14
+
+let mem_cfg ~mem_seed ~pcso =
+  {
+    Simnvm.Memsys.default_config with
+    Simnvm.Memsys.nvm_words;
+    dram_words;
+    sets = 64;
+    ways = 4;
+    seed = mem_seed;
+    evict_rate = 0.0;
+    pcso;
+  }
+
+let world ~sched_seed ~mem_seed ~pcso =
+  let mem = Simnvm.Memsys.create (mem_cfg ~mem_seed ~pcso) in
+  let sched = Simsched.Scheduler.create ~seed:sched_seed () in
+  let env = Simsched.Env.make mem sched in
+  (mem, sched, env)
+
+let run_world sched =
+  match Simsched.Scheduler.run sched with
+  | Simsched.Scheduler.Completed | Simsched.Scheduler.Crash_interrupt _ -> ()
+
+let buckets = 8
+
+(* ------------------------------------------------------------------ *)
+(* ResPCT: manual periodic coordinator with a termination flag (the
+   library coordinator runs forever) and model snapshots at the
+   quiescent point of every checkpoint. *)
+
+let rt_cfg =
+  {
+    Respct.Runtime.period_ns = 3_000.0;
+    flusher_pool = 2;
+    mode = Respct.Runtime.Full;
+    max_threads = 4;
+    (* Small: the workloads here are tens of ops, and recovery rescans the
+       whole registry once per adversarial image — thousands of images per
+       exploration. *)
+    registry_per_slot = 192;
+  }
+
+let spawn_coordinator sched r ~finished ~on_flushed =
+  ignore
+    (Simsched.Scheduler.spawn ~name:"ckpt" sched (fun () ->
+         let rec loop at =
+           if not !finished then begin
+             Simsched.Scheduler.sleep_until sched at;
+             if not !finished then begin
+               Respct.Runtime.run_checkpoint r ~on_flushed;
+               loop (at +. rt_cfg.Respct.Runtime.period_ns)
+             end
+           end
+         in
+         loop rt_cfg.Respct.Runtime.period_ns))
+
+(* The recovered image can only be interpreted through the structure once
+   a checkpoint has covered its creation: for a crash in the creation
+   epoch, recovery rolls back the heap cursor and the registry length, so
+   the structure's cells are discarded allocations the re-executed
+   application re-initialises — walking them would read garbage that is
+   never observable after restart. *)
+let respct_recover_check mem rt snapshots ~created_epoch ~recovered_state ~pp =
+  match !rt with
+  | None -> Ok () (* crash before the runtime existed: nothing promised *)
+  | Some r ->
+      let rep = Respct.Recovery.run ~layout:(Respct.Runtime.layout r) mem in
+      let failed = rep.Respct.Recovery.failed_epoch in
+      if failed <= !created_epoch then Ok ()
+      else
+        let expected =
+          Option.value ~default:[] (Hashtbl.find_opt snapshots failed)
+        in
+        let got = recovered_state () in
+        if got = expected then Ok ()
+        else
+          Error
+            (Fmt.str "epoch %d: recovered %a, last checkpoint had %a" failed pp
+               got pp expected)
+
+let respct_map ~sched_seed ~mem_seed ~pcso ~n_ops : Explore.scenario =
+  let make ~n_ops =
+    let mem, sched, env = world ~sched_seed ~mem_seed ~pcso in
+    let ops = Workmix.map_ops ~seed:(mem_seed + 11) ~n:n_ops () in
+    let rt = ref None in
+    let map = ref None in
+    let created_epoch = ref max_int in
+    let snapshots = Hashtbl.create 8 in
+    let model = Hashtbl.create 32 in
+    let model_snapshot () =
+      List.sort compare (Hashtbl.fold (fun k v a -> (k, v) :: a) model [])
+    in
+    let completed = ref 0 in
+    let finished = ref false in
+    let run () =
+      let r = Respct.Runtime.create ~cfg:rt_cfg env in
+      rt := Some r;
+      spawn_coordinator sched r ~finished ~on_flushed:(fun next_epoch ->
+          Hashtbl.replace snapshots next_epoch (model_snapshot ()));
+      ignore
+        (Respct.Runtime.spawn r ~slot:0 (fun _ctx ->
+             let m = Pds.Hashmap_respct.create r ~slot:0 ~buckets in
+             map := Some m;
+             created_epoch := Respct.Runtime.epoch r;
+             List.iter
+               (fun op ->
+                 (match op with
+                 | Workmix.Insert (key, value) ->
+                     ignore (Pds.Hashmap_respct.insert m ~slot:0 ~key ~value);
+                     Hashtbl.replace model key value
+                 | Workmix.Remove key ->
+                     ignore (Pds.Hashmap_respct.remove m ~slot:0 ~key);
+                     Hashtbl.remove model key
+                 | Workmix.Search key ->
+                     ignore (Pds.Hashmap_respct.search m ~slot:0 ~key));
+                 incr completed;
+                 Respct.Runtime.rp r ~slot:0 1)
+               ops;
+             finished := true));
+      run_world sched
+    in
+    let recover_check () =
+      respct_recover_check mem rt snapshots ~created_epoch
+        ~recovered_state:(fun () ->
+          match !map with
+          | None -> []
+          | Some m -> Pds.Hashmap_respct.persisted_bindings mem m)
+        ~pp:Workmix.pp_bindings
+    in
+    { Explore.mem; run; completed = (fun () -> !completed); recover_check }
+  in
+  { Explore.name = "respct-map"; sched_seed; mem_seed; pcso; n_ops; make }
+
+let respct_queue ~sched_seed ~mem_seed ~pcso ~n_ops : Explore.scenario =
+  let make ~n_ops =
+    let mem, sched, env = world ~sched_seed ~mem_seed ~pcso in
+    let ops = Workmix.queue_ops ~seed:(mem_seed + 23) ~n:n_ops () in
+    let rt = ref None in
+    let queue = ref None in
+    let created_epoch = ref max_int in
+    let snapshots = Hashtbl.create 8 in
+    let model = ref [] in
+    let completed = ref 0 in
+    let finished = ref false in
+    let run () =
+      let r = Respct.Runtime.create ~cfg:rt_cfg env in
+      rt := Some r;
+      spawn_coordinator sched r ~finished ~on_flushed:(fun next_epoch ->
+          Hashtbl.replace snapshots next_epoch !model);
+      ignore
+        (Respct.Runtime.spawn r ~slot:0 (fun _ctx ->
+             let q = Pds.Queue_respct.create r ~slot:0 in
+             queue := Some q;
+             created_epoch := Respct.Runtime.epoch r;
+             List.iter
+               (fun op ->
+                 (match op with
+                 | Workmix.Enqueue v ->
+                     Pds.Queue_respct.enqueue q ~slot:0 v;
+                     model := !model @ [ v ]
+                 | Workmix.Dequeue -> (
+                     ignore (Pds.Queue_respct.dequeue q ~slot:0);
+                     match !model with [] -> () | _ :: tl -> model := tl));
+                 incr completed;
+                 Respct.Runtime.rp r ~slot:0 1)
+               ops;
+             finished := true));
+      run_world sched
+    in
+    let recover_check () =
+      respct_recover_check mem rt snapshots ~created_epoch
+        ~recovered_state:(fun () ->
+          match !queue with
+          | None -> []
+          | Some q -> Pds.Queue_respct.persisted_contents mem q)
+        ~pp:Workmix.pp_contents
+    in
+    { Explore.mem; run; completed = (fun () -> !completed); recover_check }
+  in
+  { Explore.name = "respct-queue"; sched_seed; mem_seed; pcso; n_ops; make }
+
+(* Raw-word append log: each operation allocates one line-aligned untracked
+   persistent word, stores a unique value and registers it with
+   [add_modified] — the paper's section 3.3.2 rule for WAR-free data. The
+   [mutant] flag skips [add_modified] on every third word (a deliberately
+   planted tracking bug): its line is never flushed by any checkpoint, so
+   the last-checkpoint oracle reports a stale word. Line alignment keeps a
+   neighbouring entry's flush from masking the bug. The oracle is
+   one-sided (every entry of the failed epoch's snapshot must be
+   persisted), which is the durability contract of tracked raw data. *)
+let respct_raw ?(mutant = false) ~sched_seed ~mem_seed ~pcso ~n_ops () :
+    Explore.scenario =
+  let make ~n_ops =
+    let mem, sched, env = world ~sched_seed ~mem_seed ~pcso in
+    let rt = ref None in
+    let snapshots = Hashtbl.create 8 in
+    let entries = ref [] in
+    let completed = ref 0 in
+    let finished = ref false in
+    let run () =
+      let r = Respct.Runtime.create ~cfg:rt_cfg env in
+      rt := Some r;
+      spawn_coordinator sched r ~finished ~on_flushed:(fun next_epoch ->
+          Hashtbl.replace snapshots next_epoch !entries);
+      ignore
+        (Respct.Runtime.spawn r ~slot:0 (fun _ctx ->
+             for i = 1 to n_ops do
+               let addr =
+                 Respct.Runtime.alloc_raw ~line_start:true r ~slot:0 ~words:1
+               in
+               Simsched.Env.store env addr (1000 + i);
+               if not (mutant && i mod 3 = 0) then
+                 Respct.Runtime.add_modified r ~slot:0 addr;
+               entries := (addr, 1000 + i) :: !entries;
+               incr completed;
+               Respct.Runtime.rp r ~slot:0 1
+             done;
+             finished := true));
+      run_world sched
+    in
+    let recover_check () =
+      match !rt with
+      | None -> Ok ()
+      | Some r ->
+          let rep =
+            Respct.Recovery.run ~layout:(Respct.Runtime.layout r) mem
+          in
+          let failed = rep.Respct.Recovery.failed_epoch in
+          let expected =
+            Option.value ~default:[] (Hashtbl.find_opt snapshots failed)
+          in
+          let stale =
+            List.find_opt
+              (fun (a, v) -> Simnvm.Memsys.persisted mem a <> v)
+              expected
+          in
+          (match stale with
+          | None -> Ok ()
+          | Some (a, v) ->
+              Error
+                (Printf.sprintf
+                   "epoch %d: word %d should persist %d, image has %d" failed
+                   a v
+                   (Simnvm.Memsys.persisted mem a)))
+    in
+    { Explore.mem; run; completed = (fun () -> !completed); recover_check }
+  in
+  let name = if mutant then "respct-raw-mutant" else "respct-raw" in
+  { Explore.name; sched_seed; mem_seed; pcso; n_ops; make }
+
+(* ------------------------------------------------------------------ *)
+(* Clobber / Quadra: single worker fiber, durable-linearizability oracle
+   against the precomputed reference-prefix states. *)
+
+let durlin_allowed states c got =
+  got = states.(c) || (c + 1 < Array.length states && got = states.(c + 1))
+
+let durlin_error ~pp states c got =
+  Error
+    (Fmt.str "after %d complete ops: recovered %a not in {%a, %a}" c pp got pp
+       states.(c) pp
+       states.(min (c + 1) (Array.length states - 1)))
+
+let durlin_map ~policy ~name ~sched_seed ~mem_seed ~pcso ~n_ops :
+    Explore.scenario =
+  let make ~n_ops =
+    let mem, sched, env = world ~sched_seed ~mem_seed ~pcso in
+    let ops = Workmix.map_ops ~seed:(mem_seed + 31) ~n:n_ops () in
+    let states = Workmix.map_states ops in
+    let handles = ref None in
+    let completed = ref 0 in
+    let run () =
+      ignore
+        (Simsched.Scheduler.spawn ~name:"worker" sched (fun () ->
+             let fa, m, mops =
+               Baselines.Durlin.make_map_instrumented env ~policy
+                 ~max_threads:2 ~buckets
+             in
+             handles := Some (fa, m);
+             List.iter
+               (fun op ->
+                 (match op with
+                 | Workmix.Insert (key, value) ->
+                     ignore (mops.Pds.Ops.insert ~slot:0 ~key ~value)
+                 | Workmix.Remove key -> ignore (mops.Pds.Ops.remove ~slot:0 ~key)
+                 | Workmix.Search key ->
+                     ignore (mops.Pds.Ops.search ~slot:0 ~key));
+                 incr completed)
+               ops));
+      run_world sched
+    in
+    let recover_check () =
+      match !handles with
+      | None -> Ok () (* crash during construction: no committed state yet *)
+      | Some (fa, m) -> (
+          match Baselines.Fatomic.recover_shadow fa with
+          | Baselines.Fatomic.Torn_line line ->
+              Error
+                (Printf.sprintf
+                   "torn line %d: persisted state unreachable under PCSO" line)
+          | Baselines.Fatomic.Rolled_back _ ->
+              let got = Pds.Hashmap_transient.persisted_bindings mem m in
+              let c = !completed in
+              if durlin_allowed states c got then Ok ()
+              else durlin_error ~pp:Workmix.pp_bindings states c got)
+    in
+    { Explore.mem; run; completed = (fun () -> !completed); recover_check }
+  in
+  { Explore.name = name; sched_seed; mem_seed; pcso; n_ops; make }
+
+let durlin_queue ~policy ~name ~sched_seed ~mem_seed ~pcso ~n_ops :
+    Explore.scenario =
+  let make ~n_ops =
+    let mem, sched, env = world ~sched_seed ~mem_seed ~pcso in
+    let ops = Workmix.queue_ops ~seed:(mem_seed + 43) ~n:n_ops () in
+    let states = Workmix.queue_states ops in
+    let handles = ref None in
+    let completed = ref 0 in
+    let run () =
+      ignore
+        (Simsched.Scheduler.spawn ~name:"worker" sched (fun () ->
+             let fa, q, qops =
+               Baselines.Durlin.make_queue_instrumented env ~policy
+                 ~max_threads:2
+             in
+             handles := Some (fa, q);
+             List.iter
+               (fun op ->
+                 (match op with
+                 | Workmix.Enqueue v -> qops.Pds.Ops.enqueue ~slot:0 v
+                 | Workmix.Dequeue -> ignore (qops.Pds.Ops.dequeue ~slot:0));
+                 incr completed)
+               ops));
+      run_world sched
+    in
+    let recover_check () =
+      match !handles with
+      | None -> Ok ()
+      | Some (fa, q) -> (
+          match Baselines.Fatomic.recover_shadow fa with
+          | Baselines.Fatomic.Torn_line line ->
+              Error
+                (Printf.sprintf
+                   "torn line %d: persisted state unreachable under PCSO" line)
+          | Baselines.Fatomic.Rolled_back _ ->
+              let got = Pds.Queue_transient.persisted_contents mem q in
+              let c = !completed in
+              if durlin_allowed states c got then Ok ()
+              else durlin_error ~pp:Workmix.pp_contents states c got)
+    in
+    { Explore.mem; run; completed = (fun () -> !completed); recover_check }
+  in
+  { Explore.name = name; sched_seed; mem_seed; pcso; n_ops; make }
+
+(* ------------------------------------------------------------------ *)
+(* SOFT: durable linearizability with per-key choice — an in-flight
+   update leaves both pnodes valid and recovery may keep either. *)
+
+let soft_matches recovered state =
+  List.sort_uniq compare (List.map fst recovered) = List.map fst state
+  && List.for_all (fun kv -> List.mem kv recovered) state
+
+let soft_map ~sched_seed ~mem_seed ~pcso ~n_ops : Explore.scenario =
+  let make ~n_ops =
+    let mem, sched, env = world ~sched_seed ~mem_seed ~pcso in
+    let ops = Workmix.map_ops ~seed:(mem_seed + 53) ~n:n_ops () in
+    let states = Workmix.map_states ops in
+    let handle = ref None in
+    let completed = ref 0 in
+    let run () =
+      ignore
+        (Simsched.Scheduler.spawn ~name:"worker" sched (fun () ->
+             let t, mops = Baselines.Soft.make_map_instrumented env ~buckets in
+             handle := Some t;
+             List.iter
+               (fun op ->
+                 (match op with
+                 | Workmix.Insert (key, value) ->
+                     ignore (mops.Pds.Ops.insert ~slot:0 ~key ~value)
+                 | Workmix.Remove key -> ignore (mops.Pds.Ops.remove ~slot:0 ~key)
+                 | Workmix.Search key ->
+                     ignore (mops.Pds.Ops.search ~slot:0 ~key));
+                 incr completed)
+               ops));
+      run_world sched
+    in
+    let recover_check () =
+      match !handle with
+      | None -> Ok ()
+      | Some t ->
+          let recovered = Baselines.Soft.persisted_bindings mem t in
+          let c = !completed in
+          if
+            soft_matches recovered states.(c)
+            || c + 1 < Array.length states
+               && soft_matches recovered states.(c + 1)
+          then Ok ()
+          else
+            Error
+              (Fmt.str "after %d complete ops: valid pnodes %a match neither \
+                        %a nor the next state"
+                 c Workmix.pp_bindings recovered Workmix.pp_bindings
+                 states.(c))
+    in
+    { Explore.mem; run; completed = (fun () -> !completed); recover_check }
+  in
+  { Explore.name = "soft-map"; sched_seed; mem_seed; pcso; n_ops; make }
+
+let friedman_queue ~sched_seed ~mem_seed ~pcso ~n_ops : Explore.scenario =
+  let make ~n_ops =
+    let mem, sched, env = world ~sched_seed ~mem_seed ~pcso in
+    let ops = Workmix.queue_ops ~seed:(mem_seed + 61) ~n:n_ops () in
+    let states = Workmix.queue_states ops in
+    let handle = ref None in
+    let completed = ref 0 in
+    let run () =
+      ignore
+        (Simsched.Scheduler.spawn ~name:"worker" sched (fun () ->
+             let t, qops = Baselines.Friedman_queue.make_queue_instrumented env in
+             handle := Some t;
+             List.iter
+               (fun op ->
+                 (match op with
+                 | Workmix.Enqueue v -> qops.Pds.Ops.enqueue ~slot:0 v
+                 | Workmix.Dequeue -> ignore (qops.Pds.Ops.dequeue ~slot:0));
+                 incr completed)
+               ops));
+      run_world sched
+    in
+    let recover_check () =
+      match !handle with
+      | None -> Ok ()
+      | Some t ->
+          let got = Baselines.Friedman_queue.persisted_contents mem t in
+          let c = !completed in
+          if durlin_allowed states c got then Ok ()
+          else durlin_error ~pp:Workmix.pp_contents states c got
+    in
+    { Explore.mem; run; completed = (fun () -> !completed); recover_check }
+  in
+  { Explore.name = "friedman-queue"; sched_seed; mem_seed; pcso; n_ops; make }
+
+(* ------------------------------------------------------------------ *)
+(* Buffered epoch systems (PMThreads, Montage, Dali): their recovery is
+   modelled as a time cost, so content cannot be checked — the explorer's
+   built-in determinism oracle (same completed-op count as the pilot at
+   every boundary) is the property under test. *)
+
+type epoch_builder =
+  | Map_builder of (Simsched.Env.t -> Pds.Ops.map * Pds.Ops.system)
+  | Queue_builder of (Simsched.Env.t -> Pds.Ops.queue * Pds.Ops.system)
+
+let progress ~name ~builder ~sched_seed ~mem_seed ~pcso ~n_ops :
+    Explore.scenario =
+  let make ~n_ops =
+    let mem, sched, env = world ~sched_seed ~mem_seed ~pcso in
+    let completed = ref 0 in
+    let run () =
+      ignore
+        (Simsched.Scheduler.spawn ~name:"worker" sched (fun () ->
+             match builder with
+             | Map_builder build ->
+                 let mops, sys = build env in
+                 sys.Pds.Ops.sys_register ~slot:0;
+                 List.iter
+                   (fun op ->
+                     (match op with
+                     | Workmix.Insert (key, value) ->
+                         ignore (mops.Pds.Ops.insert ~slot:0 ~key ~value)
+                     | Workmix.Remove key ->
+                         ignore (mops.Pds.Ops.remove ~slot:0 ~key)
+                     | Workmix.Search key ->
+                         ignore (mops.Pds.Ops.search ~slot:0 ~key));
+                     incr completed;
+                     mops.Pds.Ops.map_rp ~slot:0 ~id:1)
+                   (Workmix.map_ops ~seed:(mem_seed + 71) ~n:n_ops ());
+                 sys.Pds.Ops.sys_deregister ~slot:0;
+                 sys.Pds.Ops.sys_stop ()
+             | Queue_builder build ->
+                 let qops, sys = build env in
+                 sys.Pds.Ops.sys_register ~slot:0;
+                 List.iter
+                   (fun op ->
+                     (match op with
+                     | Workmix.Enqueue v -> qops.Pds.Ops.enqueue ~slot:0 v
+                     | Workmix.Dequeue -> ignore (qops.Pds.Ops.dequeue ~slot:0));
+                     incr completed;
+                     qops.Pds.Ops.queue_rp ~slot:0 ~id:1)
+                   (Workmix.queue_ops ~seed:(mem_seed + 83) ~n:n_ops ());
+                 sys.Pds.Ops.sys_deregister ~slot:0;
+                 sys.Pds.Ops.sys_stop ()));
+      run_world sched
+    in
+    {
+      Explore.mem;
+      run;
+      completed = (fun () -> !completed);
+      recover_check = (fun () -> Ok ());
+    }
+  in
+  { Explore.name = name; sched_seed; mem_seed; pcso; n_ops; make }
+
+let epoch_period = 3_000.0
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+type structure = Map | Queue
+
+type entry = {
+  id : string;
+  structure : structure;
+  expect_ablation : [ `Breaks | `Holds ];
+  build :
+    sched_seed:int -> mem_seed:int -> pcso:bool -> n_ops:int ->
+    Explore.scenario;
+}
+
+let all : entry list =
+  [
+    {
+      id = "respct-map";
+      structure = Map;
+      expect_ablation = `Breaks;
+      build = respct_map;
+    };
+    {
+      id = "respct-queue";
+      structure = Queue;
+      expect_ablation = `Breaks;
+      build = respct_queue;
+    };
+    {
+      id = "respct-raw";
+      structure = Map;
+      expect_ablation = `Holds;
+      build =
+        (fun ~sched_seed ~mem_seed ~pcso ~n_ops ->
+          respct_raw ~sched_seed ~mem_seed ~pcso ~n_ops ());
+    };
+    {
+      id = "clobber-map";
+      structure = Map;
+      expect_ablation = `Holds;
+      build = durlin_map ~policy:Baselines.Fatomic.Clobber ~name:"clobber-map";
+    };
+    {
+      id = "clobber-queue";
+      structure = Queue;
+      expect_ablation = `Holds;
+      build =
+        durlin_queue ~policy:Baselines.Fatomic.Clobber ~name:"clobber-queue";
+    };
+    {
+      id = "quadra-map";
+      structure = Map;
+      expect_ablation = `Breaks;
+      build = durlin_map ~policy:Baselines.Fatomic.Quadra ~name:"quadra-map";
+    };
+    {
+      id = "quadra-queue";
+      structure = Queue;
+      expect_ablation = `Breaks;
+      build =
+        durlin_queue ~policy:Baselines.Fatomic.Quadra ~name:"quadra-queue";
+    };
+    {
+      id = "soft-map";
+      structure = Map;
+      expect_ablation = `Holds;
+      build = soft_map;
+    };
+    {
+      id = "friedman-queue";
+      structure = Queue;
+      expect_ablation = `Holds;
+      build = friedman_queue;
+    };
+    {
+      id = "pmthreads-map";
+      structure = Map;
+      expect_ablation = `Holds;
+      build =
+        progress ~name:"pmthreads-map"
+          ~builder:
+            (Map_builder
+               (fun env ->
+                 Baselines.Pmthreads.make_map env ~max_threads:2
+                   ~period_ns:epoch_period ~flusher_pool:2 ~buckets));
+    };
+    {
+      id = "pmthreads-queue";
+      structure = Queue;
+      expect_ablation = `Holds;
+      build =
+        progress ~name:"pmthreads-queue"
+          ~builder:
+            (Queue_builder
+               (fun env ->
+                 Baselines.Pmthreads.make_queue env ~max_threads:2
+                   ~period_ns:epoch_period ~flusher_pool:2));
+    };
+    {
+      id = "montage-map";
+      structure = Map;
+      expect_ablation = `Holds;
+      build =
+        progress ~name:"montage-map"
+          ~builder:
+            (Map_builder
+               (fun env ->
+                 Baselines.Montage.make_map env ~max_threads:2
+                   ~period_ns:epoch_period ~flusher_pool:2 ~buckets));
+    };
+    {
+      id = "montage-queue";
+      structure = Queue;
+      expect_ablation = `Holds;
+      build =
+        progress ~name:"montage-queue"
+          ~builder:
+            (Queue_builder
+               (fun env ->
+                 Baselines.Montage.make_queue env ~max_threads:2
+                   ~period_ns:epoch_period ~flusher_pool:2));
+    };
+    {
+      id = "dali-map";
+      structure = Map;
+      expect_ablation = `Holds;
+      build =
+        progress ~name:"dali-map"
+          ~builder:
+            (Map_builder
+               (fun env ->
+                 Baselines.Dali.make_map env ~max_threads:2
+                   ~period_ns:epoch_period ~flusher_pool:2 ~buckets));
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all

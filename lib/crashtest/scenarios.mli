@@ -1,0 +1,78 @@
+(** Crash-test scenarios: one deterministic world per (system, structure)
+    pair, each with the strongest oracle its persistence contract supports
+    — last-checkpoint for ResPCT, durable linearizability for the
+    flush-per-operation baselines, progress/determinism for the buffered
+    epoch systems. *)
+
+val mem_cfg : mem_seed:int -> pcso:bool -> Simnvm.Memsys.config
+(** The small deterministic world every scenario runs in (64 Ki NVMM
+    words, no spontaneous evictions — the explorer enumerates the
+    eviction adversary itself). *)
+
+val rt_cfg : Respct.Runtime.config
+(** ResPCT runtime config of the crash scenarios: 3 µs checkpoint period,
+    so short runs cross several epochs. *)
+
+val respct_map :
+  sched_seed:int -> mem_seed:int -> pcso:bool -> n_ops:int -> Explore.scenario
+
+val respct_queue :
+  sched_seed:int -> mem_seed:int -> pcso:bool -> n_ops:int -> Explore.scenario
+
+val respct_raw :
+  ?mutant:bool ->
+  sched_seed:int ->
+  mem_seed:int ->
+  pcso:bool ->
+  n_ops:int ->
+  unit ->
+  Explore.scenario
+(** Raw-word append log over [alloc_raw] + [add_modified]. With
+    [~mutant:true] every third word deliberately skips [add_modified]; the
+    last-checkpoint oracle must catch the stale word. *)
+
+val durlin_map :
+  policy:Baselines.Fatomic.policy ->
+  name:string ->
+  sched_seed:int ->
+  mem_seed:int ->
+  pcso:bool ->
+  n_ops:int ->
+  Explore.scenario
+
+val durlin_queue :
+  policy:Baselines.Fatomic.policy ->
+  name:string ->
+  sched_seed:int ->
+  mem_seed:int ->
+  pcso:bool ->
+  n_ops:int ->
+  Explore.scenario
+
+val soft_map :
+  sched_seed:int -> mem_seed:int -> pcso:bool -> n_ops:int -> Explore.scenario
+
+val friedman_queue :
+  sched_seed:int -> mem_seed:int -> pcso:bool -> n_ops:int -> Explore.scenario
+
+val soft_matches : (int * int) list -> (int * int) list -> bool
+(** Whether the valid-pnode multiset can reduce to the given state under
+    some per-key choice (exposed for tests). *)
+
+type structure = Map | Queue
+
+type entry = {
+  id : string;
+  structure : structure;
+  expect_ablation : [ `Breaks | `Holds ];
+      (** whether the word-granular write-back ablation must produce
+          violations for this system (the PCSO-reliance asymmetry) *)
+  build :
+    sched_seed:int -> mem_seed:int -> pcso:bool -> n_ops:int ->
+    Explore.scenario;
+}
+
+val all : entry list
+(** ResPCT and every baseline, over both structures where applicable. *)
+
+val find : string -> entry option

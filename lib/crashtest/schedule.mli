@@ -1,0 +1,49 @@
+(** Bounded schedule exploration: scheduler-seed sweeps plus targeted
+    preemption injection at lock-acquire / atomic-RMW trace events. *)
+
+type injection = {
+  at_sync : int;  (** ordinal of the Acquire/Rmw trace event to hit *)
+  delay_ns : float;  (** extra charge before the forced preemption *)
+}
+
+type spec = {
+  name : string;
+  run : sched_seed:int -> injection option -> (unit, string) result * int;
+      (** one full deterministic run: result of the scenario's own
+          functional checks (deadlocks reported as [Error]) and the number
+          of synchronisation points seen, which sizes the injection sweep *)
+}
+
+type failure = {
+  spec : string;
+  sched_seed : int;
+  injection : injection option;
+  reason : string;
+}
+
+val pp_failure : failure Fmt.t
+
+val sweep :
+  spec -> seeds:int list -> delays:float list -> stride:int -> failure list
+(** For every seed: one baseline run, then one run per (every [stride]-th
+    synchronisation point × delay) with the preemption injected there. *)
+
+val with_injection :
+  Simsched.Scheduler.t ->
+  injection option ->
+  (unit -> 'a) ->
+  'a * int
+(** Run a thunk with the injection subscriber attached to the scheduler's
+    trace bus; returns the thunk's result and the number of sync points
+    observed. The subscription is detached on every exit path. *)
+
+val transient_queue_spec : spec
+(** Two producers on the lock-based transient queue; per-producer FIFO
+    order and drain completeness checked. *)
+
+val respct_map_spec : spec
+(** Two ResPCT workers on disjoint key ranges with restart points and a
+    periodic checkpoint coordinator; volatile contents checked against the
+    per-worker models, rp/checkpoint deadlocks reported. *)
+
+val all_specs : spec list

@@ -1,0 +1,60 @@
+(* Counterexample minimisation.
+
+   Two dimensions, in order: the operation count (bisected — failure need
+   not be monotone in the prefix length, so the result is a local minimum,
+   which is still a valid, replayable counterexample), then the crash
+   index (the explorer visits boundaries in ascending order with
+   [stop_at_first_failure], so the failure it returns already carries the
+   smallest failing boundary for that op count). *)
+
+type counterexample = {
+  scenario : string;
+  sched_seed : int;
+  mem_seed : int;
+  pcso : bool;
+  n_ops : int;
+  crash_index : int;
+  variant : Explore.variant;
+  reason : string;
+}
+
+let of_failure (s : Explore.scenario) (f : Explore.failure) =
+  {
+    scenario = s.Explore.name;
+    sched_seed = s.Explore.sched_seed;
+    mem_seed = s.Explore.mem_seed;
+    pcso = s.Explore.pcso;
+    n_ops = s.Explore.n_ops;
+    crash_index = f.Explore.crash_index;
+    variant = f.Explore.variant;
+    reason = f.Explore.reason;
+  }
+
+let minimize ~(rebuild : n_ops:int -> Explore.scenario) ~n_ops
+    (first : Explore.failure) =
+  let fails m =
+    if m < 0 then None
+    else
+      let o = Explore.explore ~stop_at_first_failure:true (rebuild ~n_ops:m) in
+      match o.Explore.failures with f :: _ -> Some f | [] -> None
+  in
+  (* invariant: [lo] passes, [hi] fails with [f_hi] *)
+  let rec bisect lo hi f_hi =
+    if hi - lo <= 1 then (hi, f_hi)
+    else
+      let mid = (lo + hi) / 2 in
+      match fails mid with
+      | Some f -> bisect lo mid f
+      | None -> bisect mid hi f_hi
+  in
+  let m, f =
+    match fails 0 with
+    | Some f -> (0, f) (* fails before any operation: construction bug *)
+    | None -> bisect 0 n_ops first
+  in
+  of_failure (rebuild ~n_ops:m) f
+
+let replay (c : counterexample)
+    ~(rebuild : n_ops:int -> Explore.scenario) =
+  Explore.check_point (rebuild ~n_ops:c.n_ops) ~crash_index:c.crash_index
+    ~variant:c.variant

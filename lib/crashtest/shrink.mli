@@ -1,0 +1,33 @@
+(** Shrink an explorer failure to a minimal replayable counterexample:
+    smallest (local-minimum) operation prefix, then first failing crash
+    boundary within it. *)
+
+type counterexample = {
+  scenario : string;
+  sched_seed : int;
+  mem_seed : int;
+  pcso : bool;
+  n_ops : int;
+  crash_index : int;
+  variant : Explore.variant;
+  reason : string;
+}
+
+val of_failure : Explore.scenario -> Explore.failure -> counterexample
+(** Unshrunk counterexample (fallback when minimisation is skipped). *)
+
+val minimize :
+  rebuild:(n_ops:int -> Explore.scenario) ->
+  n_ops:int ->
+  Explore.failure ->
+  counterexample
+(** [rebuild] must rebuild the same scenario (same seeds, same pcso) with a
+    different operation count; [n_ops] is the failing count the failure
+    came from. *)
+
+val replay :
+  counterexample ->
+  rebuild:(n_ops:int -> Explore.scenario) ->
+  (unit, string) result
+(** Re-run exactly the counterexample's (ops, crash index, image variant)
+    triple; [Error] means it still reproduces. *)

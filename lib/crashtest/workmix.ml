@@ -1,0 +1,76 @@
+(* Deterministic operation mixes shared by the crash explorer and the
+   property tests (test/common/gen_common.ml wraps these for QCheck).
+
+   Values are unique per index and never 0 (0 is the simulator's
+   freshly-zeroed word), so a stale or torn value is always
+   distinguishable from a legitimate one. *)
+
+type map_op =
+  | Insert of int * int
+  | Remove of int
+  | Search of int
+
+type queue_op =
+  | Enqueue of int
+  | Dequeue
+
+let map_ops ?(key_range = 13) ~seed ~n () =
+  let rng = Simnvm.Rng.create seed in
+  List.init n (fun i ->
+      let key = 1 + Simnvm.Rng.int rng key_range in
+      match Simnvm.Rng.int rng 8 with
+      | 0 | 1 -> Remove key
+      | 2 -> Search key
+      | _ -> Insert (key, 100 + i))
+
+let queue_ops ~seed ~n () =
+  let rng = Simnvm.Rng.create seed in
+  List.init n (fun i ->
+      if Simnvm.Rng.int rng 3 = 0 then Dequeue else Enqueue (100 + i))
+
+(* Reference-model states after each prefix: [states.(i)] is the logical
+   state once the first [i] operations have completed. *)
+
+let map_states ops =
+  let n = List.length ops in
+  let states = Array.make (n + 1) [] in
+  let model = Hashtbl.create 16 in
+  List.iteri
+    (fun i op ->
+      (match op with
+      | Insert (k, v) -> Hashtbl.replace model k v
+      | Remove k -> Hashtbl.remove model k
+      | Search _ -> ());
+      states.(i + 1) <-
+        List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) model []))
+    ops;
+  states
+
+let queue_states ops =
+  let n = List.length ops in
+  let states = Array.make (n + 1) [] in
+  let q = ref [] in
+  List.iteri
+    (fun i op ->
+      (match op with
+      | Enqueue v -> q := !q @ [ v ]
+      | Dequeue -> ( match !q with [] -> () | _ :: tl -> q := tl));
+      states.(i + 1) <- !q)
+    ops;
+  states
+
+let pp_map_op ppf = function
+  | Insert (k, v) -> Fmt.pf ppf "insert(%d,%d)" k v
+  | Remove k -> Fmt.pf ppf "remove(%d)" k
+  | Search k -> Fmt.pf ppf "search(%d)" k
+
+let pp_queue_op ppf = function
+  | Enqueue v -> Fmt.pf ppf "enqueue(%d)" v
+  | Dequeue -> Fmt.pf ppf "dequeue"
+
+let pp_bindings ppf bs =
+  Fmt.pf ppf "{%a}"
+    (Fmt.list ~sep:Fmt.comma (fun ppf (k, v) -> Fmt.pf ppf "%d->%d" k v))
+    bs
+
+let pp_contents ppf vs = Fmt.pf ppf "[%a]" (Fmt.list ~sep:Fmt.comma Fmt.int) vs

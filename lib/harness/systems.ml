@@ -18,6 +18,8 @@ type params = {
   mode : Respct.Runtime.mode; (* ResPCT variants (Figure 10) *)
   registry_per_slot : int;
   eadr : bool;
+  evict_rate : float; (* spontaneous-eviction probability of the world *)
+  pcso : bool; (* line-granular write-back; false = word-granular ablation *)
 }
 
 let default_params =
@@ -35,6 +37,8 @@ let default_params =
     mode = Respct.Runtime.Full;
     registry_per_slot = 1 lsl 14;
     eadr = false;
+    evict_rate = Simnvm.Memsys.default_config.Simnvm.Memsys.evict_rate;
+    pcso = true;
   }
 
 type kind =
@@ -91,6 +95,8 @@ let world (p : params) ~kind =
         latency;
         seed = p.seed;
         eadr = p.eadr;
+        evict_rate = p.evict_rate;
+        pcso = p.pcso;
       }
   in
   let sched = Simsched.Scheduler.create ~seed:p.seed ~quantum:p.quantum () in

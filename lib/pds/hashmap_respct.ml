@@ -106,16 +106,21 @@ let ops t : Ops.map =
    contents bucket by bucket (used by crash-consistency tests). *)
 let persisted_bindings mem t =
   let record cell = Simnvm.Memsys.persisted mem cell in
-  let rec walk node acc =
+  (* Fuel bounds each bucket walk: a corrupt image (the crash explorer
+     feeds us adversarial ones) can tie a chain into a cycle. *)
+  let fuel = (Simnvm.Memsys.config mem).Simnvm.Memsys.nvm_words in
+  let rec walk node acc fuel =
     if node = 0 then acc
+    else if fuel = 0 then failwith "persisted bucket chain is cyclic"
     else
       walk
         (record (next_cell node))
         ((Simnvm.Memsys.persisted mem (key_of node), record (value_cell node))
         :: acc)
+        (fuel - 1)
   in
   let all = ref [] in
   for b = 0 to t.buckets - 1 do
-    all := walk (record (head_cell t b)) !all
+    all := walk (record (head_cell t b)) !all fuel
   done;
   List.sort compare !all

@@ -88,3 +88,22 @@ let ops t : Ops.map =
     search = (fun ~slot ~key -> search t ~slot ~key);
     map_rp = Ops.no_rp;
   }
+
+(* Recovery-time oracle view: rebuild the logical contents from the NVMM
+   image alone (meaningful only when the arena is NVMM-backed, i.e. for the
+   durable baselines wrapping this structure). *)
+let persisted_bindings mem t =
+  let p = Simnvm.Memsys.persisted mem in
+  (* Fuel bounds each bucket walk: corrupt crash images can tie a chain
+     into a cycle. *)
+  let fuel = (Simnvm.Memsys.config mem).Simnvm.Memsys.nvm_words in
+  let rec walk node acc fuel =
+    if node = 0 then acc
+    else if fuel = 0 then failwith "persisted bucket chain is cyclic"
+    else walk (p (node + 2)) ((p node, p (node + 1)) :: acc) (fuel - 1)
+  in
+  let all = ref [] in
+  for b = 0 to t.buckets - 1 do
+    all := walk (p (t.heads + b)) !all fuel
+  done;
+  List.sort compare !all

@@ -19,3 +19,8 @@ val remove : t -> slot:int -> key:int -> bool
 
 val ops : t -> Ops.map
 (** Harness-facing closure record (no restart points). *)
+
+val persisted_bindings : Simnvm.Memsys.t -> t -> (int * int) list
+(** Recovery-time oracle: sorted (key, value) bindings readable from the
+    NVMM image alone. Meaningful only when the arena is NVMM-backed (the
+    durable baselines wrapping this structure). *)

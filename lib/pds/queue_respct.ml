@@ -84,8 +84,15 @@ let ops t : Ops.queue =
 let persisted_contents mem t =
   let record cell = Simnvm.Memsys.persisted mem cell in
   let sentinel = record t.head_cell in
-  let rec walk node acc =
+  (* Fuel bounds the walk: a corrupt image (the crash explorer feeds us
+     adversarial ones) can tie the chain into a cycle. *)
+  let fuel = (Simnvm.Memsys.config mem).Simnvm.Memsys.nvm_words in
+  let rec walk node acc fuel =
     if node = 0 then List.rev acc
-    else walk (record (next_cell node)) (Simnvm.Memsys.persisted mem node :: acc)
+    else if fuel = 0 then failwith "persisted queue chain is cyclic"
+    else
+      walk (record (next_cell node))
+        (Simnvm.Memsys.persisted mem node :: acc)
+        (fuel - 1)
   in
-  walk (record (next_cell sentinel)) []
+  walk (record (next_cell sentinel)) [] fuel

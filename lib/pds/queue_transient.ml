@@ -59,3 +59,20 @@ let ops t : Ops.queue =
     dequeue = (fun ~slot -> dequeue t ~slot);
     queue_rp = Ops.no_rp;
   }
+
+(* Recovery-time oracle view from the NVMM image (NVMM-backed arenas only):
+   head_ptr names the sentinel; contents follow its next chain. *)
+let persisted_contents mem t =
+  let p = Simnvm.Memsys.persisted mem in
+  (* Fuel bounds the walk: corrupt crash images can tie the chain into a
+     cycle. *)
+  let rec walk node acc fuel =
+    if node = 0 then List.rev acc
+    else if fuel = 0 then failwith "persisted queue chain is cyclic"
+    else walk (p (node + 1)) (p node :: acc) (fuel - 1)
+  in
+  let sentinel = p t.head_ptr in
+  if sentinel = 0 then []
+  else
+    walk (p (sentinel + 1)) []
+      (Simnvm.Memsys.config mem).Simnvm.Memsys.nvm_words

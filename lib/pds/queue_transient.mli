@@ -12,3 +12,8 @@ val dequeue : t -> slot:int -> int option
 
 val ops : t -> Ops.queue
 (** Harness-facing closure record (no restart points). *)
+
+val persisted_contents : Simnvm.Memsys.t -> t -> int list
+(** Recovery-time oracle: contents (head to tail) readable from the NVMM
+    image alone. Meaningful only when the arena is NVMM-backed (the durable
+    baselines wrapping this structure). *)

@@ -16,10 +16,14 @@
      and psync only charges the fence cost.
 
    The [pcso] configuration flag exists for the ablation of DESIGN.md (5.1):
-   with [pcso = false], write-backs persist a random subset of the line's
-   dirty words, deliberately violating same-line ordering; the InCLL
-   crash-consistency property tests then fail, demonstrating the invariant
-   is load-bearing. *)
+   with [pcso = false], a *spontaneous* write-back persists a random subset
+   of the line's dirty words (the rest stay dirty and cached), deliberately
+   violating same-line ordering; the InCLL crash-consistency property tests
+   then fail, demonstrating the invariant is load-bearing. Explicit [pwb]
+   and capacity evictions still persist the whole line even under the
+   ablation — word-granular hardware reorders persists, it does not lose
+   flushed data — which is what keeps the explicitly-flushing baselines
+   (Clobber, SOFT, FriedmanQueue) correct under the same ablation. *)
 
 type config = {
   nvm_words : int;
@@ -178,22 +182,33 @@ let backing_write t lineno off v =
   else t.dram.(addr - t.cfg.nvm_words) <- v
 
 (* Persist a cached line to its backing store. Under PCSO the whole line is
-   copied atomically; under the ablation only a random subset of the dirty
-   words lands, modelling word-granular (non-PCSO) write-back hardware. *)
-let write_back t line =
+   copied atomically. Under the ablation a *spontaneous* ([complete=false])
+   write-back persists only a random subset of the dirty words, modelling
+   word-granular (non-PCSO) write-back hardware: the unpersisted words stay
+   dirty in the cache, so explicit flushes ([pwb], capacity evictions,
+   eADR drain — [complete=true]) still persist everything and only the
+   *ordering* of persists is weakened, never their durability. *)
+let write_back ?(complete = true) t line =
   let lineno = line.tag in
   let nvm = is_nvm t (lineno * t.cfg.line_words) in
-  if t.cfg.pcso then
+  if t.cfg.pcso || complete then begin
     for off = 0 to t.cfg.line_words - 1 do
       backing_write t lineno off line.data.(off)
-    done
-  else
-    for off = 0 to t.cfg.line_words - 1 do
-      if line.dirty_mask land (1 lsl off) <> 0 && Rng.bool t.rng then
-        backing_write t lineno off line.data.(off)
     done;
-  line.dirty <- false;
-  line.dirty_mask <- 0;
+    line.dirty <- false;
+    line.dirty_mask <- 0
+  end
+  else begin
+    let mask = ref line.dirty_mask in
+    for off = 0 to t.cfg.line_words - 1 do
+      if line.dirty_mask land (1 lsl off) <> 0 && Rng.bool t.rng then begin
+        backing_write t lineno off line.data.(off);
+        mask := !mask land lnot (1 lsl off)
+      end
+    done;
+    line.dirty_mask <- !mask;
+    line.dirty <- !mask <> 0
+  end;
   if has_subs t then
     emit t
       (Event.Writeback
@@ -301,7 +316,7 @@ let spontaneous_eviction t =
     let i = Rng.int t.rng (Array.length t.lines) in
     let line = t.lines.(i) in
     if line.tag >= 0 && line.dirty then begin
-      ignore (write_back t line);
+      ignore (write_back ~complete:false t line);
       if has_subs t then emit t (Event.Eviction { line = line.tag })
     end
   end
@@ -405,3 +420,54 @@ let persisted t addr =
 
 let flush_all t =
   Array.iter (fun line -> if line.tag >= 0 && line.dirty then ignore (write_back t line)) t.lines
+
+(* ------------------------------------------------------------------ *)
+(* Crash-image hooks for the systematic crash explorer (lib/crashtest).
+
+   These are host-level accessors: no latency is charged, no event is
+   emitted and no cache state (LRU, prefetch ring, RNG) is perturbed, so a
+   subscriber-driven pilot run and its per-boundary re-executions observe
+   identical event sequences whether or not an explorer is watching. *)
+
+(* Logical (cache-coherent) view of a word, bypassing cost and events. *)
+let peek t addr =
+  check_addr t addr;
+  let lineno = Addr.line_of ~line_words:t.cfg.line_words addr in
+  match find_line t lineno with
+  | Some line -> line.data.(Addr.offset_in_line ~line_words:t.cfg.line_words addr)
+  | None -> if is_nvm t addr then t.pmem.(addr) else t.dram.(addr - t.cfg.nvm_words)
+
+type dirty_line = { lineno : int; data : int array; mask : int }
+
+let dirty_nvm_lines t =
+  Array.fold_right
+    (fun line acc ->
+      if line.tag >= 0 && line.dirty && is_nvm t (line.tag * t.cfg.line_words)
+      then
+        { lineno = line.tag; data = Array.copy line.data; mask = line.dirty_mask }
+        :: acc
+      else acc)
+    t.lines []
+
+let image t = Array.copy t.pmem
+
+let reset_to_image t img =
+  if Array.length img <> t.cfg.nvm_words then
+    invalid_arg "Memsys.reset_to_image: image size mismatch";
+  Array.blit img 0 t.pmem 0 t.cfg.nvm_words;
+  Array.iter
+    (fun line ->
+      line.tag <- -1;
+      line.dirty <- false;
+      line.dirty_mask <- 0;
+      line.last_writer <- -1)
+    t.lines;
+  Array.fill t.dram 0 (Array.length t.dram) 0;
+  Array.fill t.recent_fills 0 prefetch_window (-1);
+  Hashtbl.reset t.recent_index;
+  t.recent_pos <- 0
+
+let poke_persisted t addr v =
+  if addr < 0 || addr >= t.cfg.nvm_words then
+    invalid_arg "Memsys.poke_persisted: address not in NVMM";
+  t.pmem.(addr) <- v

@@ -27,7 +27,12 @@ type config = {
   eadr : bool;  (** cache in the persistent domain (paper section 6) *)
   pcso : bool;
       (** [true]: line-snapshot write-back (x86 PCSO). [false]: word-granular
-          write-back ablation that deliberately breaks same-line ordering. *)
+          write-back ablation — a {e spontaneous} write-back persists a
+          random subset of the line's dirty words (the rest stay dirty and
+          cached), deliberately breaking same-line persist ordering.
+          Explicit {!pwb} and capacity evictions still persist the whole
+          line: the ablation weakens ordering, never durability, so
+          explicitly-flushing systems stay correct under it. *)
 }
 
 val default_config : config
@@ -118,3 +123,39 @@ val is_cached_dirty : t -> Addr.t -> bool
 
 val flush_all : t -> unit
 (** Write back every dirty line (test hook / clean shutdown). *)
+
+(** {2 Crash-image hooks}
+
+    Host-level accessors for the systematic crash explorer
+    ([lib/crashtest]): none of them charges latency, emits an event or
+    perturbs cache replacement state, so watched and unwatched runs stay
+    bit-identical. *)
+
+val peek : t -> Addr.t -> int
+(** Logical (cache-coherent) view of a word: the cached copy if present,
+    else the backing store. Free and event-silent, unlike {!load}. *)
+
+type dirty_line = { lineno : int; data : int array; mask : int }
+(** A dirty NVMM-backed cache line: its line number, a copy of its cached
+    contents and the bitmask of dirty words. *)
+
+val dirty_nvm_lines : t -> dirty_line list
+(** Every dirty NVMM-backed line currently cached, in deterministic order.
+    Capture {e before} {!crash}: this is the set of lines whose write-back
+    a power failure may or may not have completed, i.e. the degrees of
+    freedom of the adversarial crash-image enumeration. *)
+
+val image : t -> int array
+(** Copy of the full persistent NVMM image. *)
+
+val reset_to_image : t -> int array -> unit
+(** Restore the persistent image from a copy taken with {!image}, drop all
+    cache contents without write-back and zero the DRAM: rewinds the world
+    to a captured post-crash state so one crash point can be re-recovered
+    under several adversarial images.
+    @raise Invalid_argument on image size mismatch. *)
+
+val poke_persisted : t -> Addr.t -> int -> unit
+(** Write one word directly into the NVMM image (adversarial-image
+    construction; bypasses the cache entirely).
+    @raise Invalid_argument outside the NVMM region. *)

@@ -161,6 +161,13 @@ let wakeup t tid ~at =
 
 let set_crash_at t time = t.crash_at <- Some time
 
+(* Targeted preemption injection (schedule exploration): collapse the
+   running thread's bound so its next [poll] switches out even inside the
+   quantum. A no-op outside fibers or when no other thread is ready (the
+   min-clock dispatcher would re-pick the same thread anyway). *)
+let preempt_now t =
+  if t.current <> None then t.bound <- neg_infinity
+
 (* ------------------------------------------------------------------ *)
 (* Dispatch loop *)
 

@@ -92,3 +92,10 @@ val wakeup : t -> int -> at:float -> unit
 
 val set_crash_at : t -> float -> unit
 (** Declare a power failure at the given virtual instant. *)
+
+val preempt_now : t -> unit
+(** Force the running thread to switch out at its next {!poll}, regardless
+    of the quantum: targeted preemption injection for schedule exploration
+    (call from a {!Trace} subscriber at a chosen sync event). No-op outside
+    the simulation; the thread still resumes whenever it holds the smallest
+    ready clock. *)

@@ -1,0 +1,93 @@
+(* Shared workload generators for the test suites.
+
+   The structure tests (test_pds, test_baselines), the runtime tests
+   (test_respct) and the crash-matrix tests (test_crashtest) all drive
+   data structures with seeded random op mixes and crash the world
+   somewhere in the middle. The draw logic lives here so the suites agree
+   on what an "op mix" is, and so every randomized crash-injection
+   property prints a replayable seed when it fails instead of an opaque
+   QCheck counterexample. Finite mixes delegate to Crashtest.Workmix —
+   the same generator the crashmatrix CLI explores, which keeps `--replay`
+   lines valid across the test suite and the command line. *)
+
+module Workmix = Crashtest.Workmix
+module Rng = Simnvm.Rng
+
+type map_op = Workmix.map_op =
+  | Insert of int * int
+  | Remove of int
+  | Search of int
+
+type queue_op = Workmix.queue_op = Enqueue of int | Dequeue
+
+let pp_map_op = Workmix.pp_map_op
+let pp_queue_op = Workmix.pp_queue_op
+
+(* Finite replayable mixes (the crashmatrix workloads). *)
+let map_ops = Workmix.map_ops
+let queue_ops = Workmix.queue_ops
+
+(* ------------------------------------------------------------------ *)
+(* Infinite streams for run-until-crash workers. Each draws from the
+   caller's Rng in a fixed order (key first, then the op kind), so a
+   (generator, seed) pair pins the whole schedule. *)
+
+(* Update-heavy mix of the ResPCT crash trials: remove w.p. 1/3, insert
+   otherwise. *)
+let update_heavy_map_op rng ~key_range ~value =
+  let key = Rng.int rng key_range in
+  match Rng.int rng 3 with 0 -> Remove key | _ -> Insert (key, value)
+
+(* Uniform insert/remove/search mix of the conformance suites. *)
+let uniform_map_op rng ~key_range ~value =
+  let key = Rng.int rng key_range in
+  match Rng.int rng 3 with
+  | 0 -> Insert (key, value)
+  | 1 -> Remove key
+  | _ -> Search key
+
+(* Enqueue-biased (3/5) stream: queues drain without some bias. *)
+let biased_queue_op rng ~value =
+  if Rng.int rng 5 < 3 then Enqueue value else Dequeue
+
+(* Fair coin stream for the conformance suites. *)
+let uniform_queue_op rng ~value = if Rng.bool rng then Enqueue value else Dequeue
+
+(* ------------------------------------------------------------------ *)
+(* QCheck arbitraries. Crash-injection cases are (seed, crash time)
+   pairs; the printer emits the replay recipe so a failing property run
+   tells you exactly which world to rebuild. *)
+
+type crash_case = { seed : int; crash_us : int }
+
+let crash_ns c = float_of_int c.crash_us *. 1_000.0
+
+let pp_crash_case ppf c =
+  Fmt.pf ppf "replay: seed=%d crash_at=%dus (crash_ns=%.0f)" c.seed c.crash_us
+    (crash_ns c)
+
+let arb_crash_case ?(max_seed = 10_000) ?(min_us = 25) ?(max_us = 300) () =
+  QCheck.make
+    ~print:(Fmt.str "%a" pp_crash_case)
+    QCheck.Gen.(
+      map2
+        (fun seed crash_us -> { seed; crash_us })
+        (1 -- max_seed) (min_us -- max_us))
+
+(* A seeded finite map/queue mix: generates only the seed, derives the
+   ops deterministically, and prints both so failures replay. *)
+let arb_map_mix ?(key_range = 13) ?(max_seed = 10_000) ~n () =
+  QCheck.make
+    ~print:(fun seed ->
+      Fmt.str "@[<v>map mix seed=%d n=%d:@ %a@]" seed n
+        (Fmt.list ~sep:Fmt.sp pp_map_op)
+        (map_ops ~key_range ~seed ~n ()))
+    QCheck.Gen.(1 -- max_seed)
+
+let arb_queue_mix ?(max_seed = 10_000) ~n () =
+  QCheck.make
+    ~print:(fun seed ->
+      Fmt.str "@[<v>queue mix seed=%d n=%d:@ %a@]" seed n
+        (Fmt.list ~sep:Fmt.sp pp_queue_op)
+        (queue_ops ~seed ~n ()))
+    QCheck.Gen.(1 -- max_seed)

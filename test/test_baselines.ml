@@ -31,19 +31,18 @@ let check_map kind =
          let model = Hashtbl.create 64 in
          let rng = Rng.create 3 in
          for i = 1 to 2000 do
-           (let key = Rng.int rng 150 in
-            match Rng.int rng 3 with
-            | 0 ->
-                let fresh = ops.Pds.Ops.insert ~slot:0 ~key ~value:i in
+           (match Gen_common.uniform_map_op rng ~key_range:150 ~value:i with
+            | Gen_common.Insert (key, value) ->
+                let fresh = ops.Pds.Ops.insert ~slot:0 ~key ~value in
                 if fresh = Hashtbl.mem model key then
                   failures := `Insert (i, key) :: !failures;
-                Hashtbl.replace model key i
-            | 1 ->
+                Hashtbl.replace model key value
+            | Gen_common.Remove key ->
                 let removed = ops.Pds.Ops.remove ~slot:0 ~key in
                 if removed <> Hashtbl.mem model key then
                   failures := `Remove (i, key) :: !failures;
                 Hashtbl.remove model key
-            | _ ->
+            | Gen_common.Search key ->
                 if
                   ops.Pds.Ops.search ~slot:0 ~key <> Hashtbl.find_opt model key
                 then failures := `Search (i, key) :: !failures);
@@ -70,15 +69,15 @@ let check_queue kind =
          let model = Queue.create () in
          let rng = Rng.create 8 in
          for i = 1 to 2000 do
-           (if Rng.bool rng then begin
-              ops.Pds.Ops.enqueue ~slot:0 i;
-              Queue.push i model
-            end
-            else
-              let expected =
-                if Queue.is_empty model then None else Some (Queue.pop model)
-              in
-              if ops.Pds.Ops.dequeue ~slot:0 <> expected then incr failures);
+           (match Gen_common.uniform_queue_op rng ~value:i with
+            | Gen_common.Enqueue v ->
+                ops.Pds.Ops.enqueue ~slot:0 v;
+                Queue.push v model
+            | Gen_common.Dequeue ->
+                let expected =
+                  if Queue.is_empty model then None else Some (Queue.pop model)
+                in
+                if ops.Pds.Ops.dequeue ~slot:0 <> expected then incr failures);
            ops.Pds.Ops.queue_rp ~slot:0 ~id:1
          done;
          sys.Pds.Ops.sys_deregister ~slot:0;

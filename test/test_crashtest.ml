@@ -1,0 +1,331 @@
+(* Tests for the crash explorer itself: that it passes correct systems,
+   that it catches a deliberately planted persistence bug with a shrunk
+   replayable counterexample, that the word-granular ablation breaks
+   exactly the PCSO-reliant systems, that ResPCT recovery is idempotent
+   under crashes *during* recovery, and that the explorer's Memsys
+   subscribers never leak past a world's teardown. *)
+
+module Memsys = Simnvm.Memsys
+module Scheduler = Simsched.Scheduler
+module Env = Simsched.Env
+module Crashpoint = Crashtest.Crashpoint
+module Explore = Crashtest.Explore
+module Scenarios = Crashtest.Scenarios
+module Shrink = Crashtest.Shrink
+module Schedule = Crashtest.Schedule
+module Workmix = Crashtest.Workmix
+
+let scenario_of id ~pcso ~n_ops =
+  match Scenarios.find id with
+  | Some e -> e.Scenarios.build ~sched_seed:1 ~mem_seed:1 ~pcso ~n_ops
+  | None -> Alcotest.failf "unknown scenario %s" id
+
+(* ------------------------------------------------------------------ *)
+(* Workmix: seeded generators are deterministic and their model prefixes
+   line up. *)
+
+let test_workmix_deterministic () =
+  let a = Workmix.map_ops ~seed:7 ~n:40 () in
+  let b = Workmix.map_ops ~seed:7 ~n:40 () in
+  Alcotest.(check bool) "same seed, same map mix" true (a = b);
+  Alcotest.(check bool)
+    "different seed, different mix" true
+    (a <> Workmix.map_ops ~seed:8 ~n:40 ());
+  let states = Workmix.map_states a in
+  Alcotest.(check int) "n+1 prefix states" 41 (Array.length states);
+  Alcotest.(check (list (pair int int))) "empty start" [] states.(0);
+  let q = Workmix.queue_ops ~seed:7 ~n:40 () in
+  Alcotest.(check bool)
+    "same seed, same queue mix" true
+    (q = Workmix.queue_ops ~seed:7 ~n:40 ());
+  Alcotest.(check int)
+    "queue prefix states" 41
+    (Array.length (Workmix.queue_states q))
+
+(* ------------------------------------------------------------------ *)
+(* Correct systems survive the full crash matrix (small worlds). *)
+
+let test_correct_systems_pass () =
+  List.iter
+    (fun id ->
+      let o = Explore.explore (scenario_of id ~pcso:true ~n_ops:6) in
+      Alcotest.(check int)
+        (id ^ " boundaries > 0 sanity")
+        0
+        (if o.Explore.boundaries > 0 then 0 else 1);
+      Alcotest.(check int) (id ^ " violations") 0 (List.length o.Explore.failures))
+    [ "respct-map"; "respct-queue"; "clobber-map"; "soft-map"; "friedman-queue" ]
+
+(* ------------------------------------------------------------------ *)
+(* The planted mutant: an append log that skips [add_modified] for every
+   third word must be caught, shrink to a replayable counterexample, and
+   replay. *)
+
+let test_mutant_caught_and_shrunk () =
+  let rebuild ~n_ops =
+    Scenarios.respct_raw ~mutant:true ~sched_seed:1 ~mem_seed:1 ~pcso:true
+      ~n_ops ()
+  in
+  (* 18 ops so the run crosses several checkpoints: the oracle can only
+     see the missing [add_modified] once a checkpoint that should have
+     flushed the word has completed. *)
+  let o = Explore.explore ~stop_at_first_failure:true (rebuild ~n_ops:18) in
+  match o.Explore.failures with
+  | [] -> Alcotest.fail "mutant respct-raw scenario was not caught"
+  | f :: _ ->
+      let c = Shrink.minimize ~rebuild ~n_ops:18 f in
+      Alcotest.(check bool) "shrunk op count <= original" true (c.Shrink.n_ops <= 18);
+      Alcotest.(check bool)
+        "shrunk crash index <= original" true
+        (c.Shrink.crash_index <= f.Explore.crash_index);
+      (match Shrink.replay c ~rebuild with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "shrunk counterexample does not reproduce");
+      (* The printed replay line round-trips through the CLI's variant
+         syntax. *)
+      let s = Crashtest.Report.variant_to_string c.Shrink.variant in
+      Alcotest.(check bool)
+        "variant round-trips" true
+        (Crashtest.Report.variant_of_string s = Ok c.Shrink.variant)
+
+let test_unmutated_raw_passes () =
+  let sc =
+    Scenarios.respct_raw ~sched_seed:1 ~mem_seed:1 ~pcso:true ~n_ops:9 ()
+  in
+  let o = Explore.explore sc in
+  Alcotest.(check int) "no violations" 0 (List.length o.Explore.failures)
+
+(* ------------------------------------------------------------------ *)
+(* Ablation asymmetry: word-granular write-back must break the
+   InCLL-based systems and leave the explicitly-flushing ones passing. *)
+
+let test_ablation_breaks_incll () =
+  List.iter
+    (fun id ->
+      let o =
+        Explore.explore ~stop_at_first_failure:true
+          (scenario_of id ~pcso:false ~n_ops:8)
+      in
+      Alcotest.(check bool)
+        (id ^ " breaks under word-granular write-back")
+        true
+        (o.Explore.failures <> []))
+    [ "respct-map"; "quadra-map"; "quadra-queue" ]
+
+let test_ablation_spares_explicit_flushers () =
+  List.iter
+    (fun id ->
+      let o = Explore.explore (scenario_of id ~pcso:false ~n_ops:6) in
+      Alcotest.(check int)
+        (id ^ " holds under word-granular write-back")
+        0
+        (List.length o.Explore.failures))
+    [ "clobber-map"; "clobber-queue"; "soft-map"; "friedman-queue" ]
+
+(* ------------------------------------------------------------------ *)
+(* Recovery idempotence: crash ResPCT recovery at every persist-event
+   boundary of the recovery itself; re-running recovery must produce a
+   byte-identical persistent image and the same rolled-back report. *)
+
+let respct_world ~n_ops =
+  let mem = Memsys.create (Scenarios.mem_cfg ~mem_seed:1 ~pcso:true) in
+  let sched = Scheduler.create ~seed:1 () in
+  let env = Env.make mem sched in
+  let rt = Respct.Runtime.create ~cfg:Scenarios.rt_cfg env in
+  let finished = ref false in
+  let period = Scenarios.rt_cfg.Respct.Runtime.period_ns in
+  ignore
+    (Scheduler.spawn ~name:"ckpt" sched (fun () ->
+         let rec loop at =
+           Scheduler.sleep_until sched at;
+           if not !finished then begin
+             Respct.Runtime.run_checkpoint rt ~on_flushed:(fun _ -> ());
+             loop (at +. period)
+           end
+         in
+         loop period));
+  ignore
+    (Respct.Runtime.spawn rt ~slot:0 (fun _ctx ->
+         let m = Pds.Hashmap_respct.create rt ~slot:0 ~buckets:8 in
+         List.iter
+           (fun op ->
+             (match op with
+             | Workmix.Insert (key, value) ->
+                 ignore (Pds.Hashmap_respct.insert m ~slot:0 ~key ~value)
+             | Workmix.Remove key ->
+                 ignore (Pds.Hashmap_respct.remove m ~slot:0 ~key)
+             | Workmix.Search key ->
+                 ignore (Pds.Hashmap_respct.search m ~slot:0 ~key));
+             Respct.Runtime.rp rt ~slot:0 1)
+           (Gen_common.map_ops ~seed:5 ~n:n_ops ());
+         finished := true));
+  let run () =
+    match Scheduler.run sched with
+    | Scheduler.Completed | Scheduler.Crash_interrupt _ -> ()
+  in
+  (mem, rt, run)
+
+let count_recovery_boundaries mem ~layout =
+  let nvm_words = (Memsys.config mem).Memsys.nvm_words in
+  let n = ref 0 in
+  let sub =
+    Memsys.subscribe mem (fun ev ->
+        if Crashpoint.persist_event ~nvm_words ev then incr n)
+  in
+  let rep =
+    Fun.protect
+      ~finally:(fun () -> Memsys.unsubscribe mem sub)
+      (fun () -> Respct.Recovery.run ~layout mem)
+  in
+  (!n, rep)
+
+let interrupt_recovery_at mem ~layout j =
+  let nvm_words = (Memsys.config mem).Memsys.nvm_words in
+  let n = ref 0 in
+  let sub =
+    Memsys.subscribe mem (fun ev ->
+        if Crashpoint.persist_event ~nvm_words ev then begin
+          if !n = j then raise Crashpoint.Crash_now;
+          incr n
+        end)
+  in
+  Fun.protect
+    ~finally:(fun () -> Memsys.unsubscribe mem sub)
+    (fun () ->
+      match Respct.Recovery.run ~layout mem with
+      | _ -> Alcotest.failf "recovery finished before boundary %d" j
+      | exception Crashpoint.Crash_now -> ())
+
+let test_recovery_idempotent () =
+  (* Pilot the world once to learn its boundary count, then pick a crash
+     point deep enough that several epochs and rollbacks are in play. *)
+  let mem, _rt, run = respct_world ~n_ops:12 in
+  let boundaries, _ = Crashpoint.pilot mem ~completed:(fun () -> 0) run in
+  Alcotest.(check bool) "world persists something" true (boundaries > 10);
+  let crash_index = boundaries * 2 / 3 in
+  let mem, rt, run = respct_world ~n_ops:12 in
+  (match Crashpoint.run_to mem ~crash_index run with
+  | `Crashed -> ()
+  | `Completed -> Alcotest.fail "crash boundary never reached");
+  Memsys.crash mem;
+  let layout = Respct.Runtime.layout rt in
+  let post_crash = Memsys.image mem in
+  (* Reference: uninterrupted recovery. *)
+  let rb, rep_ref = count_recovery_boundaries mem ~layout in
+  let image_ref = Memsys.image mem in
+  let cells_ref = List.sort compare rep_ref.Respct.Recovery.rolled_back in
+  Alcotest.(check bool) "recovery persists something" true (rb > 0);
+  (* Crash recovery at each of its own boundaries and re-run. *)
+  for j = 0 to rb - 1 do
+    Memsys.reset_to_image mem post_crash;
+    interrupt_recovery_at mem ~layout j;
+    Memsys.crash mem;
+    let rep = Respct.Recovery.run ~layout mem in
+    Alcotest.(check bool)
+      (Printf.sprintf "image identical after crash@%d + re-run" j)
+      true
+      (Memsys.image mem = image_ref);
+    Alcotest.(check int)
+      (Printf.sprintf "failed epoch stable after crash@%d" j)
+      rep_ref.Respct.Recovery.failed_epoch rep.Respct.Recovery.failed_epoch;
+    Alcotest.(check bool)
+      (Printf.sprintf "rolled-back cells identical after crash@%d" j)
+      true
+      (List.sort compare rep.Respct.Recovery.rolled_back = cells_ref)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Subscriber hygiene: the explorer's counting subscribers must detach on
+   every exit path — completion, crash, and exceptions out of the world. *)
+
+let test_subscribers_detach () =
+  let sc = scenario_of "respct-map" ~pcso:true ~n_ops:6 in
+  let inst = sc.Explore.make ~n_ops:6 in
+  let before = Memsys.subscriber_count inst.Explore.mem in
+  let boundaries, _ =
+    Crashpoint.pilot inst.Explore.mem ~completed:inst.Explore.completed
+      inst.Explore.run
+  in
+  Alcotest.(check int) "pilot detaches" before
+    (Memsys.subscriber_count inst.Explore.mem);
+  let inst2 = sc.Explore.make ~n_ops:6 in
+  let before2 = Memsys.subscriber_count inst2.Explore.mem in
+  (match
+     Crashpoint.run_to inst2.Explore.mem ~crash_index:(boundaries / 2)
+       inst2.Explore.run
+   with
+  | `Crashed -> ()
+  | `Completed -> Alcotest.fail "expected a crash");
+  Alcotest.(check int) "crashed run detaches" before2
+    (Memsys.subscriber_count inst2.Explore.mem)
+
+let test_subscribers_detach_on_raise () =
+  let mem = Memsys.create (Scenarios.mem_cfg ~mem_seed:1 ~pcso:true) in
+  let before = Memsys.subscriber_count mem in
+  (match
+     Crashpoint.pilot mem ~completed:(fun () -> 0) (fun () -> failwith "boom")
+   with
+  | _ -> Alcotest.fail "pilot swallowed the exception"
+  | exception Failure _ -> ());
+  Alcotest.(check int) "pilot detaches on raise" before
+    (Memsys.subscriber_count mem);
+  (match
+     Crashpoint.run_to mem ~crash_index:0 (fun () -> failwith "boom")
+   with
+  | _ -> Alcotest.fail "run_to swallowed the exception"
+  | exception Failure _ -> ());
+  Alcotest.(check int) "run_to detaches on raise" before
+    (Memsys.subscriber_count mem)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule sweeps stay clean on the shipped specs. *)
+
+let test_schedule_sweeps_clean () =
+  List.iter
+    (fun spec ->
+      let failures =
+        Schedule.sweep spec ~seeds:[ 1 ] ~delays:[ 400.0 ] ~stride:9
+      in
+      Alcotest.(check int)
+        (spec.Schedule.name ^ " sweep failures")
+        0 (List.length failures))
+    Schedule.all_specs
+
+let () =
+  Alcotest.run "crashtest"
+    [
+      ( "workmix",
+        [ Alcotest.test_case "deterministic" `Quick test_workmix_deterministic ]
+      );
+      ( "explorer",
+        [
+          Alcotest.test_case "correct systems pass" `Slow
+            test_correct_systems_pass;
+          Alcotest.test_case "mutant caught + shrunk + replays" `Slow
+            test_mutant_caught_and_shrunk;
+          Alcotest.test_case "unmutated raw log passes" `Quick
+            test_unmutated_raw_passes;
+        ] );
+      ( "ablation",
+        [
+          Alcotest.test_case "breaks InCLL systems" `Slow
+            test_ablation_breaks_incll;
+          Alcotest.test_case "spares explicit flushers" `Slow
+            test_ablation_spares_explicit_flushers;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "idempotent under mid-recovery crashes" `Slow
+            test_recovery_idempotent;
+        ] );
+      ( "subscribers",
+        [
+          Alcotest.test_case "detach on completion and crash" `Quick
+            test_subscribers_detach;
+          Alcotest.test_case "detach when the world raises" `Quick
+            test_subscribers_detach_on_raise;
+        ] );
+      ( "schedules",
+        [ Alcotest.test_case "sweeps clean" `Slow test_schedule_sweeps_clean ]
+      );
+    ]

@@ -190,10 +190,13 @@ let crash_trial_map seed =
            let m = Option.get !map in
            let rng = Rng.create (seed * 13 + w) in
            let rec loop i =
-             let key = Rng.int rng 128 in
-             (match Rng.int rng 3 with
-             | 0 -> ignore (Pds.Hashmap_respct.remove m ~slot:w ~key)
-             | _ -> ignore (Pds.Hashmap_respct.insert m ~slot:w ~key ~value:i));
+             (match Gen_common.update_heavy_map_op rng ~key_range:128 ~value:i with
+             | Gen_common.Remove key ->
+                 ignore (Pds.Hashmap_respct.remove m ~slot:w ~key)
+             | Gen_common.Insert (key, value) ->
+                 ignore (Pds.Hashmap_respct.insert m ~slot:w ~key ~value)
+             | Gen_common.Search key ->
+                 ignore (Pds.Hashmap_respct.search m ~slot:w ~key));
              Respct.Runtime.rp rt ~slot:w 1;
              loop (i + 1)
            in
@@ -250,8 +253,9 @@ let crash_trial_queue seed =
          queue := Some q;
          let rng = Rng.create (seed * 17) in
          let rec loop i =
-           (if Rng.int rng 5 < 3 then Pds.Queue_respct.enqueue q ~slot:0 i
-            else ignore (Pds.Queue_respct.dequeue q ~slot:0));
+           (match Gen_common.biased_queue_op rng ~value:i with
+           | Gen_common.Enqueue v -> Pds.Queue_respct.enqueue q ~slot:0 v
+           | Gen_common.Dequeue -> ignore (Pds.Queue_respct.dequeue q ~slot:0));
            Respct.Runtime.rp rt ~slot:0 1;
            loop (i + 1)
          in

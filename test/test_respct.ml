@@ -565,10 +565,11 @@ let test_cond_wait_no_deadlock () =
 let prop_recovery_equals_last_checkpoint =
   QCheck.Test.make ~name:"recovery restores exactly the last checkpoint"
     ~count:25
-    QCheck.(pair (int_range 1 10_000) (int_range 25 300))
-    (fun (seed, crash_us) ->
-      let crash_ns = float_of_int crash_us *. 1_000.0 in
-      match crash_trial ~seed ~crash_ns () with
+    (Gen_common.arb_crash_case ())
+    (fun c ->
+      match
+        crash_trial ~seed:c.Gen_common.seed ~crash_ns:(Gen_common.crash_ns c) ()
+      with
       | None, _, _ -> true
       | Some s, Some r, _ -> s = r
       | Some _, None, _ -> false)

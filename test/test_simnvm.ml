@@ -328,6 +328,39 @@ let test_pipeline_unsubscribe () =
   Memsys.unsubscribe m sub;
   Alcotest.(check int) "double detach no-op" 1 (Memsys.subscriber_count m)
 
+(* Crash-explorer usage pattern: transient counting subscribers attach and
+   detach around every re-execution (Fun.protect on exceptional exits, the
+   way Crashtest.Crashpoint does), including subscribers that abort the
+   run by raising mid-event. Churning them must never strand an entry in
+   the pipeline or starve the remaining subscribers. *)
+let test_pipeline_churn () =
+  let m = Memsys.create (cfg ()) in
+  let base = Memsys.subscriber_count m in
+  let delivered = ref 0 in
+  let _keeper = Memsys.subscribe m (fun _ -> incr delivered) in
+  for round = 1 to 50 do
+    let n = ref 0 in
+    let sub = Memsys.subscribe m (fun _ -> incr n) in
+    (try
+       Fun.protect
+         ~finally:(fun () -> Memsys.unsubscribe m sub)
+         (fun () ->
+           Memsys.store m (8 * (round mod 16)) round;
+           if round mod 7 = 0 then failwith "simulated crash boundary";
+           ignore (Memsys.load m (8 * (round mod 16))))
+     with Failure _ -> ());
+    Alcotest.(check int)
+      (Printf.sprintf "round %d detached" round)
+      (base + 1) (Memsys.subscriber_count m);
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d saw its events" round)
+      true (!n > 0)
+  done;
+  Alcotest.(check bool) "long-lived subscriber kept receiving" true
+    (!delivered >= 50);
+  let s = Memsys.stats m in
+  Alcotest.(check int) "stats saw every store" 50 s.Stats.stores
+
 let test_pipeline_clear_freezes_stats () =
   let m = Memsys.create (cfg ()) in
   Memsys.store m 0 1;
@@ -435,6 +468,7 @@ let () =
         [
           Alcotest.test_case "delivery order" `Quick test_pipeline_delivery;
           Alcotest.test_case "unsubscribe" `Quick test_pipeline_unsubscribe;
+          Alcotest.test_case "subscriber churn" `Quick test_pipeline_churn;
           Alcotest.test_case "clear freezes stats" `Quick
             test_pipeline_clear_freezes_stats;
         ] );
