@@ -186,6 +186,51 @@ let figures_cmd =
   Cmd.v (Cmd.info "figures" ~doc:"Regenerate selected figures.")
     Term.(const run $ scale_arg $ names)
 
+let integrity_cmd =
+  let threads_opt =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "threads" ]
+          ~doc:"Restrict the sweep to one worker thread count.")
+  in
+  let run scale threads json =
+    let threads = Option.map (fun t -> [ t ]) threads in
+    let pts = Experiments.integrity_points ~scale ?threads () in
+    let sweep =
+      Option.value ~default:scale.Experiments.sweep_threads threads
+    in
+    Table.print ~title:"Integrity tax (ResPCT sealed/raw Mops, delta)"
+      ~header:("threads:" :: List.map string_of_int sweep)
+      (Experiments.integrity_overhead_rows pts);
+    match json with
+    | None -> ()
+    | Some path ->
+        let sel f =
+          List.concat_map (fun (_, cells) -> List.map f cells) pts
+        in
+        (try
+           Obs.Json.to_file path
+             (Obs.Run.document
+                [
+                  Obs.Run.experiment "integrity-off"
+                    (sel (fun (_, off, _) -> off));
+                  Obs.Run.experiment "integrity-on"
+                    (sel (fun (_, _, on) -> on));
+                ])
+         with Sys_error msg ->
+           Printf.eprintf "cannot write --json sink: %s\n" msg;
+           exit 2);
+        Printf.printf "[structured results written to %s]\n" path
+  in
+  Cmd.v
+    (Cmd.info "integrity"
+       ~doc:
+         "Checksum-overhead sweep: ResPCT with sealed metadata \
+          (config.integrity) against the raw representation, Queue and \
+          HashMap workloads.")
+    Term.(const run $ scale_arg $ threads_opt $ json_arg)
+
 let crashmatrix_cmd =
   let deep_arg =
     Arg.(
@@ -225,6 +270,17 @@ let crashmatrix_cmd =
       value & flag
       & info [ "no-schedules" ] ~doc:"Skip the schedule-exploration sweeps.")
   in
+  let faults_arg =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:
+            "Run the media-fault dimension: layer deterministic torn / \
+             poisoned / bit-flipped / transiently-failing images on every \
+             crash image; integrity-mode recovery must detect or exactly \
+             repair every fault and the planted no-verification mutant must \
+             break.")
+  in
   let replay_arg =
     Arg.(
       value
@@ -258,8 +314,17 @@ let crashmatrix_cmd =
             "Replay: adversarial image variant (baseline, all, line:N or \
              word:N).")
   in
-  let run deep _smoke scenario no_pcso ablation no_schedules replay ops
-      sched_seed mem_seed crash_index image =
+  let fault_seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-seed" ]
+          ~doc:
+            "Replay: media-fault seed layered on the image (as printed by a \
+             failing --faults run).")
+  in
+  let run deep _smoke scenario no_pcso ablation no_schedules faults replay ops
+      sched_seed mem_seed crash_index image fault_seed =
     let ppf = Fmt.stdout in
     match replay with
     | Some id -> (
@@ -282,7 +347,8 @@ let crashmatrix_cmd =
                     ~pcso:(not no_pcso) ~n_ops:ops
                 in
                 match
-                  Crashtest.Explore.check_point sc ~crash_index ~variant
+                  Crashtest.Explore.check_point ?fault_seed sc ~crash_index
+                    ~variant
                 with
                 | Ok () ->
                     Fmt.pf ppf "replay %s: recovery passed (no violation)@." id
@@ -295,6 +361,7 @@ let crashmatrix_cmd =
         let filter = scenario in
         let ok =
           if ablation then Crashtest.Matrix.ablation_check ?filter p ppf
+          else if faults then Crashtest.Matrix.faults_check ?filter p ppf
           else
             Crashtest.Matrix.run ~pcso:(not no_pcso) ?filter
               ~schedules:(not no_schedules) p ppf
@@ -308,8 +375,9 @@ let crashmatrix_cmd =
           durable-linearizability oracles over ResPCT and all baselines.")
     Term.(
       const run $ deep_arg $ smoke_arg $ scenario_arg $ no_pcso_arg
-      $ ablation_arg $ no_schedules_arg $ replay_arg $ ops_arg $ sched_seed_arg
-      $ mem_seed_arg $ crash_index_arg $ image_arg)
+      $ ablation_arg $ no_schedules_arg $ faults_arg $ replay_arg $ ops_arg
+      $ sched_seed_arg $ mem_seed_arg $ crash_index_arg $ image_arg
+      $ fault_seed_arg)
 
 let () =
   let info =
@@ -319,4 +387,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ map_cmd; queue_cmd; recover_cmd; figures_cmd; crashmatrix_cmd ]))
+          [
+            map_cmd;
+            queue_cmd;
+            recover_cmd;
+            figures_cmd;
+            integrity_cmd;
+            crashmatrix_cmd;
+          ]))

@@ -30,6 +30,10 @@ type instance = {
   recover_check : unit -> (unit, string) result;
       (** recover the current persistent image and check it against the
           oracle; called once per adversarial image *)
+  recover_check_faulty : (unit -> (unit, string) result) option;
+      (** oracle for images carrying injected media damage: recovery must
+          either restore the exact snapshot or explicitly report the
+          damage; [None] falls back to [recover_check] *)
 }
 
 type scenario = {
@@ -47,7 +51,12 @@ type variant =
   | Evict_word of int
   | Evict_all
 
-type failure = { crash_index : int; variant : variant; reason : string }
+type failure = {
+  crash_index : int;
+  variant : variant;
+  fault_seed : int option;
+  reason : string;
+}
 
 type outcome = {
   scenario : scenario;
@@ -110,7 +119,8 @@ let variants_for ~eadr ~pcso ~line_words ~max_images dirty =
     else (List.filteri (fun i _ -> i < max_images) all, total - max_images)
 
 let explore ?(max_images_per_point = 64) ?(stop_at_first_failure = false)
-    (s : scenario) =
+    ?(fault_seeds = []) (s : scenario) =
+  let fault_options = None :: List.map Option.some fault_seeds in
   let pilot_inst = s.make ~n_ops:s.n_ops in
   match
     Crashpoint.pilot pilot_inst.mem ~completed:pilot_inst.completed
@@ -127,6 +137,7 @@ let explore ?(max_images_per_point = 64) ?(stop_at_first_failure = false)
             {
               crash_index = 0;
               variant = Baseline;
+              fault_seed = None;
               reason = "pilot run raised " ^ Printexc.to_string e;
             };
           ];
@@ -153,6 +164,7 @@ let explore ?(max_images_per_point = 64) ?(stop_at_first_failure = false)
           {
             crash_index = ck;
             variant = Baseline;
+            fault_seed = None;
             reason = "crash run raised " ^ Printexc.to_string e;
           }
     | `Completed ->
@@ -160,6 +172,7 @@ let explore ?(max_images_per_point = 64) ?(stop_at_first_failure = false)
           {
             crash_index = ck;
             variant = Baseline;
+            fault_seed = None;
             reason =
               Printf.sprintf
                 "re-execution diverged: boundary %d never reached" ck;
@@ -170,6 +183,7 @@ let explore ?(max_images_per_point = 64) ?(stop_at_first_failure = false)
             {
               crash_index = ck;
               variant = Baseline;
+              fault_seed = None;
               reason =
                 Printf.sprintf
                   "nondeterministic re-execution: %d ops completed, pilot \
@@ -190,21 +204,44 @@ let explore ?(max_images_per_point = 64) ?(stop_at_first_failure = false)
           truncated := !truncated + dropped;
           List.iter
             (fun v ->
-              if not (stop ()) then begin
-                Simnvm.Memsys.reset_to_image mem base;
-                apply_variant mem dirty v;
-                incr images;
-                match ik.recover_check () with
-                | Ok () -> ()
-                | Error reason -> add { crash_index = ck; variant = v; reason }
-                | exception e ->
-                    add
-                      {
-                        crash_index = ck;
-                        variant = v;
-                        reason = "recovery raised " ^ Printexc.to_string e;
-                      }
-              end)
+              List.iter
+                (fun fs ->
+                  if not (stop ()) then begin
+                    (* reset clears poison / transient state from the
+                       previous fault image as well as the pokes *)
+                    Simnvm.Memsys.reset_to_image mem base;
+                    apply_variant mem dirty v;
+                    let check =
+                      match fs with
+                      | None -> ik.recover_check
+                      | Some seed ->
+                          Faultplan.apply mem ~base ~dirty
+                            (Faultplan.derive ~seed ~crash_index:ck
+                               ~line_words:cfg.Simnvm.Memsys.line_words dirty);
+                          Option.value ik.recover_check_faulty
+                            ~default:ik.recover_check
+                    in
+                    incr images;
+                    match check () with
+                    | Ok () -> ()
+                    | Error reason ->
+                        add
+                          {
+                            crash_index = ck;
+                            variant = v;
+                            fault_seed = fs;
+                            reason;
+                          }
+                    | exception e ->
+                        add
+                          {
+                            crash_index = ck;
+                            variant = v;
+                            fault_seed = fs;
+                            reason = "recovery raised " ^ Printexc.to_string e;
+                          }
+                  end)
+                fault_options)
             variants
         end);
     incr k
@@ -219,15 +256,27 @@ let explore ?(max_images_per_point = 64) ?(stop_at_first_failure = false)
 
 (* Replay a single (crash point, image variant) — the counterexample
    reproduction path of the CLI. *)
-let check_point (s : scenario) ~crash_index ~variant =
+let check_point ?fault_seed (s : scenario) ~crash_index ~variant =
   let ik = s.make ~n_ops:s.n_ops in
   match Crashpoint.run_to ik.mem ~crash_index ik.run with
   | `Completed ->
       Error
         (Printf.sprintf "boundary %d never reached (run completed)"
            crash_index)
-  | `Crashed ->
+  | `Crashed -> (
       let dirty = Simnvm.Memsys.dirty_nvm_lines ik.mem in
       Simnvm.Memsys.crash ik.mem;
+      let base = Simnvm.Memsys.image ik.mem in
       apply_variant ik.mem dirty variant;
-      ik.recover_check ()
+      let check =
+        match fault_seed with
+        | None -> ik.recover_check
+        | Some seed ->
+            let lw = (Simnvm.Memsys.config ik.mem).Simnvm.Memsys.line_words in
+            Faultplan.apply ik.mem ~base ~dirty
+              (Faultplan.derive ~seed ~crash_index ~line_words:lw dirty);
+            Option.value ik.recover_check_faulty ~default:ik.recover_check
+      in
+      match check () with
+      | r -> r
+      | exception e -> Error ("recovery raised " ^ Printexc.to_string e))

@@ -13,6 +13,12 @@ type instance = {
       (** run the system's recovery on the current persistent image and
           compare against the oracle; invoked once per adversarial image,
           so it must be re-runnable *)
+  recover_check_faulty : (unit -> (unit, string) result) option;
+      (** oracle for images that additionally carry injected media faults:
+          recovery must either restore the exact last-checkpoint snapshot
+          or explicitly report the damage — a silently wrong image is the
+          violation. [None] falls back to [recover_check] (scenarios whose
+          recovery makes no integrity claims). *)
 }
 
 type scenario = {
@@ -33,7 +39,13 @@ type variant =
           hardware; only generated under the pcso = false ablation *)
   | Evict_all  (** every dirty line written back *)
 
-type failure = { crash_index : int; variant : variant; reason : string }
+type failure = {
+  crash_index : int;
+  variant : variant;
+  fault_seed : int option;
+      (** the media-fault seed layered on the image, if any *)
+  reason : string;
+}
 
 type outcome = {
   scenario : scenario;
@@ -44,18 +56,31 @@ type outcome = {
 }
 
 val explore :
-  ?max_images_per_point:int -> ?stop_at_first_failure:bool -> scenario -> outcome
+  ?max_images_per_point:int ->
+  ?stop_at_first_failure:bool ->
+  ?fault_seeds:int list ->
+  scenario ->
+  outcome
 (** Pilot once, then crash the re-executed world at every boundary and
     check recovery under every adversarial image (default cap: 64 images
     per point, excess counted in [truncated]). Divergence from the pilot
     (a boundary not reached, or a different completed-op count at the
     crash) is itself reported as a failure: the explorer's soundness rests
-    on deterministic re-execution. *)
+    on deterministic re-execution.
+
+    Each seed in [fault_seeds] (default none) multiplies the image set:
+    every adversarial image is additionally checked with the
+    {!Faultplan} derived from (seed, crash index, dirty lines) installed
+    on top, against [recover_check_faulty]. *)
 
 val check_point :
-  scenario -> crash_index:int -> variant:variant -> (unit, string) result
-(** Replay a single (crash point, image variant) pair — counterexample
-    reproduction. *)
+  ?fault_seed:int ->
+  scenario ->
+  crash_index:int ->
+  variant:variant ->
+  (unit, string) result
+(** Replay a single (crash point, image variant, optional fault seed)
+    tuple — counterexample reproduction. *)
 
 val apply_variant :
   Simnvm.Memsys.t -> Simnvm.Memsys.dirty_line list -> variant -> unit

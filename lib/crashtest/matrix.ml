@@ -20,6 +20,7 @@ type preset = {
   sched_seeds : int list;
   sched_delays : float list;
   sched_stride : int;
+  fault_seeds : int list;
 }
 
 let smoke =
@@ -32,6 +33,7 @@ let smoke =
     sched_seeds = [ 1; 2 ];
     sched_delays = [ 400.0 ];
     sched_stride = 7;
+    fault_seeds = [ 7 ];
   }
 
 let deep =
@@ -44,22 +46,26 @@ let deep =
     sched_seeds = [ 1; 2; 3; 4; 5; 6 ];
     sched_delays = [ 150.0; 1200.0 ];
     sched_stride = 3;
+    fault_seeds = [ 7; 23 ];
   }
 
 let n_ops_for p = function
   | Scenarios.Map -> p.map_ops
   | Scenarios.Queue -> p.queue_ops
 
-let entries ?filter () =
+let filtered ?filter pool =
   match filter with
-  | None -> Scenarios.all
+  | None -> pool
   | Some f ->
       List.filter
         (fun (e : Scenarios.entry) ->
           let len = String.length f in
           String.length e.id >= len
           && (String.sub e.id 0 len = f || e.id = f))
-        Scenarios.all
+        pool
+
+let entries ?filter () = filtered ?filter Scenarios.all
+let fault_entries ?filter () = filtered ?filter Scenarios.fault_scenarios
 
 let explore_entry ~pcso ~p (e : Scenarios.entry) =
   List.map
@@ -69,7 +75,7 @@ let explore_entry ~pcso ~p (e : Scenarios.entry) =
       Explore.explore ~max_images_per_point:p.max_images sc)
     p.seeds
 
-let shrunk ~pcso (e : Scenarios.entry) (o : Explore.outcome) =
+let shrunk ?fault_seeds ~pcso (e : Scenarios.entry) (o : Explore.outcome) =
   match o.Explore.failures with
   | [] -> None
   | f :: _ ->
@@ -78,7 +84,7 @@ let shrunk ~pcso (e : Scenarios.entry) (o : Explore.outcome) =
         e.Scenarios.build ~sched_seed:s.Explore.sched_seed
           ~mem_seed:s.Explore.mem_seed ~pcso ~n_ops
       in
-      Some (Shrink.minimize ~rebuild ~n_ops:s.Explore.n_ops f)
+      Some (Shrink.minimize ?fault_seeds ~rebuild ~n_ops:s.Explore.n_ops f)
 
 let run ?(pcso = true) ?filter ?(schedules = true) p ppf =
   Fmt.pf ppf "crash matrix (%s, %s)@."
@@ -169,4 +175,62 @@ let ablation_check ?filter p ppf =
       end)
     (entries ?filter ());
   Fmt.pf ppf "ablation asymmetry: %s@." (if !ok then "PASS" else "FAIL");
+  !ok
+
+(* The fault-injection gate, in both directions. Integrity-mode worlds
+   must survive every (crash image x fault plan): recovery either proves
+   the exact snapshot or explicitly reports the damage. The planted
+   no-verification mutant must *fail* under the same plans — if silent
+   corruption sails through the trusting scan unnoticed by the oracle,
+   the fault dimension has no teeth. Mutant counterexamples are shrunk
+   and replayed like any other. *)
+let faults_check ?filter p ppf =
+  Fmt.pf ppf "fault-injection check (%s): seeds [%s]@." p.label
+    (String.concat "; " (List.map string_of_int p.fault_seeds));
+  let ok = ref true in
+  List.iter
+    (fun (e : Scenarios.entry) ->
+      let sched_seed, mem_seed = List.hd p.seeds in
+      let n_ops = n_ops_for p e.Scenarios.structure in
+      let sc = e.Scenarios.build ~sched_seed ~mem_seed ~pcso:true ~n_ops in
+      let o =
+        Explore.explore ~max_images_per_point:p.max_images
+          ~stop_at_first_failure:(e.Scenarios.expect_faults = `Breaks)
+          ~fault_seeds:p.fault_seeds sc
+      in
+      let broke = o.Explore.failures <> [] in
+      let expected = e.Scenarios.expect_faults = `Breaks in
+      let verdict =
+        match (broke, expected) with
+        | false, false -> "detects (every fault detected or exactly repaired)"
+        | true, true -> "breaks (expected: recovery skips verification)"
+        | true, false ->
+            ok := false;
+            "SILENT CORRUPTION ESCAPED"
+        | false, true ->
+            ok := false;
+            "MUTANT UNDETECTED (fault oracle lost its teeth?)"
+      in
+      Fmt.pf ppf "  %-24s boundaries=%-5d images=%-5d %s@." e.Scenarios.id
+        o.Explore.boundaries o.Explore.images verdict;
+      if broke then begin
+        (match o.Explore.failures with
+        | f :: _ -> Fmt.pf ppf "    first: %a@." Report.pp_failure f
+        | [] -> ());
+        if expected then
+          match shrunk ~fault_seeds:p.fault_seeds ~pcso:true e o with
+          | None -> ()
+          | Some c -> (
+              Fmt.pf ppf "    %a@." Report.pp_counterexample c;
+              let rebuild ~n_ops =
+                e.Scenarios.build ~sched_seed ~mem_seed ~pcso:true ~n_ops
+              in
+              match Shrink.replay c ~rebuild with
+              | Error _ -> ()
+              | Ok () ->
+                  ok := false;
+                  Fmt.pf ppf "    REPLAY DID NOT REPRODUCE@.")
+      end)
+    (fault_entries ?filter ());
+  Fmt.pf ppf "fault injection: %s@." (if !ok then "PASS" else "FAIL");
   !ok

@@ -11,6 +11,7 @@ type preset = {
   sched_seeds : int list;
   sched_delays : float list;
   sched_stride : int;  (** every n-th sync point gets a preemption *)
+  fault_seeds : int list;  (** media-fault plans layered per crash image *)
 }
 
 val smoke : preset
@@ -34,3 +35,11 @@ val ablation_check : ?filter:string -> preset -> Format.formatter -> bool
     violations, explicitly-flushing systems (Clobber, SOFT, FriedmanQueue)
     and the buffered epoch systems must not. Returns whether every
     expectation held. *)
+
+val faults_check : ?filter:string -> preset -> Format.formatter -> bool
+(** Run the fault dimension over {!Scenarios.fault_scenarios}: every crash
+    image is re-checked with each of the preset's deterministic media-fault
+    plans installed. Integrity-mode recovery must detect or exactly repair
+    every fault (zero violations); the planted no-verification mutant must
+    produce violations, which are shrunk and replayed. Returns whether both
+    directions held. *)

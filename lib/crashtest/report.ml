@@ -24,9 +24,13 @@ let variant_of_string s =
 
 let pp_variant ppf v = Fmt.string ppf (variant_to_string v)
 
+let pp_fault_seed ppf = function
+  | None -> ()
+  | Some s -> Fmt.pf ppf " fault-seed=%d" s
+
 let pp_failure ppf (f : Explore.failure) =
-  Fmt.pf ppf "crash@%d image=%a: %s" f.Explore.crash_index pp_variant
-    f.Explore.variant f.Explore.reason
+  Fmt.pf ppf "crash@%d image=%a%a: %s" f.Explore.crash_index pp_variant
+    f.Explore.variant pp_fault_seed f.Explore.fault_seed f.Explore.reason
 
 let replay_args (c : Shrink.counterexample) =
   Printf.sprintf
@@ -35,18 +39,21 @@ let replay_args (c : Shrink.counterexample) =
     c.Shrink.scenario c.Shrink.n_ops c.Shrink.sched_seed c.Shrink.mem_seed
     c.Shrink.crash_index
     (variant_to_string c.Shrink.variant)
-    (if c.Shrink.pcso then "" else " --no-pcso")
+    ((match c.Shrink.fault_seed with
+     | None -> ""
+     | Some s -> Printf.sprintf " --fault-seed %d" s)
+    ^ if c.Shrink.pcso then "" else " --no-pcso")
 
 let pp_counterexample ppf (c : Shrink.counterexample) =
   Fmt.pf ppf
     "@[<v2>counterexample %s (shrunk to %d ops):@,\
      seeds: scheduler=%d memory=%d pcso=%b@,\
-     crash index %d, image %a@,\
+     crash index %d, image %a%a@,\
      %s@,\
      replay: crashmatrix %s@]"
     c.Shrink.scenario c.Shrink.n_ops c.Shrink.sched_seed c.Shrink.mem_seed
     c.Shrink.pcso c.Shrink.crash_index pp_variant c.Shrink.variant
-    c.Shrink.reason (replay_args c)
+    pp_fault_seed c.Shrink.fault_seed c.Shrink.reason (replay_args c)
 
 let pp_outcome ppf (o : Explore.outcome) =
   let s = o.Explore.scenario in

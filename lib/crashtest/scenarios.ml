@@ -76,7 +76,18 @@ let rt_cfg =
        whole registry once per adversarial image — thousands of images per
        exploration. *)
     registry_per_slot = 192;
+    integrity = false;
   }
+
+let rt_cfg_integrity = { rt_cfg with Respct.Runtime.integrity = true }
+
+(* Recovery flavour of the ResPCT scenarios. [`Off] is the plain trusting
+   scan on a plain image; [`Verified] writes the image under
+   [Runtime.config.integrity] and recovers with [Recovery.run_verified];
+   [`Noverify] is the planted mutant — the image carries the checksums but
+   recovery runs the trusting scan, so injected media damage must surface
+   as a silently wrong image the fault oracle catches. *)
+type respct_fault_mode = [ `Off | `Verified | `Noverify ]
 
 let spawn_coordinator sched r ~finished ~on_flushed =
   ignore
@@ -116,7 +127,76 @@ let respct_recover_check mem rt snapshots ~created_epoch ~recovered_state ~pp =
             (Fmt.str "epoch %d: recovered %a, last checkpoint had %a" failed pp
                got pp expected)
 
-let respct_map ~sched_seed ~mem_seed ~pcso ~n_ops : Explore.scenario =
+(* Verdict-aware oracle for integrity-mode images. [faults] says whether
+   the image under check carries injected media damage.
+
+   On perfect media the recovered structure must match the snapshot
+   regardless of the verdict: damage classification may legitimately fire
+   on freed cells caught mid-reinitialisation (their partial init is not
+   logged, exactly like upstream ResPCT, because a free cell is
+   unreachable in every recoverable state), but it can never change
+   reachable state — and an [Unrecoverable] verdict is a false alarm by
+   construction, since metadata cells are never recycled.
+
+   On faulty media the verdict gates the comparison: [Clean] / [Repaired]
+   promise the exact last-checkpoint snapshot and are held to it;
+   [Salvaged] / [Unrecoverable] explicitly report the damage, which is the
+   whole durability contract — detected or exact, never silently wrong. *)
+let respct_verified_check ~faults mem rt snapshots ~created_epoch
+    ~recovered_state ~pp =
+  match !rt with
+  | None -> Ok ()
+  | Some r ->
+      let v =
+        Respct.Recovery.run_verified ~layout:(Respct.Runtime.layout r) mem
+      in
+      let failed = v.Respct.Recovery.vreport.Respct.Recovery.failed_epoch in
+      let exact = Respct.Recovery.exact_image v.Respct.Recovery.verdict in
+      if faults && not exact then Ok ()
+      else if
+        (not faults)
+        && (match v.Respct.Recovery.verdict with
+           | Respct.Recovery.Unrecoverable _ -> true
+           | _ -> false)
+      then
+        Error
+          (Fmt.str "perfect media judged %a" Respct.Recovery.pp_verdict
+             v.Respct.Recovery.verdict)
+      else if failed <= !created_epoch then Ok ()
+      else
+        let expected =
+          Option.value ~default:[] (Hashtbl.find_opt snapshots failed)
+        in
+        let got = recovered_state () in
+        if got = expected then Ok ()
+        else
+          Error
+            (Fmt.str "verdict %a, epoch %d: recovered %a, last checkpoint \
+                      had %a"
+               Respct.Recovery.pp_verdict v.Respct.Recovery.verdict failed pp
+               got pp expected)
+
+let respct_cfg_of_mode = function
+  | `Off -> rt_cfg
+  | `Verified | `Noverify -> rt_cfg_integrity
+
+let respct_checks_of_mode fault_mode mem rt snapshots ~created_epoch
+    ~recovered_state ~pp =
+  let plain () =
+    respct_recover_check mem rt snapshots ~created_epoch ~recovered_state ~pp
+  in
+  let verified ~faults () =
+    respct_verified_check ~faults mem rt snapshots ~created_epoch
+      ~recovered_state ~pp
+  in
+  match fault_mode with
+  | `Off -> (plain, None)
+  | `Verified -> (verified ~faults:false, Some (verified ~faults:true))
+  (* the mutant trusts the image even when the oracle injects damage *)
+  | `Noverify -> (plain, Some plain)
+
+let respct_map ?(fault_mode : respct_fault_mode = `Off) ~sched_seed ~mem_seed
+    ~pcso ~n_ops () : Explore.scenario =
   let make ~n_ops =
     let mem, sched, env = world ~sched_seed ~mem_seed ~pcso in
     let ops = Workmix.map_ops ~seed:(mem_seed + 11) ~n:n_ops () in
@@ -131,7 +211,7 @@ let respct_map ~sched_seed ~mem_seed ~pcso ~n_ops : Explore.scenario =
     let completed = ref 0 in
     let finished = ref false in
     let run () =
-      let r = Respct.Runtime.create ~cfg:rt_cfg env in
+      let r = Respct.Runtime.create ~cfg:(respct_cfg_of_mode fault_mode) env in
       rt := Some r;
       spawn_coordinator sched r ~finished ~on_flushed:(fun next_epoch ->
           Hashtbl.replace snapshots next_epoch (model_snapshot ()));
@@ -157,19 +237,32 @@ let respct_map ~sched_seed ~mem_seed ~pcso ~n_ops : Explore.scenario =
              finished := true));
       run_world sched
     in
-    let recover_check () =
-      respct_recover_check mem rt snapshots ~created_epoch
+    let recover_check, recover_check_faulty =
+      respct_checks_of_mode fault_mode mem rt snapshots ~created_epoch
         ~recovered_state:(fun () ->
           match !map with
           | None -> []
           | Some m -> Pds.Hashmap_respct.persisted_bindings mem m)
         ~pp:Workmix.pp_bindings
     in
-    { Explore.mem; run; completed = (fun () -> !completed); recover_check }
+    {
+      Explore.mem;
+      run;
+      completed = (fun () -> !completed);
+      recover_check;
+      recover_check_faulty;
+    }
   in
-  { Explore.name = "respct-map"; sched_seed; mem_seed; pcso; n_ops; make }
+  let name =
+    match fault_mode with
+    | `Off -> "respct-map"
+    | `Verified -> "respct-map-integrity"
+    | `Noverify -> "respct-map-noverify"
+  in
+  { Explore.name; sched_seed; mem_seed; pcso; n_ops; make }
 
-let respct_queue ~sched_seed ~mem_seed ~pcso ~n_ops : Explore.scenario =
+let respct_queue ?(fault_mode : respct_fault_mode = `Off) ~sched_seed
+    ~mem_seed ~pcso ~n_ops () : Explore.scenario =
   let make ~n_ops =
     let mem, sched, env = world ~sched_seed ~mem_seed ~pcso in
     let ops = Workmix.queue_ops ~seed:(mem_seed + 23) ~n:n_ops () in
@@ -181,7 +274,7 @@ let respct_queue ~sched_seed ~mem_seed ~pcso ~n_ops : Explore.scenario =
     let completed = ref 0 in
     let finished = ref false in
     let run () =
-      let r = Respct.Runtime.create ~cfg:rt_cfg env in
+      let r = Respct.Runtime.create ~cfg:(respct_cfg_of_mode fault_mode) env in
       rt := Some r;
       spawn_coordinator sched r ~finished ~on_flushed:(fun next_epoch ->
           Hashtbl.replace snapshots next_epoch !model);
@@ -205,17 +298,29 @@ let respct_queue ~sched_seed ~mem_seed ~pcso ~n_ops : Explore.scenario =
              finished := true));
       run_world sched
     in
-    let recover_check () =
-      respct_recover_check mem rt snapshots ~created_epoch
+    let recover_check, recover_check_faulty =
+      respct_checks_of_mode fault_mode mem rt snapshots ~created_epoch
         ~recovered_state:(fun () ->
           match !queue with
           | None -> []
           | Some q -> Pds.Queue_respct.persisted_contents mem q)
         ~pp:Workmix.pp_contents
     in
-    { Explore.mem; run; completed = (fun () -> !completed); recover_check }
+    {
+      Explore.mem;
+      run;
+      completed = (fun () -> !completed);
+      recover_check;
+      recover_check_faulty;
+    }
   in
-  { Explore.name = "respct-queue"; sched_seed; mem_seed; pcso; n_ops; make }
+  let name =
+    match fault_mode with
+    | `Off -> "respct-queue"
+    | `Verified -> "respct-queue-integrity"
+    | `Noverify -> "respct-queue-noverify"
+  in
+  { Explore.name; sched_seed; mem_seed; pcso; n_ops; make }
 
 (* Raw-word append log: each operation allocates one line-aligned untracked
    persistent word, stores a unique value and registers it with
@@ -281,7 +386,13 @@ let respct_raw ?(mutant = false) ~sched_seed ~mem_seed ~pcso ~n_ops () :
                    a v
                    (Simnvm.Memsys.persisted mem a)))
     in
-    { Explore.mem; run; completed = (fun () -> !completed); recover_check }
+    {
+      Explore.mem;
+      run;
+      completed = (fun () -> !completed);
+      recover_check;
+      recover_check_faulty = None;
+    }
   in
   let name = if mutant then "respct-raw-mutant" else "respct-raw" in
   { Explore.name; sched_seed; mem_seed; pcso; n_ops; make }
@@ -342,7 +453,13 @@ let durlin_map ~policy ~name ~sched_seed ~mem_seed ~pcso ~n_ops :
               if durlin_allowed states c got then Ok ()
               else durlin_error ~pp:Workmix.pp_bindings states c got)
     in
-    { Explore.mem; run; completed = (fun () -> !completed); recover_check }
+    {
+      Explore.mem;
+      run;
+      completed = (fun () -> !completed);
+      recover_check;
+      recover_check_faulty = None;
+    }
   in
   { Explore.name = name; sched_seed; mem_seed; pcso; n_ops; make }
 
@@ -386,7 +503,13 @@ let durlin_queue ~policy ~name ~sched_seed ~mem_seed ~pcso ~n_ops :
               if durlin_allowed states c got then Ok ()
               else durlin_error ~pp:Workmix.pp_contents states c got)
     in
-    { Explore.mem; run; completed = (fun () -> !completed); recover_check }
+    {
+      Explore.mem;
+      run;
+      completed = (fun () -> !completed);
+      recover_check;
+      recover_check_faulty = None;
+    }
   in
   { Explore.name = name; sched_seed; mem_seed; pcso; n_ops; make }
 
@@ -440,7 +563,13 @@ let soft_map ~sched_seed ~mem_seed ~pcso ~n_ops : Explore.scenario =
                  c Workmix.pp_bindings recovered Workmix.pp_bindings
                  states.(c))
     in
-    { Explore.mem; run; completed = (fun () -> !completed); recover_check }
+    {
+      Explore.mem;
+      run;
+      completed = (fun () -> !completed);
+      recover_check;
+      recover_check_faulty = None;
+    }
   in
   { Explore.name = "soft-map"; sched_seed; mem_seed; pcso; n_ops; make }
 
@@ -474,7 +603,13 @@ let friedman_queue ~sched_seed ~mem_seed ~pcso ~n_ops : Explore.scenario =
           if durlin_allowed states c got then Ok ()
           else durlin_error ~pp:Workmix.pp_contents states c got
     in
-    { Explore.mem; run; completed = (fun () -> !completed); recover_check }
+    {
+      Explore.mem;
+      run;
+      completed = (fun () -> !completed);
+      recover_check;
+      recover_check_faulty = None;
+    }
   in
   { Explore.name = "friedman-queue"; sched_seed; mem_seed; pcso; n_ops; make }
 
@@ -534,6 +669,7 @@ let progress ~name ~builder ~sched_seed ~mem_seed ~pcso ~n_ops :
       run;
       completed = (fun () -> !completed);
       recover_check = (fun () -> Ok ());
+      recover_check_faulty = None;
     }
   in
   { Explore.name = name; sched_seed; mem_seed; pcso; n_ops; make }
@@ -549,6 +685,7 @@ type entry = {
   id : string;
   structure : structure;
   expect_ablation : [ `Breaks | `Holds ];
+  expect_faults : [ `Detects | `Breaks | `Unsupported ];
   build :
     sched_seed:int -> mem_seed:int -> pcso:bool -> n_ops:int ->
     Explore.scenario;
@@ -560,18 +697,25 @@ let all : entry list =
       id = "respct-map";
       structure = Map;
       expect_ablation = `Breaks;
-      build = respct_map;
+      expect_faults = `Unsupported;
+      build =
+        (fun ~sched_seed ~mem_seed ~pcso ~n_ops ->
+          respct_map ~sched_seed ~mem_seed ~pcso ~n_ops ());
     };
     {
       id = "respct-queue";
       structure = Queue;
       expect_ablation = `Breaks;
-      build = respct_queue;
+      expect_faults = `Unsupported;
+      build =
+        (fun ~sched_seed ~mem_seed ~pcso ~n_ops ->
+          respct_queue ~sched_seed ~mem_seed ~pcso ~n_ops ());
     };
     {
       id = "respct-raw";
       structure = Map;
       expect_ablation = `Holds;
+      expect_faults = `Unsupported;
       build =
         (fun ~sched_seed ~mem_seed ~pcso ~n_ops ->
           respct_raw ~sched_seed ~mem_seed ~pcso ~n_ops ());
@@ -580,12 +724,14 @@ let all : entry list =
       id = "clobber-map";
       structure = Map;
       expect_ablation = `Holds;
+      expect_faults = `Unsupported;
       build = durlin_map ~policy:Baselines.Fatomic.Clobber ~name:"clobber-map";
     };
     {
       id = "clobber-queue";
       structure = Queue;
       expect_ablation = `Holds;
+      expect_faults = `Unsupported;
       build =
         durlin_queue ~policy:Baselines.Fatomic.Clobber ~name:"clobber-queue";
     };
@@ -593,12 +739,14 @@ let all : entry list =
       id = "quadra-map";
       structure = Map;
       expect_ablation = `Breaks;
+      expect_faults = `Unsupported;
       build = durlin_map ~policy:Baselines.Fatomic.Quadra ~name:"quadra-map";
     };
     {
       id = "quadra-queue";
       structure = Queue;
       expect_ablation = `Breaks;
+      expect_faults = `Unsupported;
       build =
         durlin_queue ~policy:Baselines.Fatomic.Quadra ~name:"quadra-queue";
     };
@@ -606,18 +754,21 @@ let all : entry list =
       id = "soft-map";
       structure = Map;
       expect_ablation = `Holds;
+      expect_faults = `Unsupported;
       build = soft_map;
     };
     {
       id = "friedman-queue";
       structure = Queue;
       expect_ablation = `Holds;
+      expect_faults = `Unsupported;
       build = friedman_queue;
     };
     {
       id = "pmthreads-map";
       structure = Map;
       expect_ablation = `Holds;
+      expect_faults = `Unsupported;
       build =
         progress ~name:"pmthreads-map"
           ~builder:
@@ -630,6 +781,7 @@ let all : entry list =
       id = "pmthreads-queue";
       structure = Queue;
       expect_ablation = `Holds;
+      expect_faults = `Unsupported;
       build =
         progress ~name:"pmthreads-queue"
           ~builder:
@@ -642,6 +794,7 @@ let all : entry list =
       id = "montage-map";
       structure = Map;
       expect_ablation = `Holds;
+      expect_faults = `Unsupported;
       build =
         progress ~name:"montage-map"
           ~builder:
@@ -654,6 +807,7 @@ let all : entry list =
       id = "montage-queue";
       structure = Queue;
       expect_ablation = `Holds;
+      expect_faults = `Unsupported;
       build =
         progress ~name:"montage-queue"
           ~builder:
@@ -666,6 +820,7 @@ let all : entry list =
       id = "dali-map";
       structure = Map;
       expect_ablation = `Holds;
+      expect_faults = `Unsupported;
       build =
         progress ~name:"dali-map"
           ~builder:
@@ -676,4 +831,44 @@ let all : entry list =
     };
   ]
 
-let find id = List.find_opt (fun e -> e.id = id) all
+(* The fault dimension's scenario set: integrity-mode worlds recovered
+   with the verifying scan (every injected fault must be detected or
+   exactly repaired) plus the planted no-verification mutant (injected
+   faults must surface as violations — otherwise the fault oracle has no
+   teeth). Kept out of [all] so the plain matrix and the ablation check
+   are unchanged. *)
+let fault_scenarios : entry list =
+  [
+    {
+      id = "respct-map-integrity";
+      structure = Map;
+      expect_ablation = `Breaks;
+      expect_faults = `Detects;
+      build =
+        (fun ~sched_seed ~mem_seed ~pcso ~n_ops ->
+          respct_map ~fault_mode:`Verified ~sched_seed ~mem_seed ~pcso ~n_ops
+            ());
+    };
+    {
+      id = "respct-queue-integrity";
+      structure = Queue;
+      expect_ablation = `Breaks;
+      expect_faults = `Detects;
+      build =
+        (fun ~sched_seed ~mem_seed ~pcso ~n_ops ->
+          respct_queue ~fault_mode:`Verified ~sched_seed ~mem_seed ~pcso
+            ~n_ops ());
+    };
+    {
+      id = "respct-map-noverify";
+      structure = Map;
+      expect_ablation = `Breaks;
+      expect_faults = `Breaks;
+      build =
+        (fun ~sched_seed ~mem_seed ~pcso ~n_ops ->
+          respct_map ~fault_mode:`Noverify ~sched_seed ~mem_seed ~pcso ~n_ops
+            ());
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) (all @ fault_scenarios)

@@ -13,11 +13,34 @@ val rt_cfg : Respct.Runtime.config
 (** ResPCT runtime config of the crash scenarios: 3 µs checkpoint period,
     so short runs cross several epochs. *)
 
+val rt_cfg_integrity : Respct.Runtime.config
+(** [rt_cfg] with {!Respct.Runtime.config.integrity} on: epoch words,
+    registry entries and checkpoint commits carry {!Respct.Checksum}
+    seals. *)
+
+type respct_fault_mode = [ `Off | `Verified | `Noverify ]
+(** Recovery flavour of the ResPCT scenarios: plain image + trusting scan,
+    integrity image + {!Respct.Recovery.run_verified} (the fault oracle's
+    "detected or exact" contract), or the planted mutant — integrity image
+    recovered by the trusting scan, which injected faults must expose. *)
+
 val respct_map :
-  sched_seed:int -> mem_seed:int -> pcso:bool -> n_ops:int -> Explore.scenario
+  ?fault_mode:respct_fault_mode ->
+  sched_seed:int ->
+  mem_seed:int ->
+  pcso:bool ->
+  n_ops:int ->
+  unit ->
+  Explore.scenario
 
 val respct_queue :
-  sched_seed:int -> mem_seed:int -> pcso:bool -> n_ops:int -> Explore.scenario
+  ?fault_mode:respct_fault_mode ->
+  sched_seed:int ->
+  mem_seed:int ->
+  pcso:bool ->
+  n_ops:int ->
+  unit ->
+  Explore.scenario
 
 val respct_raw :
   ?mutant:bool ->
@@ -67,6 +90,12 @@ type entry = {
   expect_ablation : [ `Breaks | `Holds ];
       (** whether the word-granular write-back ablation must produce
           violations for this system (the PCSO-reliance asymmetry) *)
+  expect_faults : [ `Detects | `Breaks | `Unsupported ];
+      (** under injected media faults: [`Detects] — every fault must be
+          detected or exactly repaired (zero violations), [`Breaks] — the
+          planted mutant must produce violations, [`Unsupported] — the
+          system makes no integrity claims and is not run in the fault
+          dimension *)
   build :
     sched_seed:int -> mem_seed:int -> pcso:bool -> n_ops:int ->
     Explore.scenario;
@@ -75,4 +104,10 @@ type entry = {
 val all : entry list
 (** ResPCT and every baseline, over both structures where applicable. *)
 
+val fault_scenarios : entry list
+(** The fault dimension's set: the integrity-mode ResPCT worlds plus the
+    no-verification mutant; disjoint from [all] so the plain matrix is
+    unchanged. *)
+
 val find : string -> entry option
+(** Looks through [all] and [fault_scenarios]. *)

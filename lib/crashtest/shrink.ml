@@ -15,6 +15,7 @@ type counterexample = {
   n_ops : int;
   crash_index : int;
   variant : Explore.variant;
+  fault_seed : int option;
   reason : string;
 }
 
@@ -27,15 +28,19 @@ let of_failure (s : Explore.scenario) (f : Explore.failure) =
     n_ops = s.Explore.n_ops;
     crash_index = f.Explore.crash_index;
     variant = f.Explore.variant;
+    fault_seed = f.Explore.fault_seed;
     reason = f.Explore.reason;
   }
 
-let minimize ~(rebuild : n_ops:int -> Explore.scenario) ~n_ops
-    (first : Explore.failure) =
+let minimize ?(fault_seeds = []) ~(rebuild : n_ops:int -> Explore.scenario)
+    ~n_ops (first : Explore.failure) =
   let fails m =
     if m < 0 then None
     else
-      let o = Explore.explore ~stop_at_first_failure:true (rebuild ~n_ops:m) in
+      let o =
+        Explore.explore ~stop_at_first_failure:true ~fault_seeds
+          (rebuild ~n_ops:m)
+      in
       match o.Explore.failures with f :: _ -> Some f | [] -> None
   in
   (* invariant: [lo] passes, [hi] fails with [f_hi] *)
@@ -56,5 +61,5 @@ let minimize ~(rebuild : n_ops:int -> Explore.scenario) ~n_ops
 
 let replay (c : counterexample)
     ~(rebuild : n_ops:int -> Explore.scenario) =
-  Explore.check_point (rebuild ~n_ops:c.n_ops) ~crash_index:c.crash_index
-    ~variant:c.variant
+  Explore.check_point ?fault_seed:c.fault_seed (rebuild ~n_ops:c.n_ops)
+    ~crash_index:c.crash_index ~variant:c.variant

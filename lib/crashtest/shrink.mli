@@ -10,6 +10,7 @@ type counterexample = {
   n_ops : int;
   crash_index : int;
   variant : Explore.variant;
+  fault_seed : int option;
   reason : string;
 }
 
@@ -17,17 +18,19 @@ val of_failure : Explore.scenario -> Explore.failure -> counterexample
 (** Unshrunk counterexample (fallback when minimisation is skipped). *)
 
 val minimize :
+  ?fault_seeds:int list ->
   rebuild:(n_ops:int -> Explore.scenario) ->
   n_ops:int ->
   Explore.failure ->
   counterexample
 (** [rebuild] must rebuild the same scenario (same seeds, same pcso) with a
     different operation count; [n_ops] is the failing count the failure
-    came from. *)
+    came from; [fault_seeds] must be the fault seeds the original
+    exploration ran with (default none). *)
 
 val replay :
   counterexample ->
   rebuild:(n_ops:int -> Explore.scenario) ->
   (unit, string) result
-(** Re-run exactly the counterexample's (ops, crash index, image variant)
-    triple; [Error] means it still reproduces. *)
+(** Re-run exactly the counterexample's (ops, crash index, image variant,
+    fault seed) tuple; [Error] means it still reproduces. *)

@@ -288,6 +288,56 @@ let fig9 ?(scale = small) () =
     (fig9_points ~scale ())
 
 (* ------------------------------------------------------------------ *)
+(* Integrity tax: ResPCT with checksum-sealed metadata
+   ([Systems.params.integrity]) against the raw representation, in the
+   same worlds and workloads as Figures 8/9. The sealing work rides the
+   InCLL-update and checkpoint-commit hot paths, so the interesting number
+   is the relative throughput delta per workload, not the absolute one. *)
+
+let integrity_points ?(scale = small) ?threads () =
+  let sweep = Option.value ~default:scale.sweep_threads threads in
+  let kind = Systems.Respct in
+  let run ~integrity w ~threads =
+    (* The integrity layout additionally reserves one regsum word per
+       registry entry; give *both* arms the doubled NVMM so the geometry
+       (and hence the cache behaviour) stays identical across the pair. *)
+    let p = params_for scale ~threads ~kind in
+    let p =
+      { p with Systems.nvm_words = 2 * p.Systems.nvm_words; integrity }
+    in
+    match w with
+    | `Queue -> queue_point_obs ~params:p scale kind ~threads
+    | `Map update_pct ->
+        map_point_obs ~update_pct ~params:p scale kind ~threads
+  in
+  List.map
+    (fun (wname, w) ->
+      ( wname,
+        List.map
+          (fun threads ->
+            ( threads,
+              run ~integrity:false w ~threads,
+              run ~integrity:true w ~threads ))
+          sweep ))
+    [ ("Queue", `Queue); ("HashMap", `Map 50) ]
+
+let integrity_overhead_rows pts =
+  List.map
+    (fun (wname, cells) ->
+      ( wname,
+        List.map
+          (fun (_threads, off, on) ->
+            let raw = point_mops off and sealed = point_mops on in
+            Printf.sprintf "%s/%s (%+.1f%%)" (Table.fmt_mops sealed)
+              (Table.fmt_mops raw)
+              (100.0 *. ((sealed -. raw) /. raw)))
+          cells ))
+    pts
+
+let integrity_overhead ?(scale = small) ?threads () =
+  integrity_overhead_rows (integrity_points ~scale ?threads ())
+
+(* ------------------------------------------------------------------ *)
 (* Figure 10: overhead decomposition at full thread count. Rows are the
    configurations, columns the three workloads, values normalised to
    Transient<DRAM>. *)
@@ -420,7 +470,7 @@ let fig12_points ?(scale = small) () =
         Respct.Layout.v
           ~line_words:(Simnvm.Memsys.config mem).Simnvm.Memsys.line_words
           ~nvm_words:p.Systems.nvm_words ~max_threads:p.Systems.max_threads
-          ~registry_per_slot:p.Systems.registry_per_slot
+          ~registry_per_slot:p.Systems.registry_per_slot ()
       in
       let spans = Obs.Span.create () in
       let rep =

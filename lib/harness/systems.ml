@@ -20,6 +20,7 @@ type params = {
   eadr : bool;
   evict_rate : float; (* spontaneous-eviction probability of the world *)
   pcso : bool; (* line-granular write-back; false = word-granular ablation *)
+  integrity : bool; (* checksum-sealed ResPCT metadata (faulty-media mode) *)
 }
 
 let default_params =
@@ -39,6 +40,7 @@ let default_params =
     eadr = false;
     evict_rate = Simnvm.Memsys.default_config.Simnvm.Memsys.evict_rate;
     pcso = true;
+    integrity = false;
   }
 
 type kind =
@@ -110,6 +112,7 @@ let rt_cfg (p : params) =
     mode = p.mode;
     max_threads = p.max_threads;
     registry_per_slot = p.registry_per_slot;
+    integrity = p.integrity;
   }
 
 (* Arena for the transient structures: the NVMM region (Transient<NVMM>)

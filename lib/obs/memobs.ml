@@ -20,6 +20,13 @@ type t = {
   psyncs : Metrics.counter;
   evictions : Metrics.counter;
   crashes : Metrics.counter;
+  faults_torn : Metrics.counter;
+  faults_poisoned : Metrics.counter;
+  faults_bitflip : Metrics.counter;
+  faults_transient : Metrics.counter;
+  media_errors : Metrics.counter;
+  media_errors_transient : Metrics.counter;
+  media_scrubs : Metrics.counter;
 }
 
 let make registry =
@@ -39,6 +46,13 @@ let make registry =
   let psyncs = c "psyncs" in
   let evictions = c "evictions" in
   let crashes = c "crashes" in
+  let faults_torn = c "faults.torn" in
+  let faults_poisoned = c "faults.poisoned" in
+  let faults_bitflip = c "faults.bitflip" in
+  let faults_transient = c "faults.transient" in
+  let media_errors = c "media_errors" in
+  let media_errors_transient = c "media_errors.transient" in
+  let media_scrubs = c "media_scrubs" in
   {
     loads;
     stores;
@@ -53,6 +67,13 @@ let make registry =
     psyncs;
     evictions;
     crashes;
+    faults_torn;
+    faults_poisoned;
+    faults_bitflip;
+    faults_transient;
+    media_errors;
+    media_errors_transient;
+    media_scrubs;
   }
 
 let subscriber p (ev : Simnvm.Event.t) =
@@ -75,6 +96,16 @@ let subscriber p (ev : Simnvm.Event.t) =
   | Simnvm.Event.Psync _ -> Metrics.incr p.psyncs
   | Simnvm.Event.Eviction _ -> Metrics.incr p.evictions
   | Simnvm.Event.Crash _ -> Metrics.incr p.crashes
+  | Simnvm.Event.Fault_injected f -> (
+      match f with
+      | Simnvm.Event.Torn _ -> Metrics.incr p.faults_torn
+      | Simnvm.Event.Poisoned _ -> Metrics.incr p.faults_poisoned
+      | Simnvm.Event.Bitflip _ -> Metrics.incr p.faults_bitflip
+      | Simnvm.Event.Transient_armed _ -> Metrics.incr p.faults_transient)
+  | Simnvm.Event.Media_error { transient; _ } ->
+      Metrics.incr p.media_errors;
+      if transient then Metrics.incr p.media_errors_transient
+  | Simnvm.Event.Media_scrub _ -> Metrics.incr p.media_scrubs
 
 (* Attach to a memory system; returns the subscription for detaching. *)
 let attach registry mem =

@@ -1,0 +1,153 @@
+(* Integrity codes for ResPCT persistent metadata (faulty-media hardening).
+
+   The InCLL cell keeps its three-word shape; integrity instead *packs* the
+   epoch_id word:
+
+     bits  0..31   epoch, 32-bit two's complement
+     bits 32..46   crc_rec: CRC-16/CCITT over (record, cell addr), 15 bits
+     bits 47..62   crc_log: CRC-16/CCITT over (backup, epoch bits as
+                   stored, cell addr)
+
+   Packing instead of widening matters twice over: the persist path still
+   issues single-word stores (8-byte atomic even on torn media), and no
+   on-media layout changes — cells_per_line, Heap block shapes and the
+   node layouts in lib/pds are untouched, so integrity is a config flag,
+   not a format migration.
+
+   crc_log binds the *undo log* (backup + epoch tag) to its cell address:
+   when it verifies, recovery may trust the backup word and the epoch tag,
+   which is exactly what proves a rollback exact. crc_rec binds the live
+   record; it is advisory for cells updated in the failed epoch (their
+   record is untrusted mid-epoch state anyway) and detects silent record
+   corruption for quiescent cells. The address binding defeats a corrupted
+   registry that redirects the recovery scan at a well-formed but wrong
+   cell.
+
+   [epoch_of] (sign-extension of the low 32 bits) is the identity on every
+   raw epoch the runtime ever stores — small non-negative counters and the
+   bootstrap sentinel -1 — so readers apply it unconditionally and the
+   non-integrity representation is bit-for-bit what it was before this
+   module existed.
+
+   Checkpoint commits and registry entries carry full CRC-32 (IEEE) words;
+   they live in words of their own, so no packing is needed. All CRCs run
+   over the 8-byte little-endian serialisation of each word. *)
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) *)
+
+let crc32_table =
+  let t = Array.make 256 0 in
+  for n = 0 to 255 do
+    let c = ref n in
+    for _ = 0 to 7 do
+      c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+    done;
+    t.(n) <- !c
+  done;
+  t
+
+let crc32_byte crc b = crc32_table.((crc lxor b) land 0xFF) lxor (crc lsr 8)
+
+let crc32_word crc w =
+  let c = ref crc in
+  for i = 0 to 7 do
+    c := crc32_byte !c ((w lsr (i * 8)) land 0xFF)
+  done;
+  !c
+
+let crc32_words ws =
+  let c = List.fold_left crc32_word 0xFFFFFFFF ws in
+  c lxor 0xFFFFFFFF
+
+(* ------------------------------------------------------------------ *)
+(* CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) *)
+
+let crc16_table =
+  let t = Array.make 256 0 in
+  for n = 0 to 255 do
+    let c = ref (n lsl 8) in
+    for _ = 0 to 7 do
+      c := if !c land 0x8000 <> 0 then (!c lsl 1) lxor 0x1021 else !c lsl 1;
+      c := !c land 0xFFFF
+    done;
+    t.(n) <- !c
+  done;
+  t
+
+let crc16_byte crc b = crc16_table.(((crc lsr 8) lxor b) land 0xFF) lxor ((crc lsl 8) land 0xFFFF)
+
+let crc16_word crc w =
+  let c = ref crc in
+  for i = 0 to 7 do
+    c := crc16_byte !c ((w lsr (i * 8)) land 0xFF)
+  done;
+  !c
+
+let crc16_words ws = List.fold_left crc16_word 0xFFFF ws
+
+(* ------------------------------------------------------------------ *)
+(* Epoch-word packing *)
+
+let epoch_mask = 0xFFFFFFFF
+let rec_shift = 32
+let rec_mask = 0x7FFF
+let log_shift = 47
+let log_mask = 0xFFFF
+
+let epoch_of w = (w lsl 31) asr 31
+
+let crc_log ~backup ~epoch_bits ~cell =
+  crc16_words [ backup; epoch_bits; cell ] land log_mask
+
+let crc_rec ~record ~cell = crc16_words [ record; cell ] land rec_mask
+
+let seal ~record ~backup ~epoch ~cell =
+  let e = epoch land epoch_mask in
+  e
+  lor (crc_rec ~record ~cell lsl rec_shift)
+  lor (crc_log ~backup ~epoch_bits:e ~cell lsl log_shift)
+
+let reseal_record w ~record ~cell =
+  w
+  land lnot (rec_mask lsl rec_shift)
+  lor (crc_rec ~record ~cell lsl rec_shift)
+
+let check_log ~word ~backup ~cell =
+  (word lsr log_shift) land log_mask
+  = crc_log ~backup ~epoch_bits:(word land epoch_mask) ~cell
+
+let check_rec ~word ~record ~cell =
+  (word lsr rec_shift) land rec_mask = crc_rec ~record ~cell
+
+(* Test the stored crc_log against an *explicit* epoch instead of the
+   word's own epoch bits: recovery uses it to unmask a failed-epoch cell
+   whose epoch tag was damaged into reading quiescent -- its seal was
+   computed over the failed epoch's bits and only re-verifies under them. *)
+let check_log_at ~word ~backup ~epoch ~cell =
+  (word lsr log_shift) land log_mask
+  = crc_log ~backup ~epoch_bits:(epoch land epoch_mask) ~cell
+
+(* ------------------------------------------------------------------ *)
+(* The global epoch word: epoch in the low 32 bits, its own CRC-16 above.
+   Without the seal, a bit flip turning epoch e into e - 1 would be
+   indistinguishable from the legal pre-bump commit window ({epoch = e,
+   commit = e + 1}), and recovery would silently roll back one epoch too
+   few. *)
+
+let epoch_seal_shift = 32
+let epoch_seal_mask = 0xFFFF
+
+let seal_epoch ~epoch ~addr =
+  let e = epoch land epoch_mask in
+  e lor (crc16_words [ e; addr ] lsl epoch_seal_shift)
+
+let check_epoch ~word ~addr =
+  (word lsr epoch_seal_shift) land epoch_seal_mask
+  = crc16_words [ word land epoch_mask; addr ]
+
+(* ------------------------------------------------------------------ *)
+(* Whole-word CRC-32 codes: checkpoint commit record, registry summaries *)
+
+let commit ~epoch ~addr = crc32_words [ epoch; addr ]
+let regsum ~entry ~addr = crc32_words [ entry; addr ]

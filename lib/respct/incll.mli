@@ -28,7 +28,12 @@ val update : Pctx.t -> cell -> int -> unit
 (** [update ctx cell v]: the paper's [update_InCLL] — logs the old value on
     the first update in the current epoch (and registers the address for
     flushing), then writes [v]. The caller must hold the lock protecting the
-    variable (section 2.1 assumption). *)
+    variable (section 2.1 assumption).
+
+    When [ctx.integrity] is set, the epoch_id word is a packed
+    {!Checksum} seal and is re-stored on every update so its crc_rec field
+    tracks the live record — one extra same-line single-word store per
+    update, the whole cost of cell integrity. *)
 
 (** Recovery-time accessors reading the NVMM image directly. *)
 module Persisted : sig

@@ -21,20 +21,25 @@
 
 type t = {
   epoch_addr : int;
+  commit_epoch_addr : int; (* checkpoint-commit record: epoch copy ... *)
+  commit_crc_addr : int; (* ... and its CRC-32 (integrity mode only) *)
   cursor_cell : Incll.cell;
   slots_cell : Incll.cell;
   reglen_cells_base : int; (* packed InCLL cell array, one per slot *)
   slot_table_base : int;
   registry_base : int;
+  regsum_base : int; (* registry-entry CRC words (-1 unless integrity) *)
   registry_per_slot : int;
   max_threads : int;
+  integrity : bool;
   heap_base : int;
   heap_limit : int;
 }
 
 let cells_per_line line_words = max 1 (line_words / Incll.words)
 
-let v ~line_words ~nvm_words ~max_threads ~registry_per_slot =
+let v ?(integrity = false) ~line_words ~nvm_words ~max_threads
+    ~registry_per_slot () =
   if line_words < 2 * Incll.words then
     invalid_arg "Layout.v: need at least two InCLL cells per line";
   let line n = n * line_words in
@@ -45,22 +50,43 @@ let v ~line_words ~nvm_words ~max_threads ~registry_per_slot =
   in
   let slot_table_base = reglen_cells_base + (reglen_lines * line_words) in
   let registry_base = round_up (slot_table_base + max_threads) in
-  let heap_base = round_up (registry_base + (max_threads * registry_per_slot)) in
+  let registry_words = max_threads * registry_per_slot in
+  (* The regsum region (one CRC word per registry entry, same indexing)
+     exists only in integrity layouts: a non-integrity layout is
+     word-for-word the historical one, which the byte-identical
+     zero-overhead guarantee relies on. *)
+  let regsum_base =
+    if integrity then round_up (registry_base + registry_words) else -1
+  in
+  let heap_base =
+    if integrity then round_up (regsum_base + registry_words)
+    else round_up (registry_base + registry_words)
+  in
   if heap_base >= nvm_words then
     invalid_arg "Layout.v: NVMM too small for metadata";
   {
     epoch_addr = 0;
+    (* the commit record shares line 0 with the epoch word, so the three
+       stores of a checkpoint commit persist line-atomically under PCSO *)
+    commit_epoch_addr = 1;
+    commit_crc_addr = 2;
     cursor_cell = line 1;
     slots_cell = line 1 + Incll.words;
     (* cursor and slot-count cells share line 1: 3 + 3 = 6 words *)
     reglen_cells_base;
     slot_table_base;
     registry_base;
+    regsum_base;
     registry_per_slot;
     max_threads;
+    integrity;
     heap_base;
     heap_limit = nvm_words;
   }
+
+let regsum_addr t ~entry =
+  if not t.integrity then invalid_arg "Layout.regsum_addr: integrity off";
+  t.regsum_base + (entry - t.registry_base)
 
 (* Registry entries are range-encoded: [base * 2^20 + count] covers [count]
    InCLL cells packed from [base] (cells_per_line per line, the

@@ -6,24 +6,36 @@
 
 type t = {
   epoch_addr : int;
+  commit_epoch_addr : int;
+      (** checkpoint-commit record: copy of the epoch, on line 0 with the
+          epoch word so a commit persists line-atomically (integrity mode) *)
+  commit_crc_addr : int;  (** CRC-32 of the commit record *)
   cursor_cell : Incll.cell;
   slots_cell : Incll.cell;
   reglen_cells_base : int;
   slot_table_base : int;
   registry_base : int;
+  regsum_base : int;
+      (** per-entry registry CRC words, indexed like the registry segments;
+          [-1] unless the layout was built with [~integrity:true] *)
   registry_per_slot : int;
   max_threads : int;
+  integrity : bool;
   heap_base : int;
   heap_limit : int;
 }
 
 val v :
+  ?integrity:bool ->
   line_words:int ->
   nvm_words:int ->
   max_threads:int ->
   registry_per_slot:int ->
+  unit ->
   t
-(** Compute the layout for a memory geometry.
+(** Compute the layout for a memory geometry. [integrity] (default false)
+    reserves the registry-summary CRC region; a non-integrity layout is
+    word-for-word the historical one.
     @raise Invalid_argument if the NVMM region cannot hold the metadata or
     the line size cannot pack two InCLL cells. *)
 
@@ -42,3 +54,8 @@ val reglen_cell : t -> line_words:int -> int -> Incll.cell
 
 val registry_segment : t -> int -> int
 (** Base address of a slot's registry segment. *)
+
+val regsum_addr : t -> entry:int -> int
+(** Address of the CRC-32 summary word guarding the registry entry at
+    address [entry]. @raise Invalid_argument unless the layout was built
+    with [~integrity:true]. *)

@@ -11,8 +11,17 @@ type t = {
   slot : int;
   epoch : unit -> int;
   add_modified : Simnvm.Addr.t -> unit;
+  integrity : bool;
+      (* seal InCLL epoch words with Checksum codes (faulty-media mode) *)
 }
 
 (* Context for code running outside any checkpointing runtime (transient
    programs, test setup): epoch is frozen at 0 and tracking is a no-op. *)
-let none env = { env; slot = 0; epoch = (fun () -> 0); add_modified = ignore }
+let none env =
+  {
+    env;
+    slot = 0;
+    epoch = (fun () -> 0);
+    add_modified = ignore;
+    integrity = false;
+  }

@@ -9,6 +9,9 @@ type t = {
   epoch : unit -> int;  (** current global epoch number *)
   add_modified : Simnvm.Addr.t -> unit;
       (** register an address for flushing at the next checkpoint *)
+  integrity : bool;
+      (** seal InCLL epoch words with {!Checksum} codes (faulty-media
+          hardening); off everywhere by default *)
 }
 
 val none : Simsched.Env.t -> t

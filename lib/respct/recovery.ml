@@ -12,7 +12,16 @@
    holds the start-of-epoch value) -- but the volatile to_be_flushed lists
    died in the crash, so the restarted runtime must be re-seeded with the
    rolled-back cells or their next checkpoint would miss them. [rolled_back]
-   carries that list; [Runtime.restart] consumes it. *)
+   carries that list; [Runtime.restart] consumes it.
+
+   Two entry points share that skeleton. [run] is the trusting scan of the
+   original algorithm: correct on perfect media, silently wrong on faulty
+   media. [run_verified] is the hardened scan for integrity-mode images: it
+   re-derives the failed epoch from the checkpoint-commit record, verifies
+   every cell's Checksum seal before trusting it, retries transient media
+   errors with bounded backoff, scrubs persistently failing lines, and
+   folds everything it could not prove into a structured verdict -- it
+   fails stop (Salvaged / Unrecoverable), never silent. *)
 
 type report = {
   failed_epoch : int;
@@ -22,10 +31,112 @@ type report = {
   rp_ids : (int * int) list; (* (slot, restart-point id) per thread slot *)
 }
 
+(* ------------------------------------------------------------------ *)
+(* Damage taxonomy of the verified scan *)
+
+type damage =
+  | Torn_record of { cell : Incll.cell }
+      (* quiescent record failed crc_rec; certified backup restored
+         (one epoch stale -- salvage, not proof) *)
+  | Torn_log of { cell : Incll.cell }
+      (* backup/epoch seal broken: undo log unprovable, cell quarantined *)
+  | Metadata_torn of { cell : Incll.cell }
+      (* same, on a cursor / slot-count / registry-length cell: the scan
+         itself ran on unproven input *)
+  | Tag_restored of { cell : Incll.cell }
+      (* the cell read quiescent but its log seal only verifies under the
+         failed epoch: the epoch tag was damaged. The certified backup was
+         restored -- reported, not proven exact (CRC-16 can collide) *)
+  | Commit_repaired of { epoch : int }
+      (* the epoch word's own seal held and the commit record disagreed
+         with it: the commit record was rewritten from the certified
+         epoch -- a proven repair *)
+  | Epoch_restored of { epoch : int }
+      (* the epoch word's seal was broken and the commit record was
+         certified: the epoch word was rewritten from it. The true crash
+         may have sat in the pre-bump window one epoch earlier, so the
+         restored image is best-effort, not proven exact *)
+  | Commit_broken of { epoch_word : int; commit_word : int }
+      (* neither side certifiable: the failed epoch itself is unknown *)
+  | Registry_corrupt of { addr : int }
+      (* registry entry (or slot-table word) failed its summary CRC or
+         bounds check; skipped *)
+  | Range_out_of_bounds of { addr : int; base : int; count : int }
+      (* well-summed entry decoding outside the heap: refused *)
+  | Media_failed of { line : int }
+      (* line raised Media_error beyond the retry budget: scrubbed,
+         content lost *)
+
+type verdict =
+  | Clean
+  | Repaired of damage list
+  | Salvaged of damage list
+  | Unrecoverable of damage list
+
+type verified = {
+  vreport : report;
+  verdict : verdict;
+  read_retries : int; (* transient media errors retried away *)
+}
+
+let pp_damage ppf = function
+  | Torn_record { cell } -> Fmt.pf ppf "torn record @@%d (backup restored)" cell
+  | Torn_log { cell } -> Fmt.pf ppf "torn log @@%d (quarantined)" cell
+  | Metadata_torn { cell } -> Fmt.pf ppf "metadata torn @@%d" cell
+  | Tag_restored { cell } ->
+      Fmt.pf ppf "epoch tag damaged @@%d (certified backup restored)" cell
+  | Commit_repaired { epoch } ->
+      Fmt.pf ppf "commit record repaired (epoch %d)" epoch
+  | Epoch_restored { epoch } ->
+      Fmt.pf ppf "epoch word restored from commit record (epoch %d)" epoch
+  | Commit_broken { epoch_word; commit_word } ->
+      Fmt.pf ppf "commit record broken (epoch word %d, commit %d)" epoch_word
+        commit_word
+  | Registry_corrupt { addr } -> Fmt.pf ppf "registry word @@%d corrupt" addr
+  | Range_out_of_bounds { addr; base; count } ->
+      Fmt.pf ppf "registry entry @@%d out of bounds (base %d, count %d)" addr
+        base count
+  | Media_failed { line } -> Fmt.pf ppf "media failed, line %d scrubbed" line
+
+let pp_verdict ppf = function
+  | Clean -> Fmt.string ppf "clean"
+  | Repaired ds ->
+      Fmt.pf ppf "repaired: %a" Fmt.(list ~sep:comma pp_damage) ds
+  | Salvaged ds ->
+      Fmt.pf ppf "salvaged: %a" Fmt.(list ~sep:comma pp_damage) ds
+  | Unrecoverable ds ->
+      Fmt.pf ppf "unrecoverable: %a" Fmt.(list ~sep:comma pp_damage) ds
+
+(* Severity lattice: any unprovable metadata damage poisons the whole
+   verdict; any unproven cell damage caps it at Salvaged; proven repairs
+   alone leave an exact image (Repaired). *)
+let damage_grade = function
+  | Commit_broken _ | Metadata_torn _ -> 3
+  | Torn_record _ | Torn_log _ | Tag_restored _ | Registry_corrupt _
+  | Range_out_of_bounds _ | Media_failed _ | Epoch_restored _ ->
+      2
+  | Commit_repaired _ -> 1
+
+let verdict_of_damages ds =
+  match List.fold_left (fun g d -> max g (damage_grade d)) 0 ds with
+  | 0 -> Clean
+  | 1 -> Repaired ds
+  | 2 -> Salvaged ds
+  | _ -> Unrecoverable ds
+
+let exact_image = function Clean | Repaired _ -> true | Salvaged _ | Unrecoverable _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Trusting scan *)
+
 (* Roll one cell back if it was modified during the failed epoch; returns
-   true if a rollback happened. Runs inside a recovery thread. *)
+   true if a rollback happened. Runs inside a recovery thread.
+   [Checksum.epoch_of] unpacks integrity-sealed epoch words and is the
+   identity on raw ones, so one comparison serves both representations. *)
 let rollback env ~failed_epoch cell =
-  if Simsched.Env.load env (Incll.epoch_id cell) = failed_epoch then begin
+  if Checksum.epoch_of (Simsched.Env.load env (Incll.epoch_id cell))
+     = failed_epoch
+  then begin
     let saved = Simsched.Env.load env (Incll.backup cell) in
     Simsched.Env.store env (Incll.record cell) saved;
     Simsched.Env.pwb env cell;
@@ -35,6 +146,16 @@ let rollback env ~failed_epoch cell =
 
 (* Chunks of registry entries handed to the recovery workers. *)
 let chunk_words = 256
+
+(* Registry lengths and decoded cell ranges are clamped against the layout
+   even in the trusting scan: on corrupt input it may restore wrong values
+   (that is what [run_verified] exists for), but it must not walk outside
+   the heap or loop forever. *)
+let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+
+let cell_in_heap (layout : Layout.t) cell =
+  cell >= layout.Layout.heap_base
+  && cell + Incll.words <= layout.Layout.heap_limit
 
 let run ?(threads = 1) ?(layout : Layout.t option) ?spans mem =
   let mcfg = Simnvm.Memsys.config mem in
@@ -46,8 +167,11 @@ let run ?(threads = 1) ?(layout : Layout.t option) ?spans mem =
         Layout.v ~line_words ~nvm_words:mcfg.Simnvm.Memsys.nvm_words
           ~max_threads:Runtime.default_config.Runtime.max_threads
           ~registry_per_slot:Runtime.default_config.Runtime.registry_per_slot
+          ()
   in
-  let failed_epoch = Simnvm.Memsys.persisted mem layout.Layout.epoch_addr in
+  let failed_epoch =
+    Checksum.epoch_of (Simnvm.Memsys.persisted mem layout.Layout.epoch_addr)
+  in
   (* Recovery runs on its own scheduler so its virtual duration is the
      makespan of the parallel scan (Figure 12 measures exactly this). *)
   let sched = Simsched.Scheduler.create ~seed:17 () in
@@ -69,8 +193,9 @@ let run ?(threads = 1) ?(layout : Layout.t option) ?spans mem =
          let work = ref [] in
          for slot = 0 to layout.Layout.max_threads - 1 do
            let len =
-             Simsched.Env.load env
-               (Incll.record (Layout.reglen_cell layout ~line_words slot))
+             clamp 0 layout.Layout.registry_per_slot
+               (Simsched.Env.load env
+                  (Incll.record (Layout.reglen_cell layout ~line_words slot)))
            in
            scanned := !scanned + len;
            let base = Layout.registry_segment layout slot in
@@ -109,8 +234,10 @@ let run ?(threads = 1) ?(layout : Layout.t option) ?spans mem =
                         in
                         for j = 0 to count - 1 do
                           let cell = Heap.cell_at env base j in
-                          if rollback env ~failed_epoch cell then
-                            local := cell :: !local
+                          if
+                            cell_in_heap layout cell
+                            && rollback env ~failed_epoch cell
+                          then local := cell :: !local
                         done
                       done
                     end
@@ -132,14 +259,15 @@ let run ?(threads = 1) ?(layout : Layout.t option) ?spans mem =
   | Simsched.Scheduler.Crash_interrupt _ -> assert false);
   (* Collect per-thread restart-point ids from the slot table. *)
   let slot_count =
-    Simnvm.Memsys.persisted mem (Incll.record layout.Layout.slots_cell)
+    clamp 0 layout.Layout.max_threads
+      (Simnvm.Memsys.persisted mem (Incll.record layout.Layout.slots_cell))
   in
   let rp_ids =
     List.init slot_count (fun slot ->
         let cell =
           Simnvm.Memsys.persisted mem (layout.Layout.slot_table_base + slot)
         in
-        if cell = 0 then (slot, 0)
+        if cell = 0 || not (cell_in_heap layout cell) then (slot, 0)
         else (slot, Simnvm.Memsys.persisted mem (Incll.record cell)))
   in
   let duration_ns = Simsched.Scheduler.elapsed sched in
@@ -147,3 +275,262 @@ let run ?(threads = 1) ?(layout : Layout.t option) ?spans mem =
   | Some r -> Obs.Span.emit r ~name:"recovery" ~t0:0.0 ~t1:duration_ns
   | None -> ());
   { failed_epoch; scanned = !scanned; rolled_back = !rolled; duration_ns; rp_ids }
+
+(* ------------------------------------------------------------------ *)
+(* Verified scan *)
+
+(* Base of the exponential backoff charged before re-reading a line that
+   raised Media_error (virtual nanoseconds). *)
+let retry_backoff_ns = 100.0
+
+let run_verified ?(max_read_retries = 4) ?(layout : Layout.t option) ?spans
+    mem =
+  let mcfg = Simnvm.Memsys.config mem in
+  let line_words = mcfg.Simnvm.Memsys.line_words in
+  let layout =
+    match layout with
+    | Some l -> l
+    | None ->
+        Layout.v ~integrity:true ~line_words
+          ~nvm_words:mcfg.Simnvm.Memsys.nvm_words
+          ~max_threads:Runtime.default_config.Runtime.max_threads
+          ~registry_per_slot:Runtime.default_config.Runtime.registry_per_slot
+          ()
+  in
+  if not layout.Layout.integrity then
+    invalid_arg "Recovery.run_verified: layout built without ~integrity";
+  let l = layout in
+  (* The verified scan is sequential on one recovery fiber: verification is
+     dominated by the same registry reads the trusting scan performs, and a
+     single fiber keeps the repair log and the media-retry state trivially
+     race-free. *)
+  let sched = Simsched.Scheduler.create ~seed:17 () in
+  let env = Simsched.Env.make mem sched in
+  let damages = ref [] in
+  let add_damage d = damages := d :: !damages in
+  let retries = ref 0 in
+  (* Read through the cache with a bounded-backoff retry loop: transient
+     media errors heal on their first raise, so one retry clears them;
+     persistent poison survives the budget and is scrubbed (content lost,
+     recorded as damage) so the scan can proceed over zeroed media. The
+     raise happens before any cache mutation, so retrying is sound. *)
+  let read addr =
+    let rec go n =
+      match Simsched.Env.load env addr with
+      | v -> v
+      | exception Simnvm.Memsys.Media_error { line; _ } ->
+          incr retries;
+          if n < max_read_retries then begin
+            Simsched.Scheduler.charge sched
+              (retry_backoff_ns *. float_of_int (1 lsl n));
+            go (n + 1)
+          end
+          else begin
+            add_damage (Media_failed { line });
+            Simnvm.Memsys.scrub_line mem line;
+            go 0
+          end
+    in
+    go 0
+  in
+  let rolled = ref [] in
+  let scanned = ref 0 in
+  let failed_epoch = ref 0 in
+  let rp_ids = ref [] in
+  ignore
+    (Simsched.Scheduler.spawn ~name:"recovery-verify" sched (fun () ->
+         (* 1. Failed epoch. The sealed epoch word is authoritative when
+            its own CRC holds; the commit record (epoch copy + CRC-32 on
+            the same line) backs it up. A checkpoint commit is three
+            stores -- commit epoch, commit CRC, sealed epoch word -- so
+            honest PCSO media can legally persist the prefixes
+            {E, E+1, crc(E)} and {E, E+1, crc(E+1)}: a commit record one
+            epoch ahead of a certified epoch word is a crash window, not
+            damage. Everything else is classified and, where a CRC proves
+            one side, repaired. *)
+         let commit_crc e =
+           Checksum.commit ~epoch:e ~addr:l.Layout.commit_epoch_addr
+         in
+         let e_word = read l.Layout.epoch_addr in
+         let ce = read l.Layout.commit_epoch_addr in
+         let cc = read l.Layout.commit_crc_addr in
+         let ew = Checksum.epoch_of e_word in
+         let ew_ok = Checksum.check_epoch ~word:e_word ~addr:l.Layout.epoch_addr in
+         let rewrite_commit e =
+           Simsched.Env.store env l.Layout.commit_epoch_addr e;
+           Simsched.Env.store env l.Layout.commit_crc_addr (commit_crc e);
+           Simsched.Env.pwb env l.Layout.commit_epoch_addr;
+           Simsched.Env.pwb env l.Layout.commit_crc_addr
+         in
+         let fe =
+           if ew_ok then
+             if
+               (ce = ew && cc = commit_crc ce)
+               || (ce = ew + 1 && (cc = commit_crc ce || cc = commit_crc ew))
+             then ew (* consistent, or a legal mid-commit prefix *)
+             else begin
+               (* the commit record is damaged; the certified epoch word
+                  proves the repair *)
+               rewrite_commit ew;
+               add_damage (Commit_repaired { epoch = ew });
+               ew
+             end
+           else if cc = commit_crc ce then begin
+             (* epoch word corrupted; the certified commit copy is the
+                best evidence, but the crash may have sat in the pre-bump
+                window one epoch earlier -- restored, not proven *)
+             Simsched.Env.store env l.Layout.epoch_addr
+               (Checksum.seal_epoch ~epoch:ce ~addr:l.Layout.epoch_addr);
+             Simsched.Env.pwb env l.Layout.epoch_addr;
+             add_damage (Epoch_restored { epoch = ce });
+             ce
+           end
+           else begin
+             (* the failed epoch itself is unknowable: every rollback
+                decision below is a guess, so the verdict is terminal *)
+             add_damage
+               (Commit_broken { epoch_word = e_word; commit_word = ce });
+             ew
+           end
+         in
+         failed_epoch := fe;
+         (* Verify one cell against its seal. The authority depends on
+            which side recovery actually consumes:
+
+            - failed-epoch cells are rolled back from their backup, so
+              crc_log (over backup + epoch tag) must prove the undo log
+              before the restore may claim exactness;
+            - quiescent cells keep their record, so crc_rec is the
+              authority. Their crc_log may legally fail: the first update
+              of a cell in the failed epoch stores the new backup *before*
+              the new seal, and a crash in that window persists a fresh
+              backup under the previous epoch's seal. That backup is never
+              read for a quiescent cell, so a broken log seal alone is
+              harmless there -- with one exception. If the epoch *tag* of
+              a failed-epoch cell is damaged into reading quiescent, its
+              stored crc_log was computed over the failed epoch's bits:
+              probing the seal against [fe] unmasks the damage, and the
+              then-certified backup is restored (reported as Tag_restored,
+              never as exact -- CRC-16 can collide). *)
+         let verify_cell ~metadata cell =
+           let w = read (Incll.epoch_id cell) in
+           let bak = read (Incll.backup cell) in
+           let log_ok = Checksum.check_log ~word:w ~backup:bak ~cell in
+           let restore ~seal =
+             Simsched.Env.store env (Incll.record cell) bak;
+             Simsched.Env.store env (Incll.epoch_id cell) seal;
+             Simsched.Env.pwb env cell;
+             rolled := cell :: !rolled
+           in
+           if Checksum.epoch_of w = fe then begin
+             if log_ok then
+               restore ~seal:(Checksum.reseal_record w ~record:bak ~cell)
+             else
+               (* the undo log itself is unprovable: touch nothing, report *)
+               add_damage
+                 (if metadata then Metadata_torn { cell }
+                  else Torn_log { cell })
+           end
+           else begin
+             let rec_v = read (Incll.record cell) in
+             if Checksum.check_rec ~word:w ~record:rec_v ~cell then begin
+               if
+                 (not log_ok)
+                 && Checksum.check_log_at ~word:w ~backup:bak ~epoch:fe ~cell
+               then begin
+                 restore
+                   ~seal:
+                     (Checksum.seal ~record:bak ~backup:bak ~epoch:fe ~cell);
+                 add_damage (Tag_restored { cell })
+               end
+             end
+             else if log_ok then begin
+               (* quiescent record corrupted: the certified backup is the
+                  best provable value, but it is one epoch stale -- the
+                  restore is a salvage, never reported as exact *)
+               restore ~seal:(Checksum.reseal_record w ~record:bak ~cell);
+               add_damage
+                 (if metadata then Metadata_torn { cell }
+                  else Torn_record { cell })
+             end
+             else
+               add_damage
+                 (if metadata then Metadata_torn { cell } else Torn_log { cell })
+           end
+         in
+         (* 2. Fixed metadata cells: the registry lengths govern the scan
+            and the heap cursor governs reallocation, so unproven damage
+            here grades as Unrecoverable. *)
+         let fixed =
+           l.Layout.cursor_cell :: l.Layout.slots_cell
+           :: List.init l.Layout.max_threads (fun slot ->
+                  Layout.reglen_cell l ~line_words slot)
+         in
+         List.iter (verify_cell ~metadata:true) fixed;
+         Simsched.Env.psync env;
+         (* 3. Registry scan, every entry checked against its summary CRC
+            and its decoded range bounds before any cell is trusted. *)
+         for slot = 0 to l.Layout.max_threads - 1 do
+           let len =
+             clamp 0 l.Layout.registry_per_slot
+               (read (Incll.record (Layout.reglen_cell l ~line_words slot)))
+           in
+           scanned := !scanned + len;
+           let seg = Layout.registry_segment l slot in
+           for i = 0 to len - 1 do
+             let eaddr = seg + i in
+             let entry = read eaddr in
+             let sum = read (Layout.regsum_addr l ~entry:eaddr) in
+             if sum <> Checksum.regsum ~entry ~addr:eaddr then
+               add_damage (Registry_corrupt { addr = eaddr })
+             else begin
+               let base, count = Layout.decode_entry entry in
+               let last = Heap.cell_at env base (count - 1) in
+               if
+                 base < l.Layout.heap_base
+                 || last + Incll.words > l.Layout.heap_limit
+                 || last < base
+               then add_damage (Range_out_of_bounds { addr = eaddr; base; count })
+               else
+                 for j = 0 to count - 1 do
+                   verify_cell ~metadata:false (Heap.cell_at env base j)
+                 done
+             end
+           done
+         done;
+         Simsched.Env.psync env;
+         (* 4. Restart points. Slot-table words are raw (no seal), so they
+            get bounds checks; a wild pointer yields RP 0 plus damage
+            rather than a read of arbitrary memory. *)
+         let sc =
+           clamp 0 l.Layout.max_threads (read (Incll.record l.Layout.slots_cell))
+         in
+         rp_ids :=
+           List.init sc (fun slot ->
+               let taddr = l.Layout.slot_table_base + slot in
+               let cell = read taddr in
+               if cell = 0 then (slot, 0)
+               else if not (cell_in_heap l cell) then begin
+                 add_damage (Registry_corrupt { addr = taddr });
+                 (slot, 0)
+               end
+               else (slot, read (Incll.record cell)))));
+  (match Simsched.Scheduler.run sched with
+  | Simsched.Scheduler.Completed -> ()
+  | Simsched.Scheduler.Crash_interrupt _ -> assert false);
+  let duration_ns = Simsched.Scheduler.elapsed sched in
+  (match spans with
+  | Some r -> Obs.Span.emit r ~name:"recovery" ~t0:0.0 ~t1:duration_ns
+  | None -> ());
+  {
+    vreport =
+      {
+        failed_epoch = !failed_epoch;
+        scanned = !scanned;
+        rolled_back = !rolled;
+        duration_ns;
+        rp_ids = !rp_ids;
+      };
+    verdict = verdict_of_damages !damages;
+    read_retries = !retries;
+  }

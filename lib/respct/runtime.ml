@@ -18,6 +18,7 @@ type config = {
   mode : mode;
   max_threads : int;
   registry_per_slot : int;
+  integrity : bool; (* checksum-sealed metadata for faulty media *)
 }
 
 let default_config =
@@ -28,6 +29,7 @@ let default_config =
     mode = Full;
     max_threads = 64;
     registry_per_slot = 8192;
+    integrity = false;
   }
 
 type slot_state = {
@@ -75,7 +77,16 @@ let fresh_slot () =
 let sched t = Simsched.Env.sched t.env
 let mem t = Simsched.Env.mem t.env
 
-let epoch t = Simsched.Env.load t.env t.layout.Layout.epoch_addr
+(* epoch_of is the identity on raw epoch words, so unpacking is
+   unconditional: only integrity mode stores a sealed word. *)
+let epoch t =
+  Checksum.epoch_of (Simsched.Env.load t.env t.layout.Layout.epoch_addr)
+
+let store_epoch t e =
+  Simsched.Env.store t.env t.layout.Layout.epoch_addr
+    (if t.cfg.integrity then
+       Checksum.seal_epoch ~epoch:e ~addr:t.layout.Layout.epoch_addr
+     else e)
 
 let add_modified t ~slot addr =
   let st = t.slots.(slot) in
@@ -89,6 +100,7 @@ let ctx t ~slot : Pctx.t =
     slot;
     epoch = (fun () -> epoch t);
     add_modified = (fun addr -> add_modified t ~slot addr);
+    integrity = t.cfg.integrity;
   }
 
 (* Context whose tracked addresses are flushed immediately: used only for
@@ -106,14 +118,16 @@ let bootstrap_ctx t : Pctx.t =
       (fun addr ->
         Simnvm.Memsys.pwb (mem t) addr;
         Simnvm.Memsys.psync (mem t));
+    integrity = t.cfg.integrity;
   }
 
 let make_internal ?(cfg = default_config) env =
   let mcfg = Simnvm.Memsys.config (Simsched.Env.mem env) in
   let layout =
-    Layout.v ~line_words:mcfg.Simnvm.Memsys.line_words
+    Layout.v ~integrity:cfg.integrity
+      ~line_words:mcfg.Simnvm.Memsys.line_words
       ~nvm_words:mcfg.Simnvm.Memsys.nvm_words ~max_threads:cfg.max_threads
-      ~registry_per_slot:cfg.registry_per_slot
+      ~registry_per_slot:cfg.registry_per_slot ()
   in
   let heap =
     Heap.create env ~cursor_cell:layout.Layout.cursor_cell
@@ -153,11 +167,23 @@ let emit_span t name t0 t1 =
 (* Initialise a fresh persistent image: epoch 0 and the metadata cells are
    made persistent immediately so that a crash before the first checkpoint
    recovers the empty initial state. *)
+(* The checkpoint-commit record: a copy of the epoch plus its CRC-32, on
+   the same cache line as the epoch word itself, so the three stores of a
+   commit persist atomically under PCSO. Recovery cross-checks the epoch
+   word against it (a bit flip in either is detected, and whichever the
+   CRC certifies wins). Written only in integrity mode. *)
+let store_commit_record t e =
+  let l = t.layout in
+  Simsched.Env.store t.env l.Layout.commit_epoch_addr e;
+  Simsched.Env.store t.env l.Layout.commit_crc_addr
+    (Checksum.commit ~epoch:e ~addr:l.Layout.commit_epoch_addr)
+
 let create ?cfg env =
   let t = make_internal ?cfg env in
   let m = mem t in
   let bctx = bootstrap_ctx t in
-  Simsched.Env.store t.env t.layout.Layout.epoch_addr 0;
+  if t.cfg.integrity then store_commit_record t 0;
+  store_epoch t 0;
   Simnvm.Memsys.pwb m t.layout.Layout.epoch_addr;
   Heap.init_cursor bctx t.heap;
   Incll.init bctx t.layout.Layout.slots_cell 0;
@@ -199,8 +225,19 @@ let register_range t ~slot ~base ~count =
       (Printf.sprintf "Runtime: InCLL registry full (slot %d, cap %d)" slot
          t.layout.Layout.registry_per_slot);
   let entry = Layout.registry_segment t.layout slot + len in
-  Simsched.Env.store t.env entry (Layout.encode_entry ~base ~count);
+  let encoded = Layout.encode_entry ~base ~count in
+  Simsched.Env.store t.env entry encoded;
   add_modified t ~slot entry;
+  if t.cfg.integrity then begin
+    (* Registry summary: bind the entry word to its address so recovery
+       can refuse a corrupted entry instead of scanning wild memory. The
+       summary lives in its own region; a crash before the checkpoint
+       flushes both is harmless because the rolled-back registry length
+       hides the entry from the scan. *)
+    let sum = Layout.regsum_addr t.layout ~entry in
+    Simsched.Env.store t.env sum (Checksum.regsum ~entry:encoded ~addr:entry);
+    add_modified t ~slot sum
+  end;
   Incll.update c lencell (len + 1)
 
 let register_cell t ~slot cell = register_range t ~slot ~base:cell ~count:1
@@ -348,7 +385,8 @@ let checkpoint_body ?(on_flushed = fun (_ : int) -> ()) t =
   | No_flush | Incll_only -> ());
   let e = epoch t in
   on_flushed (e + 1);
-  Simsched.Env.store t.env t.layout.Layout.epoch_addr (e + 1);
+  if t.cfg.integrity then store_commit_record t (e + 1);
+  store_epoch t (e + 1);
   Simsched.Env.pwb t.env t.layout.Layout.epoch_addr;
   Simsched.Env.psync t.env;
   Heap.advance_epoch t.heap;

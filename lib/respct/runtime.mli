@@ -27,6 +27,12 @@ type config = {
   mode : mode;
   max_threads : int;  (** thread-slot capacity *)
   registry_per_slot : int;  (** registry capacity per thread slot *)
+  integrity : bool;
+      (** seal InCLL epoch words, registry entries and checkpoint commits
+          with {!Checksum} codes so {!Recovery.run_verified} can detect and
+          classify media damage. Off by default; when off, behaviour and
+          the persistent image are bit-identical to a build without the
+          feature. *)
 }
 
 val default_config : config

@@ -25,6 +25,31 @@
    flushed data — which is what keeps the explicitly-flushing baselines
    (Clobber, SOFT, FriedmanQueue) correct under the same ablation. *)
 
+(* Faulty-media model (opt-in, [faults = None] costs nothing): at every
+   crash, a dedicated RNG derived from [fault_seed] and the crash ordinal
+   decides, per dirty NVMM line, whether its in-flight write-back tears
+   (a strict subset of its dirty words persists — whole-line atomicity
+   violated, words stay 8-byte atomic), whether the line's media poisons
+   (subsequent fills raise {!Media_error} until {!scrub_line}), plus a
+   batch of seeded bit flips on persisted words and armed one-shot
+   transient read faults. Everything is replayable from the seed. *)
+type fault_config = {
+  fault_seed : int;
+  tear_rate : float; (* per dirty NVMM line at crash *)
+  poison_rate : float; (* per dirty NVMM line at crash *)
+  bitflip_rate : float; (* expected flips per crash / nvm_words *)
+  transient_rate : float; (* expected armed lines per crash / NVMM lines *)
+}
+
+let no_faults =
+  {
+    fault_seed = 0;
+    tear_rate = 0.0;
+    poison_rate = 0.0;
+    bitflip_rate = 0.0;
+    transient_rate = 0.0;
+  }
+
 type config = {
   nvm_words : int;
   dram_words : int;
@@ -36,6 +61,7 @@ type config = {
   seed : int;
   eadr : bool;
   pcso : bool;
+  faults : fault_config option;
 }
 
 let default_config =
@@ -50,7 +76,10 @@ let default_config =
     seed = 42;
     eadr = false;
     pcso = true;
+    faults = None;
   }
+
+exception Media_error of { addr : int; line : int; transient : bool }
 
 type line = {
   mutable tag : int; (* line index in the address space; -1 = invalid *)
@@ -78,6 +107,12 @@ type t = {
   recent_fills : int array; (* ring of recently filled line numbers *)
   recent_index : (int, int) Hashtbl.t; (* line -> occurrences in the ring *)
   mutable recent_pos : int;
+  (* Faulty-media state: poisoned NVMM lines (fills raise until scrubbed)
+     and armed one-shot transient read faults. Both tables stay empty with
+     [faults = None] unless a host hook plants faults directly. *)
+  poisoned : (int, unit) Hashtbl.t;
+  transient_pending : (int, unit) Hashtbl.t;
+  mutable crash_count : int;
 }
 
 let no_charge (_ : float) = ()
@@ -153,6 +188,9 @@ let create cfg =
       recent_fills = Array.make prefetch_window (-1);
       recent_index = Hashtbl.create (2 * prefetch_window);
       recent_pos = 0;
+      poisoned = Hashtbl.create 8;
+      transient_pending = Hashtbl.create 8;
+      crash_count = 0;
     }
   in
   ignore (subscribe t (Stats.subscriber t.stats) : subscription);
@@ -251,9 +289,34 @@ let touch t line =
   t.stamp <- t.stamp + 1;
   line.lru <- t.stamp
 
+(* Media check on a line fill: an armed transient fault fails exactly one
+   read and disarms; a poisoned line fails every read until {!scrub_line}.
+   The raise happens before any cache mutation (victim selection included),
+   so a caught Media_error leaves the cache exactly as it was — retrying a
+   transient fault re-fills cleanly. Fault-free worlds pay two hash-table
+   length tests per miss. *)
+let check_media t lineno =
+  if
+    Hashtbl.length t.transient_pending > 0
+    && Hashtbl.mem t.transient_pending lineno
+  then begin
+    Hashtbl.remove t.transient_pending lineno;
+    let addr = lineno * t.cfg.line_words in
+    if has_subs t then
+      emit t (Event.Media_error { addr; line = lineno; transient = true });
+    raise (Media_error { addr; line = lineno; transient = true })
+  end;
+  if Hashtbl.length t.poisoned > 0 && Hashtbl.mem t.poisoned lineno then begin
+    let addr = lineno * t.cfg.line_words in
+    if has_subs t then
+      emit t (Event.Media_error { addr; line = lineno; transient = false });
+    raise (Media_error { addr; line = lineno; transient = false })
+  end
+
 (* Bring a line into the cache, returning it. Charges miss cost (and the
    victim write-back cost, which delays the fill) via the charge hook. *)
 let fill t lineno =
+  check_media t lineno;
   let lat = t.cfg.latency in
   let line = victim t lineno in
   if line.tag >= 0 && line.dirty then begin
@@ -395,6 +458,82 @@ let is_cached_dirty t addr =
   let lineno = Addr.line_of ~line_words:t.cfg.line_words addr in
   match find_line t lineno with Some line -> line.dirty | None -> false
 
+(* Seeded fault injection at a crash. The RNG derives from the config's
+   fault seed and the crash ordinal, so the nth crash of a given world
+   always injects the same faults. Under eADR the drain already persisted
+   every line whole, so only bit flips and transient faults apply; without
+   eADR each dirty NVMM line may additionally tear (persist a strict,
+   seeded subset of its dirty words — the violation of whole-line
+   atomicity real hardware exhibits at 8-byte granularity) or poison. *)
+let inject_crash_faults t (fc : fault_config) =
+  let rng = Rng.create (fc.fault_seed + (t.crash_count * 0x9E3779B1)) in
+  let lw = t.cfg.line_words in
+  if not t.cfg.eadr then
+    Array.iter
+      (fun line ->
+        if line.tag >= 0 && line.dirty && is_nvm t (line.tag * lw) then begin
+          if fc.tear_rate > 0.0 && Rng.float rng < fc.tear_rate then begin
+            (* Persist a strict subset of the dirty words: each dirty word
+               independently, then force at least one dropped word so the
+               tear is observable. *)
+            let kept = ref 0 in
+            for off = 0 to lw - 1 do
+              if line.dirty_mask land (1 lsl off) <> 0 && Rng.bool rng then
+                kept := !kept lor (1 lsl off)
+            done;
+            if !kept = line.dirty_mask then begin
+              (* drop one dirty word, chosen by the seed *)
+              let dirty_offs =
+                List.filter
+                  (fun off -> line.dirty_mask land (1 lsl off) <> 0)
+                  (List.init lw Fun.id)
+              in
+              let drop =
+                List.nth dirty_offs (Rng.int rng (List.length dirty_offs))
+              in
+              kept := !kept land lnot (1 lsl drop)
+            end;
+            for off = 0 to lw - 1 do
+              if !kept land (1 lsl off) <> 0 then
+                backing_write t line.tag off line.data.(off)
+            done;
+            if has_subs t then
+              emit t
+                (Event.Fault_injected
+                   (Event.Torn { line = line.tag; kept = !kept }))
+          end;
+          if fc.poison_rate > 0.0 && Rng.float rng < fc.poison_rate then begin
+            Hashtbl.replace t.poisoned line.tag ();
+            if has_subs t then
+              emit t (Event.Fault_injected (Event.Poisoned { line = line.tag }))
+          end
+        end)
+      t.lines;
+  if fc.bitflip_rate > 0.0 then begin
+    let k =
+      int_of_float (Float.round (fc.bitflip_rate *. float_of_int t.cfg.nvm_words))
+    in
+    for _ = 1 to max 1 k do
+      let addr = Rng.int rng t.cfg.nvm_words in
+      let bit = Rng.int rng 62 in
+      t.pmem.(addr) <- t.pmem.(addr) lxor (1 lsl bit);
+      if has_subs t then
+        emit t (Event.Fault_injected (Event.Bitflip { addr; bit }))
+    done
+  end;
+  if fc.transient_rate > 0.0 then begin
+    let nlines = t.cfg.nvm_words / lw in
+    let k =
+      int_of_float (Float.round (fc.transient_rate *. float_of_int nlines))
+    in
+    for _ = 1 to max 1 k do
+      let line = Rng.int rng nlines in
+      Hashtbl.replace t.transient_pending line ();
+      if has_subs t then
+        emit t (Event.Fault_injected (Event.Transient_armed { line }))
+    done
+  end
+
 let crash t =
   if has_subs t then emit t (Event.Crash { eadr = t.cfg.eadr });
   if t.cfg.eadr then
@@ -405,6 +544,10 @@ let crash t =
         if line.tag >= 0 && line.dirty && is_nvm t (line.tag * t.cfg.line_words)
         then ignore (write_back t line))
       t.lines;
+  (match t.cfg.faults with
+  | None -> ()
+  | Some fc -> inject_crash_faults t fc);
+  t.crash_count <- t.crash_count + 1;
   Array.iter
     (fun line ->
       line.tag <- -1;
@@ -465,9 +608,60 @@ let reset_to_image t img =
   Array.fill t.dram 0 (Array.length t.dram) 0;
   Array.fill t.recent_fills 0 prefetch_window (-1);
   Hashtbl.reset t.recent_index;
-  t.recent_pos <- 0
+  t.recent_pos <- 0;
+  (* A captured image carries no fault state: each adversarial re-recovery
+     starts from healthy media and plants its own faults. *)
+  Hashtbl.reset t.poisoned;
+  Hashtbl.reset t.transient_pending
 
 let poke_persisted t addr v =
   if addr < 0 || addr >= t.cfg.nvm_words then
     invalid_arg "Memsys.poke_persisted: address not in NVMM";
   t.pmem.(addr) <- v
+
+(* ------------------------------------------------------------------ *)
+(* Fault-plan hooks: plant media faults directly (the crash explorer's
+   fault dimension), independent of the seeded [faults] config. *)
+
+let check_nvm_line t lineno =
+  if lineno < 0 || lineno * t.cfg.line_words >= t.cfg.nvm_words then
+    invalid_arg "Memsys: line not in NVMM"
+
+(* Poisoning drops any cached copy first (without write-back), preserving
+   the invariant that a poisoned line is never cached: every subsequent
+   access must go through [fill] and hit the media check. *)
+let poison_line t lineno =
+  check_nvm_line t lineno;
+  (match find_line t lineno with
+  | Some line ->
+      line.tag <- -1;
+      line.dirty <- false;
+      line.dirty_mask <- 0
+  | None -> ());
+  Hashtbl.replace t.poisoned lineno ()
+
+let arm_transient_fault t lineno =
+  check_nvm_line t lineno;
+  (match find_line t lineno with
+  | Some line ->
+      line.tag <- -1;
+      line.dirty <- false;
+      line.dirty_mask <- 0
+  | None -> ());
+  Hashtbl.replace t.transient_pending lineno ()
+
+let is_poisoned t lineno = Hashtbl.mem t.poisoned lineno
+
+let poisoned_lines t =
+  List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) t.poisoned [])
+
+(* Clear a poisoned line, zeroing its media content (the stored bits are
+   gone; what a real scrub or sector remap does). Emits [Media_scrub] so
+   repairs are observable on the pipeline. *)
+let scrub_line t lineno =
+  check_nvm_line t lineno;
+  Hashtbl.remove t.poisoned lineno;
+  for off = 0 to t.cfg.line_words - 1 do
+    t.pmem.((lineno * t.cfg.line_words) + off) <- 0
+  done;
+  if has_subs t then emit t (Event.Media_scrub { line = lineno })

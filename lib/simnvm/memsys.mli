@@ -15,6 +15,24 @@
     ({!set_charge}), which the scheduler binds to the virtual clock of the
     running simulated thread. *)
 
+(** Seeded faulty-media model (opt-in). At every {!crash}, a dedicated RNG
+    derived from [fault_seed] and the crash ordinal decides, per dirty NVMM
+    line, whether the in-flight write-back {e tears} (a strict subset of
+    its dirty words persists; words stay 8-byte atomic) or the line's media
+    {e poisons} (loads raise {!Media_error} until {!scrub_line}); plus a
+    batch of bit flips on persisted words and armed one-shot transient read
+    faults. Fully replayable from the seed. *)
+type fault_config = {
+  fault_seed : int;
+  tear_rate : float;  (** per dirty NVMM line at crash *)
+  poison_rate : float;  (** per dirty NVMM line at crash *)
+  bitflip_rate : float;  (** expected flips per crash, per NVMM word *)
+  transient_rate : float;  (** expected armed lines per crash, per NVMM line *)
+}
+
+val no_faults : fault_config
+(** All rates zero, seed 0. *)
+
 type config = {
   nvm_words : int;  (** words of persistent memory (line-aligned) *)
   dram_words : int;  (** words of volatile DRAM *)
@@ -33,6 +51,9 @@ type config = {
           Explicit {!pwb} and capacity evictions still persist the whole
           line: the ablation weakens ordering, never durability, so
           explicitly-flushing systems stay correct under it. *)
+  faults : fault_config option;
+      (** seeded media-fault injection at crash time; [None] (the default)
+          is the perfect-media model and costs nothing *)
 }
 
 val default_config : config
@@ -88,8 +109,16 @@ val set_tid_provider : t -> (unit -> int) -> unit
 val is_nvm : t -> Addr.t -> bool
 (** Whether the address is NVMM-backed. *)
 
+exception Media_error of { addr : int; line : int; transient : bool }
+(** Raised by an access that misses into a poisoned (or transiently
+    failing) NVMM line. [transient] faults fail exactly once and heal;
+    poison persists until {!scrub_line}. The raise happens before any
+    cache mutation, so a caught error leaves the cache untouched and the
+    access can be retried. *)
+
 val load : t -> Addr.t -> int
-(** Read a word through the cache. *)
+(** Read a word through the cache.
+    @raise Media_error on a miss into a poisoned line. *)
 
 val store : t -> Addr.t -> int -> unit
 (** Write a word through the cache (write-allocate); may trigger a
@@ -159,3 +188,32 @@ val poke_persisted : t -> Addr.t -> int -> unit
 (** Write one word directly into the NVMM image (adversarial-image
     construction; bypasses the cache entirely).
     @raise Invalid_argument outside the NVMM region. *)
+
+(** {2 Fault-plan hooks}
+
+    Plant media faults directly — the crash explorer's fault dimension
+    layers these on adversarial crash images, independently of the seeded
+    [faults] config. {!reset_to_image} clears all planted fault state.
+    {!persisted}, {!peek} and {!image} are oracle views and deliberately
+    bypass poison. *)
+
+val poison_line : t -> int -> unit
+(** Poison an NVMM line (by line number): every subsequent access that
+    misses into it raises {!Media_error} until {!scrub_line}. Any cached
+    copy is dropped without write-back first, so the poison is observed.
+    @raise Invalid_argument outside the NVMM region. *)
+
+val arm_transient_fault : t -> int -> unit
+(** Arm a one-shot transient read fault on an NVMM line: the next miss
+    into it raises {!Media_error} with [transient = true], then the line
+    heals. @raise Invalid_argument outside the NVMM region. *)
+
+val is_poisoned : t -> int -> bool
+
+val poisoned_lines : t -> int list
+(** Currently poisoned NVMM lines, sorted. *)
+
+val scrub_line : t -> int -> unit
+(** Clear a poisoned line and zero its media content (the stored bits are
+    lost — what a real scrub or sector remap does); publishes
+    [Media_scrub]. @raise Invalid_argument outside the NVMM region. *)

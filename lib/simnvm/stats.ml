@@ -12,6 +12,9 @@ type t = {
   mutable psyncs : int;
   mutable spontaneous_evictions : int;
   mutable crashes : int;
+  mutable faults_injected : int;
+  mutable media_errors : int;
+  mutable media_scrubs : int;
 }
 
 let create () =
@@ -27,6 +30,9 @@ let create () =
     psyncs = 0;
     spontaneous_evictions = 0;
     crashes = 0;
+    faults_injected = 0;
+    media_errors = 0;
+    media_scrubs = 0;
   }
 
 let reset t =
@@ -40,7 +46,10 @@ let reset t =
   t.pwbs <- 0;
   t.psyncs <- 0;
   t.spontaneous_evictions <- 0;
-  t.crashes <- 0
+  t.crashes <- 0;
+  t.faults_injected <- 0;
+  t.media_errors <- 0;
+  t.media_scrubs <- 0
 
 (* Stats is one subscriber of the Memsys event pipeline: Memsys.create
    attaches [subscriber] by default, so the counters keep their historical
@@ -62,6 +71,9 @@ let subscriber t (ev : Event.t) =
   | Event.Eviction _ ->
       t.spontaneous_evictions <- t.spontaneous_evictions + 1
   | Event.Crash _ -> t.crashes <- t.crashes + 1
+  | Event.Fault_injected _ -> t.faults_injected <- t.faults_injected + 1
+  | Event.Media_error _ -> t.media_errors <- t.media_errors + 1
+  | Event.Media_scrub _ -> t.media_scrubs <- t.media_scrubs + 1
 
 let accesses t = t.loads + t.stores
 
@@ -74,7 +86,8 @@ let pp ppf t =
     "@[<v>accesses=%d (loads=%d stores=%d) hit_rate=%.3f@,\
      misses: dram=%d nvm=%d@,\
      writebacks: dram=%d nvm=%d spontaneous=%d@,\
-     pwb=%d psync=%d crashes=%d@]"
+     pwb=%d psync=%d crashes=%d@,\
+     faults=%d media-errors=%d scrubs=%d@]"
     (accesses t) t.loads t.stores (hit_rate t) t.dram_misses t.nvm_misses
     t.dram_writebacks t.nvm_writebacks t.spontaneous_evictions t.pwbs t.psyncs
-    t.crashes
+    t.crashes t.faults_injected t.media_errors t.media_scrubs

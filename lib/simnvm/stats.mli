@@ -12,6 +12,9 @@ type t = {
   mutable psyncs : int;
   mutable spontaneous_evictions : int;
   mutable crashes : int;
+  mutable faults_injected : int;
+  mutable media_errors : int;
+  mutable media_scrubs : int;
 }
 
 val create : unit -> t

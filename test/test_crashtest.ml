@@ -291,6 +291,129 @@ let test_schedule_sweeps_clean () =
         0 (List.length failures))
     Schedule.all_specs
 
+(* ------------------------------------------------------------------ *)
+(* Media faults: deterministic plans, the integrity oracle in both
+   directions, and fault-seed-carrying counterexamples. *)
+
+module Faultplan = Crashtest.Faultplan
+
+let mk_dirty lineno mask =
+  { Memsys.lineno; data = Array.init 8 (fun i -> (lineno * 100) + i); mask }
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_faultplan_deterministic () =
+  let dirty = [ mk_dirty 3 0b1011; mk_dirty 7 0b1; mk_dirty 9 0b11000101 ] in
+  List.iter
+    (fun (seed, crash_index) ->
+      let d () = Faultplan.derive ~seed ~crash_index ~line_words:8 dirty in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d crash %d replays" seed crash_index)
+        true
+        (d () = d ()))
+    [ (7, 0); (7, 36); (23, 36); (23, 917) ];
+  let plans =
+    List.init 64 (fun i ->
+        Faultplan.derive ~seed:7 ~crash_index:i ~line_words:8 dirty)
+  in
+  Alcotest.(check bool)
+    "crash index varies the plan" true
+    (List.exists (fun p -> p <> List.hd plans) plans)
+
+let test_faultplan_well_formed () =
+  let dirty = [ mk_dirty 3 0b1011; mk_dirty 7 0b1; mk_dirty 9 0b11000101 ] in
+  let dirty_linenos = List.map (fun d -> d.Memsys.lineno) dirty in
+  let dirty_addrs =
+    List.concat_map
+      (fun d ->
+        List.filter_map
+          (fun off ->
+            if d.Memsys.mask land (1 lsl off) <> 0 then
+              Some ((d.Memsys.lineno * 8) + off)
+            else None)
+          (List.init 8 Fun.id))
+      dirty
+  in
+  let check_op = function
+    | Faultplan.Tear { lineno; keep } ->
+        let dl = List.find (fun d -> d.Memsys.lineno = lineno) dirty in
+        Alcotest.(check bool) "tear keeps dirty words only" true
+          (keep land lnot dl.Memsys.mask = 0);
+        Alcotest.(check bool)
+          "tear is a strict non-empty subset" true
+          (keep <> 0 && keep <> dl.Memsys.mask)
+    | Faultplan.Bitflip { addr; bit } ->
+        (* Flips land on in-flight (dirty) words only — a clean at-rest
+           word decays via ECC-visible poison, never silently. *)
+        Alcotest.(check bool)
+          (Printf.sprintf "flip @%d hits a dirty word" addr)
+          true
+          (List.mem addr dirty_addrs);
+        Alcotest.(check bool) "bit in range" true (bit >= 0 && bit < 62)
+    | Faultplan.Poison { lineno } | Faultplan.Transient { lineno } ->
+        Alcotest.(check bool) "targets a dirty line" true
+          (List.mem lineno dirty_linenos)
+  in
+  for seed = 1 to 40 do
+    List.iter check_op
+      (Faultplan.derive ~seed ~crash_index:(seed * 3) ~line_words:8 dirty)
+  done;
+  (* With nothing dirty, the plan aims at the sealed metadata region and
+     never tears. *)
+  for seed = 1 to 40 do
+    List.iter
+      (function
+        | Faultplan.Tear _ -> Alcotest.fail "tear without dirty lines"
+        | Faultplan.Bitflip { addr; _ } ->
+            Alcotest.(check bool) "flip in metadata region" true
+              (addr >= 0 && addr < 16 * 8)
+        | Faultplan.Poison { lineno } | Faultplan.Transient { lineno } ->
+            Alcotest.(check bool) "line in metadata region" true
+              (lineno >= 0 && lineno < 16))
+      (Faultplan.derive ~seed ~crash_index:seed ~line_words:8 [])
+  done
+
+let test_integrity_scenarios_survive_faults () =
+  List.iter
+    (fun id ->
+      let o =
+        Explore.explore ~fault_seeds:[ 7 ]
+          (scenario_of id ~pcso:true ~n_ops:5)
+      in
+      Alcotest.(check int)
+        (id ^ " detects or repairs every injected fault")
+        0
+        (List.length o.Explore.failures))
+    [ "respct-map-integrity"; "respct-queue-integrity" ]
+
+let test_noverify_mutant_fault_counterexample () =
+  (* The planted integrity mutant: identical world, but recovery skips
+     verification. The fault dimension must catch it and hand back a
+     counterexample that carries its fault seed through shrinking, replay
+     and the printed CLI line. *)
+  let rebuild ~n_ops = scenario_of "respct-map-noverify" ~pcso:true ~n_ops in
+  let o =
+    Explore.explore ~stop_at_first_failure:true ~fault_seeds:[ 7 ]
+      (rebuild ~n_ops:6)
+  in
+  match o.Explore.failures with
+  | [] -> Alcotest.fail "unverified recovery survived faulty media"
+  | f :: _ -> (
+      Alcotest.(check (option int))
+        "failure records its fault seed" (Some 7) f.Explore.fault_seed;
+      let c = Shrink.minimize ~fault_seeds:[ 7 ] ~rebuild ~n_ops:6 f in
+      Alcotest.(check (option int))
+        "counterexample carries the seed" (Some 7) c.Shrink.fault_seed;
+      (match Shrink.replay c ~rebuild with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "fault counterexample does not replay");
+      Alcotest.(check bool)
+        "replay line names the fault seed" true
+        (contains ~sub:"--fault-seed 7" (Crashtest.Report.replay_args c)))
+
 let () =
   Alcotest.run "crashtest"
     [
@@ -328,4 +451,15 @@ let () =
       ( "schedules",
         [ Alcotest.test_case "sweeps clean" `Slow test_schedule_sweeps_clean ]
       );
+      ( "faults",
+        [
+          Alcotest.test_case "plans deterministic under a seed" `Quick
+            test_faultplan_deterministic;
+          Alcotest.test_case "plans well-formed" `Quick
+            test_faultplan_well_formed;
+          Alcotest.test_case "integrity scenarios survive faults" `Slow
+            test_integrity_scenarios_survive_faults;
+          Alcotest.test_case "noverify mutant fault counterexample" `Slow
+            test_noverify_mutant_fault_counterexample;
+        ] );
     ]

@@ -169,6 +169,7 @@ let traced_queue_world () =
       mode = Respct.Runtime.Full;
       max_threads = 4;
       registry_per_slot = 4096;
+      integrity = false;
     }
   in
   let rt = Respct.Runtime.create ~cfg env in
@@ -227,6 +228,7 @@ let test_advisor_race_freedom_of_map () =
       mode = Respct.Runtime.Full;
       max_threads = 4;
       registry_per_slot = 4096;
+      integrity = false;
     }
   in
   let rt = Respct.Runtime.create ~cfg env in

@@ -27,6 +27,7 @@ let rt_cfg =
     mode = Respct.Runtime.Full;
     max_threads = 8;
     registry_per_slot = 1 lsl 14;
+    integrity = false;
   }
 
 let in_thread sched body =

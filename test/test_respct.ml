@@ -25,6 +25,7 @@ let rt_cfg ?(period_ns = 50_000.0) ?(mode = Runtime.Full) ?(flusher_pool = 4)
     flusher_pool;
     max_threads = 16;
     registry_per_slot = 4096;
+    integrity = false;
   }
 
 (* Build a fresh world: memory, scheduler, env, runtime. *)
@@ -279,8 +280,12 @@ let test_crash_before_first_checkpoint_recovers_initial () =
    increment — exactly the state recovery restores for a crash in the next
    epoch). After a crash at [crash_ns] + recovery, the NVMM image must equal
    the snapshot recorded for [failed_epoch]. *)
-let crash_trial ?(pcso = true) ~seed ~crash_ns () =
-  let mem, sched, _env, rt = fresh ~seed ~evict_rate:0.2 ~pcso () in
+let crash_trial ?(pcso = true) ?(verified = false) ~seed ~crash_ns () =
+  let cfg =
+    if verified then { (rt_cfg ()) with Runtime.integrity = true }
+    else rt_cfg ()
+  in
+  let mem, sched, _env, rt = fresh ~seed ~evict_rate:0.2 ~pcso ~cfg () in
   let layout = Runtime.layout rt in
   let n_cells = 8 in
   let cells = ref [||] in
@@ -322,7 +327,17 @@ let crash_trial ?(pcso = true) ~seed ~crash_ns () =
   | Scheduler.Crash_interrupt _ -> ()
   | Scheduler.Completed -> Alcotest.fail "expected crash");
   Memsys.crash mem;
-  let rep = Recovery.run ~threads:2 ~layout mem in
+  let rep =
+    if verified then begin
+      (* Perfect media: the verified scan must prove the image exact. *)
+      let v = Recovery.run_verified ~layout mem in
+      if not (Recovery.exact_image v.Recovery.verdict) then
+        Alcotest.failf "perfect media judged %a" Recovery.pp_verdict
+          v.Recovery.verdict;
+      v.Recovery.vreport
+    end
+    else Recovery.run ~threads:2 ~layout mem
+  in
   match Hashtbl.find_opt snapshots rep.Recovery.failed_epoch with
   | None -> (None, None, rep) (* crash in epoch 0: covered elsewhere *)
   | Some snap -> (Some snap, Some (observe ()), rep)
@@ -514,6 +529,222 @@ let test_eadr_checkpoint_flush_free () =
     (Obs.Span.total_ns spans "checkpoint.flush")
 
 (* ------------------------------------------------------------------ *)
+(* Integrity: checksum packing and the verified-recovery verdicts *)
+
+let test_checksum_cell_seals () =
+  (* [epoch_of] is the identity on every raw (non-integrity) epoch word,
+     including the -1 bootstrap value. *)
+  List.iter
+    (fun e ->
+      Alcotest.(check int)
+        (Printf.sprintf "epoch_of is the identity on %d" e)
+        e (Checksum.epoch_of e))
+    [ 0; 1; 42; 123_456_789; -1 ];
+  let cell = 1536 and record = 55 and backup = 44 and epoch = 7 in
+  let w = Checksum.seal ~record ~backup ~epoch ~cell in
+  Alcotest.(check int) "epoch packed" epoch (Checksum.epoch_of w);
+  Alcotest.(check bool)
+    "log certified" true
+    (Checksum.check_log ~word:w ~backup ~cell);
+  Alcotest.(check bool)
+    "rec certified" true
+    (Checksum.check_rec ~word:w ~record ~cell);
+  Alcotest.(check bool)
+    "log rejects a wrong backup" false
+    (Checksum.check_log ~word:w ~backup:(backup + 1) ~cell);
+  Alcotest.(check bool)
+    "rec rejects a wrong record" false
+    (Checksum.check_rec ~word:w ~record:(record + 1) ~cell);
+  Alcotest.(check bool)
+    "seal is address-bound" false
+    (Checksum.check_log ~word:w ~backup ~cell:(cell + Incll.words));
+  (* [reseal_record] replaces only the record CRC. *)
+  let w' = Checksum.reseal_record w ~record:99 ~cell in
+  Alcotest.(check bool)
+    "resealed record certified" true
+    (Checksum.check_rec ~word:w' ~record:99 ~cell);
+  Alcotest.(check bool)
+    "log seal untouched by reseal" true
+    (Checksum.check_log ~word:w' ~backup ~cell);
+  Alcotest.(check int) "epoch untouched by reseal" epoch
+    (Checksum.epoch_of w');
+  (* [check_log_at] probes the seal under an explicit epoch. *)
+  Alcotest.(check bool)
+    "log_at its own epoch" true
+    (Checksum.check_log_at ~word:w ~backup ~epoch ~cell);
+  Alcotest.(check bool)
+    "log_at another epoch" false
+    (Checksum.check_log_at ~word:w ~backup ~epoch:(epoch + 1) ~cell)
+
+let test_checksum_metadata_seals () =
+  let addr = 0 in
+  let w = Checksum.seal_epoch ~epoch:5 ~addr in
+  Alcotest.(check int) "epoch readable through seal" 5 (Checksum.epoch_of w);
+  Alcotest.(check bool)
+    "sealed word certified" true
+    (Checksum.check_epoch ~word:w ~addr);
+  Alcotest.(check bool)
+    "raw word rejected" false
+    (Checksum.check_epoch ~word:5 ~addr);
+  Alcotest.(check bool)
+    "single bit flip detected" false
+    (Checksum.check_epoch ~word:(w lxor (1 lsl 3)) ~addr);
+  Alcotest.(check bool)
+    "commit code binds the epoch" true
+    (Checksum.commit ~epoch:3 ~addr:1 <> Checksum.commit ~epoch:4 ~addr:1);
+  Alcotest.(check bool)
+    "commit code binds the address" true
+    (Checksum.commit ~epoch:3 ~addr:1 <> Checksum.commit ~epoch:3 ~addr:2);
+  Alcotest.(check bool)
+    "regsum binds entry and address" true
+    (Checksum.regsum ~entry:17 ~addr:9 <> Checksum.regsum ~entry:18 ~addr:9
+    && Checksum.regsum ~entry:17 ~addr:9 <> Checksum.regsum ~entry:17 ~addr:10)
+
+(* One counter, one checkpoint (epoch 0 -> 1), crash mid-epoch 1 with a
+   deterministic cache (no evictions): the post-crash image has the cell
+   quiescent under its epoch-0 seal and the metadata committed at epoch 1.
+   The canvas for hand-planted damage. *)
+let crash_world ~integrity () =
+  let cfg = { (rt_cfg ()) with Runtime.integrity } in
+  let mem, sched, _env, rt = fresh ~cfg () in
+  let layout = Runtime.layout rt in
+  let cell = ref 0 in
+  ignore
+    (Runtime.spawn rt ~slot:0 (fun _ctx ->
+         cell := Runtime.alloc_incll rt ~slot:0 100;
+         let rec loop i =
+           Runtime.update rt ~slot:0 !cell i;
+           Runtime.rp rt ~slot:0 1;
+           loop (i + 1)
+         in
+         loop 1));
+  ignore
+    (Scheduler.spawn ~name:"cp" sched (fun () ->
+         Scheduler.sleep sched 20_000.0;
+         Runtime.run_checkpoint rt;
+         Scheduler.sleep sched 1_000_000.0));
+  Scheduler.set_crash_at sched 45_000.0;
+  ignore (Scheduler.run sched);
+  Memsys.crash mem;
+  (mem, layout, !cell)
+
+let check_verdict what expected got =
+  let s v = Fmt.str "%a" Recovery.pp_verdict v in
+  Alcotest.(check string) what (s expected) (s got)
+
+let test_verified_verdict_taxonomy () =
+  let mem, layout, cell = crash_world ~integrity:true () in
+  let base = Memsys.image mem in
+  let reset () = Memsys.reset_to_image mem base in
+  let verify () = Recovery.run_verified ~layout mem in
+  (* Clean image: proven exact. *)
+  let v = verify () in
+  Alcotest.(check int) "failed epoch" 1 v.Recovery.vreport.Recovery.failed_epoch;
+  check_verdict "clean image" Recovery.Clean v.Recovery.verdict;
+  Alcotest.(check bool) "clean is exact" true
+    (Recovery.exact_image v.Recovery.verdict);
+  let rec0 = Memsys.persisted mem (Incll.record cell) in
+  let bak0 = Memsys.persisted mem (Incll.backup cell) in
+  (* Torn record on a quiescent cell: the certified backup is restored —
+     one epoch stale, hence a salvage, never exact. *)
+  reset ();
+  Memsys.poke_persisted mem (Incll.record cell) (rec0 lxor 0xDEAD);
+  let v = verify () in
+  check_verdict "torn record"
+    (Recovery.Salvaged [ Recovery.Torn_record { cell } ])
+    v.Recovery.verdict;
+  Alcotest.(check int) "backup restored" bak0
+    (Memsys.persisted mem (Incll.record cell));
+  (* Record and backup both torn: the undo log is unprovable, the cell is
+     quarantined untouched. *)
+  reset ();
+  Memsys.poke_persisted mem (Incll.record cell) (rec0 lxor 0xBEEF);
+  Memsys.poke_persisted mem (Incll.backup cell) (bak0 lxor 0xF00D);
+  let v = verify () in
+  check_verdict "torn log"
+    (Recovery.Salvaged [ Recovery.Torn_log { cell } ])
+    v.Recovery.verdict;
+  Alcotest.(check int) "quarantined, not rewritten" (rec0 lxor 0xBEEF)
+    (Memsys.persisted mem (Incll.record cell));
+  (* A stray backup under a quiescent cell is dead weight (the legal
+     backup-before-seal crash window looks exactly like this): clean. *)
+  reset ();
+  Memsys.poke_persisted mem (Incll.backup cell) (bak0 lxor 1);
+  check_verdict "stray backup is benign" Recovery.Clean (verify ()).Recovery.verdict;
+  (* Commit record disagreeing with the certified epoch word: rewritten
+     from the seal, a proven repair. *)
+  reset ();
+  Memsys.poke_persisted mem layout.Layout.commit_epoch_addr 0;
+  let v = verify () in
+  check_verdict "commit repaired"
+    (Recovery.Repaired [ Recovery.Commit_repaired { epoch = 1 } ])
+    v.Recovery.verdict;
+  Alcotest.(check bool) "repair is exact" true
+    (Recovery.exact_image v.Recovery.verdict);
+  Alcotest.(check int) "commit rewritten" 1
+    (Memsys.persisted mem layout.Layout.commit_epoch_addr);
+  (* Epoch word seal broken but commit record certified: restored
+     best-effort (the pre-bump window is indistinguishable). *)
+  reset ();
+  Memsys.poke_persisted mem layout.Layout.epoch_addr 1;
+  let v = verify () in
+  check_verdict "epoch restored"
+    (Recovery.Salvaged [ Recovery.Epoch_restored { epoch = 1 } ])
+    v.Recovery.verdict;
+  Alcotest.(check bool) "epoch word resealed" true
+    (Checksum.check_epoch
+       ~word:(Memsys.persisted mem layout.Layout.epoch_addr)
+       ~addr:layout.Layout.epoch_addr);
+  (* Neither the epoch word nor the commit record certifiable: fail stop. *)
+  reset ();
+  Memsys.poke_persisted mem layout.Layout.epoch_addr 1;
+  Memsys.poke_persisted mem layout.Layout.commit_crc_addr 0;
+  (match (verify ()).Recovery.verdict with
+  | Recovery.Unrecoverable ds
+    when List.exists
+           (function Recovery.Commit_broken _ -> true | _ -> false)
+           ds ->
+      ()
+  | d -> Alcotest.failf "expected Commit_broken, got %a" Recovery.pp_verdict d)
+
+let test_verified_media_retry_and_scrub () =
+  let mem, layout, cell = crash_world ~integrity:true () in
+  let base = Memsys.image mem in
+  let lw = (Memsys.config mem).Memsys.line_words in
+  let line = Incll.record cell / lw in
+  (* Transient fault: retried with backoff, healed, still proven exact. *)
+  Memsys.arm_transient_fault mem line;
+  let v = Recovery.run_verified ~layout mem in
+  Alcotest.(check bool) "retried" true (v.Recovery.read_retries > 0);
+  Alcotest.(check bool) "exact after retry" true
+    (Recovery.exact_image v.Recovery.verdict);
+  (* Hard poison: retry budget exhausted, the line is scrubbed and the
+     loss reported — fail-stop on content, never a hang. *)
+  Memsys.reset_to_image mem base;
+  Memsys.poison_line mem line;
+  let v = Recovery.run_verified ~layout mem in
+  (match v.Recovery.verdict with
+  | Recovery.Salvaged ds
+    when List.exists
+           (function
+             | Recovery.Media_failed { line = l } -> l = line | _ -> false)
+           ds ->
+      ()
+  | d -> Alcotest.failf "expected Media_failed, got %a" Recovery.pp_verdict d);
+  Alcotest.(check bool) "line scrubbed" false (Memsys.is_poisoned mem line)
+
+let test_integrity_off_keeps_raw_words () =
+  (* integrity=false must keep the historical raw-word representation:
+     plain epochs in the global word and in every cell tag, no seal bits. *)
+  let mem, layout, cell = crash_world ~integrity:false () in
+  Alcotest.(check int) "raw global epoch word" 1
+    (Memsys.persisted mem layout.Layout.epoch_addr);
+  let w = Memsys.persisted mem (Incll.epoch_id cell) in
+  Alcotest.(check int) "raw cell tag, no seal bits" 0 w;
+  Alcotest.(check bool) "layout reserves no regsum region" true
+    (layout.Layout.regsum_base = -1)
+
+(* ------------------------------------------------------------------ *)
 (* Condition variables under checkpointing (paper Figure 7) *)
 
 let test_cond_wait_no_deadlock () =
@@ -574,6 +805,21 @@ let prop_recovery_equals_last_checkpoint =
       | Some s, Some r, _ -> s = r
       | Some _, None, _ -> false)
 
+(* Same property through the verified scan: on perfect media it must both
+   judge the image exact and restore the identical state. *)
+let prop_verified_recovery_exact_on_clean_media =
+  QCheck.Test.make
+    ~name:"verified recovery exact + equal on perfect media" ~count:12
+    (Gen_common.arb_crash_case ())
+    (fun c ->
+      match
+        crash_trial ~verified:true ~seed:c.Gen_common.seed
+          ~crash_ns:(Gen_common.crash_ns c) ()
+      with
+      | None, _, _ -> true
+      | Some s, Some r, _ -> s = r
+      | Some _, None, _ -> false)
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -626,10 +872,28 @@ let () =
           Alcotest.test_case "eADR checkpoint flush free" `Quick
             test_eadr_checkpoint_flush_free;
         ] );
+      ( "integrity",
+        [
+          Alcotest.test_case "cell seal round-trips" `Quick
+            test_checksum_cell_seals;
+          Alcotest.test_case "metadata seal round-trips" `Quick
+            test_checksum_metadata_seals;
+          Alcotest.test_case "verdict taxonomy" `Quick
+            test_verified_verdict_taxonomy;
+          Alcotest.test_case "media retry + scrub" `Quick
+            test_verified_media_retry_and_scrub;
+          Alcotest.test_case "integrity off keeps raw words" `Quick
+            test_integrity_off_keeps_raw_words;
+        ] );
       ( "condvar",
         [
           Alcotest.test_case "cond_wait under checkpoints" `Quick
             test_cond_wait_no_deadlock;
         ] );
-      ("properties", qcheck [ prop_recovery_equals_last_checkpoint ]);
+      ( "properties",
+        qcheck
+          [
+            prop_recovery_equals_last_checkpoint;
+            prop_verified_recovery_exact_on_clean_media;
+          ] );
     ]

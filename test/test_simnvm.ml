@@ -289,6 +289,9 @@ let kind_of (ev : Event.t) =
   | Event.Psync _ -> "psync"
   | Event.Eviction _ -> "eviction"
   | Event.Crash _ -> "crash"
+  | Event.Fault_injected _ -> "fault"
+  | Event.Media_error _ -> "media-error"
+  | Event.Media_scrub _ -> "media-scrub"
 
 let test_pipeline_delivery () =
   let m = Memsys.create (cfg ()) in
@@ -374,6 +377,122 @@ let test_pipeline_clear_freezes_stats () =
   Alcotest.(check int) "loads frozen" 0 s.Stats.loads;
   (* semantics are unaffected: the zero-subscriber path still works *)
   Alcotest.(check int) "value intact" 2 (Memsys.load m 8)
+
+(* ------------------------------------------------------------------ *)
+(* Faulty media: the seeded crash-time fault layer and the fault-plan
+   hooks recovery relies on. *)
+
+let faulty_cfg ?(fault_seed = 5) () =
+  {
+    (cfg ()) with
+    Memsys.faults =
+      Some
+        {
+          Memsys.fault_seed;
+          tear_rate = 0.5;
+          poison_rate = 0.25;
+          bitflip_rate = 0.002;
+          transient_rate = 0.01;
+        };
+  }
+
+(* Plenty of dirty lines at crash time, a few explicit persists. *)
+let fault_workload m =
+  let r = Rng.create 42 in
+  for i = 1 to 300 do
+    let a = Rng.int r 512 in
+    Memsys.store m a i;
+    if i mod 7 = 0 then Memsys.pwb m a
+  done
+
+let crash_with_faults fault_seed =
+  let m = Memsys.create (faulty_cfg ~fault_seed ()) in
+  let faults = ref [] in
+  let _sub =
+    Memsys.subscribe m (fun ev ->
+        match ev with
+        | Event.Fault_injected f -> faults := f :: !faults
+        | _ -> ())
+  in
+  fault_workload m;
+  Memsys.crash m;
+  (Memsys.image m, List.rev !faults, Memsys.poisoned_lines m)
+
+let test_fault_injection_deterministic () =
+  let i1, f1, p1 = crash_with_faults 5 in
+  let i2, f2, p2 = crash_with_faults 5 in
+  Alcotest.(check bool) "faults were injected at all" true (f1 <> []);
+  Alcotest.(check bool) "same seed, same fault events" true (f1 = f2);
+  Alcotest.(check (array int)) "same seed, same image" i1 i2;
+  Alcotest.(check (list int)) "same seed, same poison set" p1 p2;
+  let i3, f3, _ = crash_with_faults 6 in
+  Alcotest.(check bool)
+    "different seed, different damage" true
+    (f1 <> f3 || i1 <> i3)
+
+let test_no_faults_is_perfect_media () =
+  (* [faults = None] and all-zero rates must both be byte-identical to the
+     historical perfect-media crash — the zero-overhead guard. *)
+  let run faults =
+    let m = Memsys.create { (cfg ()) with Memsys.faults } in
+    fault_workload m;
+    Memsys.crash m;
+    (Memsys.image m, Memsys.poisoned_lines m)
+  in
+  let i1, p1 = run None in
+  let i2, p2 = run (Some Memsys.no_faults) in
+  Alcotest.(check (array int)) "byte-identical images" i1 i2;
+  Alcotest.(check (list int)) "no poison without faults" [] p1;
+  Alcotest.(check (list int)) "no poison with zero rates" [] p2
+
+let test_poison_raises_and_scrub_heals () =
+  let m = Memsys.create (cfg ()) in
+  Memsys.store m 100 42;
+  Memsys.pwb m 100;
+  let seen = ref [] in
+  let _sub = Memsys.subscribe m (fun ev -> seen := kind_of ev :: !seen) in
+  let line = 100 / lw in
+  Memsys.poison_line m line;
+  Alcotest.(check bool) "poisoned" true (Memsys.is_poisoned m line);
+  Alcotest.(check (list int)) "listed" [ line ] (Memsys.poisoned_lines m);
+  (try
+     ignore (Memsys.load m 100);
+     Alcotest.fail "expected Media_error"
+   with Memsys.Media_error { line = l; transient; _ } ->
+     Alcotest.(check int) "faulting line" line l;
+     Alcotest.(check bool) "hard fault" false transient);
+  (* Oracle views deliberately bypass poison. *)
+  Alcotest.(check int) "persisted bypasses" 42 (Memsys.persisted m 100);
+  Alcotest.(check int) "peek bypasses" 42 (Memsys.peek m 100);
+  Memsys.scrub_line m line;
+  Alcotest.(check bool) "healed" false (Memsys.is_poisoned m line);
+  Alcotest.(check int) "content lost by scrub" 0 (Memsys.load m 100);
+  Alcotest.(check bool)
+    "scrub published" true
+    (List.mem "media-scrub" !seen)
+
+let test_transient_fault_one_shot () =
+  let m = Memsys.create (cfg ()) in
+  Memsys.poke_persisted m 200 7;
+  Memsys.arm_transient_fault m (200 / lw);
+  (try
+     ignore (Memsys.load m 200);
+     Alcotest.fail "expected transient Media_error"
+   with Memsys.Media_error { transient; _ } ->
+     Alcotest.(check bool) "transient" true transient);
+  (* The fault disarmed with the first raise: the retry succeeds. *)
+  Alcotest.(check int) "retry heals" 7 (Memsys.load m 200)
+
+let test_reset_to_image_clears_planted_faults () =
+  let m = Memsys.create (cfg ()) in
+  Memsys.poke_persisted m 64 9;
+  let img = Memsys.image m in
+  Memsys.poison_line m (64 / lw);
+  Memsys.arm_transient_fault m (72 / lw);
+  Memsys.reset_to_image m img;
+  Alcotest.(check (list int)) "poison cleared" [] (Memsys.poisoned_lines m);
+  Alcotest.(check int) "loads cleanly" 9 (Memsys.load m 64);
+  Alcotest.(check int) "transient cleared" 0 (Memsys.load m 72)
 
 (* ------------------------------------------------------------------ *)
 (* QCheck properties *)
@@ -494,6 +613,19 @@ let () =
           Alcotest.test_case "pwb + psync" `Quick test_costs_pwb_psync;
           Alcotest.test_case "eADR flush free" `Quick test_eadr_flush_free;
           Alcotest.test_case "stats counters" `Quick test_stats_counters;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "injection deterministic under a seed" `Quick
+            test_fault_injection_deterministic;
+          Alcotest.test_case "no-fault configs are perfect media" `Quick
+            test_no_faults_is_perfect_media;
+          Alcotest.test_case "poison raises, scrub heals" `Quick
+            test_poison_raises_and_scrub_heals;
+          Alcotest.test_case "transient fault is one-shot" `Quick
+            test_transient_fault_one_shot;
+          Alcotest.test_case "reset_to_image clears planted faults" `Quick
+            test_reset_to_image_clears_planted_faults;
         ] );
       ( "properties",
         qcheck
