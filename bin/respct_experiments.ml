@@ -231,6 +231,122 @@ let integrity_cmd =
           HashMap workloads.")
     Term.(const run $ scale_arg $ threads_opt $ json_arg)
 
+let perf_cmd =
+  let preset_arg =
+    Arg.(
+      value
+      & opt (enum [ ("default", Perf.Suite.default_preset);
+                    ("smoke", Perf.Suite.smoke_preset) ])
+          Perf.Suite.default_preset
+      & info [ "preset" ]
+          ~doc:
+            "Benchmark preset: default (the fig8/fig9 sweeps at the \
+             figures' scale) or smoke (shrunk worlds for CI).")
+  in
+  let runs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "runs" ] ~doc:"Measured repetitions (preset default if unset).")
+  in
+  let warmup_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "warmup" ] ~doc:"Discarded warmup runs (preset default if unset).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~doc:"Seed for the bootstrap confidence intervals.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_PR4.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Benchmark document destination.")
+  in
+  let compare_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "compare" ] ~docv:"BASELINE"
+          ~doc:
+            "Compare against a committed baseline document and exit \
+             nonzero on regression beyond the noise tolerances.")
+  in
+  let wall_tol_arg =
+    Arg.(
+      value
+      & opt float Perf.Compare.default_wall_tolerance
+      & info [ "wall-tolerance" ]
+          ~doc:
+            "Allowed fractional drop in calibration-normalised wall \
+             throughput before --compare fails.")
+  in
+  let sim_tol_arg =
+    Arg.(
+      value
+      & opt float Perf.Compare.default_sim_tolerance
+      & info [ "sim-tolerance" ]
+          ~doc:
+            "Allowed fractional drop in simulated throughput before \
+             --compare fails (deterministic, so keep tight).")
+  in
+  let only_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~docv:"BENCH" ~doc:"Run a single benchmark by name.")
+  in
+  let run preset runs warmup seed out compare wall_tol sim_tol only =
+    let ms = Perf.Suite.run ?runs ?warmup ~seed ?only preset in
+    if ms = [] then begin
+      Printf.eprintf "no benchmark selected (check --only)\n";
+      exit 2
+    end;
+    let calibration = Perf.Bench.calibrate () in
+    Printf.printf "calibration: %.1f Mips\n" calibration;
+    List.iter
+      (fun (m : Perf.Bench.measurement) ->
+        let w = m.Perf.Bench.wall_kops and s = m.Perf.Bench.sim_mops in
+        Printf.printf
+          "%-12s wall %8.1f kops/s (mad %.1f, ci95 [%.1f, %.1f])  sim %6.3f \
+           Mops/s\n"
+          m.Perf.Bench.name w.Perf.Stat.s_median w.Perf.Stat.s_mad
+          w.Perf.Stat.s_ci_lo w.Perf.Stat.s_ci_hi s.Perf.Stat.s_median)
+      ms;
+    let doc = Perf.Suite.document ~calibration preset ms in
+    (try Obs.Json.to_file out doc
+     with Sys_error msg ->
+       Printf.eprintf "cannot write %s: %s\n" out msg;
+       exit 2);
+    Printf.printf "[benchmark document written to %s]\n" out;
+    match compare with
+    | None -> ()
+    | Some path -> (
+        match Obs.Json.of_file path with
+        | Error msg ->
+            Printf.eprintf "cannot load baseline %s: %s\n" path msg;
+            exit 2
+        | Ok baseline ->
+            let report =
+              Perf.Compare.compare ~wall_tolerance:wall_tol
+                ~sim_tolerance:sim_tol ~baseline ~current:doc ()
+            in
+            Perf.Compare.print_report Format.std_formatter report;
+            if not (Perf.Compare.ok report) then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:
+         "Statistical benchmark harness: warmup + repetition over the \
+          fig8/fig9 sweeps, median/MAD/bootstrap-CI summaries, \
+          deterministic JSON export, optional regression gate.")
+    Term.(
+      const run $ preset_arg $ runs_arg $ warmup_arg $ seed_arg $ out_arg
+      $ compare_arg $ wall_tol_arg $ sim_tol_arg $ only_arg)
+
 let crashmatrix_cmd =
   let deep_arg =
     Arg.(
@@ -393,5 +509,6 @@ let () =
             recover_cmd;
             figures_cmd;
             integrity_cmd;
+            perf_cmd;
             crashmatrix_cmd;
           ]))

@@ -1,0 +1,111 @@
+(* The benchmark suite: the paper's two throughput sweeps, run through the
+   *uninstrumented* experiment points (no Memobs subscribers attached) so
+   the kernel's stats-only fast path is what gets measured — exactly the
+   configuration every property test and crashmatrix run exercises.
+
+   Each benchmark executes a whole sweep (every system × every thread
+   count) and reports one aggregate sample: total simulated operations,
+   total virtual time, wall time. Aggregating keeps the sample count low
+   and the per-sample work large, which is what the median/MAD machinery
+   wants. *)
+
+type preset = {
+  p_name : string;
+  p_runs : int;
+  p_warmup : int;
+  p_benches : (string * (unit -> Bench.sample)) list;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let ops, sim_ns = f () in
+  { Bench.wall_s = Unix.gettimeofday () -. t0; sim_ns; ops }
+
+let map_sample (scale : Harness.Experiments.scale) kinds () =
+  timed (fun () ->
+      let ops = ref 0 and sim = ref 0.0 in
+      List.iter
+        (fun kind ->
+          List.iter
+            (fun threads ->
+              let r, _ =
+                Harness.Experiments.map_point ~update_pct:50 scale kind
+                  ~threads
+              in
+              ops := !ops + r.Harness.Workload.total_ops;
+              sim := !sim +. r.Harness.Workload.elapsed_ns)
+            scale.Harness.Experiments.sweep_threads)
+        kinds;
+      (!ops, !sim))
+
+let queue_sample (scale : Harness.Experiments.scale) kinds () =
+  timed (fun () ->
+      let ops = ref 0 and sim = ref 0.0 in
+      List.iter
+        (fun kind ->
+          List.iter
+            (fun threads ->
+              let r, _ =
+                Harness.Experiments.queue_point scale kind ~threads
+              in
+              ops := !ops + r.Harness.Workload.total_ops;
+              sim := !sim +. r.Harness.Workload.elapsed_ns)
+            scale.Harness.Experiments.sweep_threads)
+        kinds;
+      (!ops, !sim))
+
+let benches_for scale =
+  [
+    ("fig8-map", map_sample scale Harness.Systems.map_kinds);
+    ("fig9-queue", queue_sample scale Harness.Systems.queue_kinds);
+  ]
+
+(* Default preset: the figures' own scale — the ISSUE's "fig8 + fig9
+   workloads at default scale". *)
+let default_preset =
+  {
+    p_name = "default";
+    p_runs = 3;
+    p_warmup = 1;
+    p_benches = benches_for Harness.Experiments.small;
+  }
+
+(* Smoke preset: the same sweeps on a drastically shrunk world, for CI
+   and for the harness's own tests — seconds, not minutes. *)
+let smoke_scale =
+  {
+    Harness.Experiments.small with
+    Harness.Experiments.label = "smoke";
+    sweep_threads = [ 2 ];
+    duration_ns = 100_000.0;
+    map_prefill = 400;
+    buckets = 200;
+    queue_prefill = 50;
+    period_ns = 25_000.0;
+  }
+
+let smoke_preset =
+  {
+    p_name = "smoke";
+    p_runs = 2;
+    p_warmup = 1;
+    p_benches = benches_for smoke_scale;
+  }
+
+let preset_of_string = function
+  | "default" -> Some default_preset
+  | "smoke" -> Some smoke_preset
+  | _ -> None
+
+let run ?runs ?warmup ?(seed = 42) ?only preset =
+  let benches =
+    match only with
+    | None -> preset.p_benches
+    | Some name -> List.filter (fun (n, _) -> n = name) preset.p_benches
+  in
+  let runs = Option.value ~default:preset.p_runs runs in
+  let warmup = Option.value ~default:preset.p_warmup warmup in
+  List.map (fun (name, f) -> Bench.measure ~warmup ~runs ~seed ~name f) benches
+
+let document ?strip_wall ~calibration preset ms =
+  Bench.document ?strip_wall ~preset:preset.p_name ~calibration ms

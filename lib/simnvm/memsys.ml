@@ -23,7 +23,16 @@
    and capacity evictions still persist the whole line even under the
    ablation — word-granular hardware reorders persists, it does not lose
    flushed data — which is what keeps the explicitly-flushing baselines
-   (Clobber, SOFT, FriedmanQueue) correct under the same ablation. *)
+   (Clobber, SOFT, FriedmanQueue) correct under the same ablation.
+
+   Hot-path discipline: every per-access structure is a flat array or
+   bitset indexed by line number (no hashtables), set/offset arithmetic
+   uses precomputed shifts and masks when the geometry is a power of two,
+   and the steady state allocates nothing — events are only constructed
+   when an external subscriber is attached, and the default stats counters
+   are bumped directly instead of travelling through the pipeline. The
+   differential oracle in [Refmodel] pins this kernel, word for word and
+   event for event, to a naive executable specification. *)
 
 (* Faulty-media model (opt-in, [faults = None] costs nothing): at every
    crash, a dedicated RNG derived from [fault_seed] and the crash ordinal
@@ -81,67 +90,227 @@ let default_config =
 
 exception Media_error of { addr : int; line : int; transient : bool }
 
+(* Chunked backing stores. A simulated memory spans megawords of address
+   space but a workload touches a sliver of it, so the backing arrays are
+   tables of fixed-size chunks that all start out aliasing one shared,
+   permanently-zero chunk: reads index straight through (the shared chunk
+   really is zeroed, so no branch), writes materialize a private chunk
+   first. World creation then costs a pointer per chunk instead of a
+   zeroed word per address — the dominant cost of an experiment sweep
+   creating hundreds of short-lived worlds. *)
+let chunk_shift = 14
+let chunk_words = 1 lsl chunk_shift
+let chunk_mask = chunk_words - 1
+let zero_chunk = Array.make chunk_words 0
+
+type store = int array array
+
+let store_make words : store =
+  Array.make ((words + chunk_mask) lsr chunk_shift) zero_chunk
+
+let[@inline] store_get (s : store) i =
+  Array.unsafe_get s.(i lsr chunk_shift) (i land chunk_mask)
+
+let chunk_for_write (s : store) k =
+  let c = s.(k) in
+  if c != zero_chunk then c
+  else begin
+    let c = Array.make chunk_words 0 in
+    s.(k) <- c;
+    c
+  end
+
+let store_set (s : store) i v =
+  (chunk_for_write s (i lsr chunk_shift)).(i land chunk_mask) <- v
+
+let[@inline] store_add (s : store) i d =
+  let c = chunk_for_write s (i lsr chunk_shift) in
+  let off = i land chunk_mask in
+  c.(off) <- c.(off) + d
+
+(* Lines need not divide chunks (line_words is any size <= 62), so the
+   blits walk chunk boundaries. *)
+let store_blit_in (s : store) pos (src : int array) srcpos len =
+  let rec go pos srcpos len =
+    if len > 0 then begin
+      let c = chunk_for_write s (pos lsr chunk_shift) in
+      let off = pos land chunk_mask in
+      let n = min len (chunk_words - off) in
+      Array.blit src srcpos c off n;
+      go (pos + n) (srcpos + n) (len - n)
+    end
+  in
+  go pos srcpos len
+
+let store_blit_out (s : store) pos (dst : int array) dstpos len =
+  let rec go pos dstpos len =
+    if len > 0 then begin
+      let c = s.(pos lsr chunk_shift) in
+      let off = pos land chunk_mask in
+      let n = min len (chunk_words - off) in
+      Array.blit c off dst dstpos n;
+      go (pos + n) (dstpos + n) (len - n)
+    end
+  in
+  go pos dstpos len
+
+let store_fill_zero (s : store) pos len =
+  let rec go pos len =
+    if len > 0 then begin
+      let k = pos lsr chunk_shift in
+      let off = pos land chunk_mask in
+      let n = min len (chunk_words - off) in
+      if s.(k) != zero_chunk then Array.fill s.(k) off n 0;
+      go (pos + n) (len - n)
+    end
+  in
+  go pos len
+
+(* Zero the whole store by dropping every private chunk. *)
+let store_clear (s : store) = Array.fill s 0 (Array.length s) zero_chunk
+
 type line = {
   mutable tag : int; (* line index in the address space; -1 = invalid *)
-  data : int array;
+  mutable data : int array; (* aliases [no_data] until the first fill *)
   mutable dirty : bool;
   mutable dirty_mask : int; (* bitmask of dirty words, for the pcso ablation *)
   mutable lru : int;
   mutable last_writer : int; (* thread that last wrote the line; -1 = shared *)
 }
 
+(* Shared placeholder for the data of never-filled lines: only [fill]
+   writes to an invalid line, and it materializes a private array first,
+   so the placeholder is never read or written. *)
+let no_data : int array = [||]
+
 type subscription = int
 
 type t = {
   cfg : config;
-  pmem : int array; (* the persistent NVMM image *)
-  dram : int array;
+  pmem : store; (* the persistent NVMM image *)
+  dram : store;
   lines : line array; (* sets * ways, row-major by set *)
   mutable stamp : int;
   rng : Rng.t;
   stats : Stats.t;
-  mutable subs : (subscription * (Event.t -> unit)) array;
+  (* The stats counters are "subscription 0": bumped inline on the hot
+     path instead of through the event pipeline, so a memory system with
+     no external subscriber never constructs an event. *)
+  mutable stats_on : bool;
+  (* External subscribers, stored as parallel id/function arrays with an
+     explicit count so subscribe/unsubscribe churn is allocation-free in
+     the steady state. *)
+  mutable sub_ids : int array;
+  mutable sub_fns : (Event.t -> unit) array;
+  mutable n_subs : int;
   mutable next_sub : int;
   mutable charge : float -> unit;
   mutable current_tid : unit -> int;
+  (* Precomputed geometry. [lw_shift]/[lw_mask] and [sets_mask] are -1
+     when the corresponding dimension is not a power of two (fall back to
+     division). *)
+  lw : int;
+  lw_shift : int;
+  lw_mask : int;
+  sets_mask : int;
+  ways : int;
+  nvm_lines : int;
+  total_lines : int;
   recent_fills : int array; (* ring of recently filled line numbers *)
-  recent_index : (int, int) Hashtbl.t; (* line -> occurrences in the ring *)
+  recent_count : store; (* line -> occurrences in the ring *)
   mutable recent_pos : int;
   (* Faulty-media state: poisoned NVMM lines (fills raise until scrubbed)
-     and armed one-shot transient read faults. Both tables stay empty with
-     [faults = None] unless a host hook plants faults directly. *)
-  poisoned : (int, unit) Hashtbl.t;
-  transient_pending : (int, unit) Hashtbl.t;
+     and armed one-shot transient read faults, as bitsets over the NVMM
+     line numbers with element counts for the fast emptiness test. Both
+     stay empty with [faults = None] unless a host hook plants faults. *)
+  poisoned_bits : Bytes.t;
+  mutable n_poisoned : int;
+  transient_bits : Bytes.t;
+  mutable n_transient : int;
   mutable crash_count : int;
 }
 
 let no_charge (_ : float) = ()
 let no_tid () = -1
+let no_sub (_ : Event.t) = ()
 
-(* Event pipeline. Emission sites guard on [has_subs] before constructing
-   the event, so a memory system with every subscriber detached pays only a
-   length test per operation. Subscribers run in attach order, which keeps
-   event delivery (and therefore anything derived from it) deterministic. *)
+(* Bitset primitives over [Bytes]; indices are validated by the callers
+   (every producer bounds-checks the line number first). *)
+let[@inline] bit_get b i =
+  Char.code (Bytes.get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
 
-let[@inline] has_subs t = Array.length t.subs > 0
+let bit_set b i =
+  Bytes.set b (i lsr 3)
+    (Char.chr (Char.code (Bytes.get b (i lsr 3)) lor (1 lsl (i land 7))))
+
+let bit_clear b i =
+  Bytes.set b (i lsr 3)
+    (Char.chr (Char.code (Bytes.get b (i lsr 3)) land lnot (1 lsl (i land 7))))
+
+(* Event pipeline. Emission sites guard on [has_subs] — external
+   subscribers only — before constructing the event, so the common
+   stats-only configuration pays a single integer bump per event site and
+   never allocates. Subscribers run in attach order, which keeps event
+   delivery (and therefore anything derived from it) deterministic. *)
+
+let[@inline] has_subs t = t.n_subs > 0
 
 let emit t ev =
-  let subs = t.subs in
-  for i = 0 to Array.length subs - 1 do
-    (snd (Array.unsafe_get subs i)) ev
+  let fns = t.sub_fns in
+  for i = 0 to t.n_subs - 1 do
+    (Array.unsafe_get fns i) ev
   done
 
 let subscribe t f =
   let id = t.next_sub in
   t.next_sub <- id + 1;
-  t.subs <- Array.append t.subs [| (id, f) |];
+  let n = t.n_subs in
+  if n = Array.length t.sub_ids then begin
+    let cap = max 4 (2 * n) in
+    let ids = Array.make cap (-1) and fns = Array.make cap no_sub in
+    Array.blit t.sub_ids 0 ids 0 n;
+    Array.blit t.sub_fns 0 fns 0 n;
+    t.sub_ids <- ids;
+    t.sub_fns <- fns
+  end;
+  t.sub_ids.(n) <- id;
+  t.sub_fns.(n) <- f;
+  t.n_subs <- n + 1;
   id
 
+(* In-place left shift over the parallel arrays: no list round-trip, no
+   allocation. The vacated slot gets a no-op function so the subscriber
+   can be collected (and so an emit that captured the array mid-removal
+   calls a harmless stub rather than a stale closure). *)
 let unsubscribe t id =
-  t.subs <- Array.of_list (List.filter (fun (i, _) -> i <> id) (Array.to_list t.subs))
+  if id = 0 then t.stats_on <- false
+  else begin
+    let n = t.n_subs in
+    let found = ref (-1) in
+    for i = 0 to n - 1 do
+      if !found < 0 && t.sub_ids.(i) = id then found := i
+    done;
+    match !found with
+    | -1 -> ()
+    | at ->
+        for i = at to n - 2 do
+          t.sub_ids.(i) <- t.sub_ids.(i + 1);
+          t.sub_fns.(i) <- t.sub_fns.(i + 1)
+        done;
+        t.sub_ids.(n - 1) <- -1;
+        t.sub_fns.(n - 1) <- no_sub;
+        t.n_subs <- n - 1
+  end
 
-let clear_subscribers t = t.subs <- [||]
-let subscriber_count t = Array.length t.subs
+let clear_subscribers t =
+  t.stats_on <- false;
+  for i = 0 to t.n_subs - 1 do
+    t.sub_ids.(i) <- -1;
+    t.sub_fns.(i) <- no_sub
+  done;
+  t.n_subs <- 0
+
+let subscriber_count t = (if t.stats_on then 1 else 0) + t.n_subs
 
 (* MESI-style coherence approximation: reading a line last written by a
    different core pays a cache-to-cache transfer and demotes the line to
@@ -155,7 +324,14 @@ let coherence_write_ns = 80.0
    latency. Sequential kernels (matrix rows, point streams) hide most of
    the NVMM latency this way, as they do on real hardware. *)
 let prefetch_window = 256
+let prefetch_mask = prefetch_window - 1
 let prefetched_miss_ns = 12.0
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go p acc = if p >= n then acc else go (2 * p) (acc + 1) in
+  go 1 0
 
 let create cfg =
   if cfg.nvm_words mod cfg.line_words <> 0 then
@@ -165,36 +341,47 @@ let create cfg =
   let mk_line _ =
     {
       tag = -1;
-      data = Array.make cfg.line_words 0;
+      data = no_data;
       dirty = false;
       dirty_mask = 0;
       lru = 0;
       last_writer = -1;
     }
   in
-  let t =
-    {
-      cfg;
-      pmem = Array.make cfg.nvm_words 0;
-      dram = Array.make cfg.dram_words 0;
-      lines = Array.init (cfg.sets * cfg.ways) mk_line;
-      stamp = 0;
-      rng = Rng.create cfg.seed;
-      stats = Stats.create ();
-      subs = [||];
-      next_sub = 0;
-      charge = no_charge;
-      current_tid = no_tid;
-      recent_fills = Array.make prefetch_window (-1);
-      recent_index = Hashtbl.create (2 * prefetch_window);
-      recent_pos = 0;
-      poisoned = Hashtbl.create 8;
-      transient_pending = Hashtbl.create 8;
-      crash_count = 0;
-    }
-  in
-  ignore (subscribe t (Stats.subscriber t.stats) : subscription);
-  t
+  let lw = cfg.line_words in
+  let nvm_lines = cfg.nvm_words / lw in
+  let total_lines = (cfg.nvm_words + cfg.dram_words + lw - 1) / lw in
+  {
+    cfg;
+    pmem = store_make cfg.nvm_words;
+    dram = store_make cfg.dram_words;
+    lines = Array.init (cfg.sets * cfg.ways) mk_line;
+    stamp = 0;
+    rng = Rng.create cfg.seed;
+    stats = Stats.create ();
+    stats_on = true;
+    sub_ids = [||];
+    sub_fns = [||];
+    n_subs = 0;
+    next_sub = 1 (* 0 is the built-in stats counter *);
+    charge = no_charge;
+    current_tid = no_tid;
+    lw;
+    lw_shift = (if is_pow2 lw then log2 lw else -1);
+    lw_mask = (if is_pow2 lw then lw - 1 else -1);
+    sets_mask = (if is_pow2 cfg.sets then cfg.sets - 1 else -1);
+    ways = cfg.ways;
+    nvm_lines;
+    total_lines;
+    recent_fills = Array.make prefetch_window (-1);
+    recent_count = store_make (total_lines + 1);
+    recent_pos = 0;
+    poisoned_bits = Bytes.make (max 1 ((nvm_lines + 7) / 8)) '\000';
+    n_poisoned = 0;
+    transient_bits = Bytes.make (max 1 ((nvm_lines + 7) / 8)) '\000';
+    n_transient = 0;
+    crash_count = 0;
+  }
 
 let config t = t.cfg
 let stats t = t.stats
@@ -208,37 +395,42 @@ let check_addr t addr =
   if addr < 0 || addr >= t.cfg.nvm_words + t.cfg.dram_words then
     invalid_arg (Printf.sprintf "Memsys: address %d out of range" addr)
 
-(* Backing-store accessors, indexed by line number. *)
+(* Line/offset arithmetic on the precomputed geometry. *)
+let[@inline] line_of t addr =
+  if t.lw_shift >= 0 then addr lsr t.lw_shift else addr / t.lw
 
-let backing_read t lineno off =
-  let addr = (lineno * t.cfg.line_words) + off in
-  if is_nvm t addr then t.pmem.(addr) else t.dram.(addr - t.cfg.nvm_words)
+let[@inline] off_of t addr =
+  if t.lw_mask >= 0 then addr land t.lw_mask else addr mod t.lw
+
+(* Backing-store write, indexed by line number (partial persists only;
+   whole-line transfers use Array.blit directly). *)
 
 let backing_write t lineno off v =
-  let addr = (lineno * t.cfg.line_words) + off in
-  if is_nvm t addr then t.pmem.(addr) <- v
-  else t.dram.(addr - t.cfg.nvm_words) <- v
+  let addr = (lineno * t.lw) + off in
+  if is_nvm t addr then store_set t.pmem addr v
+  else store_set t.dram (addr - t.cfg.nvm_words) v
 
 (* Persist a cached line to its backing store. Under PCSO the whole line is
-   copied atomically. Under the ablation a *spontaneous* ([complete=false])
-   write-back persists only a random subset of the dirty words, modelling
-   word-granular (non-PCSO) write-back hardware: the unpersisted words stay
-   dirty in the cache, so explicit flushes ([pwb], capacity evictions,
-   eADR drain — [complete=true]) still persist everything and only the
-   *ordering* of persists is weakened, never their durability. *)
+   copied atomically (one blit). Under the ablation a *spontaneous*
+   ([complete=false]) write-back persists only a random subset of the dirty
+   words, modelling word-granular (non-PCSO) write-back hardware: the
+   unpersisted words stay dirty in the cache, so explicit flushes ([pwb],
+   capacity evictions, eADR drain — [complete=true]) still persist
+   everything and only the *ordering* of persists is weakened, never their
+   durability. *)
 let write_back ?(complete = true) t line =
   let lineno = line.tag in
-  let nvm = is_nvm t (lineno * t.cfg.line_words) in
+  let base = lineno * t.lw in
+  let nvm = is_nvm t base in
   if t.cfg.pcso || complete then begin
-    for off = 0 to t.cfg.line_words - 1 do
-      backing_write t lineno off line.data.(off)
-    done;
+    if nvm then store_blit_in t.pmem base line.data 0 t.lw
+    else store_blit_in t.dram (base - t.cfg.nvm_words) line.data 0 t.lw;
     line.dirty <- false;
     line.dirty_mask <- 0
   end
   else begin
     let mask = ref line.dirty_mask in
-    for off = 0 to t.cfg.line_words - 1 do
+    for off = 0 to t.lw - 1 do
       if line.dirty_mask land (1 lsl off) <> 0 && Rng.bool t.rng then begin
         backing_write t lineno off line.data.(off);
         mask := !mask land lnot (1 lsl off)
@@ -246,6 +438,11 @@ let write_back ?(complete = true) t line =
     done;
     line.dirty_mask <- !mask;
     line.dirty <- !mask <> 0
+  end;
+  if t.stats_on then begin
+    let s = t.stats in
+    if nvm then s.Stats.nvm_writebacks <- s.Stats.nvm_writebacks + 1
+    else s.Stats.dram_writebacks <- s.Stats.dram_writebacks + 1
   end;
   if has_subs t then
     emit t
@@ -256,25 +453,32 @@ let write_back ?(complete = true) t line =
 (* Set index uses a multiplicative hash, as real LLCs hash addresses to
    slices: without it, regular allocation strides (per-thread heap chunks)
    alias into a handful of sets and thrash artificially. *)
-let set_of t lineno =
-  (lineno * 0x9E3779B1) lsr 11 land max_int mod t.cfg.sets
+let[@inline] set_of t lineno =
+  let h = (lineno * 0x9E3779B1) lsr 11 land max_int in
+  if t.sets_mask >= 0 then h land t.sets_mask else h mod t.cfg.sets
 
-let find_line t lineno =
-  let base = set_of t lineno * t.cfg.ways in
+(* Hot-path lookup: the way index of [lineno] in its set, or -1. No option
+   allocation on a hit. *)
+let[@inline] find_slot t lineno =
+  let base = set_of t lineno * t.ways in
+  let lines = t.lines in
   let rec scan i =
-    if i >= t.cfg.ways then None
-    else
-      let line = t.lines.(base + i) in
-      if line.tag = lineno then Some line else scan (i + 1)
+    if i >= t.ways then -1
+    else if (Array.unsafe_get lines (base + i)).tag = lineno then base + i
+    else scan (i + 1)
   in
   scan 0
 
+(* Cold-path wrapper for the host/test hooks. *)
+let find_line t lineno =
+  match find_slot t lineno with -1 -> None | i -> Some t.lines.(i)
+
 (* Victim: an invalid way if any, else the least recently used. *)
 let victim t lineno =
-  let base = set_of t lineno * t.cfg.ways in
+  let base = set_of t lineno * t.ways in
   let best = ref t.lines.(base) in
   (try
-     for i = 0 to t.cfg.ways - 1 do
+     for i = 0 to t.ways - 1 do
        let line = t.lines.(base + i) in
        if line.tag = -1 then begin
          best := line;
@@ -285,29 +489,29 @@ let victim t lineno =
    with Exit -> ());
   !best
 
-let touch t line =
-  t.stamp <- t.stamp + 1;
-  line.lru <- t.stamp
-
 (* Media check on a line fill: an armed transient fault fails exactly one
    read and disarms; a poisoned line fails every read until {!scrub_line}.
    The raise happens before any cache mutation (victim selection included),
    so a caught Media_error leaves the cache exactly as it was — retrying a
-   transient fault re-fills cleanly. Fault-free worlds pay two hash-table
-   length tests per miss. *)
+   transient fault re-fills cleanly. Fault-free worlds pay two integer
+   tests per miss. *)
 let check_media t lineno =
-  if
-    Hashtbl.length t.transient_pending > 0
-    && Hashtbl.mem t.transient_pending lineno
+  if t.n_transient > 0 && lineno < t.nvm_lines && bit_get t.transient_bits lineno
   then begin
-    Hashtbl.remove t.transient_pending lineno;
-    let addr = lineno * t.cfg.line_words in
+    bit_clear t.transient_bits lineno;
+    t.n_transient <- t.n_transient - 1;
+    let addr = lineno * t.lw in
+    if t.stats_on then
+      t.stats.Stats.media_errors <- t.stats.Stats.media_errors + 1;
     if has_subs t then
       emit t (Event.Media_error { addr; line = lineno; transient = true });
     raise (Media_error { addr; line = lineno; transient = true })
   end;
-  if Hashtbl.length t.poisoned > 0 && Hashtbl.mem t.poisoned lineno then begin
-    let addr = lineno * t.cfg.line_words in
+  if t.n_poisoned > 0 && lineno < t.nvm_lines && bit_get t.poisoned_bits lineno
+  then begin
+    let addr = lineno * t.lw in
+    if t.stats_on then
+      t.stats.Stats.media_errors <- t.stats.Stats.media_errors + 1;
     if has_subs t then
       emit t (Event.Media_error { addr; line = lineno; transient = false });
     raise (Media_error { addr; line = lineno; transient = false })
@@ -323,32 +527,32 @@ let fill t lineno =
     let nvm = write_back t line in
     t.charge (if nvm then lat.nvm_writeback_ns else lat.dram_writeback_ns)
   end;
+  let base = lineno * t.lw in
   line.tag <- lineno;
   line.dirty <- false;
   line.dirty_mask <- 0;
   line.last_writer <- -1;
-  for off = 0 to t.cfg.line_words - 1 do
-    line.data.(off) <- backing_read t lineno off
-  done;
-  let prefetched = Hashtbl.mem t.recent_index (lineno - 1) in
+  let nvm = is_nvm t base in
+  if line.data == no_data then line.data <- Array.make t.lw 0;
+  if nvm then store_blit_out t.pmem base line.data 0 t.lw
+  else store_blit_out t.dram (base - t.cfg.nvm_words) line.data 0 t.lw;
+  let prefetched = lineno > 0 && store_get t.recent_count (lineno - 1) > 0 in
   (let old = t.recent_fills.(t.recent_pos) in
-   if old >= 0 then begin
-     match Hashtbl.find_opt t.recent_index old with
-     | Some 1 -> Hashtbl.remove t.recent_index old
-     | Some n -> Hashtbl.replace t.recent_index old (n - 1)
-     | None -> ()
-   end;
+   if old >= 0 then store_add t.recent_count old (-1);
    t.recent_fills.(t.recent_pos) <- lineno;
-   Hashtbl.replace t.recent_index lineno
-     (1 + Option.value ~default:0 (Hashtbl.find_opt t.recent_index lineno));
-   t.recent_pos <- (t.recent_pos + 1) mod prefetch_window);
-  let nvm = is_nvm t (lineno * t.cfg.line_words) in
+   store_add t.recent_count lineno 1;
+   t.recent_pos <- (t.recent_pos + 1) land prefetch_mask);
+  if t.stats_on then begin
+    let s = t.stats in
+    if nvm then s.Stats.nvm_misses <- s.Stats.nvm_misses + 1
+    else s.Stats.dram_misses <- s.Stats.dram_misses + 1
+  end;
   if has_subs t then
     emit t
       (Event.Miss
          {
            backing = (if nvm then Event.Nvm else Event.Dram);
-           addr = lineno * t.cfg.line_words;
+           addr = base;
            prefetched;
          });
   if nvm then
@@ -357,16 +561,20 @@ let fill t lineno =
   line
 
 let lookup t addr =
-  let lineno = Addr.line_of ~line_words:t.cfg.line_words addr in
+  let lineno = line_of t addr in
+  let slot = find_slot t lineno in
   let line =
-    match find_line t lineno with
-    | Some line ->
-        if has_subs t then emit t (Event.Hit { addr });
-        t.charge t.cfg.latency.cache_hit_ns;
-        line
-    | None -> fill t lineno
+    if slot >= 0 then begin
+      let line = Array.unsafe_get t.lines slot in
+      if t.stats_on then t.stats.Stats.hits <- t.stats.Stats.hits + 1;
+      if has_subs t then emit t (Event.Hit { addr });
+      t.charge t.cfg.latency.cache_hit_ns;
+      line
+    end
+    else fill t lineno
   in
-  touch t line;
+  t.stamp <- t.stamp + 1;
+  line.lru <- t.stamp;
   line
 
 (* Background hardware may write any dirty line back at any moment: with
@@ -380,31 +588,34 @@ let spontaneous_eviction t =
     let line = t.lines.(i) in
     if line.tag >= 0 && line.dirty then begin
       ignore (write_back ~complete:false t line);
+      if t.stats_on then
+        t.stats.Stats.spontaneous_evictions <-
+          t.stats.Stats.spontaneous_evictions + 1;
       if has_subs t then emit t (Event.Eviction { line = line.tag })
     end
   end
 
 let load t addr =
   check_addr t addr;
-  if has_subs t then
-    emit t (Event.Load { tid = t.current_tid (); addr });
+  if t.stats_on then t.stats.Stats.loads <- t.stats.Stats.loads + 1;
+  if has_subs t then emit t (Event.Load { tid = t.current_tid (); addr });
   let line = lookup t addr in
   let me = t.current_tid () in
   if line.last_writer >= 0 && line.last_writer <> me then begin
     t.charge coherence_read_ns;
     line.last_writer <- -1
   end;
-  line.data.(Addr.offset_in_line ~line_words:t.cfg.line_words addr)
+  line.data.(off_of t addr)
 
 let store t addr v =
   check_addr t addr;
-  if has_subs t then
-    emit t (Event.Store { tid = t.current_tid (); addr });
+  if t.stats_on then t.stats.Stats.stores <- t.stats.Stats.stores + 1;
+  if has_subs t then emit t (Event.Store { tid = t.current_tid (); addr });
   let line = lookup t addr in
   let me = t.current_tid () in
   if me >= 0 && line.last_writer <> me then t.charge coherence_write_ns;
   if me >= 0 then line.last_writer <- me;
-  let off = Addr.offset_in_line ~line_words:t.cfg.line_words addr in
+  let off = off_of t addr in
   line.data.(off) <- v;
   line.dirty <- true;
   line.dirty_mask <- line.dirty_mask lor (1 lsl off);
@@ -413,21 +624,22 @@ let store t addr v =
 
 let pwb t addr =
   check_addr t addr;
-  let lineno = Addr.line_of ~line_words:t.cfg.line_words addr in
-  let found = find_line t lineno in
-  if has_subs t then begin
-    let dirty = match found with Some line -> line.dirty | None -> false in
-    emit t (Event.Pwb { tid = t.current_tid (); addr; dirty })
-  end;
-  match found with
-  | Some line when line.dirty ->
-      ignore (write_back t line);
-      t.charge t.cfg.latency.clwb_ns
-  | Some _ | None ->
-      (* clwb of a clean or absent line: issue cost only. *)
-      t.charge (t.cfg.latency.clwb_ns /. 8.0)
+  let lineno = line_of t addr in
+  let slot = find_slot t lineno in
+  let dirty = slot >= 0 && t.lines.(slot).dirty in
+  if t.stats_on then t.stats.Stats.pwbs <- t.stats.Stats.pwbs + 1;
+  if has_subs t then
+    emit t (Event.Pwb { tid = t.current_tid (); addr; dirty });
+  if dirty then begin
+    ignore (write_back t t.lines.(slot));
+    t.charge t.cfg.latency.clwb_ns
+  end
+  else
+    (* clwb of a clean or absent line: issue cost only. *)
+    t.charge (t.cfg.latency.clwb_ns /. 8.0)
 
 let psync t =
+  if t.stats_on then t.stats.Stats.psyncs <- t.stats.Stats.psyncs + 1;
   if has_subs t then emit t (Event.Psync { tid = t.current_tid () });
   t.charge t.cfg.latency.sfence_ns
 
@@ -435,8 +647,7 @@ let psync t =
    tests to force a chosen partial state into NVMM before a crash. *)
 let force_evict t addr =
   check_addr t addr;
-  let lineno = Addr.line_of ~line_words:t.cfg.line_words addr in
-  match find_line t lineno with
+  match find_line t (line_of t addr) with
   | Some line ->
       if line.dirty then ignore (write_back t line);
       line.tag <- -1
@@ -446,8 +657,7 @@ let force_evict t addr =
    guarantee a store did NOT persist. *)
 let drop_line t addr =
   check_addr t addr;
-  let lineno = Addr.line_of ~line_words:t.cfg.line_words addr in
-  match find_line t lineno with
+  match find_line t (line_of t addr) with
   | Some line ->
       line.tag <- -1;
       line.dirty <- false;
@@ -455,8 +665,13 @@ let drop_line t addr =
   | None -> ()
 
 let is_cached_dirty t addr =
-  let lineno = Addr.line_of ~line_words:t.cfg.line_words addr in
-  match find_line t lineno with Some line -> line.dirty | None -> false
+  match find_line t (line_of t addr) with
+  | Some line -> line.dirty
+  | None -> false
+
+let bump_faults t =
+  if t.stats_on then
+    t.stats.Stats.faults_injected <- t.stats.Stats.faults_injected + 1
 
 (* Seeded fault injection at a crash. The RNG derives from the config's
    fault seed and the crash ordinal, so the nth crash of a given world
@@ -467,7 +682,7 @@ let is_cached_dirty t addr =
    atomicity real hardware exhibits at 8-byte granularity) or poison. *)
 let inject_crash_faults t (fc : fault_config) =
   let rng = Rng.create (fc.fault_seed + (t.crash_count * 0x9E3779B1)) in
-  let lw = t.cfg.line_words in
+  let lw = t.lw in
   if not t.cfg.eadr then
     Array.iter
       (fun line ->
@@ -482,28 +697,43 @@ let inject_crash_faults t (fc : fault_config) =
                 kept := !kept lor (1 lsl off)
             done;
             if !kept = line.dirty_mask then begin
-              (* drop one dirty word, chosen by the seed *)
-              let dirty_offs =
-                List.filter
-                  (fun off -> line.dirty_mask land (1 lsl off) <> 0)
-                  (List.init lw Fun.id)
-              in
-              let drop =
-                List.nth dirty_offs (Rng.int rng (List.length dirty_offs))
-              in
-              kept := !kept land lnot (1 lsl drop)
+              (* drop one dirty word, chosen by the seed: the k-th set bit
+                 of the mask in increasing offset order *)
+              let n_dirty = ref 0 in
+              for off = 0 to lw - 1 do
+                if line.dirty_mask land (1 lsl off) <> 0 then incr n_dirty
+              done;
+              let k = Rng.int rng !n_dirty in
+              let drop = ref 0 and seen = ref 0 in
+              (try
+                 for off = 0 to lw - 1 do
+                   if line.dirty_mask land (1 lsl off) <> 0 then begin
+                     if !seen = k then begin
+                       drop := off;
+                       raise Exit
+                     end;
+                     incr seen
+                   end
+                 done
+               with Exit -> ());
+              kept := !kept land lnot (1 lsl !drop)
             end;
             for off = 0 to lw - 1 do
               if !kept land (1 lsl off) <> 0 then
                 backing_write t line.tag off line.data.(off)
             done;
+            bump_faults t;
             if has_subs t then
               emit t
                 (Event.Fault_injected
                    (Event.Torn { line = line.tag; kept = !kept }))
           end;
           if fc.poison_rate > 0.0 && Rng.float rng < fc.poison_rate then begin
-            Hashtbl.replace t.poisoned line.tag ();
+            if not (bit_get t.poisoned_bits line.tag) then begin
+              bit_set t.poisoned_bits line.tag;
+              t.n_poisoned <- t.n_poisoned + 1
+            end;
+            bump_faults t;
             if has_subs t then
               emit t (Event.Fault_injected (Event.Poisoned { line = line.tag }))
           end
@@ -516,33 +746,39 @@ let inject_crash_faults t (fc : fault_config) =
     for _ = 1 to max 1 k do
       let addr = Rng.int rng t.cfg.nvm_words in
       let bit = Rng.int rng 62 in
-      t.pmem.(addr) <- t.pmem.(addr) lxor (1 lsl bit);
+      store_set t.pmem addr (store_get t.pmem addr lxor (1 lsl bit));
+      bump_faults t;
       if has_subs t then
         emit t (Event.Fault_injected (Event.Bitflip { addr; bit }))
     done
   end;
   if fc.transient_rate > 0.0 then begin
-    let nlines = t.cfg.nvm_words / lw in
+    let nlines = t.nvm_lines in
     let k =
       int_of_float (Float.round (fc.transient_rate *. float_of_int nlines))
     in
     for _ = 1 to max 1 k do
       let line = Rng.int rng nlines in
-      Hashtbl.replace t.transient_pending line ();
+      if not (bit_get t.transient_bits line) then begin
+        bit_set t.transient_bits line;
+        t.n_transient <- t.n_transient + 1
+      end;
+      bump_faults t;
       if has_subs t then
         emit t (Event.Fault_injected (Event.Transient_armed { line }))
     done
   end
 
 let crash t =
+  if t.stats_on then t.stats.Stats.crashes <- t.stats.Stats.crashes + 1;
   if has_subs t then emit t (Event.Crash { eadr = t.cfg.eadr });
   if t.cfg.eadr then
     (* eADR: the cache is in the persistent domain; dirty NVMM lines are
        drained by the battery-backed flush on power failure. *)
     Array.iter
       (fun line ->
-        if line.tag >= 0 && line.dirty && is_nvm t (line.tag * t.cfg.line_words)
-        then ignore (write_back t line))
+        if line.tag >= 0 && line.dirty && is_nvm t (line.tag * t.lw) then
+          ignore (write_back t line))
       t.lines;
   (match t.cfg.faults with
   | None -> ()
@@ -554,12 +790,12 @@ let crash t =
       line.dirty <- false;
       line.dirty_mask <- 0)
     t.lines;
-  Array.fill t.dram 0 (Array.length t.dram) 0
+  store_clear t.dram
 
 let persisted t addr =
   if addr < 0 || addr >= t.cfg.nvm_words then
     invalid_arg "Memsys.persisted: address not in NVMM";
-  t.pmem.(addr)
+  store_get t.pmem addr
 
 let flush_all t =
   Array.iter (fun line -> if line.tag >= 0 && line.dirty then ignore (write_back t line)) t.lines
@@ -575,29 +811,55 @@ let flush_all t =
 (* Logical (cache-coherent) view of a word, bypassing cost and events. *)
 let peek t addr =
   check_addr t addr;
-  let lineno = Addr.line_of ~line_words:t.cfg.line_words addr in
-  match find_line t lineno with
-  | Some line -> line.data.(Addr.offset_in_line ~line_words:t.cfg.line_words addr)
-  | None -> if is_nvm t addr then t.pmem.(addr) else t.dram.(addr - t.cfg.nvm_words)
+  match find_line t (line_of t addr) with
+  | Some line -> line.data.(off_of t addr)
+  | None ->
+      if is_nvm t addr then store_get t.pmem addr
+      else store_get t.dram (addr - t.cfg.nvm_words)
 
 type dirty_line = { lineno : int; data : int array; mask : int }
 
 let dirty_nvm_lines t =
   Array.fold_right
     (fun line acc ->
-      if line.tag >= 0 && line.dirty && is_nvm t (line.tag * t.cfg.line_words)
-      then
+      if line.tag >= 0 && line.dirty && is_nvm t (line.tag * t.lw) then
         { lineno = line.tag; data = Array.copy line.data; mask = line.dirty_mask }
         :: acc
       else acc)
     t.lines []
 
-let image t = Array.copy t.pmem
+(* Materialize the persisted image as one flat array: blit every private
+   chunk, leave the zero-chunk spans as the zeros Array.make gave us. *)
+let image t =
+  let words = t.cfg.nvm_words in
+  let out = Array.make words 0 in
+  Array.iteri
+    (fun k c ->
+      if c != zero_chunk then
+        let pos = k lsl chunk_shift in
+        Array.blit c 0 out pos (min chunk_words (words - pos)))
+    t.pmem;
+  out
 
 let reset_to_image t img =
   if Array.length img <> t.cfg.nvm_words then
     invalid_arg "Memsys.reset_to_image: image size mismatch";
-  Array.blit img 0 t.pmem 0 t.cfg.nvm_words;
+  (* Per chunk: an all-zero image span over a still-shared chunk needs no
+     work (the common case when the explorer resets a sparse image), any
+     other span is blitted into a private chunk. *)
+  Array.iteri
+    (fun k c ->
+      let pos = k lsl chunk_shift in
+      let n = min chunk_words (t.cfg.nvm_words - pos) in
+      if c != zero_chunk then Array.blit img pos c 0 n
+      else begin
+        let nonzero = ref false in
+        for i = pos to pos + n - 1 do
+          if Array.unsafe_get img i <> 0 then nonzero := true
+        done;
+        if !nonzero then store_blit_in t.pmem pos img pos n
+      end)
+    t.pmem;
   Array.iter
     (fun line ->
       line.tag <- -1;
@@ -605,26 +867,28 @@ let reset_to_image t img =
       line.dirty_mask <- 0;
       line.last_writer <- -1)
     t.lines;
-  Array.fill t.dram 0 (Array.length t.dram) 0;
+  store_clear t.dram;
   Array.fill t.recent_fills 0 prefetch_window (-1);
-  Hashtbl.reset t.recent_index;
+  store_clear t.recent_count;
   t.recent_pos <- 0;
   (* A captured image carries no fault state: each adversarial re-recovery
      starts from healthy media and plants its own faults. *)
-  Hashtbl.reset t.poisoned;
-  Hashtbl.reset t.transient_pending
+  Bytes.fill t.poisoned_bits 0 (Bytes.length t.poisoned_bits) '\000';
+  t.n_poisoned <- 0;
+  Bytes.fill t.transient_bits 0 (Bytes.length t.transient_bits) '\000';
+  t.n_transient <- 0
 
 let poke_persisted t addr v =
   if addr < 0 || addr >= t.cfg.nvm_words then
     invalid_arg "Memsys.poke_persisted: address not in NVMM";
-  t.pmem.(addr) <- v
+  store_set t.pmem addr v
 
 (* ------------------------------------------------------------------ *)
 (* Fault-plan hooks: plant media faults directly (the crash explorer's
    fault dimension), independent of the seeded [faults] config. *)
 
 let check_nvm_line t lineno =
-  if lineno < 0 || lineno * t.cfg.line_words >= t.cfg.nvm_words then
+  if lineno < 0 || lineno * t.lw >= t.cfg.nvm_words then
     invalid_arg "Memsys: line not in NVMM"
 
 (* Poisoning drops any cached copy first (without write-back), preserving
@@ -638,7 +902,10 @@ let poison_line t lineno =
       line.dirty <- false;
       line.dirty_mask <- 0
   | None -> ());
-  Hashtbl.replace t.poisoned lineno ()
+  if not (bit_get t.poisoned_bits lineno) then begin
+    bit_set t.poisoned_bits lineno;
+    t.n_poisoned <- t.n_poisoned + 1
+  end
 
 let arm_transient_fault t lineno =
   check_nvm_line t lineno;
@@ -648,20 +915,31 @@ let arm_transient_fault t lineno =
       line.dirty <- false;
       line.dirty_mask <- 0
   | None -> ());
-  Hashtbl.replace t.transient_pending lineno ()
+  if not (bit_get t.transient_bits lineno) then begin
+    bit_set t.transient_bits lineno;
+    t.n_transient <- t.n_transient + 1
+  end
 
-let is_poisoned t lineno = Hashtbl.mem t.poisoned lineno
+let is_poisoned t lineno =
+  lineno >= 0 && lineno < t.nvm_lines && bit_get t.poisoned_bits lineno
 
 let poisoned_lines t =
-  List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) t.poisoned [])
+  let acc = ref [] in
+  for lineno = t.nvm_lines - 1 downto 0 do
+    if bit_get t.poisoned_bits lineno then acc := lineno :: !acc
+  done;
+  !acc
 
 (* Clear a poisoned line, zeroing its media content (the stored bits are
    gone; what a real scrub or sector remap does). Emits [Media_scrub] so
    repairs are observable on the pipeline. *)
 let scrub_line t lineno =
   check_nvm_line t lineno;
-  Hashtbl.remove t.poisoned lineno;
-  for off = 0 to t.cfg.line_words - 1 do
-    t.pmem.((lineno * t.cfg.line_words) + off) <- 0
-  done;
+  if bit_get t.poisoned_bits lineno then begin
+    bit_clear t.poisoned_bits lineno;
+    t.n_poisoned <- t.n_poisoned - 1
+  end;
+  store_fill_zero t.pmem (lineno * t.lw) t.lw;
+  if t.stats_on then
+    t.stats.Stats.media_scrubs <- t.stats.Stats.media_scrubs + 1;
   if has_subs t then emit t (Event.Media_scrub { line = lineno })

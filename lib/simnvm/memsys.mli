@@ -75,10 +75,12 @@ val stats : t -> Stats.t
 (** {2 Event pipeline}
 
     Every observable action is published as a typed {!Event.t} to the
-    subscriber list, in attach order. With no subscribers attached the
-    pipeline costs one length test per operation (no event is even
-    constructed). {!create} attaches one default subscriber: the stats
-    counters. *)
+    subscriber list, in attach order. With no external subscriber attached
+    no event is even constructed: the default stats counters (logically
+    subscription 0, reported by {!subscriber_count}) are bumped inline on
+    the hot path, so the stats-only configuration costs one integer
+    increment per event site and never allocates. Subscribers must not
+    subscribe or unsubscribe from within a callback. *)
 
 type subscription
 

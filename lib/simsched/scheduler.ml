@@ -18,7 +18,14 @@
    Crash injection: [set_crash_at] declares a virtual instant; once every
    ready thread has reached it, [run] stops dispatching, discontinues all
    fibers and reports [Crashed]. Combined with [Simnvm.Memsys.crash] this
-   models a whole-machine power failure at an arbitrary moment. *)
+   models a whole-machine power failure at an arbitrary moment.
+
+   Threads live in a growable array in spawn order and are never removed,
+   so a thread's tid doubles as its index ([thread_clock]/[wakeup] are
+   O(1)) and the per-dispatch scans allocate nothing. Dispatch order is
+   pinned by the legacy newest-first list semantics: scans run from the
+   newest thread downwards with a strict comparison, so the newest ready
+   thread wins clock ties exactly as before. *)
 
 exception Crashed
 exception Deadlock of string
@@ -39,12 +46,12 @@ type thread = {
 and status = Ready | Running | Blocked | Finished
 
 type t = {
-  mutable threads : thread list; (* newest first *)
+  mutable threads : thread array; (* index = tid, spawn order *)
+  mutable n_threads : int;
   mutable current : thread option;
   mutable bound : float; (* preemption bound for the running thread *)
   mutable crash_at : float option;
   mutable failure : exn option;
-  mutable next_tid : int;
   quantum : float;
   jitter : float;
   rng : Simnvm.Rng.t;
@@ -55,12 +62,12 @@ type _ Effect.t += Preempt : unit Effect.t | Block : unit Effect.t
 
 let create ?(seed = 1) ?(quantum = 0.0) ?(jitter = 0.0) () =
   {
-    threads = [];
+    threads = [||];
+    n_threads = 0;
     current = None;
     bound = infinity;
     crash_at = None;
     failure = None;
-    next_tid = 0;
     quantum;
     jitter;
     rng = Simnvm.Rng.create seed;
@@ -90,7 +97,7 @@ let spawn ?(name = "thread") t f =
   let clock = match t.current with Some th -> th.clock | None -> 0.0 in
   let th =
     {
-      tid = t.next_tid;
+      tid = t.n_threads;
       name;
       clock;
       status = Ready;
@@ -98,18 +105,32 @@ let spawn ?(name = "thread") t f =
       k = None;
     }
   in
-  t.next_tid <- t.next_tid + 1;
-  t.threads <- th :: t.threads;
+  let n = t.n_threads in
+  if n = Array.length t.threads then begin
+    let cap = max 8 (2 * n) in
+    let arr = Array.make cap th in
+    Array.blit t.threads 0 arr 0 n;
+    t.threads <- arr
+  end;
+  t.threads.(n) <- th;
+  t.n_threads <- n + 1;
   tighten_bound t clock;
   th.tid
 
+let find_thread t tid =
+  if tid >= 0 && tid < t.n_threads then Some t.threads.(tid) else None
+
 let thread_clock t tid =
-  match List.find_opt (fun th -> th.tid = tid) t.threads with
+  match find_thread t tid with
   | Some th -> th.clock
   | None -> invalid_arg "Scheduler.thread_clock: unknown tid"
 
 let elapsed t =
-  List.fold_left (fun acc th -> Float.max acc th.clock) 0.0 t.threads
+  let acc = ref 0.0 in
+  for i = 0 to t.n_threads - 1 do
+    acc := Float.max !acc t.threads.(i).clock
+  done;
+  !acc
 
 let charge t ns =
   match t.current with
@@ -150,7 +171,7 @@ let block t =
   ()
 
 let wakeup t tid ~at =
-  match List.find_opt (fun th -> th.tid = tid) t.threads with
+  match find_thread t tid with
   | None -> invalid_arg "Scheduler.wakeup: unknown tid"
   | Some th ->
       if th.status <> Blocked then
@@ -194,24 +215,29 @@ let handler t th =
         | _ -> None);
   }
 
+(* Newest-first scan with strict [<]: the newest ready thread wins clock
+   ties, matching the historical cons-list fold. *)
 let pick_min_ready t =
-  List.fold_left
-    (fun acc th ->
-      match (th.status, acc) with
-      | Ready, None -> Some th
-      | Ready, Some best -> if th.clock < best.clock then Some th else acc
-      | (Running | Blocked | Finished), _ -> acc)
-    None t.threads
+  let best = ref None in
+  for i = t.n_threads - 1 downto 0 do
+    let th = t.threads.(i) in
+    if th.status = Ready then
+      match !best with
+      | None -> best := Some th
+      | Some b -> if th.clock < b.clock then best := Some th
+  done;
+  !best
 
 (* Smallest ready clock excluding [th]: the next point at which another
    thread should get the processor in virtual time. *)
 let next_other_clock t th =
-  List.fold_left
-    (fun acc other ->
-      if other.tid <> th.tid && other.status = Ready then
-        Float.min acc other.clock
-      else acc)
-    infinity t.threads
+  let acc = ref infinity in
+  for i = 0 to t.n_threads - 1 do
+    let other = t.threads.(i) in
+    if other.tid <> th.tid && other.status = Ready then
+      acc := Float.min !acc other.clock
+  done;
+  !acc
 
 let dispatch t th =
   th.status <- Running;
@@ -233,23 +259,32 @@ let dispatch t th =
   if th.status = Running then th.status <- Ready
 
 let kill_all t =
-  List.iter
-    (fun th ->
-      (match th.k with
-      | Some k -> (
-          th.k <- None;
-          t.current <- Some th;
-          try Effect.Deep.discontinue k Crashed with Crashed -> ())
-      | None -> ());
-      t.current <- None;
-      th.status <- Finished)
-    t.threads
+  for i = t.n_threads - 1 downto 0 do
+    let th = t.threads.(i) in
+    (match th.k with
+    | Some k -> (
+        th.k <- None;
+        t.current <- Some th;
+        try Effect.Deep.discontinue k Crashed with Crashed -> ())
+    | None -> ());
+    t.current <- None;
+    th.status <- Finished
+  done
 
 let describe_blocked t =
-  t.threads
-  |> List.filter (fun th -> th.status = Blocked)
-  |> List.map (fun th -> Printf.sprintf "%s#%d@%.0fns" th.name th.tid th.clock)
-  |> String.concat ", "
+  let acc = ref [] in
+  for i = 0 to t.n_threads - 1 do
+    let th = t.threads.(i) in
+    if th.status = Blocked then
+      acc := Printf.sprintf "%s#%d@%.0fns" th.name th.tid th.clock :: !acc
+  done;
+  String.concat ", " !acc
+
+let any_blocked t =
+  let rec go i =
+    i < t.n_threads && (t.threads.(i).status = Blocked || go (i + 1))
+  in
+  go 0
 
 let run t =
   let rec loop () =
@@ -261,7 +296,7 @@ let run t =
     | None -> ());
     match pick_min_ready t with
     | None ->
-        if List.exists (fun th -> th.status = Blocked) t.threads then
+        if any_blocked t then
           raise
             (Deadlock
                (Printf.sprintf "no runnable thread; blocked: %s"

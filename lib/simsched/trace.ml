@@ -25,29 +25,59 @@ type event =
 
 type subscription = int
 
+(* Parallel id/function arrays with an explicit count: subscribe grows by
+   doubling, unsubscribe shifts in place — steady-state attach/detach churn
+   (Trace.record around every analysis window) allocates nothing. *)
 type bus = {
-  mutable sinks : (subscription * (event -> unit)) array;
+  mutable sink_ids : int array;
+  mutable sink_fns : (event -> unit) array;
+  mutable n_sinks : int;
   mutable next_sub : int;
 }
 
-let create_bus () = { sinks = [||]; next_sub = 0 }
-let[@inline] active b = Array.length b.sinks > 0
+let no_sink (_ : event) = ()
+let create_bus () = { sink_ids = [||]; sink_fns = [||]; n_sinks = 0; next_sub = 0 }
+let[@inline] active b = b.n_sinks > 0
 
 let emit b ev =
-  let sinks = b.sinks in
-  for i = 0 to Array.length sinks - 1 do
-    (snd (Array.unsafe_get sinks i)) ev
+  let fns = b.sink_fns in
+  for i = 0 to b.n_sinks - 1 do
+    (Array.unsafe_get fns i) ev
   done
 
 let subscribe b f =
   let id = b.next_sub in
   b.next_sub <- id + 1;
-  b.sinks <- Array.append b.sinks [| (id, f) |];
+  let n = b.n_sinks in
+  if n = Array.length b.sink_ids then begin
+    let cap = max 4 (2 * n) in
+    let ids = Array.make cap (-1) and fns = Array.make cap no_sink in
+    Array.blit b.sink_ids 0 ids 0 n;
+    Array.blit b.sink_fns 0 fns 0 n;
+    b.sink_ids <- ids;
+    b.sink_fns <- fns
+  end;
+  b.sink_ids.(n) <- id;
+  b.sink_fns.(n) <- f;
+  b.n_sinks <- n + 1;
   id
 
 let unsubscribe b id =
-  b.sinks <-
-    Array.of_list (List.filter (fun (i, _) -> i <> id) (Array.to_list b.sinks))
+  let n = b.n_sinks in
+  let found = ref (-1) in
+  for i = 0 to n - 1 do
+    if !found < 0 && b.sink_ids.(i) = id then found := i
+  done;
+  match !found with
+  | -1 -> ()
+  | at ->
+      for i = at to n - 2 do
+        b.sink_ids.(i) <- b.sink_ids.(i + 1);
+        b.sink_fns.(i) <- b.sink_fns.(i + 1)
+      done;
+      b.sink_ids.(n - 1) <- -1;
+      b.sink_fns.(n - 1) <- no_sink;
+      b.n_sinks <- n - 1
 
 (* ------------------------------------------------------------------ *)
 (* Recorder: the accumulate-then-analyse subscriber used by the offline

@@ -302,6 +302,73 @@ let test_structured_results_deterministic () =
     (Digest.to_hex (Digest.string a))
     (Digest.to_hex (Digest.string b))
 
+(* ------------------------------------------------------------------ *)
+(* Golden outputs pinned across the fast-path kernel rewrite *)
+
+(* Figure 9 at the default (small) scale, captured from the tree before
+   the memory-system/scheduler hot paths were rewritten. The simulation is
+   seeded, so any byte of drift here means the rewrite (or a later change)
+   altered observable behaviour, not just speed. *)
+let fig9_golden =
+  {|
+== Figure 9 ==
++-----------------+-------+------+------+------+
+| threads:        | 1     | 4    | 16   | 64   |
++-----------------+-------+------+------+------+
+| Transient<DRAM> | 12.30 | 2.60 | 2.58 | 2.60 |
+| Transient<NVMM> | 12.30 | 2.60 | 2.58 | 2.60 |
+| ResPCT          | 5.17  | 2.12 | 2.16 | 2.24 |
+| PMThreads       | 9.71  | 2.45 | 2.46 | 2.49 |
+| Montage         | 4.21  | 2.01 | 2.08 | 2.09 |
+| Clobber-NVM     | 1.46  | 1.63 | 1.62 | 1.63 |
+| Quadra/Trinity  | 2.14  | 2.48 | 2.46 | 2.47 |
+| FriedmanQueue   | 2.08  | 1.60 | 1.59 | 1.60 |
++-----------------+-------+------+------+------+
+|}
+
+let test_fig9_golden () =
+  let buf = Buffer.create 1024 in
+  let out = Format.formatter_of_buffer buf in
+  let scale = Harness.Experiments.small in
+  Harness.Table.print ~out ~title:"Figure 9"
+    ~header:
+      ("threads:"
+      :: List.map string_of_int scale.Harness.Experiments.sweep_threads)
+    (Harness.Experiments.fig9 ~scale ());
+  Alcotest.(check string) "fig9 byte-identical" fig9_golden (Buffer.contents buf)
+
+(* The crash-matrix smoke run: same capture, same guarantee. The verdict
+   counts (boundaries and adversarial images explored per scenario) pin
+   the exploration itself, not just the pass/fail bit. *)
+let crashmatrix_golden =
+  {|crash matrix (smoke, PCSO)
+  respct-map         ops=18  boundaries=276   images=2370  ok
+  respct-queue       ops=14  boundaries=193   images=1429  ok
+  respct-raw         ops=18  boundaries=126   images=892   ok
+  clobber-map        ops=18  boundaries=83    images=182   ok
+  clobber-queue      ops=14  boundaries=139   images=353   ok
+  quadra-map         ops=18  boundaries=51    images=95    ok
+  quadra-queue       ops=14  boundaries=87    images=182   ok
+  soft-map           ops=18  boundaries=64    images=109   ok
+  friedman-queue     ops=14  boundaries=86    images=152   ok
+  pmthreads-map      ops=18  boundaries=0     images=0     ok
+  pmthreads-queue    ops=14  boundaries=0     images=0     ok
+  montage-map        ops=18  boundaries=50    images=224   ok
+  montage-queue      ops=14  boundaries=72    images=376   ok
+  dali-map           ops=18  boundaries=44    images=237   ok
+  schedule sweeps: 2 specs, ok
+crash matrix smoke: PASS
+|}
+
+let test_crashmatrix_golden () =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  let ok = Crashtest.Matrix.run Crashtest.Matrix.smoke ppf in
+  Format.pp_print_flush ppf ();
+  Alcotest.(check bool) "matrix passes" true ok;
+  Alcotest.(check string) "verdict counts byte-identical" crashmatrix_golden
+    (Buffer.contents buf)
+
 let () =
   Alcotest.run "harness"
     [
@@ -328,6 +395,11 @@ let () =
         [
           Alcotest.test_case "table render" `Quick test_table_render;
           Alcotest.test_case "loc report" `Quick test_loc_report;
+        ] );
+      ( "goldens",
+        [
+          Alcotest.test_case "fig9 table" `Quick test_fig9_golden;
+          Alcotest.test_case "crashmatrix smoke" `Quick test_crashmatrix_golden;
         ] );
       ( "rp advisor",
         [

@@ -1,0 +1,192 @@
+(* Tests for the statistical perf harness (lib/perf):
+
+   - the summary statistics are correct and the bootstrap is a pure
+     function of (samples, seed);
+   - two same-seed smoke runs of the real benchmark suite export
+     byte-identical JSON once the wall-clock fields are stripped — the
+     bench-determinism guarantee the ISSUE asks for;
+   - the regression gate actually fails on a planted 2x slowdown, gates
+     wall throughput through the calibration normalisation, and reports
+     structural problems (missing benchmark, bad schema) as errors;
+   - the Obs.Json reader round-trips the writer's output. *)
+
+module Stat = Perf.Stat
+module Bench = Perf.Bench
+module Compare = Perf.Compare
+module Suite = Perf.Suite
+module Json = Obs.Json
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checkf = Alcotest.check (Alcotest.float 1e-12)
+
+(* ---------------------------------------------------------------- *)
+(* Stat *)
+
+let test_median_mad () =
+  checkf "odd median" 3.0 (Stat.median [| 5.0; 1.0; 3.0 |]);
+  checkf "even median" 2.5 (Stat.median [| 4.0; 1.0; 2.0; 3.0 |]);
+  checkf "mad" 1.0 (Stat.mad [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  checkf "constant mad" 0.0 (Stat.mad [| 7.0; 7.0; 7.0 |])
+
+let test_bootstrap () =
+  let xs = [| 3.0; 1.0; 4.0; 1.0; 5.0; 9.0; 2.0; 6.0 |] in
+  let lo1, hi1 = Stat.bootstrap_ci ~seed:11 xs in
+  let lo2, hi2 = Stat.bootstrap_ci ~seed:11 xs in
+  checkf "ci lo deterministic" lo1 lo2;
+  checkf "ci hi deterministic" hi1 hi2;
+  checkb "ci ordered" true (lo1 <= hi1);
+  checkb "ci brackets median" true
+    (lo1 <= Stat.median xs && Stat.median xs <= hi1);
+  let lo, hi = Stat.bootstrap_ci ~seed:3 [| 42.0 |] in
+  checkf "singleton lo" 42.0 lo;
+  checkf "singleton hi" 42.0 hi
+
+(* ---------------------------------------------------------------- *)
+(* JSON round-trip *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "respct-sim/bench/v1");
+        ("quote", Json.String "a\"b\\c\n\t");
+        ("n", Json.Int (-3));
+        ("x", Json.Float 1.5);
+        ("tiny", Json.Float 1.25e-7);
+        ("flag", Json.Bool true);
+        ("nothing", Json.Null);
+        ("xs", Json.List [ Json.Int 1; Json.Float 2.0; Json.String "z" ]);
+        ("empty", Json.List []);
+        ("nested", Json.Obj [ ("inner", Json.Obj []) ]);
+      ]
+  in
+  checkb "compact round-trip" true
+    (Json.of_string (Json.to_string doc) = Ok doc);
+  checkb "pretty round-trip" true
+    (Json.of_string (Json.to_string_pretty doc) = Ok doc)
+
+(* ---------------------------------------------------------------- *)
+(* Bench determinism on the real suite *)
+
+let smoke_doc () =
+  let ms = Suite.run ~seed:42 Suite.smoke_preset in
+  Json.to_string (Suite.document ~strip_wall:true ~calibration:0.0
+                    Suite.smoke_preset ms)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+let test_bench_determinism () =
+  let a = smoke_doc () and b = smoke_doc () in
+  check Alcotest.string "same-seed smoke exports identical stripped JSON" a b;
+  (* Stripping must actually remove every host-speed-dependent field. *)
+  checkb "no wall_s" true (not (contains ~affix:"wall_s" a));
+  checkb "no wall_kops" true (not (contains ~affix:"wall_kops" a));
+  checkb "no calibration" true (not (contains ~affix:"calibration" a))
+
+(* ---------------------------------------------------------------- *)
+(* Regression gate *)
+
+(* A synthetic measurement whose medians we fully control. *)
+let measurement ~name ~wall_s ~sim_ns ~ops =
+  let samples = Array.init 3 (fun _ -> { Bench.wall_s; sim_ns; ops }) in
+  {
+    Bench.name;
+    warmup = 0;
+    runs = 3;
+    samples;
+    wall_kops = Stat.summarize ~seed:1 (Array.map Bench.wall_kops_of samples);
+    sim_mops = Stat.summarize ~seed:1 (Array.map Bench.sim_mops_of samples);
+  }
+
+let doc ?(calibration = 100.0) ms =
+  Bench.document ~preset:"test" ~calibration ms
+
+let base_ms = [ measurement ~name:"b" ~wall_s:1.0 ~sim_ns:1e9 ~ops:1_000_000 ]
+
+let test_compare_self () =
+  let d = doc base_ms in
+  let r = Compare.compare ~baseline:d ~current:d () in
+  checkb "self-compare passes" true (Compare.ok r);
+  check Alcotest.int "two verdicts (wall + sim)" 2
+    (List.length r.Compare.verdicts)
+
+let test_compare_planted_slowdown () =
+  (* 2x more wall time and 2x more virtual time for the same ops: both
+     throughput medians halve, both gates must trip. *)
+  let slow =
+    [ measurement ~name:"b" ~wall_s:2.0 ~sim_ns:2e9 ~ops:1_000_000 ]
+  in
+  let r = Compare.compare ~baseline:(doc base_ms) ~current:(doc slow) () in
+  checkb "planted 2x slowdown fails" false (Compare.ok r);
+  List.iter
+    (fun v ->
+      checkf (v.Compare.v_metric ^ " ratio") 0.5 v.Compare.v_ratio;
+      checkb (v.Compare.v_metric ^ " not ok") false v.Compare.v_ok)
+    r.Compare.verdicts
+
+let test_compare_calibration_normalises () =
+  (* Same workload on a machine that scores 2x on calibration and runs
+     the benchmark 2x faster: normalised ratio is 1.0, no regression. *)
+  let fast = [ measurement ~name:"b" ~wall_s:0.5 ~sim_ns:1e9 ~ops:1_000_000 ] in
+  let r =
+    Compare.compare ~baseline:(doc base_ms)
+      ~current:(doc ~calibration:200.0 fast)
+      ()
+  in
+  checkb "normalised equal speed passes" true (Compare.ok r);
+  (* Same raw wall throughput on the 2x machine = a real 2x regression. *)
+  let r2 =
+    Compare.compare ~baseline:(doc base_ms)
+      ~current:(doc ~calibration:200.0 base_ms)
+      ()
+  in
+  checkb "hidden-by-raw-wall regression caught" false (Compare.ok r2)
+
+let test_compare_structural () =
+  let r =
+    Compare.compare ~baseline:(doc base_ms)
+      ~current:(doc [ measurement ~name:"other" ~wall_s:1.0 ~sim_ns:1e9 ~ops:1 ])
+      ()
+  in
+  checkb "missing benchmark is an error" false (Compare.ok r);
+  checkb "reported in errors" true (r.Compare.errors <> []);
+  let bad = Json.Obj [ ("schema", Json.String "nope") ] in
+  let r2 = Compare.compare ~baseline:bad ~current:(doc base_ms) () in
+  checkb "bad schema is an error" false (Compare.ok r2);
+  (* A benchmark only in the current document is new: passes. *)
+  let r3 =
+    Compare.compare ~baseline:(doc base_ms)
+      ~current:
+        (doc (base_ms @ [ measurement ~name:"new" ~wall_s:1.0 ~sim_ns:1e9 ~ops:1 ]))
+      ()
+  in
+  checkb "new benchmark passes" true (Compare.ok r3)
+
+let () =
+  Alcotest.run "perf"
+    [
+      ( "stat",
+        [
+          Alcotest.test_case "median and mad" `Quick test_median_mad;
+          Alcotest.test_case "bootstrap" `Quick test_bootstrap;
+        ] );
+      ("json", [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip ]);
+      ( "bench",
+        [
+          Alcotest.test_case "same-seed determinism" `Quick
+            test_bench_determinism;
+        ] );
+      ( "compare",
+        [
+          Alcotest.test_case "self compare" `Quick test_compare_self;
+          Alcotest.test_case "planted slowdown" `Quick
+            test_compare_planted_slowdown;
+          Alcotest.test_case "calibration normalisation" `Quick
+            test_compare_calibration_normalises;
+          Alcotest.test_case "structural errors" `Quick test_compare_structural;
+        ] );
+    ]

@@ -1,0 +1,235 @@
+(* Differential oracle for the optimized memory-system kernel.
+
+   [Simnvm.Refmodel] is a naive, obviously-correct implementation of the
+   PCSO spec that mirrors the kernel's decision procedure draw-for-draw.
+   These properties run seeded load/store/pwb/psync/crash/fault sequences
+   through both and demand full agreement: every value read, every raised
+   media error, cached dirtiness, the persisted image before and after a
+   final crash, the poisoned-line set, the exact (float-equal) total
+   latency charge, and the entire event stream.
+
+   As in test/common/gen_common.ml, a case generates only its seed and the
+   failure printer emits a replay recipe, so a red run identifies the
+   exact sequence. *)
+
+module Memsys = Simnvm.Memsys
+module Refmodel = Simnvm.Refmodel
+module Rng = Simnvm.Rng
+module Event = Simnvm.Event
+module Stats = Simnvm.Stats
+
+let line_words = 8
+let nvm_lines = 32
+let dram_lines = 8
+let nvm_words = nvm_lines * line_words
+let dram_words = dram_lines * line_words
+let n_addr = nvm_words + dram_words
+
+let config ~pcso ~faults seed =
+  {
+    Memsys.default_config with
+    Memsys.nvm_words;
+    dram_words;
+    line_words;
+    sets = 4;
+    ways = 2 (* 8-line cache over 40 lines: constant eviction pressure *);
+    evict_rate = 0.05;
+    seed;
+    pcso;
+    faults =
+      (if faults then
+         Some
+           {
+             Memsys.fault_seed = seed lxor 0x5bf03ab5;
+             tear_rate = 0.5;
+             poison_rate = 0.25;
+             bitflip_rate = 4.0 /. float_of_int nvm_words;
+             transient_rate = 2.0 /. float_of_int nvm_lines;
+           }
+       else None);
+  }
+
+type media = { m_addr : int; m_line : int; m_transient : bool }
+
+let run_mem f =
+  try Ok (f ())
+  with Memsys.Media_error { addr; line; transient } ->
+    Error { m_addr = addr; m_line = line; m_transient = transient }
+
+let pp_result ppf = function
+  | Ok v -> Fmt.pf ppf "ok:%d" v
+  | Error m ->
+      Fmt.pf ppf "media-error{addr=%d;line=%d;transient=%b}" m.m_addr m.m_line
+        m.m_transient
+
+(* One differential run. Returns unit or raises QCheck.Test.fail_reportf
+   via [check]. *)
+let run_case ~pcso ~faults ~n_ops seed =
+  let cfg = config ~pcso ~faults seed in
+  let mem = Memsys.create cfg in
+  let rm = Refmodel.create cfg in
+  let fail fmt =
+    QCheck.Test.fail_reportf
+      ("seed=%d pcso=%b faults=%b n_ops=%d: " ^^ fmt)
+      seed pcso faults n_ops
+  in
+  let cur_tid = ref 0 in
+  Memsys.set_tid_provider mem (fun () -> !cur_tid);
+  Refmodel.set_tid_provider rm (fun () -> !cur_tid);
+  let mem_events = ref [] in
+  ignore (Memsys.subscribe mem (fun ev -> mem_events := ev :: !mem_events));
+  let mem_charge = ref 0.0 in
+  Memsys.set_charge mem (fun ns -> mem_charge := !mem_charge +. ns);
+  let rng = Rng.create (seed + 0x51ed5eed) in
+  let step op_ix =
+    if Rng.int rng 7 = 0 then cur_tid := Rng.int rng 4 - 1;
+    match Rng.int rng 100 with
+    | k when k < 38 ->
+        let addr = Rng.int rng n_addr and v = Rng.int rng 1_000_000 in
+        let a = run_mem (fun () -> Memsys.store mem addr v) in
+        let b = run_mem (fun () -> Refmodel.store rm addr v) in
+        if
+          (match (a, b) with
+          | Ok (), Ok () -> false
+          | Error x, Error y -> x <> y
+          | _ -> true)
+        then
+          fail "op %d: store %d diverged (%a vs %a)" op_ix addr pp_result
+            (Result.map (fun () -> 0) a)
+            pp_result
+            (Result.map (fun () -> 0) b);
+        if Memsys.is_cached_dirty mem addr <> Refmodel.is_cached_dirty rm addr
+        then fail "op %d: dirtiness of %d diverged after store" op_ix addr
+    | k when k < 76 ->
+        let addr = Rng.int rng n_addr in
+        let a = run_mem (fun () -> Memsys.load mem addr) in
+        let b = run_mem (fun () -> Refmodel.load rm addr) in
+        if a <> b then
+          fail "op %d: load %d diverged (%a vs %a)" op_ix addr pp_result a
+            pp_result b
+    | k when k < 86 ->
+        let addr = Rng.int rng n_addr in
+        Memsys.pwb mem addr;
+        Refmodel.pwb rm addr
+    | k when k < 91 ->
+        Memsys.psync mem;
+        Refmodel.psync rm
+    | k when k < 94 ->
+        Memsys.crash mem;
+        Refmodel.crash rm
+    | k when k < 96 ->
+        let lineno = Rng.int rng nvm_lines in
+        Memsys.poison_line mem lineno;
+        Refmodel.poison_line rm lineno
+    | k when k < 98 ->
+        let lineno = Rng.int rng nvm_lines in
+        Memsys.arm_transient_fault mem lineno;
+        Refmodel.arm_transient_fault rm lineno
+    | _ ->
+        let lineno = Rng.int rng nvm_lines in
+        Memsys.scrub_line mem lineno;
+        Refmodel.scrub_line rm lineno
+  in
+  for op_ix = 1 to n_ops do
+    step op_ix
+  done;
+  (* Persisted image agreement before the final crash... *)
+  if Memsys.image mem <> Refmodel.image rm then
+    fail "pre-crash persisted images diverged";
+  (* ...and the crash image afterwards (under the ablation and with
+     faults enabled, this is where weakened orderings and tears land). *)
+  Memsys.crash mem;
+  Refmodel.crash rm;
+  if Memsys.image mem <> Refmodel.image rm then fail "crash images diverged";
+  if Memsys.poisoned_lines mem <> Refmodel.poisoned_lines rm then
+    fail "poisoned-line sets diverged";
+  if !mem_charge <> Refmodel.total_charge rm then
+    fail "total charges diverged (%.17g vs %.17g)" !mem_charge
+      (Refmodel.total_charge rm);
+  let evs_mem = List.rev !mem_events and evs_rm = Refmodel.events rm in
+  if List.length evs_mem <> List.length evs_rm then
+    fail "event counts diverged (%d vs %d)" (List.length evs_mem)
+      (List.length evs_rm);
+  List.iteri
+    (fun i (a, b) ->
+      if a <> b then
+        fail "event %d diverged: %a vs %a" i Event.pp a Event.pp b)
+    (List.combine evs_mem evs_rm);
+  (* The kernel bumps its stats counters inline instead of via the
+     pipeline; they must still match the event stream exactly. *)
+  let s = Memsys.stats mem in
+  let count p = List.length (List.filter p evs_mem) in
+  let checks =
+    [
+      ("loads", s.Stats.loads, count (function Event.Load _ -> true | _ -> false));
+      ("stores", s.Stats.stores, count (function Event.Store _ -> true | _ -> false));
+      ("hits", s.Stats.hits, count (function Event.Hit _ -> true | _ -> false));
+      ( "dram_misses",
+        s.Stats.dram_misses,
+        count (function Event.Miss { backing = Event.Dram; _ } -> true | _ -> false) );
+      ( "nvm_misses",
+        s.Stats.nvm_misses,
+        count (function Event.Miss { backing = Event.Nvm; _ } -> true | _ -> false) );
+      ( "dram_writebacks",
+        s.Stats.dram_writebacks,
+        count (function
+          | Event.Writeback { backing = Event.Dram; _ } -> true
+          | _ -> false) );
+      ( "nvm_writebacks",
+        s.Stats.nvm_writebacks,
+        count (function
+          | Event.Writeback { backing = Event.Nvm; _ } -> true
+          | _ -> false) );
+      ("pwbs", s.Stats.pwbs, count (function Event.Pwb _ -> true | _ -> false));
+      ("psyncs", s.Stats.psyncs, count (function Event.Psync _ -> true | _ -> false));
+      ( "spontaneous",
+        s.Stats.spontaneous_evictions,
+        count (function Event.Eviction _ -> true | _ -> false) );
+      ("crashes", s.Stats.crashes, count (function Event.Crash _ -> true | _ -> false));
+      ( "faults",
+        s.Stats.faults_injected,
+        count (function Event.Fault_injected _ -> true | _ -> false) );
+      ( "media_errors",
+        s.Stats.media_errors,
+        count (function Event.Media_error _ -> true | _ -> false) );
+      ( "media_scrubs",
+        s.Stats.media_scrubs,
+        count (function Event.Media_scrub _ -> true | _ -> false) );
+    ]
+  in
+  List.iter
+    (fun (name, got, want) ->
+      if got <> want then
+        fail "stats.%s = %d but the event stream says %d" name got want)
+    checks;
+  true
+
+let arb_seed ~pcso ~faults ~n_ops =
+  QCheck.make
+    ~print:(fun seed ->
+      Printf.sprintf
+        "refmodel differential: seed=%d pcso=%b faults=%b n_ops=%d" seed pcso
+        faults n_ops)
+    QCheck.Gen.(1 -- 100_000)
+
+let prop ~name ~count ~pcso ~faults ~n_ops =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count
+       (arb_seed ~pcso ~faults ~n_ops)
+       (fun seed -> run_case ~pcso ~faults ~n_ops seed))
+
+(* >= 1000 seeded sequences across the four variants, each ~140 ops:
+   the CI smoke budget of the ISSUE. *)
+let () =
+  Alcotest.run "refmodel"
+    [
+      ( "differential",
+        [
+          prop ~name:"pcso" ~count:400 ~pcso:true ~faults:false ~n_ops:140;
+          prop ~name:"ablation (pcso=false)" ~count:250 ~pcso:false
+            ~faults:false ~n_ops:140;
+          prop ~name:"faults" ~count:250 ~pcso:true ~faults:true ~n_ops:140;
+          prop ~name:"ablation+faults" ~count:100 ~pcso:false ~faults:true
+            ~n_ops:140;
+        ] );
+    ]

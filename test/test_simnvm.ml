@@ -378,6 +378,30 @@ let test_pipeline_clear_freezes_stats () =
   (* semantics are unaffected: the zero-subscriber path still works *)
   Alcotest.(check int) "value intact" 2 (Memsys.load m 8)
 
+(* Crash explorers churn a transient subscriber around every one of their
+   thousands of re-executions, so a subscribe/unsubscribe cycle must cost
+   no allocation at steady state (the subscriber arrays are in place;
+   detaching shifts in place). Guard it with a minor-heap budget: the old
+   list-rebuilding unsubscribe spent dozens of words per cycle, a cycle on
+   the flat arrays spends none. *)
+let test_subscriber_churn_cost () =
+  let m = Memsys.create (cfg ()) in
+  let f (_ : Event.t) = () in
+  (* Grow the subscriber capacity past anything the loop needs. *)
+  let warm = Array.init 8 (fun _ -> Memsys.subscribe m f) in
+  Array.iter (fun id -> Memsys.unsubscribe m id) warm;
+  let rounds = 10_000 in
+  let before = Gc.minor_words () in
+  for _ = 1 to rounds do
+    let sub = Memsys.subscribe m f in
+    Memsys.unsubscribe m sub
+  done;
+  let per_round = (Gc.minor_words () -. before) /. float_of_int rounds in
+  Alcotest.(check bool)
+    (Printf.sprintf "steady-state churn allocates (%.3f words/cycle, want < 1)"
+       per_round)
+    true (per_round < 1.0)
+
 (* ------------------------------------------------------------------ *)
 (* Faulty media: the seeded crash-time fault layer and the fault-plan
    hooks recovery relies on. *)
@@ -590,6 +614,8 @@ let () =
           Alcotest.test_case "subscriber churn" `Quick test_pipeline_churn;
           Alcotest.test_case "clear freezes stats" `Quick
             test_pipeline_clear_freezes_stats;
+          Alcotest.test_case "churn allocation cost" `Quick
+            test_subscriber_churn_cost;
         ] );
       ( "pcso",
         [
