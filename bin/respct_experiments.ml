@@ -10,6 +10,7 @@
 
 open Cmdliner
 open Harness
+module Arg = Cmdliner.Arg
 
 let scale_arg =
   Arg.(
@@ -278,7 +279,7 @@ let perf_cmd =
   let wall_tol_arg =
     Arg.(
       value
-      & opt float Perf.Compare.default_wall_tolerance
+      & opt Arg.float Perf.Compare.default_wall_tolerance
       & info [ "wall-tolerance" ]
           ~doc:
             "Allowed fractional drop in calibration-normalised wall \
@@ -287,7 +288,7 @@ let perf_cmd =
   let sim_tol_arg =
     Arg.(
       value
-      & opt float Perf.Compare.default_sim_tolerance
+      & opt Arg.float Perf.Compare.default_sim_tolerance
       & info [ "sim-tolerance" ]
           ~doc:
             "Allowed fractional drop in simulated throughput before \
@@ -444,23 +445,28 @@ let crashmatrix_cmd =
     let ppf = Fmt.stdout in
     match replay with
     | Some id -> (
-        match Crashtest.Scenarios.find id with
+        let build =
+          match Crashtest.Scenarios.find id with
+          | Some e -> Some e.Crashtest.Scenarios.build
+          | None -> Crashtest.Irscenarios.find id
+        in
+        match build with
         | None ->
             Fmt.epr "unknown scenario %s (know: %s)@." id
               (String.concat ", "
                  (List.map
-                    (fun (e : Crashtest.Scenarios.entry) -> e.id)
-                    Crashtest.Scenarios.all));
+                    (fun (e : Crashtest.Scenarios.entry) -> e.Crashtest.Scenarios.id)
+                    Crashtest.Scenarios.all
+                 @ List.map fst (Crashtest.Irscenarios.corpus ())));
             exit 2
-        | Some e -> (
+        | Some build -> (
             match Crashtest.Report.variant_of_string image with
             | Error msg ->
                 Fmt.epr "%s@." msg;
                 exit 2
             | Ok variant -> (
                 let sc =
-                  e.Crashtest.Scenarios.build ~sched_seed ~mem_seed
-                    ~pcso:(not no_pcso) ~n_ops:ops
+                  build ~sched_seed ~mem_seed ~pcso:(not no_pcso) ~n_ops:ops
                 in
                 match
                   Crashtest.Explore.check_point ?fault_seed sc ~crash_index
@@ -495,6 +501,144 @@ let crashmatrix_cmd =
       $ sched_seed_arg $ mem_seed_arg $ crash_index_arg $ image_arg
       $ fault_seed_arg)
 
+let analyze_cmd =
+  let program_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "program" ] ~docv:"NAME"
+          ~doc:"Only analyse the corpus program $(docv).")
+  in
+  let iters_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "iters" ] ~doc:"Loop iteration count for the IR corpus.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the JSON diagnostics document to $(docv).")
+  in
+  let strip_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "strip-log" ] ~docv:"VAR"
+          ~doc:
+            "Drop $(docv) from each inferred logging set before linting \
+             (the planted mutant; a logged variable makes the gate fail).")
+  in
+  let dynamic_arg =
+    Arg.(
+      value & flag
+      & info [ "dynamic" ]
+          ~doc:
+            "Also cross-check each inferred plan against the dynamic \
+             restart-point advisor over a recorded simulator run: every \
+             dynamically observed WAR variable must be statically logged.")
+  in
+  let run program iters out strip dynamic =
+    let ppf = Fmt.stdout in
+    let selected =
+      match program with
+      | None -> Analysis.Corpus.all
+      | Some n -> (
+          match List.filter (fun (cn, _) -> cn = n) Analysis.Corpus.all with
+          | [] ->
+              Fmt.epr "unknown program %s (know: %s)@." n
+                (String.concat ", " (List.map fst Analysis.Corpus.all));
+              exit 2
+          | l -> l)
+    in
+    let failed = ref false in
+    let docs =
+      List.map
+        (fun (cname, prog) ->
+          let p, plan = Analysis.Placement.infer (prog ~iters) in
+          let plan =
+            match strip with
+            | None -> plan
+            | Some v ->
+                {
+                  plan with
+                  Analysis.Placement.log =
+                    Analysis.Dataflow.Vars.remove v plan.Analysis.Placement.log;
+                }
+          in
+          let findings = Analysis.Lint.run ~plan p in
+          Fmt.pf ppf "== %s ==@.%a@." cname Analysis.Placement.pp_plan plan;
+          List.iter (Fmt.pf ppf "%a@." Analysis.Lint.pp_finding) findings;
+          let errors = Analysis.Lint.errors findings in
+          if errors <> [] then begin
+            failed := true;
+            Fmt.pf ppf "%d error(s)@." (List.length errors)
+          end;
+          let dyn_json =
+            if not dynamic then []
+            else begin
+              let cc = Rp_advisor.cross_check_ir ~n_ops:iters prog in
+              Fmt.pf ppf
+                "dynamic cross-check: %s (static log {%s} / dynamic {%s}), \
+                 %d race(s)@."
+                (if cc.Rp_advisor.cc_agrees then "agrees" else "DISAGREES")
+                (String.concat ", " cc.Rp_advisor.cc_static_log)
+                (String.concat ", " cc.Rp_advisor.cc_dynamic_log)
+                (List.length cc.Rp_advisor.cc_races);
+              if not cc.Rp_advisor.cc_agrees then failed := true;
+              [
+                ( "dynamic",
+                  Obs.Json.Obj
+                    [
+                      ("agrees", Obs.Json.Bool cc.Rp_advisor.cc_agrees);
+                      ( "dynamic_log",
+                        Obs.Json.List
+                          (List.map
+                             (fun v -> Obs.Json.String v)
+                             cc.Rp_advisor.cc_dynamic_log) );
+                      ("races", Obs.Json.Int (List.length cc.Rp_advisor.cc_races));
+                      ("segments", Obs.Json.Int cc.Rp_advisor.cc_segments);
+                    ] );
+              ]
+            end
+          in
+          Obs.Json.Obj
+            ([
+               ("name", Obs.Json.String cname);
+               ("plan", Analysis.Placement.plan_to_json p plan);
+               ("lint", Analysis.Lint.to_json p findings);
+             ]
+            @ dyn_json))
+        selected
+    in
+    (match out with
+    | None -> ()
+    | Some path -> (
+        let doc =
+          Obs.Json.Obj
+            [
+              ("schema", Obs.Json.String "respct-analyze/v1");
+              ("programs", Obs.Json.List docs);
+            ]
+        in
+        try
+          Obs.Json.to_file path doc;
+          Fmt.pf ppf "[diagnostics written to %s]@." path
+        with Sys_error msg ->
+          Fmt.epr "cannot write --out sink: %s@." msg;
+          exit 2));
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static persistency analysis over the IR corpus: infer restart \
+          points and the InCLL-logging plan, run the lint, emit JSON \
+          diagnostics; nonzero exit on any error finding (the CI gate).")
+    Term.(
+      const run $ program_arg $ iters_arg $ out_arg $ strip_arg $ dynamic_arg)
+
 let () =
   let info =
     Cmd.info "respct_experiments"
@@ -511,4 +655,5 @@ let () =
             integrity_cmd;
             perf_cmd;
             crashmatrix_cmd;
+            analyze_cmd;
           ]))

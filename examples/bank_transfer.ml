@@ -15,7 +15,7 @@ let tellers = 4
 let trial seed =
   let mem =
     Simnvm.Memsys.create
-      { Simnvm.Memsys.default_config with evict_rate = 0.2; seed }
+      { Simnvm.Memsys.default_config with Simnvm.Memsys.evict_rate = 0.2; seed }
   in
   let sched = Simsched.Scheduler.create ~seed () in
   let env = Simsched.Env.make mem sched in

@@ -12,7 +12,7 @@ let () =
   let seed = 2026 in
   let mem =
     Simnvm.Memsys.create
-      { Simnvm.Memsys.default_config with evict_rate = 0.15; seed }
+      { Simnvm.Memsys.default_config with Simnvm.Memsys.evict_rate = 0.15; seed }
   in
   let sched = Simsched.Scheduler.create ~seed () in
   let env = Simsched.Env.make mem sched in

@@ -14,7 +14,7 @@ let () =
      back. *)
   let mem =
     Simnvm.Memsys.create
-      { Simnvm.Memsys.default_config with evict_rate = 0.3; sets = 16; ways = 4 }
+      { Simnvm.Memsys.default_config with Simnvm.Memsys.evict_rate = 0.3; sets = 16; ways = 4 }
   in
   let sched = Simsched.Scheduler.create ~seed:7 () in
   let env = Simsched.Env.make mem sched in

@@ -1,0 +1,97 @@
+(* Analysis corpus: representative programs ported to the IR from the
+   repo's examples, parameterised by iteration count so the crashtest
+   explorer can shrink them. Neither carries restart points — placement
+   inserts them, and the inferred plan is what the dynamic oracles
+   validate. *)
+
+let v x = Ir.Var x
+let i n = Ir.Int n
+let ( + ) a b = Ir.Binop (Ir.Add, a, b)
+let ( - ) a b = Ir.Binop (Ir.Sub, a, b)
+let ( * ) a b = Ir.Binop (Ir.Mul, a, b)
+let ( mod ) a b = Ir.Binop (Ir.Mod, a, b)
+let ( < ) a b = Ir.Binop (Ir.Lt, a, b)
+let ( = ) a b = Ir.Binop (Ir.Eq, a, b)
+let set x e = Ir.Assign (x, e)
+
+(* examples/bank_transfer.ml: two tellers moving money between locked
+   accounts, locks taken in address order. Reading both balances before
+   writing both back makes every account WAR — the InCLL-logging case. *)
+let bank_transfer ~iters : Ir.program =
+  let teller name ~src ~dst ~lo ~hi ~ctr =
+    {
+      Ir.tname = name;
+      body =
+        [
+          set ctr (i 0);
+          Ir.While
+            ( v ctr < i iters,
+              [
+                Ir.Acquire lo;
+                Ir.Acquire hi;
+                set "tmp_src" (v src);
+                set "tmp_dst" (v dst);
+                set "amt" ((v ctr mod i 7) + i 1);
+                set src (v "tmp_src" - v "amt");
+                set dst (v "tmp_dst" + v "amt");
+                Ir.Release hi;
+                Ir.Release lo;
+                set ctr (v ctr + i 1);
+              ] );
+        ];
+    }
+  in
+  {
+    Ir.pname = "bank-transfer";
+    persistent = [ ("acct0", 100); ("acct1", 100); ("acct2", 100) ];
+    transient =
+      [
+        ("i0", 0); ("i1", 0); ("tmp_src", 0); ("tmp_dst", 0); ("amt", 0);
+      ];
+    threads =
+      [
+        teller "teller0" ~src:"acct0" ~dst:"acct1" ~lo:0 ~hi:1 ~ctr:"i0";
+        teller "teller1" ~src:"acct1" ~dst:"acct2" ~lo:1 ~hi:2 ~ctr:"i1";
+      ];
+  }
+
+(* A kvstore-style update loop (cf. lib/apps/kvstore.ml): a journal word
+   written before anything reads it (RAW: tracked, never logged), two
+   slots updated read-modify-write through a branch, and a size counter
+   bumped every iteration (both WAR: logged). Single-threaded, so the
+   lockset analyses stay quiet and the WAR/RAW split is the whole
+   story. *)
+let kv_update ~iters : Ir.program =
+  {
+    Ir.pname = "kv-update";
+    persistent = [ ("slot0", 0); ("slot1", 0); ("size", 0); ("journal", 0) ];
+    transient = [ ("i", 0); ("old", 0) ];
+    threads =
+      [
+        {
+          Ir.tname = "kv";
+          body =
+            [
+              set "i" (i 0);
+              Ir.While
+                ( v "i" < i iters,
+                  [
+                    set "journal" ((v "i" * i 10) + i 1);
+                    Ir.If
+                      ( v "i" mod i 2 = i 0,
+                        [ set "old" (v "slot0"); set "slot0" (v "old" + i 3) ],
+                        [ set "old" (v "slot1"); set "slot1" (v "old" + i 5) ]
+                      );
+                    set "size" (v "size" + i 1);
+                    set "i" (v "i" + i 1);
+                  ] );
+            ];
+        };
+      ];
+  }
+
+let all : (string * (iters:int -> Ir.program)) list =
+  [
+    ("bank-transfer", fun ~iters -> bank_transfer ~iters);
+    ("kv-update", fun ~iters -> kv_update ~iters);
+  ]

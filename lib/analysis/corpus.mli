@@ -1,0 +1,16 @@
+(** The analysis corpus: IR ports of the repo's example workloads,
+    parameterised by iteration count for crashtest shrinking. Both come
+    without restart points so {!Placement.infer} supplies them. *)
+
+val bank_transfer : iters:int -> Ir.program
+(** Two tellers transferring between three locked accounts (port of
+    [examples/bank_transfer.ml]); every account is WAR, so the inferred
+    plan logs all three. *)
+
+val kv_update : iters:int -> Ir.program
+(** Single-threaded kvstore-style loop: a write-first journal word
+    (RAW: tracked only), branch-selected read-modify-write slots and a
+    size counter (WAR: logged). *)
+
+val all : (string * (iters:int -> Ir.program)) list
+(** Name-indexed corpus, used by the [analyze] CLI and the CI gate. *)

@@ -1,0 +1,85 @@
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+type 'a solution = { inf : 'a array; outf : 'a array }
+
+module Make (L : LATTICE) = struct
+  (* One worklist pass parameterised by edge direction: [preds] feeds a
+     node's input fact, [succs] is reawakened when its output changes. *)
+  let solve (cfg : Ir.cfg) ~root ~preds ~succs ~init ~transfer =
+    let n = Array.length cfg.Ir.nodes in
+    let inf = Array.make n L.bottom and outf = Array.make n L.bottom in
+    let work = Queue.create () in
+    let queued = Array.make n false in
+    let push i =
+      if not queued.(i) then (
+        queued.(i) <- true;
+        Queue.add i work)
+    in
+    for i = 0 to n - 1 do
+      push i
+    done;
+    while not (Queue.is_empty work) do
+      let i = Queue.pop work in
+      queued.(i) <- false;
+      let node = cfg.Ir.nodes.(i) in
+      let base = if i = root then init else L.bottom in
+      let in_ =
+        List.fold_left (fun acc p -> L.join acc outf.(p)) base (preds node)
+      in
+      inf.(i) <- in_;
+      let out = transfer node in_ in
+      if not (L.equal out outf.(i)) then (
+        outf.(i) <- out;
+        List.iter push (succs node))
+    done;
+    { inf; outf }
+
+  let forward cfg ~init ~transfer =
+    solve cfg ~root:cfg.Ir.entry
+      ~preds:(fun n -> n.Ir.pred)
+      ~succs:(fun n -> n.Ir.succ)
+      ~init ~transfer
+
+  let backward cfg ~init ~transfer =
+    solve cfg ~root:cfg.Ir.exit_node
+      ~preds:(fun n -> n.Ir.succ)
+      ~succs:(fun n -> n.Ir.pred)
+      ~init ~transfer
+end
+
+module Vars = Set.Make (String)
+module Locks = Set.Make (Int)
+
+module MaySet (S : Set.S) = struct
+  type t = S.t
+
+  let bottom = S.empty
+  let equal = S.equal
+  let join = S.union
+end
+
+module MustSet (S : Set.S) = struct
+  type t = Top | Known of S.t
+
+  let bottom = Top
+
+  let equal a b =
+    match (a, b) with
+    | Top, Top -> true
+    | Known x, Known y -> S.equal x y
+    | Top, Known _ | Known _, Top -> false
+
+  let join a b =
+    match (a, b) with
+    | Top, x | x, Top -> x
+    | Known x, Known y -> Known (S.inter x y)
+
+  let known = function Top -> S.empty | Known s -> s
+  let mem x = function Top -> true | Known s -> S.mem x s
+end

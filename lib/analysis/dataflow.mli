@@ -1,0 +1,56 @@
+(** Generic worklist dataflow engine over {!Ir.cfg}.
+
+    Facts live in a join-semilattice; [solve] iterates transfer
+    functions to the least fixpoint. Forward analyses propagate along
+    [succ] edges from [entry], backward analyses along [pred] edges
+    from [exit_node]. May-analyses use set union with an empty bottom;
+    must-analyses use intersection with a synthetic [Top] bottom so
+    unreachable code stays optimistic. *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  (** Identity of [join]; the initial fact everywhere. *)
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+type 'a solution = {
+  inf : 'a array;  (** fact on entry to node [i] *)
+  outf : 'a array;  (** fact on exit from node [i] *)
+}
+
+module Make (L : LATTICE) : sig
+  val forward :
+    Ir.cfg -> init:L.t -> transfer:(Ir.node -> L.t -> L.t) -> L.t solution
+  (** [init] is the fact entering the CFG's [entry] node. *)
+
+  val backward :
+    Ir.cfg -> init:L.t -> transfer:(Ir.node -> L.t -> L.t) -> L.t solution
+  (** [init] enters at [exit_node]; [inf.(i)] is the fact *after* node
+      [i] in program order and [outf.(i)] the fact before it. *)
+end
+
+module Vars : Set.S with type elt = string
+module Locks : Set.S with type elt = int
+
+(** Union/empty lattice over a set: "may hold on some path". *)
+module MaySet (S : Set.S) : LATTICE with type t = S.t
+
+(** Intersection lattice over a set with explicit top: "must hold on
+    every path reaching here". [bottom = Top] keeps unreachable nodes
+    from polluting intersections. *)
+module MustSet (S : Set.S) : sig
+  type t = Top | Known of S.t
+
+  include LATTICE with type t := t
+
+  val known : t -> S.t
+  (** [Known s -> s]; [Top] (unreachable) maps to the empty set so
+      clients treat unreachable code conservatively. *)
+
+  val mem : S.elt -> t -> bool
+  (** Membership; everything is a member of [Top]. *)
+end

@@ -1,0 +1,254 @@
+module Vars = Dataflow.Vars
+
+type severity = Error | Warning
+
+type rule =
+  | Ill_formed
+  | Store_outside_region
+  | War_missing_logging
+  | Write_untracked
+  | Release_unheld
+  | Lock_leak
+  | Rp_in_critical_section
+  | Unreachable_rp
+  | Lockset_race
+
+type finding = {
+  rule : rule;
+  severity : severity;
+  thread : string option;
+  var : Ir.var option;
+  lock : int option;
+  rp : int option;
+  site : string option;
+  message : string;
+}
+
+let rule_name = function
+  | Ill_formed -> "ill-formed"
+  | Store_outside_region -> "store-outside-restart-region"
+  | War_missing_logging -> "war-write-missing-logging"
+  | Write_untracked -> "persistent-write-untracked"
+  | Release_unheld -> "release-not-acquired"
+  | Lock_leak -> "lock-leaked-at-exit"
+  | Rp_in_critical_section -> "restart-point-in-critical-section"
+  | Unreachable_rp -> "unreachable-restart-point"
+  | Lockset_race -> "lockset-race"
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let finding ?thread ?var ?lock ?rp ?site rule severity message =
+  { rule; severity; thread; var; lock; rp; site; message }
+
+(* --- persistent store outside any restart region ------------------- *)
+
+(* A boolean may-lattice: "a restart point lies on some path before
+   (forward) / after (backward) this node". A persistent store with
+   neither has no restart machinery around it at all; one with only a
+   restart point ahead sits in the implicit prologue region and is
+   fine. *)
+module Reach = struct
+  type t = bool
+
+  let bottom = false
+  let equal = Bool.equal
+  let join = ( || )
+end
+
+module ReachSolver = Dataflow.Make (Reach)
+
+let rp_transfer (n : Ir.node) seen =
+  match n.Ir.kind with Ir.Node_rp _ -> true | _ -> seen
+
+let store_outside_region (p : Ir.program) =
+  List.concat_map
+    (fun (t : Ir.thread) ->
+      let cfg = Ir.cfg_of_thread t in
+      let fwd = ReachSolver.forward cfg ~init:false ~transfer:rp_transfer in
+      let bwd = ReachSolver.backward cfg ~init:false ~transfer:rp_transfer in
+      List.filter_map
+        (fun (n : Ir.node) ->
+          match n.Ir.kind with
+          | Ir.Node_assign (v, _)
+            when Ir.is_persistent p v
+                 && (not fwd.Dataflow.inf.(n.Ir.id))
+                 && not bwd.Dataflow.inf.(n.Ir.id) ->
+              Some
+                (finding ~thread:t.Ir.tname ~var:v ~site:n.Ir.path
+                   Store_outside_region Error
+                   (Fmt.str
+                      "thread %s stores persistent %s at %s with no \
+                       restart point on any path before or after it"
+                      t.Ir.tname v n.Ir.path))
+          | _ -> None)
+        (Array.to_list cfg.Ir.nodes))
+    p.Ir.threads
+
+(* --- unreachable restart points (constant-condition dead code) ----- *)
+
+let unreachable_rps (p : Ir.program) =
+  let rec walk tname dead s =
+    match s with
+    | Ir.Rp r ->
+        if dead then
+          [
+            finding ~thread:tname ~rp:r Unreachable_rp Warning
+              (Fmt.str
+                 "restart point %d in thread %s is dead code (constant \
+                  branch condition)"
+                 r tname);
+          ]
+        else []
+    | Ir.If (c, a, b) ->
+        let const = match c with Ir.Int n -> Some (n <> 0) | _ -> None in
+        let dead_then = dead || const = Some false in
+        let dead_else = dead || const = Some true in
+        List.concat_map (walk tname dead_then) a
+        @ List.concat_map (walk tname dead_else) b
+    | Ir.While (c, b) ->
+        let dead_body = dead || c = Ir.Int 0 in
+        List.concat_map (walk tname dead_body) b
+    | Ir.Assign _ | Ir.Acquire _ | Ir.Release _ | Ir.Skip -> []
+  in
+  List.concat_map
+    (fun (t : Ir.thread) -> List.concat_map (walk t.Ir.tname false) t.Ir.body)
+    p.Ir.threads
+
+(* --- plan conformance ---------------------------------------------- *)
+
+let plan_findings (p : Ir.program) (pl : Placement.plan) =
+  let summaries = Warstatic.analyse p in
+  let war_missing =
+    List.concat_map
+      (fun (s : Warstatic.summary) ->
+        List.filter_map
+          (fun (site : Warstatic.site) ->
+            if
+              Ir.is_persistent p site.Warstatic.s_var
+              && not (Vars.mem site.Warstatic.s_var pl.Placement.log)
+            then
+              Some
+                (finding ~thread:s.Warstatic.thread ~var:site.Warstatic.s_var
+                   ~site:site.Warstatic.s_path War_missing_logging Error
+                   (Fmt.str
+                      "thread %s write-after-reads persistent %s at %s but \
+                       the plan does not InCLL-log it; re-execution after a \
+                       crash would observe the new value"
+                      s.Warstatic.thread site.Warstatic.s_var
+                      site.Warstatic.s_path))
+            else None)
+          s.Warstatic.sites)
+      summaries
+  in
+  let covered = Vars.union pl.Placement.log pl.Placement.track in
+  let untracked =
+    List.concat_map
+      (fun (s : Warstatic.summary) ->
+        Vars.elements
+          (Vars.filter
+             (fun v -> Ir.is_persistent p v && not (Vars.mem v covered))
+             s.Warstatic.written)
+        |> List.map (fun v ->
+               finding ~thread:s.Warstatic.thread ~var:v Write_untracked
+                 Error
+                 (Fmt.str
+                    "thread %s writes persistent %s but the plan neither \
+                     logs nor tracks it; the checkpoint would never flush \
+                     it"
+                    s.Warstatic.thread v)))
+      summaries
+  in
+  war_missing @ untracked
+
+(* --- driver -------------------------------------------------------- *)
+
+let lock_findings (p : Ir.program) =
+  List.concat_map
+    (fun (s : Lockset.thread_summary) ->
+      let t = s.Lockset.ls_thread in
+      List.map
+        (fun (r : Lockset.release_site) ->
+          finding ~thread:t ~lock:r.Lockset.rel_lock ~site:r.Lockset.rel_path
+            Release_unheld Error
+            (Fmt.str "thread %s releases lock L%d at %s without holding it"
+               t r.Lockset.rel_lock r.Lockset.rel_path))
+        s.Lockset.release_unheld
+      @ List.map
+          (fun l ->
+            finding ~thread:t ~lock:l Lock_leak Warning
+              (Fmt.str "thread %s can exit still holding lock L%d" t l))
+          s.Lockset.leaked
+      @ List.map
+          (fun (r : Lockset.rp_site) ->
+            finding ~thread:t ~rp:r.Lockset.rpc_rp ~site:r.Lockset.rpc_path
+              Rp_in_critical_section Error
+              (Fmt.str
+                 "restart point %d in thread %s at %s can execute while \
+                  holding %a"
+                 r.Lockset.rpc_rp t r.Lockset.rpc_path
+                 Fmt.(list ~sep:comma (fmt "L%d"))
+                 r.Lockset.rpc_locks))
+          s.Lockset.rp_critical)
+    (Lockset.analyse p)
+
+let race_findings (p : Ir.program) =
+  List.map
+    (fun (rc : Lockset.race_candidate) ->
+      let kind_name = function
+        | Lockset.Acc_read -> "read"
+        | Lockset.Acc_write -> "write"
+      in
+      finding ~var:rc.Lockset.rc_var Lockset_race Warning
+        (Fmt.str "%s on %s: no common lock across %a"
+           (if rc.Lockset.rc_write_write then "write/write race candidate"
+            else "read/write race candidate")
+           rc.Lockset.rc_var
+           Fmt.(
+             list ~sep:comma (fun ppf (t, k) ->
+                 pf ppf "%s(%s)" t (kind_name k)))
+           rc.Lockset.rc_threads))
+    (Lockset.races p)
+
+let run ?plan (p : Ir.program) : finding list =
+  match Ir.check p with
+  | _ :: _ as errs ->
+      List.map (fun m -> finding Ill_formed Error m) errs
+  | [] ->
+      let plan_part =
+        match plan with Some pl -> plan_findings p pl | None -> []
+      in
+      store_outside_region p @ plan_part @ lock_findings p
+      @ unreachable_rps p @ race_findings p
+
+let errors fs = List.filter (fun f -> f.severity = Error) fs
+
+let opt_str = function None -> Obs.Json.Null | Some s -> Obs.Json.String s
+let opt_int = function None -> Obs.Json.Null | Some i -> Obs.Json.Int i
+
+let finding_to_json f =
+  Obs.Json.Obj
+    [
+      ("rule", Obs.Json.String (rule_name f.rule));
+      ("severity", Obs.Json.String (severity_name f.severity));
+      ("thread", opt_str f.thread);
+      ("var", opt_str f.var);
+      ("lock", opt_int f.lock);
+      ("rp", opt_int f.rp);
+      ("site", opt_str f.site);
+      ("message", Obs.Json.String f.message);
+    ]
+
+let to_json (p : Ir.program) (fs : finding list) =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String "respct-lint/v1");
+      ("program", Obs.Json.String p.Ir.pname);
+      ("errors", Obs.Json.Int (List.length (errors fs)));
+      ("warnings",
+       Obs.Json.Int (List.length fs - List.length (errors fs)));
+      ("findings", Obs.Json.List (List.map finding_to_json fs));
+    ]
+
+let pp_finding ppf f =
+  Fmt.pf ppf "%s: [%s] %s" (severity_name f.severity) (rule_name f.rule)
+    f.message

@@ -1,0 +1,173 @@
+module Locks = Dataflow.Locks
+module LMust = Dataflow.MustSet (Locks)
+module LMay = Dataflow.MaySet (Locks)
+
+(* Joint must/may-held lockset fact. Must-held (intersection) drives
+   Eraser-style race candidates and released-not-acquired checks;
+   may-held (union) drives leak and restart-point-in-critical-section
+   checks. *)
+module Fact = struct
+  type t = { must : LMust.t; may : Locks.t }
+
+  let bottom = { must = LMust.bottom; may = LMay.bottom }
+  let start = { must = LMust.Known Locks.empty; may = Locks.empty }
+
+  let equal a b = LMust.equal a.must b.must && LMay.equal a.may b.may
+  let join a b = { must = LMust.join a.must b.must; may = LMay.join a.may b.may }
+end
+
+module Solver = Dataflow.Make (Fact)
+
+let transfer (node : Ir.node) (f : Fact.t) : Fact.t =
+  match node.Ir.kind with
+  | Ir.Node_acquire l ->
+      {
+        Fact.must = LMust.Known (Locks.add l (LMust.known f.Fact.must));
+        may = Locks.add l f.Fact.may;
+      }
+  | Ir.Node_release l ->
+      {
+        Fact.must =
+          (match f.Fact.must with
+          | LMust.Top -> LMust.Top
+          | LMust.Known s -> LMust.Known (Locks.remove l s));
+        may = Locks.remove l f.Fact.may;
+      }
+  | Ir.Entry | Ir.Exit | Ir.Node_assign _ | Ir.Node_branch _ | Ir.Node_rp _
+    ->
+      f
+
+let solve (cfg : Ir.cfg) = Solver.forward cfg ~init:Fact.start ~transfer
+
+type release_site = { rel_node : int; rel_path : string; rel_lock : int }
+
+type rp_site = {
+  rpc_node : int;
+  rpc_path : string;
+  rpc_rp : int;
+  rpc_locks : int list;
+}
+
+type thread_summary = {
+  ls_thread : string;
+  release_unheld : release_site list;
+  leaked : int list;
+  rp_critical : rp_site list;
+}
+
+let analyse_cfg (cfg : Ir.cfg) : thread_summary =
+  let sol = solve cfg in
+  let release_unheld = ref [] and rp_critical = ref [] in
+  Array.iter
+    (fun (n : Ir.node) ->
+      let inf = sol.Dataflow.inf.(n.Ir.id) in
+      match n.Ir.kind with
+      | Ir.Node_release l ->
+          if not (LMust.mem l inf.Fact.must) then
+            release_unheld :=
+              { rel_node = n.Ir.id; rel_path = n.Ir.path; rel_lock = l }
+              :: !release_unheld
+      | Ir.Node_rp r ->
+          if not (Locks.is_empty inf.Fact.may) then
+            rp_critical :=
+              {
+                rpc_node = n.Ir.id;
+                rpc_path = n.Ir.path;
+                rpc_rp = r;
+                rpc_locks = Locks.elements inf.Fact.may;
+              }
+              :: !rp_critical
+      | _ -> ())
+    cfg.Ir.nodes;
+  let leaked =
+    Locks.elements sol.Dataflow.inf.(cfg.Ir.exit_node).Fact.may
+  in
+  {
+    ls_thread = cfg.Ir.owner;
+    release_unheld = List.rev !release_unheld;
+    leaked;
+    rp_critical = List.rev !rp_critical;
+  }
+
+let analyse_thread t = analyse_cfg (Ir.cfg_of_thread t)
+let analyse (p : Ir.program) = List.map analyse_thread p.Ir.threads
+
+(* ------------------------------------------------------------------ *)
+(* Eraser-style race candidates *)
+
+type access_kind = Acc_read | Acc_write
+
+type race_candidate = {
+  rc_var : Ir.var;
+  rc_threads : (string * access_kind) list;
+  rc_write_write : bool;
+}
+
+(* Per thread and variable: the intersection of must-held locksets over
+   every access site of the variable, plus whether any access writes. *)
+let candidate_locks (cfg : Ir.cfg) =
+  let sol = solve cfg in
+  let tbl : (Ir.var, Locks.t option * access_kind) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let meet v held kind =
+    let prev_locks, prev_kind =
+      match Hashtbl.find_opt tbl v with
+      | Some (l, k) -> (l, k)
+      | None -> (None, Acc_read)
+    in
+    let locks =
+      match prev_locks with
+      | None -> Some held
+      | Some l -> Some (Locks.inter l held)
+    in
+    let kind =
+      if kind = Acc_write || prev_kind = Acc_write then Acc_write else Acc_read
+    in
+    Hashtbl.replace tbl v (locks, kind)
+  in
+  Array.iter
+    (fun (n : Ir.node) ->
+      let held = LMust.known sol.Dataflow.inf.(n.Ir.id).Fact.must in
+      List.iter (fun v -> meet v held Acc_read) (Ir.node_reads n.Ir.kind);
+      match Ir.node_write n.Ir.kind with
+      | Some v -> meet v held Acc_write
+      | None -> ())
+    cfg.Ir.nodes;
+  tbl
+
+let races (p : Ir.program) : race_candidate list =
+  let per_thread =
+    List.map
+      (fun t -> (t.Ir.tname, candidate_locks (Ir.cfg_of_thread t)))
+      p.Ir.threads
+  in
+  let vars = Ir.declared p in
+  List.filter_map
+    (fun v ->
+      let accessors =
+        List.filter_map
+          (fun (tn, tbl) ->
+            match Hashtbl.find_opt tbl v with
+            | Some (Some locks, kind) -> Some (tn, locks, kind)
+            | Some (None, _) | None -> None)
+          per_thread
+      in
+      let writers = List.filter (fun (_, _, k) -> k = Acc_write) accessors in
+      if List.length accessors < 2 || writers = [] then None
+      else
+        let common =
+          match accessors with
+          | [] -> Locks.empty
+          | (_, l0, _) :: rest ->
+              List.fold_left (fun acc (_, l, _) -> Locks.inter acc l) l0 rest
+        in
+        if not (Locks.is_empty common) then None
+        else
+          Some
+            {
+              rc_var = v;
+              rc_threads = List.map (fun (tn, _, k) -> (tn, k)) accessors;
+              rc_write_write = List.length writers >= 2;
+            })
+    vars

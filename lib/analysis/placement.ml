@@ -1,0 +1,98 @@
+module Vars = Dataflow.Vars
+module Locks = Dataflow.Locks
+
+type plan = { plan_program : string; log : Vars.t; track : Vars.t }
+
+(* Syntactic may-held lockset after a statement (list), used to keep
+   inserted restart points out of critical sections. Branches join by
+   union; a loop may run zero times, so its effect joins with the
+   incoming set. *)
+let rec held_stmt held = function
+  | Ir.Acquire l -> Locks.add l held
+  | Ir.Release l -> Locks.remove l held
+  | Ir.If (_, a, b) -> Locks.union (held_list held a) (held_list held b)
+  | Ir.While (_, b) -> Locks.union held (held_list held b)
+  | Ir.Assign _ | Ir.Rp _ | Ir.Skip -> held
+
+and held_list held stmts = List.fold_left held_stmt held stmts
+
+let insert_rps (p : Ir.program) : Ir.program =
+  let next = ref (Ir.max_rp_id p + 1) in
+  let fresh () =
+    let r = !next in
+    incr next;
+    r
+  in
+  let pers = List.map fst p.Ir.persistent in
+  let writes_pers s =
+    List.exists (fun v -> List.mem v pers) (Ir.stmt_writes s)
+  in
+  let transform_thread (t : Ir.thread) =
+    (* Paper-style placement: one restart point per iteration of each
+       outermost persistent-writing loop, provided the end of the body
+       is outside every critical section. *)
+    let rec go held acc = function
+      | [] -> (held, List.rev acc)
+      | (Ir.While (c, body) as s) :: rest
+        when writes_pers s && Ir.stmt_rps s = []
+             && Locks.is_empty (held_list held body) ->
+          let s' = Ir.While (c, body @ [ Ir.Rp (fresh ()) ]) in
+          go (held_stmt held s) (s' :: acc) rest
+      | s :: rest -> go (held_stmt held s) (s :: acc) rest
+    in
+    let held_end, body = go Locks.empty [] t.Ir.body in
+    (* Every thread mutating persistent state gets a final restart
+       point so its last region is bounded before thread exit. *)
+    let body =
+      if
+        List.exists writes_pers body
+        && List.concat_map Ir.stmt_rps body = []
+        && Locks.is_empty held_end
+      then body @ [ Ir.Rp (fresh ()) ]
+      else body
+    in
+    { t with Ir.body }
+  in
+  { p with Ir.threads = List.map transform_thread p.Ir.threads }
+
+let plan (p : Ir.program) : plan =
+  let summaries = Warstatic.analyse p in
+  let war, written =
+    List.fold_left
+      (fun (w, wr) (s : Warstatic.summary) ->
+        (Vars.union w s.Warstatic.war, Vars.union wr s.Warstatic.written))
+      (Vars.empty, Vars.empty) summaries
+  in
+  let pers = Vars.of_list (List.map fst p.Ir.persistent) in
+  {
+    plan_program = p.Ir.pname;
+    log = Vars.inter war pers;
+    track = Vars.inter (Vars.diff written war) pers;
+  }
+
+let infer p =
+  let p' = insert_rps p in
+  (p', plan p')
+
+let plan_to_json (p : Ir.program) (pl : plan) : Obs.Json.t =
+  let vars s = Obs.Json.List (List.map (fun v -> Obs.Json.String v) (Vars.elements s)) in
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String "respct-plan/v1");
+      ("program", Obs.Json.String pl.plan_program);
+      ("log", vars pl.log);
+      ("track", vars pl.track);
+      ( "restart_points",
+        Obs.Json.List
+          (List.map
+             (fun r -> Obs.Json.Int r)
+             (List.sort_uniq compare (Ir.rp_ids p))) );
+      ( "threads",
+        Obs.Json.List
+          (List.map (fun t -> Obs.Json.String t.Ir.tname) p.Ir.threads) );
+    ]
+
+let pp_plan ppf pl =
+  Fmt.pf ppf "@[<v>plan %s@,log:   {%s}@,track: {%s}@]" pl.plan_program
+    (String.concat ", " (Vars.elements pl.log))
+    (String.concat ", " (Vars.elements pl.track))

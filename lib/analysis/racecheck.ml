@@ -19,7 +19,23 @@ type event =
   | Rread of { thread : int; addr : int }
   | Rwrite of { thread : int; addr : int }
 
-type race = { addr : int; first_thread : int; second_thread : int }
+type access = Aread | Awrite
+
+type race = {
+  addr : int;
+  first_thread : int;
+  first_access : access;
+  second_thread : int;
+  second_access : access;
+}
+
+let pp_access ppf = function
+  | Aread -> Fmt.string ppf "read"
+  | Awrite -> Fmt.string ppf "write"
+
+let pp_race ppf r =
+  Fmt.pf ppf "addr %d: %a by T%d races with %a by T%d" r.addr pp_access
+    r.first_access r.first_thread pp_access r.second_access r.second_thread
 
 module Vc = struct
   type t = (int, int) Hashtbl.t
@@ -47,8 +63,10 @@ type t = {
   threads : (int, Vc.t) Hashtbl.t;
   locks : (int, Vc.t) Hashtbl.t;
   vars : (int, shadow) Hashtbl.t;
-  mutable found : race list; (* newest first *)
-  mutable n_races : int;
+  seen : (int * int * int, unit) Hashtbl.t;
+      (* (addr, lo thread, hi thread) pairs already reported *)
+  mutable found : race list; (* newest first, deduped *)
+  mutable n_races : int; (* every detection, duplicates included *)
 }
 
 let create () =
@@ -56,6 +74,7 @@ let create () =
     threads = Hashtbl.create 8;
     locks = Hashtbl.create 8;
     vars = Hashtbl.create 64;
+    seen = Hashtbl.create 16;
     found = [];
     n_races = 0;
   }
@@ -80,9 +99,20 @@ let shadow_of t addr =
 (* event (thread, clock) happens-before the state vc *)
 let happens_before (thread, clock) vc = clock <= Vc.get vc thread
 
-let report t addr first second =
-  t.found <- { addr; first_thread = first; second_thread = second } :: t.found;
-  t.n_races <- t.n_races + 1
+(* Long traces hammer the same unordered pair over and over (every loop
+   iteration re-detects it); [races] keeps one report per
+   (addr, unordered thread pair) while [race_count] still counts every
+   detection. *)
+let report t addr (first, first_access) (second, second_access) =
+  t.n_races <- t.n_races + 1;
+  let key = (addr, min first second, max first second) in
+  if not (Hashtbl.mem t.seen key) then begin
+    Hashtbl.replace t.seen key ();
+    t.found <-
+      { addr; first_thread = first; first_access; second_thread = second;
+        second_access }
+      :: t.found
+  end
 
 let push t ev =
   match ev with
@@ -101,7 +131,7 @@ let push t ev =
       List.iter
         (fun (w, c) ->
           if w <> thread && not (happens_before (w, c) vc) then
-            report t addr w thread)
+            report t addr (w, Awrite) (thread, Aread))
         s.last_writes;
       s.last_reads <-
         (thread, Vc.get vc thread)
@@ -112,12 +142,12 @@ let push t ev =
       List.iter
         (fun (w, c) ->
           if w <> thread && not (happens_before (w, c) vc) then
-            report t addr w thread)
+            report t addr (w, Awrite) (thread, Awrite))
         s.last_writes;
       List.iter
         (fun (r, c) ->
           if r <> thread && not (happens_before (r, c) vc) then
-            report t addr r thread)
+            report t addr (r, Aread) (thread, Awrite))
         s.last_reads;
       s.last_writes <- [ (thread, Vc.get vc thread) ];
       s.last_reads <- []

@@ -12,7 +12,20 @@ type event =
   | Rread of { thread : int; addr : int }
   | Rwrite of { thread : int; addr : int }
 
-type race = { addr : int; first_thread : int; second_thread : int }
+type access = Aread | Awrite
+
+type race = {
+  addr : int;
+  first_thread : int;  (** the earlier endpoint in trace order *)
+  first_access : access;
+  second_thread : int;  (** the later, conflicting endpoint *)
+  second_access : access;
+}
+(** One unordered conflicting pair. At least one endpoint is a write;
+    [first_access = Aread] means a read raced with a later write. *)
+
+val pp_access : Format.formatter -> access -> unit
+val pp_race : Format.formatter -> race -> unit
 
 (** {2 Streaming interface} — the shape a trace-bus subscriber needs *)
 
@@ -25,14 +38,22 @@ val push : t -> event -> unit
 (** Feed one event in trace order. *)
 
 val races : t -> race list
-(** Races detected so far, in trace order. *)
+(** Races detected so far, in trace order, deduplicated: at most one
+    report per (address, unordered thread pair), keeping the first
+    conflicting access kinds observed. Long loops that re-race the same
+    pair every iteration therefore do not flood the list. *)
 
 val race_count : t -> int
+(** Total number of conflicting, unordered access pairs detected,
+    {e including} repeats of pairs [races] deduplicates — so
+    [race_count t >= List.length (races t)], with equality iff no pair
+    raced more than once. *)
 
 (** {2 Batch interface over recorded traces} *)
 
 val check : event list -> race list
-(** All conflicting, unordered access pairs, in trace order. *)
+(** Conflicting, unordered access pairs, in trace order, deduplicated
+    per (address, unordered thread pair) like [races]. *)
 
 val race_free : event list -> bool
 (** [check events = []]. *)

@@ -1,0 +1,102 @@
+module Vars = Dataflow.Vars
+module VMust = Dataflow.MustSet (Vars)
+
+(* The region-local dataflow state, reset at every restart point. [r]
+   may-holds the variables read before any write on some path from the
+   region start; [wmust]/[wmay] are the variables written on every /
+   some path. A variable enters [r] on a read exactly when it is not
+   must-written — i.e. when some path carries the read as the
+   variable's first access, which is the section 3.3.2 WAR trigger. *)
+module Fact = struct
+  type t = { r : Vars.t; wmust : VMust.t; wmay : Vars.t }
+
+  let bottom = { r = Vars.empty; wmust = VMust.Top; wmay = Vars.empty }
+  let region_start = { r = Vars.empty; wmust = VMust.Known Vars.empty; wmay = Vars.empty }
+
+  let equal a b =
+    Vars.equal a.r b.r && VMust.equal a.wmust b.wmust
+    && Vars.equal a.wmay b.wmay
+
+  let join a b =
+    {
+      r = Vars.union a.r b.r;
+      wmust = VMust.join a.wmust b.wmust;
+      wmay = Vars.union a.wmay b.wmay;
+    }
+end
+
+module Solver = Dataflow.Make (Fact)
+
+type site = { s_node : int; s_path : string; s_var : Ir.var }
+
+type summary = {
+  thread : string;
+  war : Vars.t;
+  written : Vars.t;
+  sites : site list;
+}
+
+let apply_reads (f : Fact.t) reads =
+  List.fold_left
+    (fun (f : Fact.t) v ->
+      if VMust.mem v f.Fact.wmust then f
+      else { f with Fact.r = Vars.add v f.Fact.r })
+    f reads
+
+let transfer (node : Ir.node) (f : Fact.t) : Fact.t =
+  match node.Ir.kind with
+  | Ir.Entry | Ir.Exit | Ir.Node_acquire _ | Ir.Node_release _ -> f
+  | Ir.Node_rp _ -> Fact.region_start
+  | Ir.Node_branch e -> apply_reads f (Ir.expr_reads e)
+  | Ir.Node_assign (v, e) ->
+      let f = apply_reads f (Ir.expr_reads e) in
+      {
+        Fact.r = f.Fact.r;
+        wmust = VMust.Known (Vars.add v (VMust.known f.Fact.wmust));
+        wmay = Vars.add v f.Fact.wmay;
+      }
+
+let analyse_cfg (cfg : Ir.cfg) : summary =
+  let sol = Solver.forward cfg ~init:Fact.region_start ~transfer in
+  let war = ref Vars.empty and written = ref Vars.empty in
+  let sites = ref [] in
+  Array.iter
+    (fun (n : Ir.node) ->
+      match n.Ir.kind with
+      | Ir.Node_assign (v, e) ->
+          let inf = sol.Dataflow.inf.(n.Ir.id) in
+          (* Unreachable nodes keep the bottom fact (wmust = Top), so
+             their reads never enter [r] and they cannot flag. *)
+          let f = apply_reads inf (Ir.expr_reads e) in
+          written := Vars.add v !written;
+          if Vars.mem v f.Fact.r then (
+            war := Vars.add v !war;
+            sites := { s_node = n.Ir.id; s_path = n.Ir.path; s_var = v } :: !sites)
+      | _ -> ())
+    cfg.Ir.nodes;
+  {
+    thread = cfg.Ir.owner;
+    war = !war;
+    written = !written;
+    sites = List.rev !sites;
+  }
+
+let analyse_thread t = analyse_cfg (Ir.cfg_of_thread t)
+let analyse (p : Ir.program) = List.map analyse_thread p.Ir.threads
+
+let classify_thread (s : summary) v =
+  if Vars.mem v s.war then Idempotence.War
+  else if Vars.mem v s.written then Idempotence.Raw
+  else Idempotence.No_dependency
+
+let classify p v =
+  let merge a b =
+    match (a, b) with
+    | Idempotence.War, _ | _, Idempotence.War -> Idempotence.War
+    | Idempotence.Raw, _ | _, Idempotence.Raw -> Idempotence.Raw
+    | Idempotence.No_dependency, Idempotence.No_dependency ->
+        Idempotence.No_dependency
+  in
+  List.fold_left
+    (fun acc s -> merge acc (classify_thread s v))
+    Idempotence.No_dependency (analyse p)

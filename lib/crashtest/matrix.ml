@@ -60,8 +60,8 @@ let filtered ?filter pool =
       List.filter
         (fun (e : Scenarios.entry) ->
           let len = String.length f in
-          String.length e.id >= len
-          && (String.sub e.id 0 len = f || e.id = f))
+          String.length e.Scenarios.id >= len
+          && (String.sub e.Scenarios.id 0 len = f || e.Scenarios.id = f))
         pool
 
 let entries ?filter () = filtered ?filter Scenarios.all

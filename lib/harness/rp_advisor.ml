@@ -124,3 +124,54 @@ let race_checker_on ?(addr_filter = fun (_ : int) -> true) bus =
         | _ -> ())
   in
   (checker, sub)
+
+(* ------------------------------------------------------------------ *)
+(* Static/dynamic cross-check for analysed IR programs.
+
+   The static analyzer (Analysis.Warstatic/Placement) and this trace
+   advisor automate the same section 3.3.2 rule from opposite ends: one
+   over all CFG paths, one over a single recorded execution. Soundness
+   of the static side means every variable the dynamic advisor finds
+   WAR must already be in the static plan's logging set; the converse
+   need not hold (the static side may-overapproximates paths the run
+   did not take). *)
+
+type ir_cross_check = {
+  cc_static_log : string list;  (* plan.log, sorted *)
+  cc_dynamic_log : string list; (* advisor needs_logging, as variables *)
+  cc_dynamic_only : string list; (* dynamic \ static: must be empty *)
+  cc_agrees : bool;
+  cc_races : Analysis.Racecheck.race list; (* on persistent data words *)
+  cc_segments : int;
+}
+
+let cross_check_ir ?sched_seed ?mem_seed ?pcso ~n_ops prog : ir_cross_check =
+  let p, plan = Analysis.Placement.infer (prog ~iters:n_ops) in
+  let w = Analysis.Exec.sim_world ?sched_seed ?mem_seed ?pcso ~plan p in
+  let (), events = Simsched.Trace.record w.Analysis.Exec.w_bus (fun () ->
+      w.Analysis.Exec.w_run ())
+  in
+  let var_of_addr =
+    List.map (fun (v, a) -> (a, v)) (w.Analysis.Exec.w_var_addrs ())
+  in
+  let rep =
+    analyse ~addr_filter:(fun a -> List.mem_assoc a var_of_addr) events
+  in
+  let dynamic_log =
+    List.filter_map (fun a -> List.assoc_opt a var_of_addr) rep.needs_logging
+    |> List.sort_uniq compare
+  in
+  let static_log =
+    Analysis.Dataflow.Vars.elements plan.Analysis.Placement.log
+  in
+  let dynamic_only =
+    List.filter (fun v -> not (List.mem v static_log)) dynamic_log
+  in
+  {
+    cc_static_log = static_log;
+    cc_dynamic_log = dynamic_log;
+    cc_dynamic_only = dynamic_only;
+    cc_agrees = dynamic_only = [];
+    cc_races = rep.races;
+    cc_segments = rep.segments;
+  }

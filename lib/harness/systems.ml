@@ -90,7 +90,7 @@ let world (p : params) ~kind =
     Simnvm.Memsys.create
       {
         Simnvm.Memsys.default_config with
-        nvm_words = p.nvm_words;
+        Simnvm.Memsys.nvm_words = p.nvm_words;
         dram_words = p.dram_words;
         sets = p.cache_sets;
         ways = p.cache_ways;

@@ -30,19 +30,19 @@ let check_aligned env cell =
   assert (Simnvm.Addr.same_line ~line_words:lw cell (cell + words - 1))
 
 let init (ctx : Pctx.t) cell v =
-  let env = ctx.env in
+  let env = ctx.Pctx.env in
   check_aligned env cell;
   Simsched.Env.store env (record cell) v;
   Simsched.Env.store env (backup cell) v;
-  let epoch = ctx.epoch () in
+  let epoch = ctx.Pctx.epoch () in
   let tag =
-    if ctx.integrity then Checksum.seal ~record:v ~backup:v ~epoch ~cell
+    if ctx.Pctx.integrity then Checksum.seal ~record:v ~backup:v ~epoch ~cell
     else epoch
   in
   Simsched.Env.store env (epoch_id cell) tag;
-  ctx.add_modified cell
+  ctx.Pctx.add_modified cell
 
-let read (ctx : Pctx.t) cell = Simsched.Env.load ctx.env (record cell)
+let read (ctx : Pctx.t) cell = Simsched.Env.load ctx.Pctx.env (record cell)
 
 (* Integrity variant of the update path. The epoch word is re-stored on
    every update (not just the logging one) so its crc_rec field tracks the
@@ -51,15 +51,15 @@ let read (ctx : Pctx.t) cell = Simsched.Env.load ctx.env (record cell)
    (8-byte-atomic) write on torn media. The fast path reuses the epoch word
    it loaded for the epoch comparison and patches only the crc_rec bits. *)
 let update_integrity (ctx : Pctx.t) cell v =
-  let env = ctx.env in
-  let epoch = ctx.epoch () in
+  let env = ctx.Pctx.env in
+  let epoch = ctx.Pctx.epoch () in
   let w = Simsched.Env.load env (epoch_id cell) in
   if Checksum.epoch_of w <> epoch then begin
     let prev = Simsched.Env.load env (record cell) in
     Simsched.Env.store env (backup cell) prev;
     Simsched.Env.store env (epoch_id cell)
       (Checksum.seal ~record:v ~backup:prev ~epoch ~cell);
-    ctx.add_modified cell
+    ctx.Pctx.add_modified cell
   end
   else
     Simsched.Env.store env (epoch_id cell)
@@ -67,16 +67,16 @@ let update_integrity (ctx : Pctx.t) cell v =
   Simsched.Env.store env (record cell) v
 
 let update (ctx : Pctx.t) cell v =
-  if ctx.integrity then update_integrity ctx cell v
+  if ctx.Pctx.integrity then update_integrity ctx cell v
   else begin
-    let env = ctx.env in
-    let epoch = ctx.epoch () in
+    let env = ctx.Pctx.env in
+    let epoch = ctx.Pctx.epoch () in
     if Simsched.Env.load env (epoch_id cell) <> epoch then begin
       (* First update of this variable in the current epoch: log it. *)
       Simsched.Env.store env (backup cell)
         (Simsched.Env.load env (record cell));
       Simsched.Env.store env (epoch_id cell) epoch;
-      ctx.add_modified cell
+      ctx.Pctx.add_modified cell
     end;
     Simsched.Env.store env (record cell) v
   end

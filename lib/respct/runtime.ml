@@ -96,7 +96,7 @@ let add_modified t ~slot addr =
 
 let ctx t ~slot : Pctx.t =
   {
-    env = t.env;
+    Pctx.env = t.env;
     slot;
     epoch = (fun () -> epoch t);
     add_modified = (fun addr -> add_modified t ~slot addr);
@@ -111,7 +111,7 @@ let ctx t ~slot : Pctx.t =
    reach the first checkpoint's flush list. *)
 let bootstrap_ctx t : Pctx.t =
   {
-    env = t.env;
+    Pctx.env = t.env;
     slot = 0;
     epoch = (fun () -> -1);
     add_modified =

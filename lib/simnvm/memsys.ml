@@ -525,7 +525,9 @@ let fill t lineno =
   let line = victim t lineno in
   if line.tag >= 0 && line.dirty then begin
     let nvm = write_back t line in
-    t.charge (if nvm then lat.nvm_writeback_ns else lat.dram_writeback_ns)
+    t.charge
+      (if nvm then lat.Latency.nvm_writeback_ns
+       else lat.Latency.dram_writeback_ns)
   end;
   let base = lineno * t.lw in
   line.tag <- lineno;
@@ -556,8 +558,9 @@ let fill t lineno =
            prefetched;
          });
   if nvm then
-    t.charge (if prefetched then prefetched_miss_ns else lat.nvm_miss_ns)
-  else t.charge (if prefetched then prefetched_miss_ns else lat.dram_miss_ns);
+    t.charge (if prefetched then prefetched_miss_ns else lat.Latency.nvm_miss_ns)
+  else
+    t.charge (if prefetched then prefetched_miss_ns else lat.Latency.dram_miss_ns);
   line
 
 let lookup t addr =
@@ -568,7 +571,7 @@ let lookup t addr =
       let line = Array.unsafe_get t.lines slot in
       if t.stats_on then t.stats.Stats.hits <- t.stats.Stats.hits + 1;
       if has_subs t then emit t (Event.Hit { addr });
-      t.charge t.cfg.latency.cache_hit_ns;
+      t.charge t.cfg.latency.Latency.cache_hit_ns;
       line
     end
     else fill t lineno
@@ -619,7 +622,7 @@ let store t addr v =
   line.data.(off) <- v;
   line.dirty <- true;
   line.dirty_mask <- line.dirty_mask lor (1 lsl off);
-  t.charge t.cfg.latency.store_extra_ns;
+  t.charge t.cfg.latency.Latency.store_extra_ns;
   spontaneous_eviction t
 
 let pwb t addr =
@@ -632,16 +635,16 @@ let pwb t addr =
     emit t (Event.Pwb { tid = t.current_tid (); addr; dirty });
   if dirty then begin
     ignore (write_back t t.lines.(slot));
-    t.charge t.cfg.latency.clwb_ns
+    t.charge t.cfg.latency.Latency.clwb_ns
   end
   else
     (* clwb of a clean or absent line: issue cost only. *)
-    t.charge (t.cfg.latency.clwb_ns /. 8.0)
+    t.charge (t.cfg.latency.Latency.clwb_ns /. 8.0)
 
 let psync t =
   if t.stats_on then t.stats.Stats.psyncs <- t.stats.Stats.psyncs + 1;
   if has_subs t then emit t (Event.Psync { tid = t.current_tid () });
-  t.charge t.cfg.latency.sfence_ns
+  t.charge t.cfg.latency.Latency.sfence_ns
 
 (* Deterministically persist-and-invalidate the line holding [addr]; used by
    tests to force a chosen partial state into NVMM before a crash. *)

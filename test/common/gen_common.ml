@@ -91,3 +91,123 @@ let arb_queue_mix ?(max_seed = 10_000) ~n () =
         (Fmt.list ~sep:Fmt.sp pp_queue_op)
         (queue_ops ~seed ~n ()))
     QCheck.Gen.(1 -- max_seed)
+
+(* ------------------------------------------------------------------ *)
+(* Seeded random IR programs for the static-analysis soundness
+   properties: the straight-line family must agree exactly with
+   Idempotence.classify over interpreter traces, the branchy family
+   must have its dynamic WAR set contained in the static one. All
+   structure derives from the seed via the repo Rng, and the printer
+   emits the whole program so a failing case replays from the output. *)
+
+module Ir = Analysis.Ir
+
+let ir_persistent_vars = [ "p0"; "p1"; "p2"; "p3" ]
+let ir_transient_vars = [ "t0"; "t1" ]
+
+let ir_choose rng l = List.nth l (Rng.int rng (List.length l))
+
+(* Expressions: depth-bounded arithmetic over the declared universe. *)
+let rec ir_gen_expr rng ~vars ~depth =
+  if depth = 0 || Rng.int rng 3 = 0 then
+    if Rng.bool rng then Ir.Int (Rng.int rng 10) else Ir.Var (ir_choose rng vars)
+  else
+    let op =
+      ir_choose rng [ Ir.Add; Ir.Sub; Ir.Mul; Ir.Mod; Ir.Lt; Ir.Eq ]
+    in
+    Ir.Binop
+      ( op,
+        ir_gen_expr rng ~vars ~depth:(depth - 1),
+        ir_gen_expr rng ~vars ~depth:(depth - 1) )
+
+(* Straight-line, single-thread: assignments and restart points only. *)
+let straightline_ir ~seed ~n : Ir.program =
+  let rng = Rng.create seed in
+  let vars = ir_persistent_vars @ ir_transient_vars in
+  let next_rp = ref 0 in
+  let stmt () =
+    if Rng.int rng 5 = 0 then begin
+      let id = !next_rp in
+      incr next_rp;
+      Ir.Rp id
+    end
+    else
+      Ir.Assign (ir_choose rng vars, ir_gen_expr rng ~vars ~depth:2)
+  in
+  {
+    Ir.pname = Fmt.str "straightline-%d" seed;
+    persistent = List.map (fun v -> (v, 1)) ir_persistent_vars;
+    transient = List.map (fun v -> (v, 0)) ir_transient_vars;
+    threads = [ { Ir.tname = "main"; body = List.init n (fun _ -> stmt ()) } ];
+  }
+
+(* Branchy, optionally two-threaded: if/while (loops bounded by
+   dedicated, never-otherwise-assigned counters so the interpreter
+   terminates), balanced critical sections on one shared lock with no
+   restart point inside. *)
+let branchy_ir ?(threads = 2) ~seed ~n () : Ir.program =
+  let rng = Rng.create seed in
+  let vars = ir_persistent_vars @ ir_transient_vars in
+  let next_rp = ref 0 in
+  let counters = ref [] in
+  let next_counter = ref 0 in
+  let rec gen_block ~in_lock ~budget acc =
+    if budget <= 0 then List.rev acc
+    else
+      let roll = Rng.int rng 10 in
+      if roll < 4 then
+        gen_block ~in_lock ~budget:(budget - 1)
+          (Ir.Assign (ir_choose rng vars, ir_gen_expr rng ~vars ~depth:2)
+          :: acc)
+      else if roll < 5 && not in_lock then begin
+        let id = !next_rp in
+        incr next_rp;
+        gen_block ~in_lock ~budget:(budget - 1) (Ir.Rp id :: acc)
+      end
+      else if roll < 7 then
+        let cond = ir_gen_expr rng ~vars ~depth:1 in
+        let a = gen_block ~in_lock ~budget:(budget / 2) [] in
+        let b = gen_block ~in_lock ~budget:(budget / 2) [] in
+        gen_block ~in_lock ~budget:(budget / 2) (Ir.If (cond, a, b) :: acc)
+      else if roll < 9 then begin
+        let c = Fmt.str "lc%d" !next_counter in
+        incr next_counter;
+        counters := c :: !counters;
+        let body =
+          gen_block ~in_lock ~budget:(budget / 2) []
+          @ [ Ir.Assign (c, Ir.Binop (Ir.Add, Ir.Var c, Ir.Int 1)) ]
+        in
+        let loop =
+          Ir.While (Ir.Binop (Ir.Lt, Ir.Var c, Ir.Int (1 + Rng.int rng 3)), body)
+        in
+        gen_block ~in_lock ~budget:(budget / 2)
+          (loop :: Ir.Assign (c, Ir.Int 0) :: acc)
+      end
+      else if not in_lock then
+        let body = gen_block ~in_lock:true ~budget:(budget / 2) [] in
+        (* [acc] is reverse-ordered, so prepend the block reversed. *)
+        gen_block ~in_lock ~budget:(budget / 2)
+          (List.rev_append ((Ir.Acquire 0 :: body) @ [ Ir.Release 0 ]) acc)
+      else gen_block ~in_lock ~budget:(budget - 1) (Ir.Skip :: acc)
+  in
+  let mk_thread i =
+    { Ir.tname = Fmt.str "w%d" i; body = gen_block ~in_lock:false ~budget:n [] }
+  in
+  let threads = List.init (max 1 threads) mk_thread in
+  {
+    Ir.pname = Fmt.str "branchy-%d" seed;
+    persistent = List.map (fun v -> (v, 1)) ir_persistent_vars;
+    transient =
+      List.map (fun v -> (v, 0)) (ir_transient_vars @ List.rev !counters);
+    threads;
+  }
+
+let arb_straightline_ir ?(max_seed = 1_000_000) ~n () =
+  QCheck.make
+    ~print:(fun seed -> Ir.program_to_string (straightline_ir ~seed ~n))
+    QCheck.Gen.(1 -- max_seed)
+
+let arb_branchy_ir ?(max_seed = 1_000_000) ?threads ~n () =
+  QCheck.make
+    ~print:(fun seed -> Ir.program_to_string (branchy_ir ?threads ~seed ~n ()))
+    QCheck.Gen.(1 -- max_seed)

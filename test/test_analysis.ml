@@ -11,12 +11,12 @@ let test_table2 () =
   (* x=5; y=x : both RAW, idempotent *)
   Alcotest.check classification "RAW x" Idempotence.Raw
     (Idempotence.classify Idempotence.table2_raw "x");
-  Alcotest.(check bool) "RAW idempotent" true
+  Alcotest.check Alcotest.bool "RAW idempotent" true
     (Idempotence.idempotent Idempotence.table2_raw);
   (* y=x; x=8 : x is WAR, not idempotent *)
   Alcotest.check classification "WAR x" Idempotence.War
     (Idempotence.classify Idempotence.table2_war "x");
-  Alcotest.(check bool) "WAR not idempotent" false
+  Alcotest.check Alcotest.bool "WAR not idempotent" false
     (Idempotence.idempotent Idempotence.table2_war)
 
 let test_classify_cases () =
@@ -66,7 +66,7 @@ let test_locked_accesses_race_free () =
       Rrel { thread = 2; lock = 0 };
     ]
   in
-  Alcotest.(check bool) "race free" true (race_free events)
+  Alcotest.check Alcotest.bool "race free" true (race_free events)
 
 let test_unlocked_write_write_races () =
   let open Racecheck in
@@ -76,12 +76,14 @@ let test_unlocked_write_write_races () =
       Rwrite { thread = 2; addr = 100 };
     ]
   in
-  Alcotest.(check bool) "detected" false (race_free events);
+  Alcotest.check Alcotest.bool "detected" false (race_free events);
   match check events with
-  | [ { addr; first_thread; second_thread } ] ->
-      Alcotest.(check int) "addr" 100 addr;
-      Alcotest.(check (pair int int)) "threads" (1, 2)
-        (first_thread, second_thread)
+  | [ { addr; first_thread; first_access; second_thread; second_access } ] ->
+      Alcotest.check Alcotest.int "addr" 100 addr;
+      Alcotest.check (Alcotest.pair Alcotest.int Alcotest.int) "threads" (1, 2)
+        (first_thread, second_thread);
+      Alcotest.check Alcotest.bool "write/write" true
+        (first_access = Awrite && second_access = Awrite)
   | races -> Alcotest.failf "expected one race, got %d" (List.length races)
 
 let test_read_write_race () =
@@ -97,7 +99,7 @@ let test_read_write_race () =
       Rrel { thread = 2; lock = 9 };
     ]
   in
-  Alcotest.(check bool) "different locks do not order" false
+  Alcotest.check Alcotest.bool "different locks do not order" false
     (race_free events)
 
 let test_hb_transitivity () =
@@ -118,7 +120,7 @@ let test_hb_transitivity () =
       Rrel { thread = 3; lock = 2 };
     ]
   in
-  Alcotest.(check bool) "transitive happens-before" true (race_free events)
+  Alcotest.check Alcotest.bool "transitive happens-before" true (race_free events)
 
 let test_same_thread_never_races () =
   let open Racecheck in
@@ -129,7 +131,296 @@ let test_same_thread_never_races () =
       Rwrite { thread = 1; addr = 5 };
     ]
   in
-  Alcotest.(check bool) "program order" true (race_free events)
+  Alcotest.check Alcotest.bool "program order" true (race_free events)
+
+let test_race_dedupe_and_count () =
+  let open Racecheck in
+  let t = create () in
+  List.iter (push t)
+    [
+      Rwrite { thread = 1; addr = 100 };
+      Rwrite { thread = 2; addr = 100 };
+      Rwrite { thread = 1; addr = 100 };
+      Rwrite { thread = 2; addr = 100 };
+    ];
+  Alcotest.check Alcotest.int "one deduped report" 1 (List.length (races t));
+  Alcotest.check Alcotest.int "race_count keeps every detection" 3
+    (race_count t)
+
+(* ------------------------------------------------------------------ *)
+(* IR and CFG *)
+
+let stmt_v x = Ir.Var x
+let stmt_i n = Ir.Int n
+let set x e = Ir.Assign (x, e)
+
+let one_thread ?(persistent = [ ("x", 0); ("y", 0) ])
+    ?(transient = [ ("t", 0) ]) body =
+  {
+    Ir.pname = "t";
+    persistent;
+    transient;
+    threads = [ { Ir.tname = "main"; body } ];
+  }
+
+let test_ir_check () =
+  Alcotest.check Alcotest.bool "corpus well-formed" true
+    (List.for_all
+       (fun (_, prog) -> Ir.well_formed (prog ~iters:3))
+       Corpus.all);
+  let dup_rp = one_thread [ Ir.Rp 0; Ir.Rp 0 ] in
+  Alcotest.check Alcotest.bool "duplicate rp rejected" false
+    (Ir.well_formed dup_rp);
+  let undeclared = one_thread [ set "z" (stmt_i 1) ] in
+  Alcotest.check Alcotest.bool "undeclared var rejected" false
+    (Ir.well_formed undeclared)
+
+let test_cfg_shape () =
+  let p = one_thread [ set "x" (stmt_i 1); Ir.Rp 0; set "y" (stmt_v "x") ] in
+  let cfg = Ir.cfg_of_thread (List.hd p.Ir.threads) in
+  (* entry, 3 statements, exit *)
+  Alcotest.check Alcotest.int "node count" 5 (Array.length cfg.Ir.nodes);
+  let loop =
+    Ir.cfg_of_thread
+      {
+        Ir.tname = "l";
+        body =
+          [
+            Ir.While (Ir.Binop (Ir.Lt, stmt_v "t", stmt_i 3),
+                      [ set "t" (Ir.Binop (Ir.Add, stmt_v "t", stmt_i 1)) ]);
+          ];
+      }
+  in
+  let branch =
+    Array.to_list loop.Ir.nodes
+    |> List.find (fun n ->
+           match n.Ir.kind with Ir.Node_branch _ -> true | _ -> false)
+  in
+  Alcotest.check Alcotest.bool "loop back-edge reaches branch" true
+    (List.exists
+       (fun n -> List.mem branch.Ir.id n.Ir.succ && n.Ir.id > branch.Ir.id)
+       (Array.to_list loop.Ir.nodes))
+
+let test_dataflow_lattices () =
+  let module VMay = Dataflow.MaySet (Dataflow.Vars) in
+  let module VMust = Dataflow.MustSet (Dataflow.Vars) in
+  let s = Dataflow.Vars.of_list [ "a"; "b" ] in
+  Alcotest.check Alcotest.bool "may join is union" true
+    (Dataflow.Vars.equal
+       (VMay.join s (Dataflow.Vars.singleton "c"))
+       (Dataflow.Vars.add "c" s));
+  Alcotest.check Alcotest.bool "must bottom absorbs" true
+    (VMust.equal (VMust.join VMust.bottom (VMust.Known s)) (VMust.Known s));
+  Alcotest.check Alcotest.bool "must join is intersection" true
+    (VMust.equal
+       (VMust.join (VMust.Known s)
+          (VMust.Known (Dataflow.Vars.singleton "a")))
+       (VMust.Known (Dataflow.Vars.singleton "a")));
+  Alcotest.check Alcotest.bool "top membership" true
+    (VMust.mem "anything" VMust.bottom)
+
+(* ------------------------------------------------------------------ *)
+(* Warstatic *)
+
+let war_of p =
+  List.fold_left
+    (fun acc (s : Warstatic.summary) -> Dataflow.Vars.union acc s.Warstatic.war)
+    Dataflow.Vars.empty (Warstatic.analyse p)
+
+let test_warstatic_straightline () =
+  (* Table 2: y=x; x=8 makes x WAR; x=5; y=x leaves both RAW. *)
+  let war = one_thread [ set "y" (stmt_v "x"); set "x" (stmt_i 8) ] in
+  Alcotest.check classification "WAR" Idempotence.War
+    (Warstatic.classify war "x");
+  let raw = one_thread [ set "x" (stmt_i 5); set "y" (stmt_v "x") ] in
+  Alcotest.check classification "RAW" Idempotence.Raw
+    (Warstatic.classify raw "x");
+  Alcotest.check classification "y written-only" Idempotence.Raw
+    (Warstatic.classify raw "y")
+
+let test_warstatic_branch_may () =
+  (* The read of x sits on one arm only: still may-WAR. *)
+  let p =
+    one_thread
+      [
+        Ir.If (stmt_v "t", [ set "t" (stmt_v "x") ], []);
+        set "x" (stmt_i 1);
+      ]
+  in
+  Alcotest.check Alcotest.bool "may-WAR across a branch" true
+    (Dataflow.Vars.mem "x" (war_of p))
+
+let test_warstatic_rp_resets () =
+  (* Read and write separated by a restart point: no WAR. *)
+  let p = one_thread [ set "t" (stmt_v "x"); Ir.Rp 0; set "x" (stmt_i 1) ] in
+  Alcotest.check Alcotest.bool "rp splits the region" false
+    (Dataflow.Vars.mem "x" (war_of p));
+  let q = one_thread [ set "t" (stmt_v "x"); set "x" (stmt_i 1) ] in
+  Alcotest.check Alcotest.bool "same code without rp is WAR" true
+    (Dataflow.Vars.mem "x" (war_of q))
+
+(* ------------------------------------------------------------------ *)
+(* Lockset *)
+
+let test_lockset_diagnostics () =
+  let bad_release = one_thread [ Ir.Release 0 ] in
+  let s = List.hd (Lockset.analyse bad_release) in
+  Alcotest.check Alcotest.int "release-not-acquired" 1
+    (List.length s.Lockset.release_unheld);
+  let leak = one_thread [ Ir.Acquire 0; set "x" (stmt_i 1) ] in
+  let s = List.hd (Lockset.analyse leak) in
+  Alcotest.check (Alcotest.list Alcotest.int) "leaked lock" [ 0 ]
+    s.Lockset.leaked;
+  let rp_locked = one_thread [ Ir.Acquire 0; Ir.Rp 0; Ir.Release 0 ] in
+  let s = List.hd (Lockset.analyse rp_locked) in
+  Alcotest.check Alcotest.int "rp in critical section" 1
+    (List.length s.Lockset.rp_critical)
+
+let two_threads b0 b1 =
+  {
+    Ir.pname = "t2";
+    persistent = [ ("x", 0) ];
+    transient = [];
+    threads =
+      [ { Ir.tname = "a"; body = b0 }; { Ir.tname = "b"; body = b1 } ];
+  }
+
+let test_lockset_races () =
+  let unlocked =
+    two_threads [ set "x" (stmt_i 1) ] [ set "x" (stmt_i 2) ]
+  in
+  (match Lockset.races unlocked with
+  | [ c ] ->
+      Alcotest.check Alcotest.bool "write-write candidate" true
+        c.Lockset.rc_write_write
+  | l -> Alcotest.failf "expected one candidate, got %d" (List.length l));
+  let locked =
+    two_threads
+      [ Ir.Acquire 0; set "x" (stmt_i 1); Ir.Release 0 ]
+      [ Ir.Acquire 0; set "x" (stmt_i 2); Ir.Release 0 ]
+  in
+  Alcotest.check Alcotest.int "consistently locked: none" 0
+    (List.length (Lockset.races locked))
+
+(* ------------------------------------------------------------------ *)
+(* Placement and lint over the corpus *)
+
+let vars_l s = Dataflow.Vars.elements s
+
+let test_placement_corpus () =
+  let p, plan = Placement.infer (Corpus.bank_transfer ~iters:3) in
+  Alcotest.check (Alcotest.list Alcotest.string) "bank logs all accounts"
+    [ "acct0"; "acct1"; "acct2" ]
+    (vars_l plan.Placement.log);
+  Alcotest.check (Alcotest.list Alcotest.string) "bank tracks nothing" []
+    (vars_l plan.Placement.track);
+  Alcotest.check Alcotest.int "one rp per teller loop" 2
+    (List.length (Ir.rp_ids p));
+  let q, qplan = Placement.infer (Corpus.kv_update ~iters:3) in
+  Alcotest.check (Alcotest.list Alcotest.string) "kv logs the WAR vars"
+    [ "size"; "slot0"; "slot1" ]
+    (vars_l qplan.Placement.log);
+  Alcotest.check (Alcotest.list Alcotest.string) "kv tracks the journal"
+    [ "journal" ]
+    (vars_l qplan.Placement.track);
+  Alcotest.check Alcotest.bool "instrumented programs stay well-formed" true
+    (Ir.well_formed p && Ir.well_formed q)
+
+let rules fs = List.map (fun (f : Lint.finding) -> f.Lint.rule) fs
+
+let test_lint_clean_and_mutant () =
+  List.iter
+    (fun (name, prog) ->
+      let p, plan = Placement.infer (prog ~iters:3) in
+      Alcotest.check Alcotest.int (name ^ " lints clean") 0
+        (List.length (Lint.run ~plan p));
+      let stripped =
+        match Dataflow.Vars.min_elt_opt plan.Placement.log with
+        | Some v -> v
+        | None -> Alcotest.fail "corpus plan must log something"
+      in
+      let mutant =
+        { plan with Placement.log = Dataflow.Vars.remove stripped plan.Placement.log }
+      in
+      let fs = Lint.run ~plan:mutant p in
+      Alcotest.check Alcotest.bool (name ^ " mutant flagged") true
+        (List.mem Lint.War_missing_logging (rules fs)
+        && Lint.errors fs <> []))
+    Corpus.all
+
+let test_lint_structural_rules () =
+  let unreachable =
+    one_thread [ Ir.Rp 0; Ir.If (stmt_i 0, [ Ir.Rp 1 ], []); set "x" (stmt_i 1) ]
+  in
+  Alcotest.check Alcotest.bool "unreachable rp" true
+    (List.mem Lint.Unreachable_rp (rules (Lint.run unreachable)));
+  let no_region = one_thread [ set "x" (stmt_i 1) ] in
+  Alcotest.check Alcotest.bool "store outside restart region" true
+    (List.mem Lint.Store_outside_region (rules (Lint.run no_region)))
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter *)
+
+let test_interp_kv () =
+  let obs = Exec.interp (Corpus.kv_update ~iters:4) in
+  Alcotest.check Alcotest.bool "completes" true obs.Exec.completed;
+  let final v = List.assoc v obs.Exec.finals in
+  (* i = 0,2 bump slot0 by 3; i = 1,3 bump slot1 by 5; size counts all. *)
+  Alcotest.check Alcotest.int "slot0" 6 (final "slot0");
+  Alcotest.check Alcotest.int "slot1" 10 (final "slot1");
+  Alcotest.check Alcotest.int "size" 4 (final "size");
+  Alcotest.check Alcotest.int "journal" 31 (final "journal")
+
+(* ------------------------------------------------------------------ *)
+(* QCheck soundness: static analysis vs the interpreter *)
+
+let merge a b =
+  match (a, b) with
+  | Idempotence.War, _ | _, Idempotence.War -> Idempotence.War
+  | Idempotence.Raw, _ | _, Idempotence.Raw -> Idempotence.Raw
+  | Idempotence.No_dependency, Idempotence.No_dependency ->
+      Idempotence.No_dependency
+
+let dynamic_classify obs v =
+  List.fold_left
+    (fun acc (_, segs) ->
+      List.fold_left
+        (fun acc seg -> merge acc (Idempotence.classify seg v))
+        acc segs)
+    Idempotence.No_dependency obs.Exec.segments
+
+let straightline_exact =
+  QCheck.Test.make ~count:1000 ~name:"straight-line static = Idempotence.classify"
+    (Gen_common.arb_straightline_ir ~n:30 ())
+    (fun seed ->
+      let p = Gen_common.straightline_ir ~seed ~n:30 in
+      let obs = Exec.interp p in
+      if not obs.Exec.completed then
+        QCheck.Test.fail_report "straight-line program did not complete";
+      List.for_all
+        (fun v -> Warstatic.classify p v = dynamic_classify obs v)
+        (Ir.declared p))
+
+let branchy_sound =
+  QCheck.Test.make ~count:500
+    ~name:"branchy: every dynamic WAR is flagged statically"
+    (Gen_common.arb_branchy_ir ~n:14 ())
+    (fun seed ->
+      let p = Gen_common.branchy_ir ~seed ~n:14 () in
+      let static_war = war_of p in
+      List.for_all
+        (fun sched_seed ->
+          let obs = Exec.interp ~sched_seed p in
+          (match obs.Exec.thread_error with
+          | Some e -> QCheck.Test.fail_report e
+          | None -> ());
+          Dataflow.Vars.subset obs.Exec.war static_war)
+        [ 0; 1; 2 ])
+
+let qcheck_tests =
+  List.map
+    (fun t -> QCheck_alcotest.to_alcotest t)
+    [ straightline_exact; branchy_sound ]
 
 let () =
   Alcotest.run "analysis"
@@ -153,5 +444,37 @@ let () =
             test_hb_transitivity;
           Alcotest.test_case "same thread never races" `Quick
             test_same_thread_never_races;
+          Alcotest.test_case "dedupe vs race_count" `Quick
+            test_race_dedupe_and_count;
         ] );
+      ( "ir",
+        [
+          Alcotest.test_case "well-formedness" `Quick test_ir_check;
+          Alcotest.test_case "cfg shape" `Quick test_cfg_shape;
+          Alcotest.test_case "dataflow lattices" `Quick test_dataflow_lattices;
+        ] );
+      ( "warstatic",
+        [
+          Alcotest.test_case "straight-line Table 2" `Quick
+            test_warstatic_straightline;
+          Alcotest.test_case "branch may-WAR" `Quick test_warstatic_branch_may;
+          Alcotest.test_case "rp resets the region" `Quick
+            test_warstatic_rp_resets;
+        ] );
+      ( "lockset",
+        [
+          Alcotest.test_case "lock diagnostics" `Quick test_lockset_diagnostics;
+          Alcotest.test_case "race candidates" `Quick test_lockset_races;
+        ] );
+      ( "placement+lint",
+        [
+          Alcotest.test_case "corpus plans" `Quick test_placement_corpus;
+          Alcotest.test_case "clean plans lint clean, mutants don't" `Quick
+            test_lint_clean_and_mutant;
+          Alcotest.test_case "structural rules" `Quick
+            test_lint_structural_rules;
+        ] );
+      ( "exec",
+        [ Alcotest.test_case "kv interpreter finals" `Quick test_interp_kv ] );
+      ("soundness", qcheck_tests);
     ]

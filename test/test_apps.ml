@@ -57,7 +57,7 @@ let test_linreg_totals () =
             ~nvm_words:(1 lsl 18)
         in
         let _t, totals = Apps.Linreg.run env p cfg ~bump in
-        Alcotest.(check bool)
+        Alcotest.check Alcotest.bool
           (App_experiments.variant_name variant ^ " accumulators")
           true
           (totals = expected))
@@ -136,12 +136,12 @@ let test_kvstore_completes () =
           ~nvm_words:(1 lsl 19)
       in
       let dur, ops = Apps.Kvstore.run env p cfg in
-      Alcotest.(check bool)
+      Alcotest.check Alcotest.bool
         (App_experiments.variant_name variant ^ " completed all ops")
         true
         (ops = cfg.Apps.Kvstore.run_ops / cfg.Apps.Kvstore.clients
                * cfg.Apps.Kvstore.clients);
-      Alcotest.(check bool) "positive duration" true (dur > 0.0))
+      Alcotest.check Alcotest.bool "positive duration" true (dur > 0.0))
     variants
 
 (* ------------------------------------------------------------------ *)
@@ -153,11 +153,11 @@ let test_zipf_bounds_and_skew () =
   let counts = Array.make 1000 0 in
   for _ = 1 to 50_000 do
     let k = Apps.Ycsb.sample_zipf z rng in
-    Alcotest.(check bool) "in range" true (k >= 0 && k < 1000);
+    Alcotest.check Alcotest.bool "in range" true (k >= 0 && k < 1000);
     counts.(k) <- counts.(k) + 1
   done;
   (* zipfian: rank 0 far more popular than rank 500 *)
-  Alcotest.(check bool)
+  Alcotest.check Alcotest.bool
     (Printf.sprintf "skewed (%d vs %d)" counts.(0) counts.(500))
     true
     (counts.(0) > 20 * max 1 counts.(500))
@@ -173,7 +173,7 @@ let test_ycsb_mix_ratio () =
     | Apps.Ycsb.Put _ -> ()
   done;
   let pct = 100 * !reads / n in
-  Alcotest.(check bool)
+  Alcotest.check Alcotest.bool
     (Printf.sprintf "~90%% reads (%d%%)" pct)
     true
     (pct >= 88 && pct <= 92)

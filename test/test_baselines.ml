@@ -107,7 +107,7 @@ let queue_tests =
 (* Fatomic unit tests *)
 
 let fatomic_world policy =
-  let mem = Memsys.create { Memsys.default_config with nvm_words = 1 lsl 16 } in
+  let mem = Memsys.create { Memsys.default_config with Memsys.nvm_words = 1 lsl 16 } in
   let sched = Scheduler.create () in
   let env = Env.make mem sched in
   let fa =

@@ -414,6 +414,44 @@ let test_noverify_mutant_fault_counterexample () =
         "replay line names the fault seed" true
         (contains ~sub:"--fault-seed 7" (Crashtest.Report.replay_args c)))
 
+(* ------------------------------------------------------------------ *)
+(* IR corpus: statically inferred plans vs the explorer (the analysis
+   subsystem's end-to-end gate). The inferred plan must survive
+   exploration; the one-logging-site-stripped mutant must be rejected
+   both statically (lint) and dynamically (shrunk, replayable crash
+   counterexample). *)
+
+let test_ir_plans_survive_and_mutants_die () =
+  List.iter
+    (fun (name, prog) ->
+      let id = "ir-" ^ name in
+      let v = Crashtest.Irscenarios.check_program ~n_ops:6 ~name:id prog in
+      Alcotest.(check (list string))
+        (name ^ ": inferred plan survives exploration")
+        []
+        (List.map
+           (fun (f : Explore.failure) -> f.Explore.reason)
+           v.Crashtest.Irscenarios.plan_failures);
+      Alcotest.(check bool)
+        (name ^ ": stripped mutant caught by the lint")
+        true v.Crashtest.Irscenarios.mutant_caught_static;
+      match v.Crashtest.Irscenarios.mutant_counterexample with
+      | None ->
+          Alcotest.failf "%s: stripped mutant survived dynamic exploration"
+            name
+      | Some c -> (
+          let rebuild ~n_ops =
+            match Crashtest.Irscenarios.find (id ^ "-striplog") with
+            | Some build ->
+                build ~sched_seed:5 ~mem_seed:7 ~pcso:true ~n_ops
+            | None -> Alcotest.failf "%s-striplog not resolvable" id
+          in
+          match Shrink.replay c ~rebuild with
+          | Error _ -> ()
+          | Ok () ->
+              Alcotest.failf "%s: mutant counterexample does not replay" name))
+    Analysis.Corpus.all
+
 let () =
   Alcotest.run "crashtest"
     [
@@ -461,5 +499,10 @@ let () =
             test_integrity_scenarios_survive_faults;
           Alcotest.test_case "noverify mutant fault counterexample" `Slow
             test_noverify_mutant_fault_counterexample;
+        ] );
+      ( "ir-corpus",
+        [
+          Alcotest.test_case "plans survive, stripped mutants die" `Slow
+            test_ir_plans_survive_and_mutants_die;
         ] );
     ]

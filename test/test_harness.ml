@@ -158,7 +158,7 @@ let test_loc_report () =
 let traced_queue_world () =
   let mem =
     Simnvm.Memsys.create
-      { Simnvm.Memsys.default_config with nvm_words = 1 lsl 18 }
+      { Simnvm.Memsys.default_config with Simnvm.Memsys.nvm_words = 1 lsl 18 }
   in
   let sched = Simsched.Scheduler.create ~seed:3 () in
   let env = Simsched.Env.make mem sched in
@@ -217,7 +217,7 @@ let test_advisor_queue_war_rule () =
 let test_advisor_race_freedom_of_map () =
   let mem =
     Simnvm.Memsys.create
-      { Simnvm.Memsys.default_config with nvm_words = 1 lsl 18 }
+      { Simnvm.Memsys.default_config with Simnvm.Memsys.nvm_words = 1 lsl 18 }
   in
   let sched = Simsched.Scheduler.create ~seed:5 () in
   let env = Simsched.Env.make mem sched in
@@ -369,6 +369,31 @@ let test_crashmatrix_golden () =
   Alcotest.(check string) "verdict counts byte-identical" crashmatrix_golden
     (Buffer.contents buf)
 
+(* The static analyzer and the dynamic trace advisor automate the same
+   section 3.3.2 rule from opposite ends; on the IR corpus they must
+   agree (every dynamically observed WAR variable statically logged)
+   and the locked corpus programs must trace race-free. *)
+let test_static_dynamic_advisor_agree () =
+  List.iter
+    (fun (name, prog) ->
+      let cc = Harness.Rp_advisor.cross_check_ir ~n_ops:6 prog in
+      Alcotest.(check (list string))
+        (name ^ ": no dynamic WAR outside the static plan")
+        [] cc.Harness.Rp_advisor.cc_dynamic_only;
+      Alcotest.(check bool)
+        (name ^ ": dynamic advisor saw the WAR vars at all")
+        true
+        (cc.Harness.Rp_advisor.cc_dynamic_log <> []);
+      Alcotest.(check int)
+        (name ^ ": persistent accesses race-free")
+        0
+        (List.length cc.Harness.Rp_advisor.cc_races);
+      Alcotest.(check bool)
+        (name ^ ": restart points segmented the trace")
+        true
+        (cc.Harness.Rp_advisor.cc_segments > 0))
+    Analysis.Corpus.all
+
 let () =
   Alcotest.run "harness"
     [
@@ -407,5 +432,7 @@ let () =
             test_advisor_queue_war_rule;
           Alcotest.test_case "map trace is race-free" `Quick
             test_advisor_race_freedom_of_map;
+          Alcotest.test_case "static plan contains dynamic advisor" `Quick
+            test_static_dynamic_advisor_agree;
         ] );
     ]

@@ -56,8 +56,8 @@ let test_metrics_histogram () =
   let h = Obs.Metrics.histogram ~bounds:[| 10.0; 100.0 |] r "lat" in
   List.iter (Obs.Metrics.observe h) [ 5.0; 50.0; 500.0; 7.0 ];
   Alcotest.(check int) "count" 4 (Obs.Metrics.count h);
-  Alcotest.(check (float 1e-9)) "sum" 562.0 (Obs.Metrics.sum h);
-  Alcotest.(check (float 1e-9)) "mean" 140.5 (Obs.Metrics.mean h);
+  Alcotest.check (Alcotest.float 1e-9) "sum" 562.0 (Obs.Metrics.sum h);
+  Alcotest.check (Alcotest.float 1e-9) "mean" 140.5 (Obs.Metrics.mean h);
   match Obs.Metrics.to_json r with
   | Obs.Json.Obj [ ("lat", Obs.Json.Obj fields) ] ->
       (match List.assoc "buckets" fields with
@@ -77,13 +77,13 @@ let test_span_breakdown () =
   Obs.Span.emit r ~name:"ckpt" ~t0:20.0 ~t1:50.0;
   Obs.Span.emit r ~name:"flush" ~t0:1.0 ~t1:2.0;
   Alcotest.(check int) "ckpt count" 2 (Obs.Span.count r "ckpt");
-  Alcotest.(check (float 1e-9)) "ckpt total" 40.0 (Obs.Span.total_ns r "ckpt");
+  Alcotest.check (Alcotest.float 1e-9) "ckpt total" 40.0 (Obs.Span.total_ns r "ckpt");
   (match Obs.Span.breakdown r with
   | [ ckpt; flush ] ->
       Alcotest.(check string) "order" "ckpt" ckpt.Obs.Span.s_name;
-      Alcotest.(check (float 1e-9)) "ckpt mean" 20.0 ckpt.Obs.Span.mean_ns;
-      Alcotest.(check (float 1e-9)) "ckpt max" 30.0 ckpt.Obs.Span.max_ns;
-      Alcotest.(check (float 1e-9)) "flush total" 1.0 flush.Obs.Span.total_ns
+      Alcotest.check (Alcotest.float 1e-9) "ckpt mean" 20.0 ckpt.Obs.Span.mean_ns;
+      Alcotest.check (Alcotest.float 1e-9) "ckpt max" 30.0 ckpt.Obs.Span.max_ns;
+      Alcotest.check (Alcotest.float 1e-9) "flush total" 1.0 flush.Obs.Span.total_ns
   | l -> Alcotest.failf "expected 2 aggregates, got %d" (List.length l));
   Obs.Span.reset r;
   Alcotest.(check int) "reset" 0 (Obs.Span.count r "ckpt")

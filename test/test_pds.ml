@@ -7,7 +7,7 @@ open Simsched
 let mem_cfg ?(evict_rate = 0.1) () =
   {
     Memsys.default_config with
-    evict_rate;
+    Memsys.evict_rate = evict_rate;
     nvm_words = 1 lsl 19;
     dram_words = 1 lsl 16;
     sets = 128;
@@ -15,7 +15,7 @@ let mem_cfg ?(evict_rate = 0.1) () =
   }
 
 let world ?evict_rate ?(seed = 1) () =
-  let mem = Memsys.create { (mem_cfg ?evict_rate ()) with seed } in
+  let mem = Memsys.create { (mem_cfg ?evict_rate ()) with Memsys.seed = seed } in
   let sched = Scheduler.create ~seed () in
   let env = Env.make mem sched in
   (mem, sched, env)

@@ -9,7 +9,7 @@ open Respct
 let mem_cfg ?(evict_rate = 0.0) ?(pcso = true) () =
   {
     Memsys.default_config with
-    evict_rate;
+    Memsys.evict_rate = evict_rate;
     pcso;
     sets = 256;
     ways = 4;
@@ -30,7 +30,7 @@ let rt_cfg ?(period_ns = 50_000.0) ?(mode = Runtime.Full) ?(flusher_pool = 4)
 
 (* Build a fresh world: memory, scheduler, env, runtime. *)
 let fresh ?(seed = 1) ?evict_rate ?pcso ?(cfg = rt_cfg ()) () =
-  let mem = Memsys.create { (mem_cfg ?evict_rate ?pcso ()) with seed } in
+  let mem = Memsys.create { (mem_cfg ?evict_rate ?pcso ()) with Memsys.seed = seed } in
   let sched = Scheduler.create ~seed () in
   let env = Env.make mem sched in
   let rt = Runtime.create ~cfg env in
@@ -495,7 +495,7 @@ let test_eadr_checkpoint_flush_free () =
   let cfg = rt_cfg () in
   let mem =
     Memsys.create
-      { (mem_cfg ()) with eadr = true; latency = Latency.eadr_of Latency.default }
+      { (mem_cfg ()) with Memsys.eadr = true; latency = Latency.eadr_of Latency.default }
   in
   let sched = Scheduler.create ~seed:1 () in
   let env = Env.make mem sched in
@@ -523,8 +523,8 @@ let test_eadr_checkpoint_flush_free () =
   Alcotest.(check bool)
     "addresses gathered" true
     (s.Runtime.flushed_addrs > 0);
-  Alcotest.(check (float 1e-6)) "flush costs nothing" 0.0 s.Runtime.flush_ns;
-  Alcotest.(check (float 1e-6))
+  Alcotest.check (Alcotest.float 1e-6) "flush costs nothing" 0.0 s.Runtime.flush_ns;
+  Alcotest.check (Alcotest.float 1e-6)
     "flush span zero-width" 0.0
     (Obs.Span.total_ns spans "checkpoint.flush")
 
@@ -820,7 +820,7 @@ let prop_verified_recovery_exact_on_clean_media =
       | Some s, Some r, _ -> s = r
       | Some _, None, _ -> false)
 
-let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+let qcheck tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
 
 let () =
   Alcotest.run "respct"

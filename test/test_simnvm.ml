@@ -5,7 +5,7 @@ open Simnvm
 
 let cfg ?(evict_rate = 0.0) ?(eadr = false) ?(pcso = true) ?(sets = 64)
     ?(ways = 4) () =
-  { Memsys.default_config with evict_rate; eadr; pcso; sets; ways }
+  { Memsys.default_config with Memsys.evict_rate = evict_rate; eadr; pcso; sets; ways }
 
 (* ------------------------------------------------------------------ *)
 (* Rng *)
@@ -239,21 +239,21 @@ let test_costs_pwb_psync () =
         Memsys.psync m)
   in
   let lat = (Memsys.config m).Memsys.latency in
-  Alcotest.(check (float 0.001))
+  Alcotest.check (Alcotest.float 0.001)
     "clwb + sfence"
     (lat.Latency.clwb_ns +. lat.Latency.sfence_ns)
     flush
 
 let test_eadr_flush_free () =
   let lat = Latency.eadr_of Latency.default in
-  let m = Memsys.create { (cfg ()) with latency = lat; eadr = true } in
+  let m = Memsys.create { (cfg ()) with Memsys.latency = lat; eadr = true } in
   Memsys.store m 100 1;
   let flush =
     with_cost m (fun () ->
         Memsys.pwb m 100;
         Memsys.psync m)
   in
-  Alcotest.(check (float 0.001)) "free under eADR" 0.0 flush
+  Alcotest.check (Alcotest.float 0.001) "free under eADR" 0.0 flush
 
 let test_stats_counters () =
   let m = Memsys.create (cfg ()) in
@@ -273,7 +273,7 @@ let test_stats_counters () =
 let test_create_validation () =
   Alcotest.check_raises "unaligned nvm"
     (Invalid_argument "Memsys.create: nvm_words must be line-aligned")
-    (fun () -> ignore (Memsys.create { (cfg ()) with nvm_words = 100 }))
+    (fun () -> ignore (Memsys.create { (cfg ()) with Memsys.nvm_words = 100 }))
 
 (* ------------------------------------------------------------------ *)
 (* Event pipeline *)
@@ -570,7 +570,7 @@ let prop_crash_then_load_equals_persisted =
       done;
       !ok)
 
-let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+let qcheck tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
 
 let () =
   Alcotest.run "simnvm"

@@ -3,6 +3,7 @@
    deadlock detection and crash injection. *)
 
 open Simsched
+module Mutex = Simsched.Mutex
 
 let outcome =
   Alcotest.testable
@@ -32,8 +33,8 @@ let test_charge_advances_clock () =
          Scheduler.charge s 50.0;
          seen := Scheduler.now s));
   ignore (Scheduler.run s);
-  Alcotest.(check (float 0.001)) "clock" 150.0 !seen;
-  Alcotest.(check (float 0.001)) "elapsed" 150.0 (Scheduler.elapsed s)
+  Alcotest.check (Alcotest.float 0.001) "clock" 150.0 !seen;
+  Alcotest.check (Alcotest.float 0.001) "elapsed" 150.0 (Scheduler.elapsed s)
 
 let test_min_clock_order () =
   (* A cheap thread and an expensive thread interleave in clock order: the
@@ -99,7 +100,7 @@ let test_determinism () =
   let a1, e1 = run_once () in
   let a2, e2 = run_once () in
   Alcotest.(check (list int)) "same interleaving" a1 a2;
-  Alcotest.(check (float 0.0001)) "same makespan" e1 e2
+  Alcotest.check (Alcotest.float 0.0001) "same makespan" e1 e2
 
 (* ------------------------------------------------------------------ *)
 (* Mutex *)
@@ -342,7 +343,7 @@ let test_crash_interrupts () =
   Scheduler.set_crash_at s 5_000.0;
   (match Scheduler.run s with
   | Scheduler.Crash_interrupt t ->
-      Alcotest.(check (float 0.001)) "crash time" 5_000.0 t
+      Alcotest.check (Alcotest.float 0.001) "crash time" 5_000.0 t
   | Scheduler.Completed -> Alcotest.fail "expected crash");
   Alcotest.(check bool) "stopped near crash point" true
     (!steps >= 49 && !steps <= 51)
