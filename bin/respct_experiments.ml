@@ -79,7 +79,14 @@ let map_cmd =
             Printf.printf
               "checkpoints=%d flushed=%d addrs effective-period=%.0fus\n"
               s.Respct.Runtime.checkpoints s.Respct.Runtime.flushed_addrs
-              (Respct.Runtime.mean_effective_period rt /. 1e3))
+              (Respct.Runtime.mean_effective_period rt /. 1e3);
+            if s.Respct.Runtime.checkpoints > 0 then
+              Printf.printf
+                "mutator-stall=%.1fus/ckpt flush-overlap=%.1fus/ckpt\n"
+                (s.Respct.Runtime.stall_ns
+                /. float_of_int s.Respct.Runtime.checkpoints /. 1e3)
+                (s.Respct.Runtime.overlap_ns
+                /. float_of_int s.Respct.Runtime.checkpoints /. 1e3))
           rt
     | Some path ->
         let pt =
@@ -264,7 +271,7 @@ let perf_cmd =
   let out_arg =
     Arg.(
       value
-      & opt string "BENCH_PR4.json"
+      & opt string "BENCH_PR6.json"
       & info [ "out" ] ~docv:"FILE" ~doc:"Benchmark document destination.")
   in
   let compare_arg =
@@ -317,6 +324,17 @@ let perf_cmd =
           m.Perf.Bench.name w.Perf.Stat.s_median w.Perf.Stat.s_mad
           w.Perf.Stat.s_ci_lo w.Perf.Stat.s_ci_hi s.Perf.Stat.s_median)
       ms;
+    (* The pause probe only makes sense for full-suite runs; --only is for
+       iterating on one benchmark. *)
+    if only = None then
+      List.iter
+        (fun (p : Perf.Suite.pause) ->
+          Printf.printf
+            "checkpoint-pause %-8s stall %8.1f us/ckpt  overlap %8.1f \
+             us/ckpt  (%d checkpoints)\n"
+            p.Perf.Suite.pause_mode p.Perf.Suite.pause_stall_us
+            p.Perf.Suite.pause_overlap_us p.Perf.Suite.pause_checkpoints)
+        (Perf.Suite.checkpoint_pause preset);
     let doc = Perf.Suite.document ~calibration preset ms in
     (try Obs.Json.to_file out doc
      with Sys_error msg ->
@@ -398,6 +416,19 @@ let crashmatrix_cmd =
              repair every fault and the planted no-verification mutant must \
              break.")
   in
+  let pipeline_arg =
+    Arg.(
+      value & flag
+      & info [ "pipeline" ]
+          ~doc:
+            "Run the pipelined-checkpointing dimension: pipeline-mode \
+             worlds (async epoch advance, double-buffered commits) must \
+             recover at every crash boundary including mid-overlap windows, \
+             and the planted overlap-protocol mutants (early seal, missing \
+             overlap barrier, eager reclamation) must break with shrunk, \
+             replayable counterexamples. Includes the pipelined schedule \
+             sweep.")
+  in
   let replay_arg =
     Arg.(
       value
@@ -440,8 +471,8 @@ let crashmatrix_cmd =
             "Replay: media-fault seed layered on the image (as printed by a \
              failing --faults run).")
   in
-  let run deep _smoke scenario no_pcso ablation no_schedules faults replay ops
-      sched_seed mem_seed crash_index image fault_seed =
+  let run deep _smoke scenario no_pcso ablation no_schedules faults pipeline
+      replay ops sched_seed mem_seed crash_index image fault_seed =
     let ppf = Fmt.stdout in
     match replay with
     | Some id -> (
@@ -456,7 +487,9 @@ let crashmatrix_cmd =
               (String.concat ", "
                  (List.map
                     (fun (e : Crashtest.Scenarios.entry) -> e.Crashtest.Scenarios.id)
-                    Crashtest.Scenarios.all
+                    (Crashtest.Scenarios.all
+                    @ Crashtest.Scenarios.fault_scenarios
+                    @ List.map fst Crashtest.Scenarios.pipeline_scenarios)
                  @ List.map fst (Crashtest.Irscenarios.corpus ())));
             exit 2
         | Some build -> (
@@ -484,6 +517,7 @@ let crashmatrix_cmd =
         let ok =
           if ablation then Crashtest.Matrix.ablation_check ?filter p ppf
           else if faults then Crashtest.Matrix.faults_check ?filter p ppf
+          else if pipeline then Crashtest.Matrix.pipeline_check ?filter p ppf
           else
             Crashtest.Matrix.run ~pcso:(not no_pcso) ?filter
               ~schedules:(not no_schedules) p ppf
@@ -497,9 +531,9 @@ let crashmatrix_cmd =
           durable-linearizability oracles over ResPCT and all baselines.")
     Term.(
       const run $ deep_arg $ smoke_arg $ scenario_arg $ no_pcso_arg
-      $ ablation_arg $ no_schedules_arg $ faults_arg $ replay_arg $ ops_arg
-      $ sched_seed_arg $ mem_seed_arg $ crash_index_arg $ image_arg
-      $ fault_seed_arg)
+      $ ablation_arg $ no_schedules_arg $ faults_arg $ pipeline_arg
+      $ replay_arg $ ops_arg $ sched_seed_arg $ mem_seed_arg $ crash_index_arg
+      $ image_arg $ fault_seed_arg)
 
 let analyze_cmd =
   let program_arg =

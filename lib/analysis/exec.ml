@@ -214,6 +214,7 @@ let rt_cfg =
     max_threads = 8;
     registry_per_slot = 256;
     integrity = false;
+    pipeline = false;
   }
 
 type binding = Cell of Respct.Incll.cell | Raw of Simnvm.Addr.t

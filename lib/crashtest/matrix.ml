@@ -234,3 +234,93 @@ let faults_check ?filter p ppf =
     (fault_entries ?filter ());
   Fmt.pf ppf "fault injection: %s@." (if !ok then "PASS" else "FAIL");
   !ok
+
+(* The pipelined-checkpointing gate, in both directions. Correct pipeline
+   configurations (async epoch advance + double-buffered commits) must
+   recover at every crash boundary — the boundary enumeration includes
+   every pwb of the background walk, the commit-slot stores and the
+   post-advance restart points, so the mid-overlap windows are visited
+   exhaustively. The integrity-mode entry additionally replays the
+   preset's media-fault plans against the two-slot commit protocol. The
+   three planted protocol mutants must *fail*, and their counterexamples
+   must shrink and replay — otherwise the overlap oracles have no teeth.
+   The pipelined schedule sweep (preemption injection inside the overlap
+   window) closes the check. *)
+let pipeline_check ?filter p ppf =
+  Fmt.pf ppf "pipelined checkpointing check (%s)@." p.label;
+  let ok = ref true in
+  let pool =
+    List.filter
+      (fun (e, _) -> filtered ?filter [ e ] <> [])
+      Scenarios.pipeline_scenarios
+  in
+  List.iter
+    (fun ((e : Scenarios.entry), expect) ->
+      let sched_seed, mem_seed = List.hd p.seeds in
+      let n_ops = n_ops_for p e.Scenarios.structure in
+      let sc = e.Scenarios.build ~sched_seed ~mem_seed ~pcso:true ~n_ops in
+      let fault_seeds =
+        if e.Scenarios.expect_faults = `Detects then p.fault_seeds else []
+      in
+      let o =
+        Explore.explore ~max_images_per_point:p.max_images
+          ~stop_at_first_failure:(expect = `Breaks)
+          ~fault_seeds sc
+      in
+      let broke = o.Explore.failures <> [] in
+      let expected = expect = `Breaks in
+      let verdict =
+        match (broke, expected) with
+        | false, false -> "holds (recovers at every mid-overlap boundary)"
+        | true, true -> "breaks (expected: planted overlap-protocol mutant)"
+        | true, false ->
+            ok := false;
+            "OVERLAP UNSAFE"
+        | false, true ->
+            ok := false;
+            "MUTANT UNDETECTED (overlap oracle lost its teeth?)"
+      in
+      Fmt.pf ppf "  %-40s boundaries=%-5d images=%-5d %s@." e.Scenarios.id
+        o.Explore.boundaries o.Explore.images verdict;
+      if broke then begin
+        (match o.Explore.failures with
+        | f :: _ -> Fmt.pf ppf "    first: %a@." Report.pp_failure f
+        | [] -> ());
+        if expected then
+          match
+            shrunk
+              ?fault_seeds:
+                (if fault_seeds = [] then None else Some fault_seeds)
+              ~pcso:true e o
+          with
+          | None -> ()
+          | Some c -> (
+              Fmt.pf ppf "    %a@." Report.pp_counterexample c;
+              let rebuild ~n_ops =
+                e.Scenarios.build ~sched_seed ~mem_seed ~pcso:true ~n_ops
+              in
+              match Shrink.replay c ~rebuild with
+              | Error _ -> ()
+              | Ok () ->
+                  ok := false;
+                  Fmt.pf ppf "    REPLAY DID NOT REPRODUCE@.")
+      end)
+    pool;
+  let sched_failures =
+    List.concat_map
+      (fun spec ->
+        Schedule.sweep spec ~seeds:p.sched_seeds ~delays:p.sched_delays
+          ~stride:p.sched_stride)
+      Schedule.pipeline_specs
+  in
+  Fmt.pf ppf "  pipeline schedule sweeps: %d specs, %s@."
+    (List.length Schedule.pipeline_specs)
+    (match sched_failures with
+    | [] -> "ok"
+    | fs -> Printf.sprintf "FAIL (%d)" (List.length fs));
+  List.iter
+    (fun f -> Fmt.pf ppf "    %a@." Schedule.pp_failure f)
+    sched_failures;
+  if sched_failures <> [] then ok := false;
+  Fmt.pf ppf "pipelined checkpointing: %s@." (if !ok then "PASS" else "FAIL");
+  !ok

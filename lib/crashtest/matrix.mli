@@ -36,6 +36,16 @@ val ablation_check : ?filter:string -> preset -> Format.formatter -> bool
     and the buffered epoch systems must not. Returns whether every
     expectation held. *)
 
+val pipeline_check : ?filter:string -> preset -> Format.formatter -> bool
+(** Run the pipelined-checkpointing dimension over
+    {!Scenarios.pipeline_scenarios}: pipeline-mode worlds must recover at
+    every crash boundary (including mid-overlap windows: during the
+    background walk, between the commit-slot stores, at post-advance
+    restart points), the integrity entry additionally under the preset's
+    media-fault plans; the planted overlap-protocol mutants must produce
+    violations, which are shrunk and replayed. Closes with the pipelined
+    schedule sweep. Returns whether every expectation held. *)
+
 val faults_check : ?filter:string -> preset -> Format.formatter -> bool
 (** Run the fault dimension over {!Scenarios.fault_scenarios}: every crash
     image is re-checked with each of the preset's deterministic media-fault

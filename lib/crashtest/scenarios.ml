@@ -77,6 +77,7 @@ let rt_cfg =
        exploration. *)
     registry_per_slot = 192;
     integrity = false;
+    pipeline = false;
   }
 
 let rt_cfg_integrity = { rt_cfg with Respct.Runtime.integrity = true }
@@ -180,6 +181,21 @@ let respct_cfg_of_mode = function
   | `Off -> rt_cfg
   | `Verified | `Noverify -> rt_cfg_integrity
 
+(* Pipelined variants reuse the classic configs with the asynchronous
+   epoch advance switched on; the crash boundaries then include every pwb
+   of the background walk and the (double-buffered) seal itself, so the
+   explorer automatically visits crashes mid-walk, between the commit-slot
+   stores and the epoch-word store, and at the workers' first post-advance
+   restart points. *)
+let respct_pipeline_cfg fault_mode =
+  { (respct_cfg_of_mode fault_mode) with Respct.Runtime.pipeline = true }
+
+let mutant_suffix = function
+  | None -> ""
+  | Some Respct.Runtime.Seal_before_walk -> "-mutant-earlyseal"
+  | Some Respct.Runtime.No_overlap_wait -> "-mutant-nowait"
+  | Some Respct.Runtime.Early_reclaim -> "-mutant-earlyreclaim"
+
 let respct_checks_of_mode fault_mode mem rt snapshots ~created_epoch
     ~recovered_state ~pp =
   let plain () =
@@ -195,11 +211,15 @@ let respct_checks_of_mode fault_mode mem rt snapshots ~created_epoch
   (* the mutant trusts the image even when the oracle injects damage *)
   | `Noverify -> (plain, Some plain)
 
-let respct_map ?(fault_mode : respct_fault_mode = `Off) ~sched_seed ~mem_seed
-    ~pcso ~n_ops () : Explore.scenario =
+let respct_map ?(fault_mode : respct_fault_mode = `Off) ?(pipeline = false)
+    ?(churn = false) ?mutant ~sched_seed ~mem_seed ~pcso ~n_ops () :
+    Explore.scenario =
   let make ~n_ops =
     let mem, sched, env = world ~sched_seed ~mem_seed ~pcso in
-    let ops = Workmix.map_ops ~seed:(mem_seed + 11) ~n:n_ops () in
+    let ops =
+      if churn then Workmix.churn_ops ~n:n_ops ()
+      else Workmix.map_ops ~seed:(mem_seed + 11) ~n:n_ops ()
+    in
     let rt = ref None in
     let map = ref None in
     let created_epoch = ref max_int in
@@ -211,7 +231,12 @@ let respct_map ?(fault_mode : respct_fault_mode = `Off) ~sched_seed ~mem_seed
     let completed = ref 0 in
     let finished = ref false in
     let run () =
-      let r = Respct.Runtime.create ~cfg:(respct_cfg_of_mode fault_mode) env in
+      let cfg =
+        if pipeline then respct_pipeline_cfg fault_mode
+        else respct_cfg_of_mode fault_mode
+      in
+      let r = Respct.Runtime.create ~cfg env in
+      Respct.Runtime.set_mutant r mutant;
       rt := Some r;
       spawn_coordinator sched r ~finished ~on_flushed:(fun next_epoch ->
           Hashtbl.replace snapshots next_epoch (model_snapshot ()));
@@ -234,7 +259,11 @@ let respct_map ?(fault_mode : respct_fault_mode = `Off) ~sched_seed ~mem_seed
                  incr completed;
                  Respct.Runtime.rp r ~slot:0 1)
                ops;
-             finished := true));
+             finished := true;
+             (* Wake any idle background flusher fibers; otherwise the
+                world ends in [Scheduler.Deadlock], which [run_world]
+                deliberately does not catch. *)
+             if pipeline then Respct.Runtime.stop r));
       run_world sched
     in
     let recover_check, recover_check_faulty =
@@ -254,15 +283,18 @@ let respct_map ?(fault_mode : respct_fault_mode = `Off) ~sched_seed ~mem_seed
     }
   in
   let name =
-    match fault_mode with
+    (match fault_mode with
     | `Off -> "respct-map"
     | `Verified -> "respct-map-integrity"
-    | `Noverify -> "respct-map-noverify"
+    | `Noverify -> "respct-map-noverify")
+    ^ (if pipeline then "-pipeline" else "")
+    ^ (if churn then "-churn" else "")
+    ^ mutant_suffix mutant
   in
   { Explore.name; sched_seed; mem_seed; pcso; n_ops; make }
 
-let respct_queue ?(fault_mode : respct_fault_mode = `Off) ~sched_seed
-    ~mem_seed ~pcso ~n_ops () : Explore.scenario =
+let respct_queue ?(fault_mode : respct_fault_mode = `Off) ?(pipeline = false)
+    ?mutant ~sched_seed ~mem_seed ~pcso ~n_ops () : Explore.scenario =
   let make ~n_ops =
     let mem, sched, env = world ~sched_seed ~mem_seed ~pcso in
     let ops = Workmix.queue_ops ~seed:(mem_seed + 23) ~n:n_ops () in
@@ -274,7 +306,12 @@ let respct_queue ?(fault_mode : respct_fault_mode = `Off) ~sched_seed
     let completed = ref 0 in
     let finished = ref false in
     let run () =
-      let r = Respct.Runtime.create ~cfg:(respct_cfg_of_mode fault_mode) env in
+      let cfg =
+        if pipeline then respct_pipeline_cfg fault_mode
+        else respct_cfg_of_mode fault_mode
+      in
+      let r = Respct.Runtime.create ~cfg env in
+      Respct.Runtime.set_mutant r mutant;
       rt := Some r;
       spawn_coordinator sched r ~finished ~on_flushed:(fun next_epoch ->
           Hashtbl.replace snapshots next_epoch !model);
@@ -295,7 +332,8 @@ let respct_queue ?(fault_mode : respct_fault_mode = `Off) ~sched_seed
                  incr completed;
                  Respct.Runtime.rp r ~slot:0 1)
                ops;
-             finished := true));
+             finished := true;
+             if pipeline then Respct.Runtime.stop r));
       run_world sched
     in
     let recover_check, recover_check_faulty =
@@ -315,10 +353,12 @@ let respct_queue ?(fault_mode : respct_fault_mode = `Off) ~sched_seed
     }
   in
   let name =
-    match fault_mode with
+    (match fault_mode with
     | `Off -> "respct-queue"
     | `Verified -> "respct-queue-integrity"
-    | `Noverify -> "respct-queue-noverify"
+    | `Noverify -> "respct-queue-noverify")
+    ^ (if pipeline then "-pipeline" else "")
+    ^ mutant_suffix mutant
   in
   { Explore.name; sched_seed; mem_seed; pcso; n_ops; make }
 
@@ -871,4 +911,126 @@ let fault_scenarios : entry list =
     };
   ]
 
-let find id = List.find_opt (fun e -> e.id = id) (all @ fault_scenarios)
+(* Pipelined-checkpointing scenario set, paired with the pipeline check's
+   expectation. Kept out of [all] so the smoke matrix and its byte-pinned
+   golden are unchanged. Correct pipeline configurations must recover at
+   every crash boundary — including crashes taken mid background walk,
+   between the commit-slot stores and the epoch-word store, and at the
+   first post-advance restart point, all of which the persist-event
+   boundary enumeration visits. The planted mutants each break one leg of
+   the overlap protocol and must die with a shrunk, replayable
+   counterexample:
+   - [Seal_before_walk] seals the commit record at handoff, so a crash
+     during the walk reports the new epoch durable while epoch-[e] lines
+     are still dirty;
+   - [No_overlap_wait] lets epoch-[e+1] writers overwrite the single
+     backup word of a cell whose epoch-[e] log has not flushed, so
+     rollback restores a value from the wrong epoch;
+   - [Early_reclaim] releases epoch-[e] freed blocks at handoff, so an
+     overlapped allocation recycles a cell that rollback still needs. *)
+let pipeline_scenarios : (entry * [ `Holds | `Breaks ]) list =
+  [
+    ( {
+        id = "respct-map-pipeline";
+        structure = Map;
+        expect_ablation = `Breaks;
+        expect_faults = `Unsupported;
+        build =
+          (fun ~sched_seed ~mem_seed ~pcso ~n_ops ->
+            respct_map ~pipeline:true ~sched_seed ~mem_seed ~pcso ~n_ops ());
+      },
+      `Holds );
+    ( {
+        id = "respct-queue-pipeline";
+        structure = Queue;
+        expect_ablation = `Breaks;
+        expect_faults = `Unsupported;
+        build =
+          (fun ~sched_seed ~mem_seed ~pcso ~n_ops ->
+            respct_queue ~pipeline:true ~sched_seed ~mem_seed ~pcso ~n_ops ());
+      },
+      `Holds );
+    ( {
+        id = "respct-map-integrity-pipeline";
+        structure = Map;
+        expect_ablation = `Breaks;
+        expect_faults = `Detects;
+        build =
+          (fun ~sched_seed ~mem_seed ~pcso ~n_ops ->
+            respct_map ~fault_mode:`Verified ~pipeline:true ~sched_seed
+              ~mem_seed ~pcso ~n_ops ());
+      },
+      `Holds );
+    (* The mutant workloads run at twice the preset's op count: the bugs
+       they plant only fire inside an overlap window that also contains a
+       conflicting re-log (nowait) or a free-then-reuse pair (reclaim),
+       and the smoke preset's op counts cross too few epochs to guarantee
+       one. Exploration stops at the first violation, so the larger
+       workload costs little. *)
+    ( {
+        id = "respct-map-pipeline-mutant-earlyseal";
+        structure = Map;
+        expect_ablation = `Breaks;
+        expect_faults = `Unsupported;
+        build =
+          (fun ~sched_seed ~mem_seed ~pcso ~n_ops ->
+            respct_map ~pipeline:true ~mutant:Respct.Runtime.Seal_before_walk
+              ~sched_seed ~mem_seed ~pcso ~n_ops:(n_ops * 2) ());
+      },
+      `Breaks );
+    ( {
+        id = "respct-map-pipeline-mutant-nowait";
+        structure = Map;
+        expect_ablation = `Breaks;
+        expect_faults = `Unsupported;
+        build =
+          (fun ~sched_seed ~mem_seed ~pcso ~n_ops ->
+            respct_map ~pipeline:true ~mutant:Respct.Runtime.No_overlap_wait
+              ~sched_seed ~mem_seed ~pcso ~n_ops:(n_ops * 2) ());
+      },
+      `Breaks );
+    (* The control for the reclaim mutant below: the correct protocol must
+       survive the allocator-churn workload that kills the mutant. *)
+    ( {
+        id = "respct-map-pipeline-churn";
+        structure = Map;
+        expect_ablation = `Breaks;
+        expect_faults = `Unsupported;
+        build =
+          (fun ~sched_seed ~mem_seed ~pcso ~n_ops ->
+            respct_map ~pipeline:true ~churn:true ~sched_seed ~mem_seed ~pcso
+              ~n_ops ());
+      },
+      `Holds );
+    (* The map, not the queue: a hashmap remove frees a node whose key
+       word is plain (written once, WAR-free), so an overlapped reuse
+       destroys state that rollback cannot restore. The queue only ever
+       frees sentinel nodes, whose observable fields are re-logged on
+       reuse — InCLL's own logging heals the premature reclaim there.
+
+       And the churn mix, not the random one: the hazard needs a block
+       freed in epoch [e] to be re-allocated inside epoch [e]'s own
+       overlap window (an older free is already legally released by then),
+       which the random mix essentially never produces — its frees and its
+       allocating re-inserts land epochs apart. The churn mix frees on
+       every other operation and re-allocates on the next, and free lists
+       are LIFO per size class, so nearly every overlap window pops a
+       just-staged block. *)
+    ( {
+        id = "respct-map-pipeline-churn-mutant-earlyreclaim";
+        structure = Map;
+        expect_ablation = `Breaks;
+        expect_faults = `Unsupported;
+        build =
+          (fun ~sched_seed ~mem_seed ~pcso ~n_ops ->
+            respct_map ~pipeline:true ~churn:true
+              ~mutant:Respct.Runtime.Early_reclaim ~sched_seed ~mem_seed
+              ~pcso ~n_ops:(n_ops * 2) ());
+      },
+      `Breaks );
+  ]
+
+let find id =
+  List.find_opt
+    (fun e -> e.id = id)
+    (all @ fault_scenarios @ List.map fst pipeline_scenarios)

@@ -26,15 +26,26 @@ type respct_fault_mode = [ `Off | `Verified | `Noverify ]
 
 val respct_map :
   ?fault_mode:respct_fault_mode ->
+  ?pipeline:bool ->
+  ?churn:bool ->
+  ?mutant:Respct.Runtime.mutant ->
   sched_seed:int ->
   mem_seed:int ->
   pcso:bool ->
   n_ops:int ->
   unit ->
   Explore.scenario
+(** [~pipeline:true] switches on {!Respct.Runtime.config.pipeline}
+    (asynchronous epoch advance with double-buffered commits);
+    [~churn:true] drives the map with {!Workmix.churn_ops} (tight
+    remove/re-insert cycles that stress staged heap reclamation);
+    [?mutant] plants one of the pipeline protocol mutants via
+    {!Respct.Runtime.set_mutant}. *)
 
 val respct_queue :
   ?fault_mode:respct_fault_mode ->
+  ?pipeline:bool ->
+  ?mutant:Respct.Runtime.mutant ->
   sched_seed:int ->
   mem_seed:int ->
   pcso:bool ->
@@ -109,5 +120,13 @@ val fault_scenarios : entry list
     no-verification mutant; disjoint from [all] so the plain matrix is
     unchanged. *)
 
+val pipeline_scenarios : (entry * [ `Holds | `Breaks ]) list
+(** The pipelined-checkpointing dimension: ResPCT worlds with
+    {!Respct.Runtime.config.pipeline} on (plain and integrity-mode), each
+    paired with the pipeline check's expectation, plus the three planted
+    protocol mutants ([Seal_before_walk], [No_overlap_wait],
+    [Early_reclaim]) that must produce violations. Disjoint from [all] so
+    the smoke matrix is unchanged. *)
+
 val find : string -> entry option
-(** Looks through [all] and [fault_scenarios]. *)
+(** Looks through [all], [fault_scenarios] and [pipeline_scenarios]. *)

@@ -190,7 +190,7 @@ let transient_queue_spec : spec =
    the per-worker models. Deadlocks between [rp] parking and the
    coordinator's quiescence wait are the target bug class. *)
 
-let respct_map_spec : spec =
+let respct_map_spec_with ~name ~cfg : spec =
   let run ~sched_seed inj =
     let mem = Simnvm.Memsys.create (Scenarios.mem_cfg ~mem_seed:1 ~pcso:true) in
     let sched =
@@ -198,7 +198,7 @@ let respct_map_spec : spec =
     in
     let env = Simsched.Env.make mem sched in
     with_injection sched inj (fun () ->
-        let r = Respct.Runtime.create ~cfg:Scenarios.rt_cfg env in
+        let r = Respct.Runtime.create ~cfg env in
         let finished = ref false in
         let done_workers = ref 0 in
         let models = [| Hashtbl.create 16; Hashtbl.create 16 |] in
@@ -244,7 +244,13 @@ let respct_map_spec : spec =
                             Respct.Runtime.rp r ~slot:w (w + 1))
                           (Workmix.map_ops ~seed:(91 + w) ~n:16 ());
                         incr done_workers;
-                        if !done_workers = 2 then finished := true))
+                        if !done_workers = 2 then begin
+                          finished := true;
+                          (* wake idle pipeline flushers, or the world
+                             ends in a (reported) deadlock *)
+                          if cfg.Respct.Runtime.pipeline then
+                            Respct.Runtime.stop r
+                        end))
                done;
                ignore
                  (Simsched.Scheduler.spawn ~name:"check" sched (fun () ->
@@ -281,6 +287,20 @@ let respct_map_spec : spec =
             | [] -> Ok ()
             | e :: _ -> Error e))
   in
-  { name = "respct-map-2w"; run }
+  { name; run }
+
+let respct_map_spec =
+  respct_map_spec_with ~name:"respct-map-2w" ~cfg:Scenarios.rt_cfg
 
 let all_specs = [ transient_queue_spec; respct_map_spec ]
+
+(* The pipelined variant is the deadlock hunt for the new machinery: rp
+   parking on [wait_epoch_durable], the coordinator's backpressure wait
+   and the flusher pool's condvars all interleave under the injected
+   preemptions. Kept out of [all_specs] (the smoke golden pins its spec
+   count); the pipeline matrix check sweeps it. *)
+let respct_map_pipeline_spec =
+  respct_map_spec_with ~name:"respct-map-2w-pipeline"
+    ~cfg:{ Scenarios.rt_cfg with Respct.Runtime.pipeline = true }
+
+let pipeline_specs = [ respct_map_pipeline_spec ]

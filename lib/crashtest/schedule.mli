@@ -47,3 +47,13 @@ val respct_map_spec : spec
     per-worker models, rp/checkpoint deadlocks reported. *)
 
 val all_specs : spec list
+(** The classic sweep set ([transient_queue_spec]; [respct_map_spec]) —
+    pinned by the smoke golden, the pipelined spec lives in
+    {!pipeline_specs}. *)
+
+val respct_map_pipeline_spec : spec
+(** {!respct_map_spec} under {!Respct.Runtime.config.pipeline}: the
+    deadlock hunt for rp parking on the overlap barrier, the coordinator's
+    backpressure wait and the flusher pool's condvars. *)
+
+val pipeline_specs : spec list

@@ -23,6 +23,20 @@ let map_ops ?(key_range = 13) ~seed ~n () =
       | 2 -> Search key
       | _ -> Insert (key, 100 + i))
 
+(* Allocator-churn mix: fill a small key set, then round-robin
+   remove(k); insert(k, fresh) pairs. Every epoch frees map nodes and the
+   very next operation re-allocates one, so an allocator that recycles a
+   block before the freeing epoch has sealed is exercised on almost every
+   checkpoint overlap window (free lists are LIFO per size class, so the
+   newest free is popped first). *)
+let churn_ops ?(keys = 8) ~n () =
+  List.init n (fun i ->
+      if i < keys then Insert (1 + i, 100 + i)
+      else
+        let j = i - keys in
+        let key = 1 + (j / 2 mod keys) in
+        if j mod 2 = 0 then Remove key else Insert (key, 100 + i))
+
 let queue_ops ~seed ~n () =
   let rng = Simnvm.Rng.create seed in
   List.init n (fun i ->

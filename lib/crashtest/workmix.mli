@@ -14,6 +14,12 @@ val map_ops : ?key_range:int -> seed:int -> n:int -> unit -> map_op list
 (** ~60% inserts, ~25% removes, ~15% searches over [1, key_range]; inserted
     values are unique per index and never 0. Equal seeds give equal lists. *)
 
+val churn_ops : ?keys:int -> n:int -> unit -> map_op list
+(** Allocator-churn mix: insert keys [1, keys], then round-robin
+    [remove(k); insert(k, fresh)] pairs, so nearly every epoch frees map
+    nodes and immediately re-allocates. Deterministic (no seed); prefixes
+    of a longer run equal shorter runs, so shrinking stays faithful. *)
+
 val queue_ops : seed:int -> n:int -> unit -> queue_op list
 (** ~2/3 enqueues of unique non-zero values, ~1/3 dequeues. *)
 

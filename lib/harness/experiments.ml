@@ -154,6 +154,8 @@ let checkpoint_extra rt =
         ("checkpoints", Obs.Json.Int cs.Respct.Runtime.checkpoints);
         ("flushed_addrs", Obs.Json.Int cs.Respct.Runtime.flushed_addrs);
         ("flush_ns", Obs.Json.Float cs.Respct.Runtime.flush_ns);
+        ("stall_ns", Obs.Json.Float cs.Respct.Runtime.stall_ns);
+        ("overlap_ns", Obs.Json.Float cs.Respct.Runtime.overlap_ns);
         ( "effective_period_ns",
           if Float.is_nan eff then Obs.Json.Null else Obs.Json.Float eff );
       ]

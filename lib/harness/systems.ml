@@ -21,6 +21,7 @@ type params = {
   evict_rate : float; (* spontaneous-eviction probability of the world *)
   pcso : bool; (* line-granular write-back; false = word-granular ablation *)
   integrity : bool; (* checksum-sealed ResPCT metadata (faulty-media mode) *)
+  pipeline : bool; (* ResPCT pipelined checkpointing (async epoch advance) *)
 }
 
 let default_params =
@@ -41,6 +42,7 @@ let default_params =
     evict_rate = Simnvm.Memsys.default_config.Simnvm.Memsys.evict_rate;
     pcso = true;
     integrity = false;
+    pipeline = false;
   }
 
 type kind =
@@ -113,6 +115,7 @@ let rt_cfg (p : params) =
     max_threads = p.max_threads;
     registry_per_slot = p.registry_per_slot;
     integrity = p.integrity;
+    pipeline = p.pipeline;
   }
 
 (* Arena for the transient structures: the NVMM region (Transient<NVMM>)

@@ -54,10 +54,37 @@ let queue_sample (scale : Harness.Experiments.scale) kinds () =
         kinds;
       (!ops, !sim))
 
+(* ResPCT with pipelined checkpointing (async epoch advance,
+   double-buffered commits): the same fig8 map sweep restricted to ResPCT,
+   so the pipelined runtime's hot paths (volatile epoch views, overlap
+   barrier, staged reclamation) are under the same wall-clock regression
+   gate as everything else. *)
+let pipeline_map_sample (scale : Harness.Experiments.scale) () =
+  let kind = Harness.Systems.Respct in
+  timed (fun () ->
+      let ops = ref 0 and sim = ref 0.0 in
+      List.iter
+        (fun threads ->
+          let p =
+            {
+              (Harness.Experiments.params_for scale ~threads ~kind) with
+              Harness.Systems.pipeline = true;
+            }
+          in
+          let r, _ =
+            Harness.Experiments.map_point ~update_pct:50 ~params:p scale kind
+              ~threads
+          in
+          ops := !ops + r.Harness.Workload.total_ops;
+          sim := !sim +. r.Harness.Workload.elapsed_ns)
+        scale.Harness.Experiments.sweep_threads;
+      (!ops, !sim))
+
 let benches_for scale =
   [
     ("fig8-map", map_sample scale Harness.Systems.map_kinds);
     ("fig9-queue", queue_sample scale Harness.Systems.queue_kinds);
+    ("respct-pipe", pipeline_map_sample scale);
   ]
 
 (* Default preset: the figures' own scale — the ISSUE's "fig8 + fig9
@@ -96,6 +123,52 @@ let preset_of_string = function
   | "default" -> Some default_preset
   | "smoke" -> Some smoke_preset
   | _ -> None
+
+(* Checkpoint-pause probe: the metric the pipelined runtime is built to
+   move. One classic and one pipelined ResPCT map run at the preset's
+   largest thread count; the pause is the mutator stall per checkpoint
+   (the whole flush in classic mode, only quiescence + handoff in
+   pipeline mode) and the overlap is the background-flush window that
+   replaced the rest of it. *)
+type pause = {
+  pause_mode : string; (* "classic" | "pipeline" *)
+  pause_stall_us : float; (* mutator stall per checkpoint *)
+  pause_overlap_us : float; (* overlapped background flush per checkpoint *)
+  pause_checkpoints : int;
+}
+
+let checkpoint_pause preset =
+  let scale =
+    if preset.p_name = "smoke" then smoke_scale else Harness.Experiments.small
+  in
+  let kind = Harness.Systems.Respct in
+  let threads =
+    List.fold_left max 1 scale.Harness.Experiments.sweep_threads
+  in
+  let run ~pipeline =
+    let p =
+      {
+        (Harness.Experiments.params_for scale ~threads ~kind) with
+        Harness.Systems.pipeline;
+      }
+    in
+    let _, rt = Harness.Experiments.map_point ~update_pct:50 ~params:p scale kind ~threads in
+    Option.bind rt (fun rt ->
+        let s = Respct.Runtime.stats rt in
+        let n = s.Respct.Runtime.checkpoints in
+        if n = 0 then None
+        else
+          Some
+            {
+              pause_mode = (if pipeline then "pipeline" else "classic");
+              pause_stall_us =
+                s.Respct.Runtime.stall_ns /. float_of_int n /. 1e3;
+              pause_overlap_us =
+                s.Respct.Runtime.overlap_ns /. float_of_int n /. 1e3;
+              pause_checkpoints = n;
+            })
+  in
+  List.filter_map (fun pipeline -> run ~pipeline) [ false; true ]
 
 let run ?runs ?warmup ?(seed = 42) ?only preset =
   let benches =

@@ -163,19 +163,44 @@ let free (ctx : Pctx.t) t addr ~words =
   | Some l -> l := (addr, words) :: !l
   | None -> Hashtbl.add t.pending slot (ref [ (addr, words) ])
 
-(* Called by the runtime once a checkpoint has completed (threads are
-   quiescent): blocks freed in the epoch that just persisted become safe to
-   reuse by the slot that freed them. *)
-let advance_epoch t =
-  Hashtbl.iter
-    (fun slot l ->
+(* Staged reclamation for the pipelined runtime: [collect_pending] snapshots
+   and clears the pending lists at quiescence (capturing exactly the frees
+   of the epoch being checkpointed), and [release] promotes a snapshot to
+   the free lists once the overlapped background flush has sealed. Releasing
+   earlier would let a block freed in epoch [e] be reallocated while the
+   flusher walk still expects its epoch-[e] contents. Both are host-level
+   and cost nothing in virtual time. *)
+
+type staged = (int * (int * int) list) list
+
+let staged_addrs (s : staged) =
+  List.concat_map (fun (_, fs) -> List.map fst fs) s
+
+let collect_pending t =
+  Hashtbl.fold
+    (fun slot l acc ->
+      if !l = [] then acc
+      else begin
+        let frees = !l in
+        l := [];
+        (slot, frees) :: acc
+      end)
+    t.pending []
+
+let release t staged =
+  List.iter
+    (fun (slot, frees) ->
       List.iter
         (fun (addr, words) ->
           let fl = free_list t (slot, words) in
           fl := addr :: !fl)
-        !l;
-      l := [])
-    t.pending
+        frees)
+    staged
+
+(* Called by the classic runtime once a checkpoint has completed (threads
+   are quiescent): blocks freed in the epoch that just persisted become
+   safe to reuse by the slot that freed them. *)
+let advance_epoch t = release t (collect_pending t)
 
 let cursor ctx t = Incll.read ctx t.cursor_cell
 let used ctx t = cursor ctx t - t.base

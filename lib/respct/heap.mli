@@ -65,7 +65,24 @@ val free : Pctx.t -> t -> int -> words:int -> unit
 
 val advance_epoch : t -> unit
 (** Runtime hook, called when a checkpoint completes: promote blocks freed
-    during the persisted epoch to the free lists. *)
+    during the persisted epoch to the free lists. Equivalent to
+    [release t (collect_pending t)]. *)
+
+type staged
+(** A snapshot of the pending frees of one epoch, detached from the heap. *)
+
+val staged_addrs : staged -> int list
+(** Debug view: the staged block addresses. *)
+
+val collect_pending : t -> staged
+(** Snapshot and clear the pending free lists (pipelined runtime: taken at
+    quiescence, so it captures exactly the frees of the epoch being
+    checkpointed). *)
+
+val release : t -> staged -> unit
+(** Promote a {!collect_pending} snapshot to the free lists. The pipelined
+    runtime defers this until the overlapped background flush has sealed:
+    releasing earlier could recycle a block the flusher walk still reads. *)
 
 val cursor : Pctx.t -> t -> int
 (** Current bump cursor (diagnostics). *)

@@ -55,6 +55,11 @@ let update_integrity (ctx : Pctx.t) cell v =
   let epoch = ctx.Pctx.epoch () in
   let w = Simsched.Env.load env (epoch_id cell) in
   if Checksum.epoch_of w <> epoch then begin
+    (* Pipelined overlap barrier: if the previous log of this cell belongs
+       to an epoch whose background flush has not sealed yet, re-logging
+       would destroy the only copy of its start-of-epoch value. Blocks
+       until that flush seals; a no-op outside the pipelined runtime. *)
+    ctx.Pctx.wait_epoch_durable (Checksum.epoch_of w);
     let prev = Simsched.Env.load env (record cell) in
     Simsched.Env.store env (backup cell) prev;
     Simsched.Env.store env (epoch_id cell)
@@ -71,8 +76,12 @@ let update (ctx : Pctx.t) cell v =
   else begin
     let env = ctx.Pctx.env in
     let epoch = ctx.Pctx.epoch () in
-    if Simsched.Env.load env (epoch_id cell) <> epoch then begin
-      (* First update of this variable in the current epoch: log it. *)
+    let tag = Simsched.Env.load env (epoch_id cell) in
+    if tag <> epoch then begin
+      (* First update of this variable in the current epoch: log it. Under
+         the pipelined runtime, first wait out a still-flushing previous
+         epoch (wait-for-flushed; no-op everywhere else). *)
+      ctx.Pctx.wait_epoch_durable tag;
       Simsched.Env.store env (backup cell)
         (Simsched.Env.load env (record cell));
       Simsched.Env.store env (epoch_id cell) epoch;

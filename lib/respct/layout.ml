@@ -23,6 +23,8 @@ type t = {
   epoch_addr : int;
   commit_epoch_addr : int; (* checkpoint-commit record: epoch copy ... *)
   commit_crc_addr : int; (* ... and its CRC-32 (integrity mode only) *)
+  commit2_epoch_addr : int; (* second commit slot of the pipelined *)
+  commit2_crc_addr : int; (* double-buffered commit protocol *)
   cursor_cell : Incll.cell;
   slots_cell : Incll.cell;
   reglen_cells_base : int; (* packed InCLL cell array, one per slot *)
@@ -67,9 +69,14 @@ let v ?(integrity = false) ~line_words ~nvm_words ~max_threads
   {
     epoch_addr = 0;
     (* the commit record shares line 0 with the epoch word, so the three
-       stores of a checkpoint commit persist line-atomically under PCSO *)
+       stores of a checkpoint commit persist line-atomically under PCSO.
+       The pipelined runtime alternates between two commit slots (words
+       1-2 and 3-4); words 3-4 were always unused, so non-pipeline images
+       remain word-for-word the historical ones. *)
     commit_epoch_addr = 1;
     commit_crc_addr = 2;
+    commit2_epoch_addr = 3;
+    commit2_crc_addr = 4;
     cursor_cell = line 1;
     slots_cell = line 1 + Incll.words;
     (* cursor and slot-count cells share line 1: 3 + 3 = 6 words *)

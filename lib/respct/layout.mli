@@ -10,6 +10,13 @@ type t = {
       (** checkpoint-commit record: copy of the epoch, on line 0 with the
           epoch word so a commit persists line-atomically (integrity mode) *)
   commit_crc_addr : int;  (** CRC-32 of the commit record *)
+  commit2_epoch_addr : int;
+      (** second commit slot of the pipelined double-buffered commit
+          protocol (also line 0); the pipelined runtime alternates slots
+          per epoch so sealing never overwrites the last certified commit.
+          The classic runtime never writes it, keeping non-pipeline images
+          word-for-word historical. *)
+  commit2_crc_addr : int;  (** CRC-32 of the second commit slot *)
   cursor_cell : Incll.cell;
   slots_cell : Incll.cell;
   reglen_cells_base : int;

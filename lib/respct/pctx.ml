@@ -10,7 +10,15 @@ type t = {
   env : Simsched.Env.t;
   slot : int;
   epoch : unit -> int;
+      (* the slot's epoch view: the global word in the classic runtime, the
+         slot's entry of the volatile per-slot epoch table when the
+         pipelined coordinator is active *)
   add_modified : Simnvm.Addr.t -> unit;
+  wait_epoch_durable : int -> unit;
+      (* overlap barrier of the pipelined runtime: called with a cell's
+         last-log epoch before the cell is re-logged; blocks until that
+         epoch's background flush has sealed (wait-for-flushed policy).
+         A no-op everywhere else. *)
   integrity : bool;
       (* seal InCLL epoch words with Checksum codes (faulty-media mode) *)
 }
@@ -23,5 +31,6 @@ let none env =
     slot = 0;
     epoch = (fun () -> 0);
     add_modified = ignore;
+    wait_epoch_durable = ignore;
     integrity = false;
   }

@@ -132,10 +132,19 @@ let exact_image = function Clean | Repaired _ -> true | Salvaged _ | Unrecoverab
 (* Roll one cell back if it was modified during the failed epoch; returns
    true if a rollback happened. Runs inside a recovery thread.
    [Checksum.epoch_of] unpacks integrity-sealed epoch words and is the
-   identity on raw ones, so one comparison serves both representations. *)
+   identity on raw ones, so one comparison serves both representations.
+
+   The comparison is [>=], not [=]: under the pipelined runtime a crash
+   during an overlapped flush of epoch e leaves the epoch word at e while
+   cells whose previous log predates e were already re-logged in e+1 —
+   both in-flight epochs must roll back (each such backup holds the cell's
+   last pre-e value, which the e-flush never persisted). On classic images
+   the two predicates are identical: no epoch_id ever exceeds the epoch
+   word (the bootstrap sentinel -1 compares below every real epoch and is
+   untouched either way). *)
 let rollback env ~failed_epoch cell =
   if Checksum.epoch_of (Simsched.Env.load env (Incll.epoch_id cell))
-     = failed_epoch
+     >= failed_epoch
   then begin
     let saved = Simsched.Env.load env (Incll.backup cell) in
     Simsched.Env.store env (Incll.record cell) saved;
@@ -340,58 +349,95 @@ let run_verified ?(max_read_retries = 4) ?(layout : Layout.t option) ?spans
   ignore
     (Simsched.Scheduler.spawn ~name:"recovery-verify" sched (fun () ->
          (* 1. Failed epoch. The sealed epoch word is authoritative when
-            its own CRC holds; the commit record (epoch copy + CRC-32 on
-            the same line) backs it up. A checkpoint commit is three
-            stores -- commit epoch, commit CRC, sealed epoch word -- so
-            honest PCSO media can legally persist the prefixes
-            {E, E+1, crc(E)} and {E, E+1, crc(E+1)}: a commit record one
-            epoch ahead of a certified epoch word is a crash window, not
+            its own CRC holds; the commit record backs it up. The record
+            is double-buffered (two epoch+CRC slots on the epoch word's
+            line): the classic runtime rewrites slot A at every
+            checkpoint, the pipelined runtime alternates slots by epoch
+            parity so a torn seal can never destroy the last certified
+            commit. Recovery is protocol-agnostic: it trusts whichever
+            slots their CRCs certify and takes the newest. A checkpoint
+            commit is three stores -- slot epoch, slot CRC, sealed epoch
+            word -- so honest PCSO media can legally persist any prefix: a
+            certified slot one epoch ahead of a certified epoch word, or a
+            slot whose fresh epoch landed without its CRC (the stale CRC
+            certifies the slot's previous tenant), are crash windows, not
             damage. Everything else is classified and, where a CRC proves
             one side, repaired. *)
-         let commit_crc e =
-           Checksum.commit ~epoch:e ~addr:l.Layout.commit_epoch_addr
+         let slots_ =
+           [|
+             (l.Layout.commit_epoch_addr, l.Layout.commit_crc_addr);
+             (l.Layout.commit2_epoch_addr, l.Layout.commit2_crc_addr);
+           |]
+         in
+         let slot_crc i e =
+           Checksum.commit ~epoch:e ~addr:(fst slots_.(i))
+         in
+         let ces = Array.map (fun (ea, _) -> read ea) slots_ in
+         let ccs = Array.map (fun (_, ca) -> read ca) slots_ in
+         let valid i = ccs.(i) = slot_crc i ces.(i) in
+         (* Newest certified commit across the two slots, if any. *)
+         let newest =
+           let best = ref None in
+           Array.iteri
+             (fun i _ ->
+               if valid i then
+                 match !best with
+                 | Some b when b >= ces.(i) -> ()
+                 | _ -> best := Some ces.(i))
+             slots_;
+           !best
          in
          let e_word = read l.Layout.epoch_addr in
-         let ce = read l.Layout.commit_epoch_addr in
-         let cc = read l.Layout.commit_crc_addr in
          let ew = Checksum.epoch_of e_word in
          let ew_ok = Checksum.check_epoch ~word:e_word ~addr:l.Layout.epoch_addr in
+         (* A slot caught mid-write: its epoch reads one ahead of the
+            certified word while its CRC still certifies the slot's
+            previous occupant -- [ew] under the classic single-slot
+            rewrite, [ew - 1] under the pipelined alternation. *)
+         let mid_write i =
+           ces.(i) = ew + 1
+           && (ccs.(i) = slot_crc i ew || ccs.(i) = slot_crc i (ew - 1))
+         in
          let rewrite_commit e =
-           Simsched.Env.store env l.Layout.commit_epoch_addr e;
-           Simsched.Env.store env l.Layout.commit_crc_addr (commit_crc e);
-           Simsched.Env.pwb env l.Layout.commit_epoch_addr;
-           Simsched.Env.pwb env l.Layout.commit_crc_addr
+           Array.iteri
+             (fun i (ea, ca) ->
+               Simsched.Env.store env ea e;
+               Simsched.Env.store env ca (slot_crc i e);
+               Simsched.Env.pwb env ea;
+               Simsched.Env.pwb env ca)
+             slots_
          in
          let fe =
            if ew_ok then
              if
-               (ce = ew && cc = commit_crc ce)
-               || (ce = ew + 1 && (cc = commit_crc ce || cc = commit_crc ew))
+               (match newest with Some s -> s = ew || s = ew + 1 | None -> false)
+               || mid_write 0 || mid_write 1
              then ew (* consistent, or a legal mid-commit prefix *)
              else begin
                (* the commit record is damaged; the certified epoch word
-                  proves the repair *)
+                  proves the repair (both slots rewritten to it) *)
                rewrite_commit ew;
                add_damage (Commit_repaired { epoch = ew });
                ew
              end
-           else if cc = commit_crc ce then begin
-             (* epoch word corrupted; the certified commit copy is the
-                best evidence, but the crash may have sat in the pre-bump
-                window one epoch earlier -- restored, not proven *)
-             Simsched.Env.store env l.Layout.epoch_addr
-               (Checksum.seal_epoch ~epoch:ce ~addr:l.Layout.epoch_addr);
-             Simsched.Env.pwb env l.Layout.epoch_addr;
-             add_damage (Epoch_restored { epoch = ce });
-             ce
-           end
-           else begin
-             (* the failed epoch itself is unknowable: every rollback
-                decision below is a guess, so the verdict is terminal *)
-             add_damage
-               (Commit_broken { epoch_word = e_word; commit_word = ce });
-             ew
-           end
+           else
+             match newest with
+             | Some s ->
+                 (* epoch word corrupted; the newest certified slot is the
+                    best evidence, but the crash may have sat in the
+                    pre-bump window one epoch earlier -- restored, not
+                    proven *)
+                 Simsched.Env.store env l.Layout.epoch_addr
+                   (Checksum.seal_epoch ~epoch:s ~addr:l.Layout.epoch_addr);
+                 Simsched.Env.pwb env l.Layout.epoch_addr;
+                 add_damage (Epoch_restored { epoch = s });
+                 s
+             | None ->
+                 (* the failed epoch itself is unknowable: every rollback
+                    decision below is a guess, so the verdict is terminal *)
+                 add_damage
+                   (Commit_broken { epoch_word = e_word; commit_word = ces.(0) });
+                 ew
          in
          failed_epoch := fe;
          (* Verify one cell against its seal. The authority depends on
@@ -422,7 +468,10 @@ let run_verified ?(max_read_retries = 4) ?(layout : Layout.t option) ?spans
              Simsched.Env.pwb env cell;
              rolled := cell :: !rolled
            in
-           if Checksum.epoch_of w = fe then begin
+           (* [>= fe], like the trusting scan: a pipelined overlap crash
+              leaves re-logged cells one epoch ahead of the failed epoch
+              word, and both in-flight epochs roll back. *)
+           if Checksum.epoch_of w >= fe then begin
              if log_ok then
                restore ~seal:(Checksum.reseal_record w ~record:bak ~cell)
              else
@@ -434,15 +483,26 @@ let run_verified ?(max_read_retries = 4) ?(layout : Layout.t option) ?spans
            else begin
              let rec_v = read (Incll.record cell) in
              if Checksum.check_rec ~word:w ~record:rec_v ~cell then begin
-               if
-                 (not log_ok)
-                 && Checksum.check_log_at ~word:w ~backup:bak ~epoch:fe ~cell
-               then begin
-                 restore
-                   ~seal:
-                     (Checksum.seal ~record:bak ~backup:bak ~epoch:fe ~cell);
-                 add_damage (Tag_restored { cell })
-               end
+               (* Probe the log seal under both in-flight epochs: a damaged
+                  tag may have hidden a cell logged in [fe] or, mid-overlap,
+                  in [fe + 1]. *)
+               let probed =
+                 if log_ok then None
+                 else if Checksum.check_log_at ~word:w ~backup:bak ~epoch:fe ~cell
+                 then Some fe
+                 else if
+                   Checksum.check_log_at ~word:w ~backup:bak ~epoch:(fe + 1)
+                     ~cell
+                 then Some (fe + 1)
+                 else None
+               in
+               match probed with
+               | Some e ->
+                   restore
+                     ~seal:
+                       (Checksum.seal ~record:bak ~backup:bak ~epoch:e ~cell);
+                   add_damage (Tag_restored { cell })
+               | None -> ()
              end
              else if log_ok then begin
                (* quiescent record corrupted: the certified backup is the

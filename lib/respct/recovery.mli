@@ -8,10 +8,16 @@
     {!run} is the original, trusting scan: correct on perfect media. For
     images written under [Runtime.config.integrity], {!run_verified}
     additionally proves what it restores: it cross-checks the epoch word
-    against the checkpoint-commit record, verifies every cell's
-    {!Checksum} seal, retries transient media errors with bounded backoff,
-    scrubs persistently failing lines, and reports everything unprovable
-    in a structured {!verdict} — fail-stop, never fail-silent. *)
+    against the double-buffered checkpoint-commit record (picking the
+    newest CRC-certified slot), verifies every cell's {!Checksum} seal,
+    retries transient media errors with bounded backoff, scrubs
+    persistently failing lines, and reports everything unprovable in a
+    structured {!verdict} — fail-stop, never fail-silent.
+
+    Both scans roll back cells whose epoch tag is {e at least} the failed
+    epoch: a crash during a pipelined overlapped flush leaves cells logged
+    in the failed epoch and in its successor, and both must restore. On
+    classic images the predicate degenerates to equality. *)
 
 type report = {
   failed_epoch : int;  (** epoch the crash interrupted *)
@@ -35,15 +41,17 @@ type damage =
       (** same damage on a cursor / slot-count / registry-length cell: the
           scan itself ran on unproven input *)
   | Tag_restored of { cell : Incll.cell }
-      (** the cell read quiescent but its log seal only verifies under the
-          failed epoch — the epoch tag was damaged. The certified backup
+      (** the cell read quiescent but its log seal only verifies under one
+          of the in-flight epochs (the failed epoch, or its successor
+          mid-overlap) — the epoch tag was damaged. The certified backup
           was restored; reported, not proven exact (CRC-16 can collide) *)
   | Commit_repaired of { epoch : int }
-      (** the sealed epoch word held and the commit record disagreed; the
-          record was rewritten from the certified epoch — a proven repair *)
+      (** the sealed epoch word held and neither commit slot agreed with
+          it; both slots were rewritten from the certified epoch — a
+          proven repair *)
   | Epoch_restored of { epoch : int }
       (** the epoch word's seal was broken; it was rewritten from the
-          CRC-certified commit record. The crash may have sat in the
+          newest CRC-certified commit slot. The crash may have sat in the
           pre-bump commit window one epoch earlier, so the image is
           best-effort, not proven exact *)
   | Commit_broken of { epoch_word : int; commit_word : int }

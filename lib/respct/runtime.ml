@@ -19,6 +19,12 @@ type config = {
   max_threads : int;
   registry_per_slot : int;
   integrity : bool; (* checksum-sealed metadata for faulty media *)
+  pipeline : bool;
+      (* asynchronous epoch advance: workers enter epoch e+1 at their next
+         restart point while a pool of long-lived flusher fibers walks the
+         epoch-e modified set in the background; the commit seals on a
+         double-buffered commit record once the walk completes. Off =
+         bit-identical historical behaviour. *)
 }
 
 let default_config =
@@ -30,7 +36,16 @@ let default_config =
     max_threads = 64;
     registry_per_slot = 8192;
     integrity = false;
+    pipeline = false;
   }
+
+(* Planted test mutants for the crashmatrix: each disables one safety leg
+   of the pipelined protocol so the matrix can prove that leg load-bearing.
+   Never set outside tests. *)
+type mutant =
+  | Seal_before_walk (* seal the commit at handoff, before the walk ends *)
+  | No_overlap_wait (* drop the wait-for-flushed overlap barrier *)
+  | Early_reclaim (* release the epoch's heap frees at handoff *)
 
 type slot_state = {
   mutable active : bool;
@@ -46,6 +61,30 @@ type stats = {
   mutable flush_ns : float;
   mutable period_sum : float;
   mutable last_checkpoint_end : float;
+  mutable stall_ns : float;
+      (* mutator stall: timer raise to worker release, summed over
+         checkpoints (the whole checkpoint in classic mode, only the
+         quiescence + handoff in pipeline mode) *)
+  mutable overlap_ns : float;
+      (* pipeline only: worker release to commit seal, the background
+         flush window overlapped with mutator execution *)
+}
+
+(* One in-flight background flush of the pipelined coordinator. The claim
+   cursor and completion counters are host-level state mutated between
+   yield points, hence atomic under the cooperative scheduler. *)
+type flush_job = {
+  j_id : int;
+  j_epoch : int; (* the epoch whose modified set is walked *)
+  j_addrs : Simnvm.Addr.t array;
+  mutable j_next : int; (* shared claim cursor over j_addrs *)
+  j_count : int;
+  j_staged : Heap.staged; (* epoch frees, released at seal *)
+  j_t0 : float; (* timer raise (virtual) *)
+  j_handoff : float; (* worker release (virtual) *)
+  j_sealed_early : bool; (* Seal_before_walk mutant already sealed *)
+  mutable j_walkers : int; (* flusher fibers still walking *)
+  mutable j_done_at : float; (* max flusher clock at walk completion *)
 }
 
 type t = {
@@ -64,6 +103,20 @@ type t = {
   mutable spans : Obs.Span.t option;
       (* phase profiling sink: checkpoint / wait / flush / epoch intervals
          on the virtual clock; observation only, charges nothing *)
+  (* ---- pipelined coordinator state ---- *)
+  mutable cur_epoch : int;
+      (* volatile epoch, advanced at quiescence; authoritative for workers
+         in pipeline mode (the persistent word lags until the seal) *)
+  slot_epochs : int array;
+      (* per-slot epoch views, refreshed at quiescence; what each slot's
+         Pctx reads in pipeline mode (the step toward per-shard epochs) *)
+  fmx : Simsched.Mutex.t; (* guards job / flush_work / flush_done *)
+  flush_work : Simsched.Condvar.t; (* a job was handed off *)
+  flush_done : Simsched.Condvar.t; (* the in-flight job sealed *)
+  mutable job : flush_job option;
+  mutable next_job_id : int;
+  mutable flushers_started : bool;
+  mutable mutant : mutant option;
 }
 
 (* Cost of the volatile bookkeeping on the hot path: checking [timer],
@@ -79,8 +132,32 @@ let mem t = Simsched.Env.mem t.env
 
 (* epoch_of is the identity on raw epoch words, so unpacking is
    unconditional: only integrity mode stores a sealed word. *)
-let epoch t =
+let epoch_word t =
   Checksum.epoch_of (Simsched.Env.load t.env t.layout.Layout.epoch_addr)
+
+(* The epoch workers observe. Classic mode reads the persistent word (the
+   historical behaviour, cache charge included); pipeline mode reads the
+   volatile counter, which runs ahead of the word during an overlapped
+   flush. *)
+let epoch t = if t.cfg.pipeline then t.cur_epoch else epoch_word t
+
+(* Wait-for-flushed overlap barrier: a worker about to re-log a cell whose
+   last log belongs to the epoch still being flushed must wait until that
+   flush seals (the single backup word is the only copy of the cell's
+   start-of-epoch value until then). Only conflicting cells pay; everyone
+   else keeps running through the overlap. *)
+let wait_epoch_durable t e =
+  match t.job with
+  | Some j when j.j_epoch = e && t.mutant <> Some No_overlap_wait ->
+      let s = sched t in
+      Simsched.Mutex.lock s t.fmx;
+      while
+        match t.job with Some j -> j.j_epoch = e | None -> false
+      do
+        Simsched.Condvar.wait s t.flush_done t.fmx
+      done;
+      Simsched.Mutex.unlock s t.fmx
+  | _ -> ()
 
 let store_epoch t e =
   Simsched.Env.store t.env t.layout.Layout.epoch_addr
@@ -95,13 +172,29 @@ let add_modified t ~slot addr =
   Simsched.Scheduler.charge (sched t) track_ns
 
 let ctx t ~slot : Pctx.t =
-  {
-    Pctx.env = t.env;
-    slot;
-    epoch = (fun () -> epoch t);
-    add_modified = (fun addr -> add_modified t ~slot addr);
-    integrity = t.cfg.integrity;
-  }
+  if t.cfg.pipeline then
+    {
+      Pctx.env = t.env;
+      slot;
+      (* per-slot epoch view: a volatile DRAM flag read, not a load of the
+         persistent word (which lags during an overlapped flush) *)
+      epoch =
+        (fun () ->
+          Simsched.Scheduler.charge (sched t) flag_check_ns;
+          t.slot_epochs.(slot));
+      add_modified = (fun addr -> add_modified t ~slot addr);
+      wait_epoch_durable = (fun e -> wait_epoch_durable t e);
+      integrity = t.cfg.integrity;
+    }
+  else
+    {
+      Pctx.env = t.env;
+      slot;
+      epoch = (fun () -> epoch_word t);
+      add_modified = (fun addr -> add_modified t ~slot addr);
+      wait_epoch_durable = ignore;
+      integrity = t.cfg.integrity;
+    }
 
 (* Context whose tracked addresses are flushed immediately: used only for
    initialising a fresh image inside [create], before the simulation runs.
@@ -118,6 +211,7 @@ let bootstrap_ctx t : Pctx.t =
       (fun addr ->
         Simnvm.Memsys.pwb (mem t) addr;
         Simnvm.Memsys.psync (mem t));
+    wait_epoch_durable = ignore;
     integrity = t.cfg.integrity;
   }
 
@@ -152,8 +246,32 @@ let make_internal ?(cfg = default_config) env =
         flush_ns = 0.0;
         period_sum = 0.0;
         last_checkpoint_end = 0.0;
+        stall_ns = 0.0;
+        overlap_ns = 0.0;
       };
     spans = None;
+    (* Volatile epoch views seeded from the NVMM image directly (persisted
+       is a host-level read: no cache traffic, no charge, so non-pipeline
+       virtual time is untouched). A fresh image reads 0, which [create]
+       re-establishes anyway; [restart] picks up the failed epoch. *)
+    cur_epoch =
+      Checksum.epoch_of
+        (Simnvm.Memsys.persisted
+           (Simsched.Env.mem env)
+           layout.Layout.epoch_addr);
+    slot_epochs =
+      Array.make cfg.max_threads
+        (Checksum.epoch_of
+           (Simnvm.Memsys.persisted
+              (Simsched.Env.mem env)
+              layout.Layout.epoch_addr));
+    fmx = Simsched.Mutex.create ~name:"flush" ();
+    flush_work = Simsched.Condvar.create ~name:"flush-work" ();
+    flush_done = Simsched.Condvar.create ~name:"flush-done" ();
+    job = None;
+    next_job_id = 0;
+    flushers_started = false;
+    mutant = None;
   }
 
 let set_spans t r = t.spans <- Some r
@@ -171,12 +289,22 @@ let emit_span t name t0 t1 =
    the same cache line as the epoch word itself, so the three stores of a
    commit persist atomically under PCSO. Recovery cross-checks the epoch
    word against it (a bit flip in either is detected, and whichever the
-   CRC certifies wins). Written only in integrity mode. *)
+   CRC certifies wins). Written only in integrity mode.
+
+   The pipelined runtime double-buffers the record: the slot for epoch
+   value [e] is chosen by parity, so consecutive seals alternate and a
+   torn slot write can never destroy the last certified commit — recovery
+   picks the newest valid slot. The classic runtime keeps writing slot A
+   every time (the historical single-record protocol). *)
 let store_commit_record t e =
   let l = t.layout in
-  Simsched.Env.store t.env l.Layout.commit_epoch_addr e;
-  Simsched.Env.store t.env l.Layout.commit_crc_addr
-    (Checksum.commit ~epoch:e ~addr:l.Layout.commit_epoch_addr)
+  let ea, ca =
+    if t.cfg.pipeline && e land 1 = 1 then
+      (l.Layout.commit2_epoch_addr, l.Layout.commit2_crc_addr)
+    else (l.Layout.commit_epoch_addr, l.Layout.commit_crc_addr)
+  in
+  Simsched.Env.store t.env ea e;
+  Simsched.Env.store t.env ca (Checksum.commit ~epoch:e ~addr:ea)
 
 let create ?cfg env =
   let t = make_internal ?cfg env in
@@ -363,34 +491,19 @@ let flush_with_pool t addrs =
   t.stats.flush_ns <- t.stats.flush_ns +. makespan;
   emit_span t "checkpoint.flush" t0 (Simsched.Scheduler.now (sched t))
 
-(* The body of the checkpoint procedure, to be called with [rmx] held and
-   all flags raised: flush, advance the epoch, release the epoch's frees.
-   [on_flushed] runs between the flush and the epoch increment, while every
-   application thread is still quiescent: at that instant the persistent
-   image is exactly the state at the start of the next epoch, which test
-   oracles snapshot to verify recovery. *)
-let checkpoint_body ?(on_flushed = fun (_ : int) -> ()) t =
-  let addrs, count =
-    Array.fold_left
-      (fun (acc, n) st ->
-        let l = st.to_flush in
-        let k = st.to_flush_len in
-        st.to_flush <- [];
-        st.to_flush_len <- 0;
-        (List.rev_append l acc, n + k))
-      ([], 0) t.slots
-  in
-  (match t.cfg.mode with
-  | Full -> flush_with_pool t addrs
-  | No_flush | Incll_only -> ());
-  let e = epoch t in
-  on_flushed (e + 1);
-  if t.cfg.integrity then store_commit_record t (e + 1);
-  store_epoch t (e + 1);
+(* Seal the checkpoint that advanced into epoch value [v]: commit record
+   slot (integrity mode), epoch word, pwb, psync. All the stores share
+   line 0, so one pwb persists them line-atomically under PCSO. *)
+let seal_commit t v =
+  if t.cfg.integrity then store_commit_record t v;
+  store_epoch t v;
   Simsched.Env.pwb t.env t.layout.Layout.epoch_addr;
-  Simsched.Env.psync t.env;
-  Heap.advance_epoch t.heap;
-  let now = Simsched.Scheduler.now (sched t) in
+  Simsched.Env.psync t.env
+
+(* Checkpoint-completion bookkeeping, shared by the classic body (runs on
+   the coordinator clock) and the pipelined seal (runs on the sealing
+   flusher's clock). *)
+let finish_checkpoint_stats t ~count ~now =
   (* The epoch span runs from the previous checkpoint's completion to this
      one's (from time 0 for the first), the interval during which the
      just-flushed modifications accumulated. *)
@@ -402,11 +515,185 @@ let checkpoint_body ?(on_flushed = fun (_ : int) -> ()) t =
       t.stats.period_sum +. (now -. t.stats.last_checkpoint_end);
   t.stats.last_checkpoint_end <- now
 
+let collect_to_flush t =
+  Array.fold_left
+    (fun (acc, n) st ->
+      let l = st.to_flush in
+      let k = st.to_flush_len in
+      st.to_flush <- [];
+      st.to_flush_len <- 0;
+      (List.rev_append l acc, n + k))
+    ([], 0) t.slots
+
+(* ------------------------------------------------------------------ *)
+(* Background flusher pool (pipeline mode). The fibers are long-lived:
+   spawned once on the scheduler, they sleep on [flush_work] between
+   checkpoints, claim chunks of the handed-off modified set from a shared
+   cursor, and issue the pwbs on their own virtual clocks — so the walk
+   genuinely overlaps mutator execution under the smallest-clock dispatch.
+   The last fiber to finish the walk performs the seal. *)
+
+let walk_chunk = 32 (* addresses claimed per host-atomic grab *)
+
+let flusher_body t () =
+  let s = sched t in
+  let last = ref (-1) in
+  let running = ref true in
+  while !running do
+    Simsched.Mutex.lock s t.fmx;
+    while
+      (match t.job with Some j -> j.j_id = !last | None -> true)
+      && not t.stop_requested
+    do
+      Simsched.Condvar.wait s t.flush_work t.fmx
+    done;
+    match t.job with
+    | Some j when j.j_id <> !last ->
+        Simsched.Mutex.unlock s t.fmx;
+        last := j.j_id;
+        let busy0 = Simsched.Scheduler.now s in
+        let len = Array.length j.j_addrs in
+        let walking = ref true in
+        while !walking do
+          let lo = j.j_next in
+          if lo >= len then walking := false
+          else begin
+            (* Host-level claim between yield points, hence atomic. *)
+            let hi = min len (lo + walk_chunk) in
+            j.j_next <- hi;
+            for k = lo to hi - 1 do
+              Simsched.Env.pwb t.env j.j_addrs.(k);
+              Simsched.Scheduler.poll s
+            done
+          end
+        done;
+        (* Flush time is attributed to the flusher fibers, not folded into
+           the coordinator's period accounting. *)
+        emit_span t "checkpoint.flush" busy0 (Simsched.Scheduler.now s);
+        Simsched.Mutex.lock s t.fmx;
+        j.j_done_at <- Float.max j.j_done_at (Simsched.Scheduler.now s);
+        j.j_walkers <- j.j_walkers - 1;
+        let last_walker = j.j_walkers = 0 in
+        Simsched.Mutex.unlock s t.fmx;
+        if last_walker then begin
+          (* The seal happens-after every walker's completion. *)
+          Simsched.Scheduler.advance_to s j.j_done_at;
+          let walk_end = Simsched.Scheduler.now s in
+          t.stats.flush_ns <- t.stats.flush_ns +. (walk_end -. j.j_handoff);
+          Simsched.Env.psync t.env;
+          if not j.j_sealed_early then seal_commit t (j.j_epoch + 1);
+          if t.mutant <> Some Early_reclaim then Heap.release t.heap j.j_staged;
+          let now = Simsched.Scheduler.now s in
+          t.stats.overlap_ns <- t.stats.overlap_ns +. (now -. j.j_handoff);
+          emit_span t "checkpoint.overlap" j.j_handoff now;
+          emit_span t "checkpoint" j.j_t0 now;
+          finish_checkpoint_stats t ~count:j.j_count ~now;
+          Simsched.Mutex.lock s t.fmx;
+          t.job <- None;
+          Simsched.Condvar.broadcast s t.flush_done;
+          Simsched.Mutex.unlock s t.fmx
+        end
+    | _ ->
+        (* stop requested and no fresh job *)
+        Simsched.Mutex.unlock s t.fmx;
+        running := false
+  done
+
+(* The pool is spawned once, lazily: [start] spawns it for a pipelined
+   runtime, and a manually driven [run_checkpoint] (tests, crash scenarios)
+   spawns it on first use — still long-lived fibers, never per-checkpoint
+   threads. *)
+let ensure_flushers t =
+  if not t.flushers_started then begin
+    t.flushers_started <- true;
+    for i = 0 to max 1 t.cfg.flusher_pool - 1 do
+      ignore
+        (Simsched.Scheduler.spawn
+           ~name:(Printf.sprintf "respct-flusher-%d" i)
+           (sched t) (flusher_body t))
+    done
+  end
+
+(* The body of the checkpoint procedure, to be called with [rmx] held and
+   all flags raised: flush, advance the epoch, release the epoch's frees.
+   [on_flushed] runs between the flush and the epoch increment, while every
+   application thread is still quiescent: at that instant the persistent
+   image is exactly the state at the start of the next epoch, which test
+   oracles snapshot to verify recovery. *)
+let checkpoint_body ?(on_flushed = fun (_ : int) -> ()) t =
+  let addrs, count = collect_to_flush t in
+  (match t.cfg.mode with
+  | Full -> flush_with_pool t addrs
+  | No_flush | Incll_only -> ());
+  let e = epoch_word t in
+  on_flushed (e + 1);
+  seal_commit t (e + 1);
+  t.cur_epoch <- e + 1;
+  Array.fill t.slot_epochs 0 (Array.length t.slot_epochs) (e + 1);
+  Heap.advance_epoch t.heap;
+  let now = Simsched.Scheduler.now (sched t) in
+  finish_checkpoint_stats t ~count ~now
+
+(* Pipelined quiescence body, with [rmx] held and all flags raised: gather
+   the modified set, snapshot the oracle state, stage the epoch's heap
+   frees, hand the walk to the flusher pool, advance the volatile epoch
+   views and release the workers. The persistent seal happens later, on
+   the last flusher, once the walk completes (seal-at-walk-completion). *)
+let checkpoint_handoff ?(on_flushed = fun (_ : int) -> ()) t ~t0 =
+  let s = sched t in
+  let addrs, count = collect_to_flush t in
+  let e = t.cur_epoch in
+  (* Quiescent instant: the model state here equals end-of-epoch-[e],
+     exactly what recovery restores for a crash in epoch e+1 — the same
+     oracle contract as the classic on_flushed. *)
+  on_flushed (e + 1);
+  let staged = Heap.collect_pending t.heap in
+  if t.mutant = Some Early_reclaim then Heap.release t.heap staged;
+  let sealed_early = t.mutant = Some Seal_before_walk in
+  if sealed_early then seal_commit t (e + 1);
+  let now = Simsched.Scheduler.now s in
+  let job =
+    {
+      j_id = t.next_job_id;
+      j_epoch = e;
+      j_addrs = Array.of_list addrs;
+      j_next = 0;
+      j_count = count;
+      j_staged = staged;
+      j_t0 = t0;
+      j_handoff = now;
+      j_sealed_early = sealed_early;
+      j_walkers = max 1 t.cfg.flusher_pool;
+      j_done_at = now;
+    }
+  in
+  t.next_job_id <- t.next_job_id + 1;
+  t.cur_epoch <- e + 1;
+  Array.fill t.slot_epochs 0 (Array.length t.slot_epochs) (e + 1);
+  Simsched.Mutex.lock s t.fmx;
+  t.job <- Some job;
+  Simsched.Condvar.broadcast s t.flush_work;
+  Simsched.Mutex.unlock s t.fmx
+
 (* One full checkpoint: raise the timer, wait for every active thread to
-   reach a restart point, flush, release. Runs on the coordinator thread
-   (or directly on a test thread). *)
+   reach a restart point, then either flush-and-seal synchronously (classic
+   mode) or hand the walk to the flusher pool and release the workers
+   immediately (pipeline mode). Runs on the coordinator thread (or directly
+   on a test thread). Pipeline applies to mode [Full] only: No_flush and
+   eADR-style runs keep the classic ordering even with [pipeline = true]. *)
 let run_checkpoint ?on_flushed t =
   let s = sched t in
+  let pipelined = t.cfg.pipeline && t.cfg.mode = Full in
+  if pipelined then begin
+    ensure_flushers t;
+    (* Backpressure: at most one overlapped flush in flight — the next
+       quiescence waits out the previous seal before stalling anyone. *)
+    Simsched.Mutex.lock s t.fmx;
+    while t.job <> None do
+      Simsched.Condvar.wait s t.flush_done t.fmx
+    done;
+    Simsched.Mutex.unlock s t.fmx
+  end;
   let t0 = Simsched.Scheduler.now s in
   Simsched.Mutex.lock s t.rmx;
   t.timer <- true;
@@ -414,11 +701,15 @@ let run_checkpoint ?on_flushed t =
     Simsched.Condvar.wait s t.arrival t.rmx
   done;
   emit_span t "checkpoint.wait" t0 (Simsched.Scheduler.now s);
-  checkpoint_body ?on_flushed t;
+  if pipelined then checkpoint_handoff ?on_flushed t ~t0
+  else checkpoint_body ?on_flushed t;
   t.timer <- false;
   Simsched.Condvar.broadcast s t.finished;
   Simsched.Mutex.unlock s t.rmx;
-  emit_span t "checkpoint" t0 (Simsched.Scheduler.now s)
+  let now = Simsched.Scheduler.now s in
+  t.stats.stall_ns <- t.stats.stall_ns +. (now -. t0);
+  emit_span t "checkpoint.stall" t0 now;
+  if not pipelined then emit_span t "checkpoint" t0 now
 
 let coordinator t () =
   let s = sched t in
@@ -438,10 +729,25 @@ let start t =
   match t.cfg.mode with
   | Incll_only -> ()
   | Full | No_flush ->
+      if t.cfg.pipeline && t.cfg.mode = Full then ensure_flushers t;
       ignore (Simsched.Scheduler.spawn ~name:"respct-coordinator" (sched t)
                 (coordinator t))
 
-let stop t = t.stop_requested <- true
+let stop t =
+  t.stop_requested <- true;
+  (* Wake idle flusher fibers so they can exit; only meaningful (and only
+     legal) from inside the simulation. *)
+  if
+    t.flushers_started
+    && Simsched.Scheduler.current_tid_opt (sched t) >= 0
+  then begin
+    let s = sched t in
+    Simsched.Mutex.lock s t.fmx;
+    Simsched.Condvar.broadcast s t.flush_work;
+    Simsched.Mutex.unlock s t.fmx
+  end
+
+let set_mutant t m = t.mutant <- m
 
 (* ------------------------------------------------------------------ *)
 (* Restart points (paper section 3.3) *)
@@ -453,7 +759,28 @@ let rp t ~slot id =
      Simsched.Trace.emit bus
        (Simsched.Trace.Restart_point
           { tid = Simsched.Scheduler.current_tid_opt (sched t); id }));
-  Incll.update (ctx t ~slot) st.rp_cell id;
+  (* Deferred RP_id under an overlapped flush: the rp cell is updated at
+     every restart point, so its previous log always belongs to the epoch
+     being flushed and re-logging it would park every worker on the
+     wait-for-flushed barrier at its first rp of the new epoch. Skipping
+     the persistent update until the seal is safe: a crash before the seal
+     rolls the world back to the previous quiescence, where the cell's
+     backup holds the matching rp id; a crash after the seal (update still
+     deferred) restores end-of-epoch state, and the cell's un-relogged
+     record is exactly the rp id at that quiescence. Quiescence itself
+     never overlaps a flush (backpressure), so the id written there is
+     never deferred. *)
+  let deferred =
+    t.cfg.pipeline
+    &&
+    match t.job with
+    | Some j ->
+        Checksum.epoch_of
+          (Simsched.Env.load t.env (Incll.epoch_id st.rp_cell))
+        = j.j_epoch
+    | None -> false
+  in
+  if not deferred then Incll.update (ctx t ~slot) st.rp_cell id;
   let s = sched t in
   Simsched.Scheduler.charge s flag_check_ns;
   if t.timer then begin

@@ -33,16 +33,46 @@ type config = {
           classify media damage. Off by default; when off, behaviour and
           the persistent image are bit-identical to a build without the
           feature. *)
+  pipeline : bool;
+      (** asynchronous epoch advance ([Full] mode only): quiescence only
+          gathers the modified set and hands it to a pool of long-lived
+          background flusher fibers, then releases the workers into epoch
+          e+1 immediately; the checkpoint seals on a double-buffered commit
+          record once the background walk completes. A worker re-logging a
+          cell whose last log belongs to the still-flushing epoch waits for
+          the seal (wait-for-flushed; see DESIGN.md §12). Off by default;
+          when off, behaviour, virtual timings and the persistent image are
+          bit-identical to the classic synchronous checkpoint. *)
 }
 
 val default_config : config
 
+(** Planted protocol mutants for crash testing: each disables one safety
+    leg of the pipelined checkpoint so the crash matrix can prove that leg
+    load-bearing. Never set outside tests. *)
+type mutant =
+  | Seal_before_walk
+      (** seal the commit at handoff, before the walk completes *)
+  | No_overlap_wait  (** drop the wait-for-flushed overlap barrier *)
+  | Early_reclaim
+      (** release the epoch's heap frees at handoff instead of at seal *)
+
 type stats = {
   mutable checkpoints : int;
   mutable flushed_addrs : int;  (** addresses flushed across all checkpoints *)
-  mutable flush_ns : float;  (** virtual time spent flushing *)
+  mutable flush_ns : float;
+      (** virtual time spent flushing: the synchronous flush makespan in
+          classic mode, the background-walk makespan (handoff to walk end,
+          on the flusher clocks) in pipeline mode *)
   mutable period_sum : float;
   mutable last_checkpoint_end : float;
+  mutable stall_ns : float;
+      (** mutator stall: timer raise to worker release, summed over
+          checkpoints — the whole checkpoint in classic mode, only the
+          quiescence wait + handoff in pipeline mode *)
+  mutable overlap_ns : float;
+      (** pipeline only: worker release to commit seal, the flush window
+          overlapped with mutator execution *)
 }
 
 type t
@@ -63,7 +93,13 @@ val start : t -> unit
     Call before [Scheduler.run]. *)
 
 val stop : t -> unit
-(** Ask the coordinator to exit at its next period boundary. *)
+(** Ask the coordinator to exit at its next period boundary; also wakes any
+    idle background flusher fibers so a pipelined run can terminate (call
+    it from inside the simulation once the workers are done, or the idle
+    pool deadlocks the scheduler). *)
+
+val set_mutant : t -> mutant option -> unit
+(** Plant (or clear) a pipelined-protocol mutant. Test-only. *)
 
 val spawn : ?name:string -> t -> slot:int -> (Pctx.t -> unit) -> int
 (** Launch an application thread bound to a slot: registers the slot
@@ -101,13 +137,19 @@ val cond_wait : t -> slot:int -> Simsched.Condvar.t -> Simsched.Mutex.t -> unit
 (** Condition-variable wait wrapped in allow/prevent (paper Figure 7). *)
 
 val run_checkpoint : ?on_flushed:(int -> unit) -> t -> unit
-(** Execute one full checkpoint synchronously (the coordinator's body):
-    raise the timer, wait for all active threads to reach restart points,
-    flush, advance the epoch. [on_flushed next_epoch] runs between the flush
-    and the epoch increment, while all threads are quiescent — at that
-    instant the persistent image is exactly the state recovery would restore
-    for a crash in [next_epoch]; test oracles snapshot it there. Exposed for
-    deterministic tests. *)
+(** Execute one full checkpoint (the coordinator's body): raise the timer,
+    wait for all active threads to reach restart points, then flush and
+    advance the epoch — synchronously in classic mode, or by handing the
+    walk to the background flusher pool in pipeline mode (the call returns
+    at handoff; the seal lands later on a flusher fiber, and a second call
+    first waits out any flush still in flight). [on_flushed next_epoch]
+    runs at the quiescent instant: the model state there is exactly what
+    recovery restores for a crash in [next_epoch]. In pipeline mode the
+    contract still holds: a crash during the overlapped walk reports the
+    previous epoch as failed (the epoch word has not advanced) and recovery
+    restores the previous snapshot; a crash after the seal reports
+    [next_epoch] and restores this one. Test oracles snapshot it there.
+    Exposed for deterministic tests. *)
 
 val alloc_incll : t -> slot:int -> int -> Incll.cell
 (** Allocate, initialise and register one InCLL-protected variable. *)
@@ -148,17 +190,23 @@ val add_modified : t -> slot:int -> Simnvm.Addr.t -> unit
     flushing at the next checkpoint. *)
 
 val epoch : t -> int
-(** Current global epoch. *)
+(** Current global epoch: the persistent epoch word in classic mode, the
+    volatile epoch counter in pipeline mode (which runs one ahead of the
+    word while a background flush is in flight). *)
 
 val debug_flags : t -> string
 (** Debug helper: timer state and the per-slot flags of active threads. *)
 
 val set_spans : t -> Obs.Span.t -> unit
 (** Attach a span recorder: checkpoints thereafter report
-    ["checkpoint"] (timer raised to release), ["checkpoint.wait"]
-    (quiescence wait), ["checkpoint.flush"] (parallel flush makespan) and
-    ["epoch"] (previous checkpoint end to this one) intervals on the
-    virtual clock. Pure observation: attaching one changes no charge. *)
+    ["checkpoint"] (timer raise to completion — worker release in classic
+    mode, seal in pipeline mode), ["checkpoint.wait"] (quiescence wait),
+    ["checkpoint.stall"] (timer raise to worker release, the mutator-visible
+    pause), ["checkpoint.flush"] (flush makespan; per-flusher busy spans in
+    pipeline mode), ["checkpoint.overlap"] (pipeline only: worker release
+    to seal) and ["epoch"] (previous checkpoint end to this one) intervals
+    on the virtual clock. Pure observation: attaching one changes no
+    charge. *)
 
 val spans : t -> Obs.Span.t option
 

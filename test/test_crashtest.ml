@@ -415,6 +415,46 @@ let test_noverify_mutant_fault_counterexample () =
         (contains ~sub:"--fault-seed 7" (Crashtest.Report.replay_args c)))
 
 (* ------------------------------------------------------------------ *)
+(* Pipelined checkpointing: the async-epoch worlds hold under a small
+   direct exploration, and two of the planted protocol mutants die with
+   shrunk replayable counterexamples — a fast cross-section of what the
+   full [crashmatrix --pipeline] sweep covers. *)
+
+let test_pipeline_scenarios_hold () =
+  List.iter
+    (fun id ->
+      let o = Explore.explore (scenario_of id ~pcso:true ~n_ops:6) in
+      Alcotest.(check bool)
+        (id ^ " boundaries > 0")
+        true (o.Explore.boundaries > 0);
+      Alcotest.(check int) (id ^ " violations") 0 (List.length o.Explore.failures))
+    [ "respct-map-pipeline"; "respct-queue-pipeline"; "respct-map-pipeline-churn" ]
+
+let test_pipeline_mutants_caught () =
+  List.iter
+    (fun (id, n) ->
+      let rebuild ~n_ops = scenario_of id ~pcso:true ~n_ops in
+      let o = Explore.explore ~stop_at_first_failure:true (rebuild ~n_ops:n) in
+      match o.Explore.failures with
+      | [] -> Alcotest.failf "%s survived exploration" id
+      | f :: _ -> (
+          let c = Shrink.minimize ~rebuild ~n_ops:n f in
+          Alcotest.(check bool)
+            (id ^ " shrunk op count <= original")
+            true
+            (c.Shrink.n_ops <= n);
+          match Shrink.replay c ~rebuild with
+          | Error _ -> ()
+          | Ok () -> Alcotest.failf "%s counterexample does not replay" id))
+    [
+      (* the seal-before-walk mutant dies quickly on the random mix; the
+         early-reclaim one needs the allocator-churn workload to force a
+         same-epoch free -> overlapped-reuse window. *)
+      ("respct-map-pipeline-mutant-earlyseal", 10);
+      ("respct-map-pipeline-churn-mutant-earlyreclaim", 16);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* IR corpus: statically inferred plans vs the explorer (the analysis
    subsystem's end-to-end gate). The inferred plan must survive
    exploration; the one-logging-site-stripped mutant must be rejected
@@ -499,6 +539,13 @@ let () =
             test_integrity_scenarios_survive_faults;
           Alcotest.test_case "noverify mutant fault counterexample" `Slow
             test_noverify_mutant_fault_counterexample;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "pipeline scenarios hold" `Slow
+            test_pipeline_scenarios_hold;
+          Alcotest.test_case "pipeline mutants caught + shrunk + replay" `Slow
+            test_pipeline_mutants_caught;
         ] );
       ( "ir-corpus",
         [

@@ -170,6 +170,7 @@ let traced_queue_world () =
       max_threads = 4;
       registry_per_slot = 4096;
       integrity = false;
+      pipeline = false;
     }
   in
   let rt = Respct.Runtime.create ~cfg env in
@@ -229,6 +230,7 @@ let test_advisor_race_freedom_of_map () =
       max_threads = 4;
       registry_per_slot = 4096;
       integrity = false;
+      pipeline = false;
     }
   in
   let rt = Respct.Runtime.create ~cfg env in

@@ -28,6 +28,7 @@ let rt_cfg =
     max_threads = 8;
     registry_per_slot = 1 lsl 14;
     integrity = false;
+    pipeline = false;
   }
 
 let in_thread sched body =

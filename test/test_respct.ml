@@ -18,7 +18,7 @@ let mem_cfg ?(evict_rate = 0.0) ?(pcso = true) () =
   }
 
 let rt_cfg ?(period_ns = 50_000.0) ?(mode = Runtime.Full) ?(flusher_pool = 4)
-    () =
+    ?(pipeline = false) () =
   {
     Runtime.period_ns;
     mode;
@@ -26,6 +26,7 @@ let rt_cfg ?(period_ns = 50_000.0) ?(mode = Runtime.Full) ?(flusher_pool = 4)
     max_threads = 16;
     registry_per_slot = 4096;
     integrity = false;
+    pipeline;
   }
 
 (* Build a fresh world: memory, scheduler, env, runtime. *)
@@ -791,6 +792,201 @@ let test_cond_wait_no_deadlock () =
     ((Runtime.stats rt).Runtime.checkpoints > 3)
 
 (* ------------------------------------------------------------------ *)
+(* Pipelined checkpointing: async epoch advance, double-buffered commits *)
+
+(* Staged reclamation: a [collect_pending] snapshot detaches the epoch's
+   frees from the heap; the blocks only become reusable at [release] (the
+   pipelined runtime calls it at seal, after the background walk). *)
+let test_heap_staged_release () =
+  let _mem, _sched, _env, rt = fresh () in
+  in_thread rt (fun ctx ->
+      let heap = Runtime.heap rt in
+      let a = Heap.alloc ctx heap ~words:4 in
+      Heap.free ctx heap a ~words:4;
+      let staged = Heap.collect_pending heap in
+      Alcotest.(check (list int)) "staged addresses" [ a ]
+        (Heap.staged_addrs staged);
+      let b = Heap.alloc ctx heap ~words:4 in
+      Alcotest.(check bool) "unreleased block not reused" true (a <> b);
+      Alcotest.(check (list int)) "pending drained by the snapshot" []
+        (Heap.staged_addrs (Heap.collect_pending heap));
+      Heap.release heap staged;
+      let c = Heap.alloc ctx heap ~words:4 in
+      Alcotest.(check int) "released block reused" a c)
+
+(* The same periodic-coordinator workload in both modes: the pipelined
+   runtime must collapse the mutator stall (quiescence + handoff instead
+   of the whole flush) and account the displaced flush as overlap. *)
+let coordinator_stats ~pipeline =
+  let _mem, sched, _env, rt =
+    fresh ~cfg:(rt_cfg ~period_ns:20_000.0 ~pipeline ()) ()
+  in
+  Runtime.start rt;
+  let n_cells = 64 in
+  ignore
+    (Runtime.spawn rt ~slot:0 (fun _ctx ->
+         let base = Runtime.alloc_incll_array rt ~slot:0 n_cells ~init:0 in
+         let cells =
+           Array.init n_cells (fun i -> Heap.cell_at (Runtime.env rt) base i)
+         in
+         for i = 1 to 2000 do
+           Runtime.update rt ~slot:0 cells.(i mod n_cells) i;
+           Env.compute (Runtime.env rt) 100.0;
+           Runtime.rp rt ~slot:0 1
+         done;
+         Runtime.stop rt));
+  ignore (Scheduler.run sched);
+  Runtime.stats rt
+
+let test_pipeline_stall_collapse () =
+  let classic = coordinator_stats ~pipeline:false in
+  let pipe = coordinator_stats ~pipeline:true in
+  Alcotest.(check bool) "classic checkpointed" true
+    (classic.Runtime.checkpoints >= 5);
+  Alcotest.(check bool) "pipeline checkpointed" true
+    (pipe.Runtime.checkpoints >= 5);
+  Alcotest.check (Alcotest.float 1e-6) "classic has no overlap" 0.0
+    classic.Runtime.overlap_ns;
+  Alcotest.(check bool) "pipeline overlaps the flush" true
+    (pipe.Runtime.overlap_ns > 0.0);
+  let per s =
+    s.Runtime.stall_ns /. float_of_int (max 1 s.Runtime.checkpoints)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "stall collapsed (%.0f -> %.0f ns/ckpt)" (per classic)
+       (per pipe))
+    true
+    (per pipe < 0.5 *. per classic)
+
+(* Double-buffered commits (integrity mode): consecutive seals alternate
+   slots by epoch parity, so after epochs 1 and 2 slot B holds the odd
+   seal, slot A the even one, and both CRCs certify. *)
+let test_pipeline_commit_slots_alternate () =
+  let cfg = { (rt_cfg ~pipeline:true ()) with Runtime.integrity = true } in
+  let mem, sched, _env, rt = fresh ~cfg () in
+  let layout = Runtime.layout rt in
+  ignore
+    (Runtime.spawn rt ~slot:0 (fun _ctx ->
+         let cell = Runtime.alloc_incll rt ~slot:0 0 in
+         for i = 1 to 400 do
+           Runtime.update rt ~slot:0 cell i;
+           Env.compute (Runtime.env rt) 100.0;
+           Runtime.rp rt ~slot:0 1
+         done;
+         Runtime.stop rt));
+  ignore
+    (Scheduler.spawn ~name:"cp" sched (fun () ->
+         Scheduler.sleep sched 10_000.0;
+         Runtime.run_checkpoint rt;
+         Scheduler.sleep sched 10_000.0;
+         Runtime.run_checkpoint rt));
+  (match Scheduler.run sched with
+  | Scheduler.Completed -> ()
+  | Scheduler.Crash_interrupt _ -> Alcotest.fail "crash");
+  Alcotest.(check int) "epoch sealed at 2" 2
+    (Checksum.epoch_of (Memsys.persisted mem layout.Layout.epoch_addr));
+  let ea = Memsys.persisted mem layout.Layout.commit_epoch_addr in
+  let eb = Memsys.persisted mem layout.Layout.commit2_epoch_addr in
+  Alcotest.(check int) "slot A holds the even seal" 2 ea;
+  Alcotest.(check int) "slot B holds the odd seal" 1 eb;
+  Alcotest.(check int) "slot A CRC certifies"
+    (Checksum.commit ~epoch:2 ~addr:layout.Layout.commit_epoch_addr)
+    (Memsys.persisted mem layout.Layout.commit_crc_addr);
+  Alcotest.(check int) "slot B CRC certifies"
+    (Checksum.commit ~epoch:1 ~addr:layout.Layout.commit2_epoch_addr)
+    (Memsys.persisted mem layout.Layout.commit2_crc_addr)
+
+(* The pipelined crash trial: same shape as [crash_trial], but the oracle
+   snapshots a host-side mirror of the counters instead of persisted
+   reads — at the pipelined quiescent point (the handoff) the epoch's
+   lines are still being flushed in the background, so persisted reads
+   would be premature; the mirror is what the completed walk promises. *)
+let pipeline_crash_trial ?(verified = false) ~seed ~crash_ns () =
+  let cfg =
+    { (rt_cfg ~pipeline:true ()) with Runtime.integrity = verified }
+  in
+  let mem, sched, _env, rt = fresh ~seed ~evict_rate:0.2 ~cfg () in
+  let layout = Runtime.layout rt in
+  let n_cells = 8 in
+  let cells = ref [||] in
+  let mirror = Array.make n_cells 0 in
+  let snapshots = Hashtbl.create 8 in
+  ignore
+    (Runtime.spawn rt ~slot:0 (fun _ctx ->
+         let base = Runtime.alloc_incll_array rt ~slot:0 n_cells ~init:0 in
+         cells :=
+           Array.init n_cells (fun i -> Heap.cell_at (Runtime.env rt) base i);
+         let rng = Rng.create (seed * 7 + 1) in
+         let rec loop i =
+           let k = Rng.int rng n_cells in
+           Runtime.update rt ~slot:0 (!cells).(k) i;
+           mirror.(k) <- i;
+           if Rng.int rng 50 = 0 then
+             ignore (Runtime.alloc_incll rt ~slot:0 i);
+           if Rng.int rng 4 = 0 then Runtime.rp rt ~slot:0 1;
+           loop (i + 1)
+         in
+         loop 1));
+  ignore
+    (Scheduler.spawn ~name:"cp" sched (fun () ->
+         let rec loop deadline =
+           Scheduler.sleep_until sched deadline;
+           Runtime.run_checkpoint rt ~on_flushed:(fun next_epoch ->
+               if Array.length !cells > 0 then
+                 Hashtbl.replace snapshots next_epoch (Array.copy mirror));
+           loop (deadline +. 20_000.0)
+         in
+         loop 20_000.0));
+  Scheduler.set_crash_at sched crash_ns;
+  (match Scheduler.run sched with
+  | Scheduler.Crash_interrupt _ -> ()
+  | Scheduler.Completed -> Alcotest.fail "expected crash");
+  Memsys.crash mem;
+  let rep =
+    if verified then begin
+      let v = Recovery.run_verified ~layout mem in
+      if not (Recovery.exact_image v.Recovery.verdict) then
+        Alcotest.failf "perfect media judged %a" Recovery.pp_verdict
+          v.Recovery.verdict;
+      v.Recovery.vreport
+    end
+    else Recovery.run ~threads:2 ~layout mem
+  in
+  match Hashtbl.find_opt snapshots rep.Recovery.failed_epoch with
+  | None -> None (* crash in the creation epoch *)
+  | Some snap ->
+      Some
+        ( snap,
+          Array.map (fun c -> Memsys.persisted mem (Incll.record c)) !cells )
+
+let check_pipeline_trial ?verified ~seed ~crash_ns () =
+  match pipeline_crash_trial ?verified ~seed ~crash_ns () with
+  | None -> ()
+  | Some (snap, got) ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "values (seed %d)" seed)
+        snap got
+
+let test_pipeline_crash_recovery () =
+  List.iter
+    (fun seed ->
+      check_pipeline_trial ~seed
+        ~crash_ns:(30_000.0 +. float_of_int (seed * 13_777))
+        ())
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+(* Random crash points through the two-slot verified scan: every image —
+   including crashes mid-overlap and between the commit-slot seals — must
+   be judged exact on perfect media and restore the snapshot. *)
+let test_pipeline_verified_crash_recovery () =
+  List.iter
+    (fun seed ->
+      check_pipeline_trial ~verified:true ~seed
+        ~crash_ns:(30_000.0 +. float_of_int (seed * 17_333))
+        ())
+    [ 1; 2; 3; 4 ]
+
+(* ------------------------------------------------------------------ *)
 (* QCheck: the headline buffered-durable-linearizability property *)
 
 let prop_recovery_equals_last_checkpoint =
@@ -819,6 +1015,37 @@ let prop_verified_recovery_exact_on_clean_media =
       | None, _, _ -> true
       | Some s, Some r, _ -> s = r
       | Some _, None, _ -> false)
+
+(* Observable equivalence of the two checkpointing modes: for the same
+   generated workload and crash time, pipeline-on and pipeline-off must
+   both recover exactly the state their last checkpoint promised — the
+   durability contract is mode-independent even though the pipelined run
+   crashes in different protocol windows (mid-walk, between the slot
+   seals, post-advance). *)
+let prop_pipeline_classic_equivalent =
+  QCheck.Test.make
+    ~name:"pipeline and classic recover their last checkpoints alike"
+    ~count:15
+    (Gen_common.arb_crash_case ())
+    (fun c ->
+      let classic_ok =
+        match
+          crash_trial ~seed:c.Gen_common.seed
+            ~crash_ns:(Gen_common.crash_ns c) ()
+        with
+        | None, _, _ -> true
+        | Some s, Some r, _ -> s = r
+        | Some _, None, _ -> false
+      in
+      let pipeline_ok =
+        match
+          pipeline_crash_trial ~seed:c.Gen_common.seed
+            ~crash_ns:(Gen_common.crash_ns c) ()
+        with
+        | None -> true
+        | Some (snap, got) -> snap = got
+      in
+      classic_ok && pipeline_ok)
 
 let qcheck tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
 
@@ -890,10 +1117,24 @@ let () =
           Alcotest.test_case "cond_wait under checkpoints" `Quick
             test_cond_wait_no_deadlock;
         ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "heap staged release" `Quick
+            test_heap_staged_release;
+          Alcotest.test_case "mutator stall collapses" `Quick
+            test_pipeline_stall_collapse;
+          Alcotest.test_case "commit slots alternate" `Quick
+            test_pipeline_commit_slots_alternate;
+          Alcotest.test_case "crash recovery (8 seeds)" `Quick
+            test_pipeline_crash_recovery;
+          Alcotest.test_case "verified crash recovery (4 seeds)" `Quick
+            test_pipeline_verified_crash_recovery;
+        ] );
       ( "properties",
         qcheck
           [
             prop_recovery_equals_last_checkpoint;
             prop_verified_recovery_exact_on_clean_media;
+            prop_pipeline_classic_equivalent;
           ] );
     ]
