@@ -673,6 +673,271 @@ let analyze_cmd =
     Term.(
       const run $ program_arg $ iters_arg $ out_arg $ strip_arg $ dynamic_arg)
 
+let litmus_cmd =
+  let corpus_arg =
+    Arg.(
+      value & flag
+      & info [ "corpus" ]
+          ~doc:
+            "Check every named corpus test against all three worlds under \
+             its declared axiom variants, plus the axiom-level inclusions \
+             (eADR admits only no-loss states; the word ablation admits \
+             every PCSO state).")
+  in
+  let fuzz_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuzz" ] ~docv:"N"
+          ~doc:
+            "Generate $(docv) random litmus programs and check soundness \
+             in every world; the first violation is shrunk and written as \
+             a replayable counterexample.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~doc:"Base seed for generation and sampling.")
+  in
+  let samples_arg =
+    Arg.(
+      value & opt int 24
+      & info [ "samples" ]
+          ~doc:"(schedule, crash-image) pairs per program and world.")
+  in
+  let world_arg =
+    Arg.(
+      value
+      & opt (some (enum
+               [ ("kernel", Litmus.World.Kernel);
+                 ("ref", Litmus.World.Refm);
+                 ("ir", Litmus.World.Ir_mem) ])) None
+      & info [ "world" ] ~doc:"Restrict to one world (default: all three).")
+  in
+  let variant_arg =
+    Arg.(
+      value
+      & opt (enum
+               [ ("pcso", Litmus.Axiom.Pcso);
+                 ("pcso-lazy", Litmus.Axiom.Pcso_lazy);
+                 ("eadr", Litmus.Axiom.Eadr);
+                 ("ablation", Litmus.Axiom.Ablation) ])
+          Litmus.Axiom.Pcso
+      & info [ "variant" ] ~doc:"Axiom variant for --fuzz (default pcso).")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a counterexample file written by a failing run \
+             instead of exploring; exit 1 iff the violation reproduces.")
+  in
+  let mutant_arg =
+    Arg.(
+      value & flag
+      & info [ "mutant" ]
+          ~doc:
+            "Plant the drop-same-line-order kernel mutant (word-granular \
+             write-back under PCSO axioms) before checking — for \
+             demonstrating detection; a clean run under it means the \
+             harness lost its teeth.")
+  in
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:"Print every allowed-state set alongside the checks.")
+  in
+  let ce_arg =
+    Arg.(
+      value & opt string "litmus-counterexample.txt"
+      & info [ "counterexample-out" ] ~docv:"FILE"
+          ~doc:"Where --fuzz writes a shrunk counterexample.")
+  in
+  let run corpus fuzz_n seed samples world variant replay mutant verbose
+      ce_file json =
+    let ppf = Fmt.stdout in
+    let worlds =
+      match world with Some w -> [ w ] | None -> Litmus.World.all_ids
+    in
+    if mutant then
+      Litmus.World.set_mutant (Some Litmus.World.Drop_same_line_order);
+    match replay with
+    | Some file -> (
+        let text =
+          try In_channel.with_open_text file In_channel.input_all
+          with Sys_error msg ->
+            Fmt.epr "cannot read %s: %s@." file msg;
+            exit 2
+        in
+        match Litmus.Harness.counterexample_of_string text with
+        | Error msg ->
+            Fmt.epr "cannot parse %s: %s@." file msg;
+            exit 2
+        | Ok (p, v) -> (
+            match Litmus.Harness.replay p v with
+            | `Reproduced observed ->
+                Fmt.pf ppf "replay %s: violation reproduced: %a@."
+                  p.Litmus.Prog.name
+                  (Litmus.Axiom.pp_outcome (Litmus.Prog.locs p))
+                  observed;
+                exit 1
+            | `Vanished observed ->
+                Fmt.pf ppf
+                  "replay %s: no violation (observed %a is allowed)@."
+                  p.Litmus.Prog.name
+                  (Litmus.Axiom.pp_outcome (Litmus.Prog.locs p))
+                  observed))
+    | None -> (
+        let failed = ref false in
+        let reports = ref [] in
+        if corpus then begin
+          List.iter
+            (fun (e : Litmus.Corpus.entry) ->
+              let locs = Litmus.Prog.locs e.Litmus.Corpus.e_prog in
+              let ax v =
+                Litmus.Axiom.allowed ~variant:v e.Litmus.Corpus.e_prog
+              in
+              if verbose then
+                List.iter
+                  (fun v ->
+                    Fmt.pf ppf "%-16s %-9s allowed %a@."
+                      e.Litmus.Corpus.e_name
+                      (Litmus.Axiom.variant_name v)
+                      (Litmus.Axiom.pp_outcomes locs)
+                      (ax v).Litmus.Axiom.outcomes)
+                  e.Litmus.Corpus.e_variants;
+              (* axiom-level inclusions *)
+              let pcso = ax Litmus.Axiom.Pcso in
+              let sub a b =
+                Litmus.Axiom.Outcomes.subset a.Litmus.Axiom.outcomes
+                  b.Litmus.Axiom.outcomes
+              in
+              if not (sub (ax Litmus.Axiom.Eadr) pcso) then begin
+                failed := true;
+                Fmt.pf ppf "%-16s AXIOM FAIL: eadr not within pcso@."
+                  e.Litmus.Corpus.e_name
+              end;
+              if not (sub pcso (ax Litmus.Axiom.Ablation)) then begin
+                failed := true;
+                Fmt.pf ppf "%-16s AXIOM FAIL: pcso not within ablation@."
+                  e.Litmus.Corpus.e_name
+              end;
+              List.iter
+                (fun v ->
+                  List.iter
+                    (fun w ->
+                      let r =
+                        Litmus.Harness.check ~samples ~seed ~world:w
+                          ~variant:v e.Litmus.Corpus.e_prog
+                      in
+                      reports := r :: !reports;
+                      match r.Litmus.Harness.r_violations with
+                      | [] ->
+                          Fmt.pf ppf "%-16s %-6s %-9s ok (%d samples)@."
+                            e.Litmus.Corpus.e_name
+                            (Litmus.World.id_name w)
+                            (Litmus.Axiom.variant_name v)
+                            r.Litmus.Harness.r_samples
+                      | v0 :: _ ->
+                          failed := true;
+                          Fmt.pf ppf "%-16s %-6s %-9s VIOLATION %a@."
+                            e.Litmus.Corpus.e_name
+                            (Litmus.World.id_name w)
+                            (Litmus.Axiom.variant_name v)
+                            (Litmus.Harness.pp_violation locs)
+                            v0)
+                    worlds)
+                e.Litmus.Corpus.e_variants)
+            Litmus.Corpus.all
+        end;
+        let fuzz_json =
+          match fuzz_n with
+          | None -> Obs.Json.Null
+          | Some n ->
+              let r =
+                Litmus.Harness.fuzz ~n ~seed ~samples ~worlds
+                  ~variants:[ variant ] ()
+              in
+              Fmt.pf ppf
+                "fuzz: %d programs tested, %d skipped (state cap)@."
+                r.Litmus.Harness.f_tested r.Litmus.Harness.f_skipped;
+              (match r.Litmus.Harness.f_failure with
+              | None -> ()
+              | Some (p, v) ->
+                  failed := true;
+                  let text = Litmus.Harness.counterexample_to_string p v in
+                  (try
+                     Out_channel.with_open_text ce_file (fun oc ->
+                         Out_channel.output_string oc text)
+                   with Sys_error msg ->
+                     Fmt.epr "cannot write %s: %s@." ce_file msg);
+                  Fmt.pf ppf
+                    "fuzz: shrunk violation (replay with --replay %s):@.%s"
+                    ce_file text);
+              Obs.Json.Obj
+                [
+                  ("tested", Obs.Json.Int r.Litmus.Harness.f_tested);
+                  ("skipped", Obs.Json.Int r.Litmus.Harness.f_skipped);
+                  ( "failure",
+                    match r.Litmus.Harness.f_failure with
+                    | None -> Obs.Json.Null
+                    | Some (p, v) ->
+                        Obs.Json.Obj
+                          [
+                            ( "program",
+                              Obs.Json.String (Litmus.Prog.to_string p) );
+                            ( "violation",
+                              Litmus.Harness.violation_to_json v );
+                          ] );
+                ]
+        in
+        if (not corpus) && fuzz_n = None then begin
+          Fmt.epr "nothing to do: pass --corpus, --fuzz N or --replay@.";
+          exit 2
+        end;
+        (match json with
+        | None -> ()
+        | Some path -> (
+            let doc =
+              Obs.Json.Obj
+                [
+                  ("schema", Obs.Json.String "respct-litmus/v1");
+                  ("seed", Obs.Json.Int seed);
+                  ("samples", Obs.Json.Int samples);
+                  ( "mutant",
+                    Obs.Json.Bool
+                      (Litmus.World.mutant ()
+                      = Some Litmus.World.Drop_same_line_order) );
+                  ( "corpus",
+                    Obs.Json.List
+                      (List.rev_map Litmus.Harness.report_to_json !reports)
+                  );
+                  ("fuzz", fuzz_json);
+                ]
+            in
+            try
+              Obs.Json.to_file path doc;
+              Fmt.pf ppf "[litmus results written to %s]@." path
+            with Sys_error msg ->
+              Fmt.epr "cannot write --json sink: %s@." msg;
+              exit 2));
+        if !failed then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "litmus"
+       ~doc:
+         "Persistency-model litmus testing: check the kernel, the \
+          reference model and the analyzer-IR world against the \
+          axiomatic PCSO spec on named corpus tests and fuzzed programs, \
+          with shrunk replayable counterexamples.")
+    Term.(
+      const run $ corpus_arg $ fuzz_arg $ seed_arg $ samples_arg $ world_arg
+      $ variant_arg $ replay_arg $ mutant_arg $ verbose_arg $ ce_arg
+      $ json_arg)
+
 let () =
   let info =
     Cmd.info "respct_experiments"
@@ -690,4 +955,5 @@ let () =
             perf_cmd;
             crashmatrix_cmd;
             analyze_cmd;
+            litmus_cmd;
           ]))

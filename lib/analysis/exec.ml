@@ -128,6 +128,11 @@ let interp ?(fuel = 100_000) ?(sched_seed = 0) (p : Ir.program) : obs =
                 t.work <- [])
         | Ir.Rp _ ->
             flush_region t;
+            t.work <- rest
+        | Ir.Pwb _ | Ir.Psync ->
+            (* Persist instructions are volatile no-ops: they order
+               write-back, which the host store does not model. They still
+               cost one scheduler step, like any other atomic statement. *)
             t.work <- rest)
   in
   (* Deterministic seeded scheduler: splitmix-style stream picking among
@@ -179,6 +184,141 @@ let interp ?(fuel = 100_000) ?(sched_seed = 0) (p : Ir.program) : obs =
         (p.Ir.persistent @ p.Ir.transient);
     completed = List.for_all (fun t -> t.work = []) threads;
     thread_error = !error;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Memory-backed stepper: the host interpreter's scheduler and statement
+   semantics, with persistent variables living in a Simnvm.Memsys at
+   caller-chosen addresses. This is the "analyzer IR semantics over real
+   persistent memory" world the litmus differential harness drives:
+   Pwb/Psync hit the memory system, and the caller crashes [mem] and
+   reads the persisted image afterwards. *)
+
+type mem_obs = {
+  mo_finals : (Ir.var * int) list;  (** volatile (coherent) final values *)
+  mo_halted : bool;  (** stopped because [halt_var] became nonzero *)
+  mo_completed : bool;  (** every thread ran to completion within fuel *)
+}
+
+let run_mem ?(fuel = 100_000) ?(sched_seed = 0) ?halt_var
+    ~(mem : Simnvm.Memsys.t) ~(addr_of : Ir.var -> Simnvm.Addr.t option)
+    (p : Ir.program) : mem_obs =
+  let transient = Hashtbl.create 16 in
+  let read v =
+    match addr_of v with
+    | Some a -> Simnvm.Memsys.load mem a
+    | None -> Hashtbl.find transient v
+  in
+  let write v x =
+    match addr_of v with
+    | Some a -> Simnvm.Memsys.store mem a x
+    | None -> Hashtbl.replace transient v x
+  in
+  List.iter
+    (fun (v, i) ->
+      match addr_of v with
+      | Some a ->
+          (* Avoid gratuitously dirtying the line when the zeroed image
+             already holds the initial value (litmus programs start all
+             locations at 0, and an init store would widen the crash-image
+             nondeterminism beyond what the program itself performs). *)
+          if Simnvm.Memsys.peek mem a <> i then Simnvm.Memsys.store mem a i
+      | None -> Hashtbl.replace transient v i)
+    (p.Ir.persistent @ p.Ir.transient);
+  let halted () =
+    match halt_var with
+    | None -> false
+    | Some v -> ( try read v <> 0 with Not_found -> false)
+  in
+  let threads =
+    List.map (fun (t : Ir.thread) -> (t.Ir.tname, ref t.Ir.body)) p.Ir.threads
+  in
+  let owners : (int, Ir.stmt list ref) Hashtbl.t = Hashtbl.create 4 in
+  let rec eval = function
+    | Ir.Int n -> n
+    | Ir.Var v -> read v
+    | Ir.Binop (op, a, b) ->
+        let x = eval a in
+        let y = eval b in
+        apply op x y
+  in
+  let step work =
+    match !work with
+    | [] -> ()
+    | s :: rest -> (
+        match s with
+        | Ir.Skip -> work := rest
+        | Ir.Assign (v, e) ->
+            let x = eval e in
+            write v x;
+            work := rest
+        | Ir.If (c, a, b) ->
+            work := (if truthy (eval c) then a else b) @ rest
+        | Ir.While (c, body) ->
+            if truthy (eval c) then work := body @ (s :: rest)
+            else work := rest
+        | Ir.Acquire l -> (
+            match Hashtbl.find_opt owners l with
+            | Some o when o != work -> () (* blocked; retried when free *)
+            | Some _ -> work := rest
+            | None ->
+                Hashtbl.replace owners l work;
+                work := rest)
+        | Ir.Release l ->
+            (match Hashtbl.find_opt owners l with
+            | Some o when o == work -> Hashtbl.remove owners l
+            | Some _ | None -> ());
+            work := rest
+        | Ir.Rp _ -> work := rest
+        | Ir.Pwb v -> (
+            (match addr_of v with
+            | Some a -> Simnvm.Memsys.pwb mem a
+            | None -> ());
+            work := rest)
+        | Ir.Psync ->
+            Simnvm.Memsys.psync mem;
+            work := rest)
+  in
+  let state = ref ((sched_seed * 0x9E3779B9) + 0x85EBCA6B) in
+  let next_int bound =
+    state := (!state * 25214903917) + 11;
+    let x = (!state lsr 17) land 0x3FFFFFFF in
+    x mod bound
+  in
+  let runnable () =
+    List.filter
+      (fun (_, work) ->
+        match !work with
+        | [] -> false
+        | Ir.Acquire l :: _ -> (
+            match Hashtbl.find_opt owners l with
+            | Some o -> o == work
+            | None -> true)
+        | _ -> true)
+      threads
+  in
+  let fuel = ref fuel in
+  let rec drive () =
+    if !fuel > 0 && not (halted ()) then
+      match runnable () with
+      | [] -> ()
+      | rs ->
+          let _, work = List.nth rs (next_int (List.length rs)) in
+          step work;
+          decr fuel;
+          drive ()
+  in
+  drive ();
+  {
+    mo_finals =
+      List.filter_map
+        (fun (v, _) ->
+          match try Some (read v) with Not_found -> None with
+          | Some x -> Some (v, x)
+          | None -> None)
+        (p.Ir.persistent @ p.Ir.transient);
+    mo_halted = halted ();
+    mo_completed = List.for_all (fun (_, w) -> !w = []) threads;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -258,7 +398,7 @@ let sim_world ?(sched_seed = 1) ?(mem_seed = 1) ?(pcso = true)
       | Ir.Acquire l | Ir.Release l -> max m l
       | Ir.If (_, a, b) -> List.fold_left go (List.fold_left go m a) b
       | Ir.While (_, b) -> List.fold_left go m b
-      | Ir.Assign _ | Ir.Rp _ | Ir.Skip -> m
+      | Ir.Assign _ | Ir.Rp _ | Ir.Pwb _ | Ir.Psync | Ir.Skip -> m
     in
     List.fold_left
       (fun m (t : Ir.thread) -> List.fold_left go m t.Ir.body)
@@ -339,6 +479,12 @@ let sim_world ?(sched_seed = 1) ?(mem_seed = 1) ?(pcso = true)
       | Ir.Rp id ->
           incr completed;
           Respct.Runtime.rp r ~slot id
+      | Ir.Pwb v -> (
+          match Hashtbl.find_opt bindings v with
+          | Some (Cell c) -> Simsched.Env.pwb env (Respct.Incll.record c)
+          | Some (Raw a) -> Simsched.Env.pwb env a
+          | None -> () (* transient: nothing to persist *))
+      | Ir.Psync -> Simsched.Env.psync env
     in
     let worker slot (t : Ir.thread) () =
       exec_stmts slot t.Ir.body;

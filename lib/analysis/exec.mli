@@ -36,6 +36,32 @@ val interp : ?fuel:int -> ?sched_seed:int -> Ir.program -> obs
     node). Deadlocked or fuel-exhausted runs return [completed =
     false]; WARs observed up to that point are still real. *)
 
+type mem_obs = {
+  mo_finals : (Ir.var * int) list;  (** volatile (coherent) final values *)
+  mo_halted : bool;  (** stopped because [halt_var] became nonzero *)
+  mo_completed : bool;  (** every thread ran to completion within fuel *)
+}
+
+val run_mem :
+  ?fuel:int ->
+  ?sched_seed:int ->
+  ?halt_var:Ir.var ->
+  mem:Simnvm.Memsys.t ->
+  addr_of:(Ir.var -> Simnvm.Addr.t option) ->
+  Ir.program ->
+  mem_obs
+(** The {b memory-backed stepper}: [interp]'s scheduler and statement
+    semantics, but variables with an [addr_of] binding live in the given
+    {!Simnvm.Memsys} (loads/stores go through the cache; [Pwb]/[Psync]
+    hit the memory system), the rest stay host-transient. Used by the
+    litmus harness as the "analyzer IR over real persistent memory"
+    world: the caller seeds [mem], runs, then crashes it and reads the
+    persisted image. Initial stores are skipped when the image already
+    holds the initial value, so a zero-initialised program does not
+    dirty any line before its first real store. [halt_var], when it
+    becomes nonzero, stops every thread at the next scheduling point
+    (litmus [crash] compiles to an assignment to it). *)
+
 type world = {
   w_mem : Simnvm.Memsys.t;
   w_bus : Simsched.Trace.bus;

@@ -11,6 +11,8 @@ type stmt =
   | Acquire of int
   | Release of int
   | Rp of int
+  | Pwb of var
+  | Psync
   | Skip
 
 type thread = { tname : string; body : stmt list }
@@ -32,7 +34,7 @@ let stmt_writes s =
     | Assign (v, _) -> if List.mem v acc then acc else v :: acc
     | If (_, t, e) -> List.fold_left go (List.fold_left go acc t) e
     | While (_, b) -> List.fold_left go acc b
-    | Acquire _ | Release _ | Rp _ | Skip -> acc
+    | Acquire _ | Release _ | Rp _ | Pwb _ | Psync | Skip -> acc
   in
   List.rev (go [] s)
 
@@ -44,7 +46,7 @@ let rec stmt_rps = function
   | Rp r -> [ r ]
   | If (_, t, e) -> List.concat_map stmt_rps t @ List.concat_map stmt_rps e
   | While (_, b) -> List.concat_map stmt_rps b
-  | Assign _ | Acquire _ | Release _ | Skip -> []
+  | Assign _ | Acquire _ | Release _ | Pwb _ | Psync | Skip -> []
 
 let rp_ids p =
   List.concat_map (fun t -> List.concat_map stmt_rps t.body) p.threads
@@ -93,7 +95,11 @@ let check p =
     | Acquire l | Release l ->
         if l < 0 then err "thread %s: negative lock id %d" t.tname l
     | Rp r -> if r < 0 then err "thread %s: negative restart-point id %d" t.tname r
-    | Skip -> ()
+    | Pwb v ->
+        check_var t v;
+        if is_declared p v && not (is_persistent p v) then
+          err "thread %s: pwb of transient variable %s" t.tname v
+    | Psync | Skip -> ()
   in
   List.iter (fun t -> List.iter (check_stmt t) t.body) p.threads;
   List.rev !errs
@@ -111,6 +117,8 @@ type node_kind =
   | Node_acquire of int
   | Node_release of int
   | Node_rp of int
+  | Node_pwb of var
+  | Node_psync
 
 type node = {
   id : int;
@@ -127,14 +135,19 @@ type cfg = {
   exit_node : int;
 }
 
+(* A pwb reads no value and writes none: it orders the write-back of the
+   variable's cache line, which is invisible to the volatile dataflow the
+   WAR/lockset analyses reason about. *)
 let node_reads = function
   | Node_assign (_, e) | Node_branch e -> expr_reads e
-  | Entry | Exit | Node_acquire _ | Node_release _ | Node_rp _ -> []
+  | Entry | Exit | Node_acquire _ | Node_release _ | Node_rp _ | Node_pwb _
+  | Node_psync ->
+      []
 
 let node_write = function
   | Node_assign (v, _) -> Some v
   | Entry | Exit | Node_branch _ | Node_acquire _ | Node_release _
-  | Node_rp _ ->
+  | Node_rp _ | Node_pwb _ | Node_psync ->
       None
 
 let cfg_of_thread t =
@@ -175,6 +188,14 @@ let cfg_of_thread t =
         [ n ]
     | Rp r ->
         let n = add (Node_rp r) path in
+        connect preds n;
+        [ n ]
+    | Pwb v ->
+        let n = add (Node_pwb v) path in
+        connect preds n;
+        [ n ]
+    | Psync ->
+        let n = add Node_psync path in
         connect preds n;
         [ n ]
     | If (c, a, b) ->
@@ -235,6 +256,8 @@ let rec pp_stmt ppf = function
   | Acquire l -> Fmt.pf ppf "acquire L%d" l
   | Release l -> Fmt.pf ppf "release L%d" l
   | Rp r -> Fmt.pf ppf "rp %d" r
+  | Pwb v -> Fmt.pf ppf "pwb %s" v
+  | Psync -> Fmt.string ppf "psync"
   | Skip -> Fmt.string ppf "skip"
 
 and pp_body ppf body = Fmt.(list ~sep:cut pp_stmt) ppf body
@@ -258,6 +281,8 @@ let pp_node_kind ppf = function
   | Node_acquire l -> Fmt.pf ppf "acquire L%d" l
   | Node_release l -> Fmt.pf ppf "release L%d" l
   | Node_rp r -> Fmt.pf ppf "rp %d" r
+  | Node_pwb v -> Fmt.pf ppf "pwb %s" v
+  | Node_psync -> Fmt.string ppf "psync"
 
 let pp_cfg ppf cfg =
   Fmt.pf ppf "@[<v>cfg %s@," cfg.owner;

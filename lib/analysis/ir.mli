@@ -24,6 +24,10 @@ type stmt =
   | Acquire of int  (** lock id *)
   | Release of int
   | Rp of int  (** explicit restart point with a program-unique id *)
+  | Pwb of var
+      (** [clwb] of the persistent variable's cache line (litmus programs;
+          a volatile no-op in the host interpreter) *)
+  | Psync  (** [sfence] ordering fence *)
   | Skip
 
 type thread = { tname : string; body : stmt list }
@@ -78,6 +82,8 @@ type node_kind =
   | Node_acquire of int
   | Node_release of int
   | Node_rp of int
+  | Node_pwb of var
+  | Node_psync
 
 type node = {
   id : int;

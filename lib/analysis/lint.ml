@@ -108,7 +108,9 @@ let unreachable_rps (p : Ir.program) =
     | Ir.While (c, b) ->
         let dead_body = dead || c = Ir.Int 0 in
         List.concat_map (walk tname dead_body) b
-    | Ir.Assign _ | Ir.Acquire _ | Ir.Release _ | Ir.Skip -> []
+    | Ir.Assign _ | Ir.Acquire _ | Ir.Release _ | Ir.Pwb _ | Ir.Psync
+    | Ir.Skip ->
+        []
   in
   List.concat_map
     (fun (t : Ir.thread) -> List.concat_map (walk t.Ir.tname false) t.Ir.body)

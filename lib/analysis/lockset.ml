@@ -34,7 +34,7 @@ let transfer (node : Ir.node) (f : Fact.t) : Fact.t =
         may = Locks.remove l f.Fact.may;
       }
   | Ir.Entry | Ir.Exit | Ir.Node_assign _ | Ir.Node_branch _ | Ir.Node_rp _
-    ->
+  | Ir.Node_pwb _ | Ir.Node_psync ->
       f
 
 let solve (cfg : Ir.cfg) = Solver.forward cfg ~init:Fact.start ~transfer

@@ -12,7 +12,7 @@ let rec held_stmt held = function
   | Ir.Release l -> Locks.remove l held
   | Ir.If (_, a, b) -> Locks.union (held_list held a) (held_list held b)
   | Ir.While (_, b) -> Locks.union held (held_list held b)
-  | Ir.Assign _ | Ir.Rp _ | Ir.Skip -> held
+  | Ir.Assign _ | Ir.Rp _ | Ir.Pwb _ | Ir.Psync | Ir.Skip -> held
 
 and held_list held stmts = List.fold_left held_stmt held stmts
 

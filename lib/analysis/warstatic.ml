@@ -45,7 +45,9 @@ let apply_reads (f : Fact.t) reads =
 
 let transfer (node : Ir.node) (f : Fact.t) : Fact.t =
   match node.Ir.kind with
-  | Ir.Entry | Ir.Exit | Ir.Node_acquire _ | Ir.Node_release _ -> f
+  | Ir.Entry | Ir.Exit | Ir.Node_acquire _ | Ir.Node_release _
+  | Ir.Node_pwb _ | Ir.Node_psync ->
+      f
   | Ir.Node_rp _ -> Fact.region_start
   | Ir.Node_branch e -> apply_reads f (Ir.expr_reads e)
   | Ir.Node_assign (v, e) ->

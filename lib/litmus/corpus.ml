@@ -1,0 +1,184 @@
+(* Named paper-derived litmus tests. Layout convention: locations
+   sharing a first coordinate share a cache line. Every program's
+   PCSO-allowed set is pinned as a golden in test/test_litmus.ml. *)
+
+type entry = {
+  e_name : string;
+  e_prog : Prog.t;
+  e_variants : Axiom.variant list;
+      (* variants whose soundness the harness checks for this entry *)
+  e_note : string;
+}
+
+let p name layout threads = { Prog.name; layout; threads }
+
+let std = [ Axiom.Pcso; Axiom.Eadr; Axiom.Ablation ]
+
+let sb =
+  {
+    e_name = "sb";
+    e_prog =
+      p "sb"
+        [ ("x", 0, 0); ("y", 1, 0) ]
+        [
+          [ Prog.St ("x", 1); Prog.Pwb "x"; Prog.Psync; Prog.Ld ("y", "r0") ];
+          [ Prog.St ("y", 1); Prog.Pwb "y"; Prog.Psync; Prog.Ld ("x", "r1") ];
+        ];
+    e_variants = std;
+    e_note = "store buffering, fully fenced: both stores durable at end";
+  }
+
+let mp_fenced =
+  {
+    e_name = "mp-fenced";
+    e_prog =
+      p "mp-fenced"
+        [ ("d", 0, 0); ("f", 1, 0) ]
+        [
+          [
+            Prog.St ("d", 1); Prog.Pwb "d"; Prog.Psync; Prog.St ("f", 1);
+            Prog.Pwb "f";
+          ];
+          [ Prog.Ld ("f", "r0"); Prog.Ld ("d", "r1"); Prog.Crash ];
+        ];
+    e_variants = std;
+    e_note = "message passing across lines, fenced: f=1 implies d=1";
+  }
+
+let mp_unfenced =
+  {
+    e_name = "mp-unfenced";
+    e_prog =
+      p "mp-unfenced"
+        [ ("d", 0, 0); ("f", 1, 0) ]
+        [
+          [ Prog.St ("d", 1); Prog.St ("f", 1) ];
+          [ Prog.Ld ("f", "r0"); Prog.Ld ("d", "r1"); Prog.Crash ];
+        ];
+    e_variants = std;
+    e_note = "cross-line MP without fences: the flag may persist first";
+  }
+
+let mp_same_line =
+  {
+    e_name = "mp-same-line";
+    e_prog =
+      p "mp-same-line"
+        [ ("d", 0, 0); ("f", 0, 1) ]
+        [
+          [ Prog.St ("d", 1); Prog.St ("f", 1) ];
+          [ Prog.Ld ("f", "r0"); Prog.Ld ("d", "r1"); Prog.Crash ];
+        ];
+    e_variants = std;
+    e_note =
+      "MP within one line: PCSO line snapshots forbid f=1,d=0 with no \
+       fence at all — the InCLL property; the word ablation readmits it";
+  }
+
+let incll_war =
+  {
+    e_name = "incll-war";
+    e_prog =
+      p "incll-war"
+        [ ("x", 0, 0); ("y", 0, 1) ]
+        [ [ Prog.St ("x", 1); Prog.St ("y", 1); Prog.St ("x", 2) ] ];
+    e_variants = std;
+    e_note =
+      "same-line overwrite: any persisted prefix of the store order, \
+       never x=2 without y=1";
+  }
+
+let commit_crash =
+  {
+    e_name = "commit-crash";
+    e_prog =
+      p "commit-crash"
+        [ ("d", 0, 0); ("c", 1, 0) ]
+        [
+          [
+            Prog.St ("d", 1); Prog.Pwb "d"; Prog.Psync; Prog.St ("c", 1);
+            Prog.Pwb "c"; Prog.Psync; Prog.Crash;
+          ];
+        ];
+    e_variants = std;
+    e_note =
+      "fully-fenced commit record: the crash after the second fence \
+       observes exactly d=1,c=1";
+  }
+
+let faa_contend =
+  {
+    e_name = "faa-contend";
+    e_prog =
+      p "faa-contend"
+        [ ("x", 0, 0) ]
+        [
+          [ Prog.Faa ("x", 1) ]; [ Prog.Faa ("x", 1) ]; [ Prog.Crash ];
+        ];
+    e_variants = std;
+    e_note = "contended RMW with a racing crash: x persists 0, 1 or 2";
+  }
+
+let pwb_no_psync =
+  {
+    e_name = "pwb-no-psync";
+    e_prog =
+      p "pwb-no-psync"
+        [ ("x", 0, 0) ]
+        [ [ Prog.St ("x", 1); Prog.Pwb "x"; Prog.Crash ] ];
+    e_variants = [ Axiom.Pcso; Axiom.Pcso_lazy; Axiom.Eadr; Axiom.Ablation ];
+    e_note =
+      "unfenced pwb: the eager substrate always persists (Pcso allows \
+       only x=1); the lazy-pwb spec also allows x=0";
+  }
+
+let eadr_noloss =
+  {
+    e_name = "eadr-noloss";
+    e_prog =
+      p "eadr-noloss"
+        [ ("x", 0, 0); ("y", 1, 0) ]
+        [ [ Prog.St ("x", 1); Prog.St ("y", 1); Prog.Crash ] ];
+    e_variants = std;
+    e_note =
+      "no fences across two lines: eADR admits only the no-loss state, \
+       plain PCSO admits every write-back subset";
+  }
+
+let ablation_split =
+  {
+    e_name = "ablation-split";
+    e_prog =
+      p "ablation-split"
+        [ ("x", 0, 0); ("y", 0, 1) ]
+        [ [ Prog.St ("x", 1); Prog.St ("y", 1) ] ];
+    e_variants = std;
+    e_note =
+      "two stores, one line: PCSO forbids y-without-x; word-granular \
+       write-back splits the line and readmits it";
+  }
+
+let mp_chain =
+  {
+    e_name = "mp-chain";
+    e_prog =
+      p "mp-chain"
+        [ ("a", 0, 0); ("b", 1, 0); ("c", 2, 0) ]
+        [
+          [ Prog.St ("a", 1); Prog.Pwb "a"; Prog.Psync; Prog.St ("b", 1) ];
+          [
+            Prog.Ld ("b", "r0"); Prog.Pwb "b"; Prog.Psync; Prog.St ("c", 1);
+          ];
+          [ Prog.Crash ];
+        ];
+    e_variants = std;
+    e_note = "a fence chain through two threads with a racing crash";
+  }
+
+let all =
+  [
+    sb; mp_fenced; mp_unfenced; mp_same_line; incll_war; commit_crash;
+    faa_contend; pwb_no_psync; eadr_noloss; ablation_split; mp_chain;
+  ]
+
+let find name = List.find_opt (fun e -> e.e_name = name) all

@@ -1,0 +1,144 @@
+(* Random litmus programs, biased toward the shapes that stress
+   persist ordering: same-line conflicts, pwb/psync fences, and
+   cross-line message passing. Plain QCheck.Gen so the test suites can
+   wrap it with the gen_common printing convention. *)
+
+module G = QCheck.Gen
+
+let ( let* ) = G.( >>= )
+
+(* Layouts, weighted toward same-line conflicts. *)
+let layouts =
+  [
+    (4, [ ("x", 0, 0); ("y", 0, 1) ]);  (* one shared line *)
+    (3, [ ("x", 0, 0); ("y", 1, 0) ]);  (* two private lines *)
+    (3, [ ("x", 0, 0); ("y", 0, 1); ("z", 1, 0) ]);
+    (2, [ ("x", 0, 0); ("y", 0, 1); ("z", 1, 0); ("w", 1, 1) ]);
+  ]
+
+let gen_layout = G.frequencyl layouts
+
+let gen_op ~locs : Prog.op G.t =
+  let loc = G.oneofl locs in
+  G.frequency
+    [
+      (4, G.map2 (fun l v -> Prog.St (l, v)) loc (G.int_range 1 3));
+      (2, G.map (fun l -> Prog.Pwb l) loc);
+      (2, G.return Prog.Psync);
+      (2, G.map2 (fun l r -> Prog.Ld (l, r)) loc (G.oneofl [ "r0"; "r1" ]));
+      (1, G.map2 (fun l k -> Prog.Faa (l, k)) loc (G.int_range 1 2));
+    ]
+
+(* A message-passing-shaped thread: write data, maybe fence, raise a
+   flag on another location. Generated verbatim now and then so the
+   cross-line ordering corner is always in the population. *)
+let gen_mp_writer ~locs : Prog.op list G.t =
+  match locs with
+  | data :: flag :: _ ->
+      G.map2
+        (fun fence_data fence_flag ->
+          [ Prog.St (data, 1) ]
+          @ (if fence_data then [ Prog.Pwb data; Prog.Psync ] else [])
+          @ [ Prog.St (flag, 1) ]
+          @ if fence_flag then [ Prog.Pwb flag ] else [])
+        G.bool G.bool
+  | _ -> G.return []
+
+let gen_thread ~locs : Prog.op list G.t =
+  G.frequency
+    [
+      ( 4,
+        let* n = G.int_range 1 4 in
+        G.list_size (G.return n) (gen_op ~locs) );
+      (1, gen_mp_writer ~locs);
+    ]
+
+let gen_prog : Prog.t G.t =
+  let* layout = gen_layout in
+  let locs = List.map (fun (l, _, _) -> l) layout in
+  let* nthreads = G.frequencyl [ (5, 2); (3, 3); (1, 4) ] in
+  let* threads = G.list_size (G.return nthreads) (gen_thread ~locs) in
+  (* at most one crash, spliced into a random position of a random
+     thread (2/3 of programs crash explicitly; the rest crash at end) *)
+  let* threads =
+    G.frequency
+      [
+        (1, G.return threads);
+        ( 2,
+          let* t = G.int_bound (List.length threads - 1) in
+          let ops = List.nth threads t in
+          let* at = G.int_bound (List.length ops) in
+          let ops' =
+            List.filteri (fun i _ -> i < at) ops
+            @ [ Prog.Crash ]
+            @ List.filteri (fun i _ -> i >= at) ops
+          in
+          G.return (List.mapi (fun i o -> if i = t then ops' else o) threads)
+        );
+      ]
+  in
+  G.return { Prog.name = "fuzz"; layout; threads }
+
+(* --- shrinking ------------------------------------------------------ *)
+
+let prune_layout (p : Prog.t) =
+  let used =
+    List.sort_uniq compare
+      (List.concat_map (List.filter_map Prog.op_loc) p.Prog.threads)
+  in
+  let layout =
+    List.filter (fun (l, _, _) -> List.mem l used) p.Prog.layout
+  in
+  if layout = [] || List.length layout = List.length p.Prog.layout then p
+  else { p with Prog.layout }
+
+let remove_nth n l = List.filteri (fun i _ -> i <> n) l
+
+let simplify_op = function
+  | Prog.St (l, v) when v > 1 -> Some (Prog.St (l, 1))
+  | Prog.Faa (l, _) -> Some (Prog.St (l, 1))
+  | _ -> None
+
+let shrink (p : Prog.t) yield =
+  (* drop a whole thread *)
+  if List.length p.Prog.threads > 1 then
+    List.iteri
+      (fun t _ ->
+        yield
+          (prune_layout { p with Prog.threads = remove_nth t p.Prog.threads }))
+      p.Prog.threads;
+  (* drop one op *)
+  List.iteri
+    (fun t ops ->
+      List.iteri
+        (fun j _ ->
+          let threads =
+            List.mapi
+              (fun i o -> if i = t then remove_nth j ops else o)
+              p.Prog.threads
+          in
+          yield (prune_layout { p with Prog.threads = threads }))
+        ops)
+    p.Prog.threads;
+  (* simplify one op in place *)
+  List.iteri
+    (fun t ops ->
+      List.iteri
+        (fun j o ->
+          match simplify_op o with
+          | None -> ()
+          | Some o' ->
+              let threads =
+                List.mapi
+                  (fun i os ->
+                    if i = t then
+                      List.mapi (fun k x -> if k = j then o' else x) os
+                    else os)
+                  p.Prog.threads
+              in
+              yield { p with Prog.threads = threads })
+        ops)
+    p.Prog.threads
+
+let arb_prog : Prog.t QCheck.arbitrary =
+  QCheck.make ~print:Prog.to_string ~shrink gen_prog

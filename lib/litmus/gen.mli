@@ -1,0 +1,19 @@
+(** Seeded random litmus programs for the differential fuzzer, biased
+    toward the shapes that stress persist ordering: same-line store
+    conflicts, pwb/psync fence placement, and cross-line
+    message-passing writers. Plain {!QCheck.Gen} values so the test
+    suites can wrap them in the gen_common printing convention. *)
+
+val gen_prog : Prog.t QCheck.Gen.t
+(** 2–4 threads of 1–4 ops over 2–4 locations on 1–2 cache lines; at
+    most one [Crash], present in two thirds of programs. Always
+    well-formed. *)
+
+val shrink : Prog.t QCheck.Shrink.t
+(** Drops threads, drops single ops, and simplifies op arguments;
+    every candidate stays well-formed (unreferenced locations are
+    pruned, keeping at least one). *)
+
+val arb_prog : Prog.t QCheck.arbitrary
+(** [gen_prog] with {!Prog.to_string} printing (the replay format) and
+    {!shrink}. *)

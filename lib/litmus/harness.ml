@@ -1,0 +1,270 @@
+module Rng = Simnvm.Rng
+
+type violation = {
+  v_world : World.id;
+  v_variant : Axiom.variant;
+  v_mutant : World.mutant option;
+  v_sched_seed : int;
+  v_image_seed : int;
+  v_observed : int list;
+}
+
+type report = {
+  r_name : string;
+  r_world : World.id;
+  r_variant : Axiom.variant;
+  r_samples : int;
+  r_skipped : bool;  (** axiom state cap hit: nothing checked *)
+  r_states : int;
+  r_violations : violation list;
+}
+
+let pp_violation locs ppf v =
+  Fmt.pf ppf "world=%s variant=%s%s sched=%d image=%d observed=%a"
+    (World.id_name v.v_world)
+    (Axiom.variant_name v.v_variant)
+    (match v.v_mutant with
+    | Some World.Drop_same_line_order -> " mutant=drop-same-line-order"
+    | None -> "")
+    v.v_sched_seed v.v_image_seed (Axiom.pp_outcome locs) v.v_observed
+
+(* Derive the (sched, image) seed stream for one (program, world,
+   variant, seed) check deterministically, so a reported violation's
+   seed pair replays bit-for-bit. *)
+let check ?(samples = 64) ?(seed = 1) ~world ~variant (p : Prog.t) : report =
+  let ax = Axiom.allowed ~variant p in
+  if not ax.Axiom.complete then
+    {
+      r_name = p.Prog.name;
+      r_world = world;
+      r_variant = variant;
+      r_samples = 0;
+      r_skipped = true;
+      r_states = ax.Axiom.states;
+      r_violations = [];
+    }
+  else begin
+    let rng = Rng.create (seed lxor 0x117b5eed) in
+    let cfg = World.run_cfg_of_variant variant in
+    let violations = ref [] in
+    for _ = 1 to samples do
+      let sched_seed = 1 + Rng.int rng 1_000_000 in
+      let image_seed = 1 + Rng.int rng 1_000_000 in
+      let observed = World.run ~world ~cfg ~sched_seed ~image_seed p in
+      if not (Axiom.mem_outcome ax observed) then
+        violations :=
+          {
+            v_world = world;
+            v_variant = variant;
+            v_mutant = World.mutant ();
+            v_sched_seed = sched_seed;
+            v_image_seed = image_seed;
+            v_observed = observed;
+          }
+          :: !violations
+    done;
+    {
+      r_name = p.Prog.name;
+      r_world = world;
+      r_variant = variant;
+      r_samples = samples;
+      r_skipped = false;
+      r_states = ax.Axiom.states;
+      r_violations = List.rev !violations;
+    }
+  end
+
+let first_violation ?samples ?seed ~worlds ~variants p =
+  List.fold_left
+    (fun acc world ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          List.fold_left
+            (fun acc variant ->
+              match acc with
+              | Some _ -> acc
+              | None -> (
+                  let r = check ?samples ?seed ~world ~variant p in
+                  match r.r_violations with v :: _ -> Some v | [] -> None))
+            None variants)
+    None worlds
+
+(* Greedy shrink: keep taking the first shrink candidate that still
+   violates (re-checked with the same seeds, so the descent is
+   deterministic) until none does. *)
+let minimize ?samples ?seed ~worlds ~variants p v =
+  let exception Found of Prog.t * violation in
+  let rec go p v =
+    match
+      Gen.shrink p (fun p' ->
+          if Prog.well_formed p' then
+            match first_violation ?samples ?seed ~worlds ~variants p' with
+            | Some v' -> raise (Found (p', v'))
+            | None -> ())
+    with
+    | () -> (p, v)
+    | exception Found (p', v') -> go p' v'
+  in
+  go p v
+
+type fuzz_result = {
+  f_tested : int;
+  f_skipped : int;
+  f_failure : (Prog.t * violation) option;  (** already minimized *)
+}
+
+let fuzz ?(n = 500) ?(seed = 1) ?(samples = 8) ?(worlds = World.all_ids)
+    ?(variants = [ Axiom.Pcso ]) () : fuzz_result =
+  let rand = Random.State.make [| seed lxor 0xF0221e57 |] in
+  let skipped = ref 0 in
+  let rec loop i =
+    if i >= n then { f_tested = n; f_skipped = !skipped; f_failure = None }
+    else begin
+      let p = QCheck.Gen.generate1 ~rand Gen.gen_prog in
+      let p = { p with Prog.name = Fmt.str "fuzz-%d-%d" seed i } in
+      if
+        List.exists
+          (fun v -> not (Axiom.allowed ~variant:v p).Axiom.complete)
+          variants
+      then begin
+        incr skipped;
+        loop (i + 1)
+      end
+      else
+        match first_violation ~samples ~seed ~worlds ~variants p with
+        | None -> loop (i + 1)
+        | Some v ->
+            let p', v' = minimize ~samples ~seed ~worlds ~variants p v in
+            {
+              f_tested = i + 1;
+              f_skipped = !skipped;
+              f_failure = Some (p', v');
+            }
+    end
+  in
+  loop 0
+
+(* --- counterexample files (crashmatrix-style replay) ----------------- *)
+
+let counterexample_to_string p v =
+  Fmt.str "%s# check %a\n" (Prog.to_string p)
+    (pp_violation (Prog.locs p))
+    v
+
+let parse_check_line locs line =
+  let kvs =
+    String.split_on_char ' ' line
+    |> List.filter_map (fun tok ->
+           match String.index_opt tok '=' with
+           | Some i ->
+               Some
+                 ( String.sub tok 0 i,
+                   String.sub tok (i + 1) (String.length tok - i - 1) )
+           | None -> None)
+  in
+  let get k = List.assoc_opt k kvs in
+  match
+    (get "world", get "variant", get "sched", get "image", get "observed")
+  with
+  | Some w, Some vr, Some s, Some i, Some o -> (
+      match
+        ( World.id_of_string w,
+          Axiom.variant_of_string vr,
+          int_of_string_opt s,
+          int_of_string_opt i )
+      with
+      | Some world, Some variant, Some sched, Some image ->
+          let observed =
+            (* "(d=0,f=1)" or "0,1": accept both by stripping names *)
+            String.to_seq o
+            |> Seq.filter (fun c ->
+                   (c >= '0' && c <= '9') || c = ',' || c = '-')
+            |> String.of_seq |> String.split_on_char ','
+            |> List.filter (fun s -> s <> "")
+            |> List.filter_map int_of_string_opt
+          in
+          if List.length observed = List.length locs then
+            Ok
+              {
+                v_world = world;
+                v_variant = variant;
+                v_mutant =
+                  (match get "mutant" with
+                  | Some "drop-same-line-order" ->
+                      Some World.Drop_same_line_order
+                  | _ -> None);
+                v_sched_seed = sched;
+                v_image_seed = image;
+                v_observed = observed;
+              }
+          else Error "check line: observed arity mismatch"
+      | _ -> Error "check line: bad world/variant/seed")
+  | _ -> Error "check line: missing world/variant/sched/image/observed"
+
+let counterexample_of_string s =
+  match Prog.of_string s with
+  | Error e -> Error e
+  | Ok p -> (
+      let check_line =
+        String.split_on_char '\n' s
+        |> List.find_opt (fun l ->
+               let l = String.trim l in
+               String.length l > 7 && String.sub l 0 7 = "# check")
+      in
+      match check_line with
+      | None -> Error "no '# check ...' line"
+      | Some l -> (
+          match parse_check_line (Prog.locs p) (String.trim l) with
+          | Ok v -> Ok (p, v)
+          | Error e -> Error e))
+
+(* Re-run the recorded seed pair; [`Reproduced] iff the observation is
+   still outside the allowed set. Plants/restores the recorded mutant
+   around the run. *)
+let replay (p : Prog.t) (v : violation) =
+  let saved = World.mutant () in
+  World.set_mutant v.v_mutant;
+  Fun.protect
+    ~finally:(fun () -> World.set_mutant saved)
+    (fun () ->
+      let cfg = World.run_cfg_of_variant v.v_variant in
+      let observed =
+        World.run ~world:v.v_world ~cfg ~sched_seed:v.v_sched_seed
+          ~image_seed:v.v_image_seed p
+      in
+      let ax = Axiom.allowed ~variant:v.v_variant p in
+      if ax.Axiom.complete && not (Axiom.mem_outcome ax observed) then
+        `Reproduced observed
+      else `Vanished observed)
+
+(* --- JSON ------------------------------------------------------------ *)
+
+let violation_to_json v =
+  Obs.Json.Obj
+    [
+      ("world", Obs.Json.String (World.id_name v.v_world));
+      ("variant", Obs.Json.String (Axiom.variant_name v.v_variant));
+      ( "mutant",
+        match v.v_mutant with
+        | Some World.Drop_same_line_order ->
+            Obs.Json.String "drop-same-line-order"
+        | None -> Obs.Json.Null );
+      ("sched_seed", Obs.Json.Int v.v_sched_seed);
+      ("image_seed", Obs.Json.Int v.v_image_seed);
+      ( "observed",
+        Obs.Json.List (List.map (fun x -> Obs.Json.Int x) v.v_observed) );
+    ]
+
+let report_to_json r =
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.String r.r_name);
+      ("world", Obs.Json.String (World.id_name r.r_world));
+      ("variant", Obs.Json.String (Axiom.variant_name r.r_variant));
+      ("samples", Obs.Json.Int r.r_samples);
+      ("skipped", Obs.Json.Bool r.r_skipped);
+      ("states", Obs.Json.Int r.r_states);
+      ( "violations",
+        Obs.Json.List (List.map violation_to_json r.r_violations) );
+    ]

@@ -1,0 +1,89 @@
+(** Differential litmus harness: sample executions of a program in a
+    world and require every observed post-crash outcome to lie in the
+    matching axiomatic set, with crashmatrix-style shrinking and
+    replayable counterexample files. *)
+
+type violation = {
+  v_world : World.id;
+  v_variant : Axiom.variant;
+  v_mutant : World.mutant option;  (** mutant planted at detection time *)
+  v_sched_seed : int;
+  v_image_seed : int;
+  v_observed : int list;
+}
+
+type report = {
+  r_name : string;
+  r_world : World.id;
+  r_variant : Axiom.variant;
+  r_samples : int;
+  r_skipped : bool;  (** axiom state cap hit: nothing was checked *)
+  r_states : int;
+  r_violations : violation list;
+}
+
+val pp_violation : Prog.loc list -> violation Fmt.t
+
+val check :
+  ?samples:int ->
+  ?seed:int ->
+  world:World.id ->
+  variant:Axiom.variant ->
+  Prog.t ->
+  report
+(** Run [samples] (default 64) seeded (schedule, crash-image) pairs —
+    the stream derives from [seed], so reported pairs replay — and
+    collect every outcome outside the allowed set. *)
+
+val first_violation :
+  ?samples:int ->
+  ?seed:int ->
+  worlds:World.id list ->
+  variants:Axiom.variant list ->
+  Prog.t ->
+  violation option
+
+val minimize :
+  ?samples:int ->
+  ?seed:int ->
+  worlds:World.id list ->
+  variants:Axiom.variant list ->
+  Prog.t ->
+  violation ->
+  Prog.t * violation
+(** Greedy descent through {!Gen.shrink} candidates that still violate
+    (re-checked with the same seeds, so deterministic). *)
+
+type fuzz_result = {
+  f_tested : int;
+  f_skipped : int;  (** programs whose axiom enumeration hit the cap *)
+  f_failure : (Prog.t * violation) option;  (** already minimized *)
+}
+
+val fuzz :
+  ?n:int ->
+  ?seed:int ->
+  ?samples:int ->
+  ?worlds:World.id list ->
+  ?variants:Axiom.variant list ->
+  unit ->
+  fuzz_result
+(** Generate [n] (default 500) programs from {!Gen.gen_prog} under a
+    [seed]-derived stream and check each; stops at (and minimizes) the
+    first violation. *)
+
+val counterexample_to_string : Prog.t -> violation -> string
+(** The replay file: the program in {!Prog.to_string} form followed by
+    a [# check world=... variant=... sched=... image=... observed=...]
+    line ({!Prog.of_string} treats it as a comment). *)
+
+val counterexample_of_string : string -> (Prog.t * violation, string) result
+
+val replay :
+  Prog.t -> violation -> [ `Reproduced of int list | `Vanished of int list ]
+(** Re-run the recorded (world, variant, mutant, seeds) tuple;
+    [`Reproduced] iff the observation is still outside the allowed set.
+    The recorded mutant is planted for the run and restored after. *)
+
+val violation_to_json : violation -> Obs.Json.t
+val report_to_json : report -> Obs.Json.t

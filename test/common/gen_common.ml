@@ -13,6 +13,41 @@
 module Workmix = Crashtest.Workmix
 module Rng = Simnvm.Rng
 
+(* ------------------------------------------------------------------ *)
+(* Per-suite QCheck seeding.
+
+   [QCheck_alcotest.to_alcotest] seeds every property from one
+   process-wide source (QCHECK_SEED, or a random self-init), so the
+   cases a suite draws depend on global state shared with every other
+   suite in the binary — registering a new generator or suite can shift
+   the streams of unrelated, previously-green properties. Deriving the
+   state from the suite and test names instead makes each property's
+   stream independent (adding the litmus generators cannot reseed the
+   refmodel differential) and deterministic by default, while an
+   explicit QCHECK_SEED still reseeds everything for exploration. *)
+
+let suite_seed name =
+  let base =
+    match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s -> ( match int_of_string_opt (String.trim s) with
+        | Some n -> n
+        | None -> 0x5eed)
+    | None -> 0x5eed
+  in
+  (* FNV-1a over the name, mixed with the base seed *)
+  let h = ref (base lxor 0x811c9dc5) in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF)
+    name;
+  !h
+
+let suite_rand name = Random.State.make [| suite_seed name |]
+
+let to_alcotest ?speed_level ~suite (test : QCheck.Test.t) =
+  let (QCheck2.Test.Test cell) = test in
+  let rand = suite_rand (suite ^ "/" ^ QCheck2.Test.get_name cell) in
+  QCheck_alcotest.to_alcotest ?speed_level ~rand test
+
 type map_op = Workmix.map_op =
   | Insert of int * int
   | Remove of int
@@ -211,3 +246,12 @@ let arb_branchy_ir ?(max_seed = 1_000_000) ?threads ~n () =
   QCheck.make
     ~print:(fun seed -> Ir.program_to_string (branchy_ir ?threads ~seed ~n ()))
     QCheck.Gen.(1 -- max_seed)
+
+(* ------------------------------------------------------------------ *)
+(* Litmus programs for the persistency-model fuzzer (test_litmus):
+   biased toward same-line conflicts, fences and cross-line
+   message-passing, with a structural shrinker. Defined in lib/litmus
+   so the CLI fuzzer and the suite draw from the same distribution. *)
+
+let arb_litmus_prog = Litmus.Gen.arb_prog
+let litmus_prog_of_string = Litmus.Prog.of_string

@@ -419,7 +419,7 @@ let branchy_sound =
 
 let qcheck_tests =
   List.map
-    (fun t -> QCheck_alcotest.to_alcotest t)
+    (fun t -> Gen_common.to_alcotest ~suite:"analysis" t)
     [ straightline_exact; branchy_sound ]
 
 let () =

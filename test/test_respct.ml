@@ -1047,7 +1047,8 @@ let prop_pipeline_classic_equivalent =
       in
       classic_ok && pipeline_ok)
 
-let qcheck tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
+let qcheck tests =
+  List.map (fun t -> Gen_common.to_alcotest ~suite:"respct" t) tests
 
 let () =
   Alcotest.run "respct"

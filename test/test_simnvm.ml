@@ -570,7 +570,8 @@ let prop_crash_then_load_equals_persisted =
       done;
       !ok)
 
-let qcheck tests = List.map (fun t -> QCheck_alcotest.to_alcotest t) tests
+let qcheck tests =
+  List.map (fun t -> Gen_common.to_alcotest ~suite:"simnvm" t) tests
 
 let () =
   Alcotest.run "simnvm"
