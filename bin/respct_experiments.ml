@@ -938,6 +938,133 @@ let litmus_cmd =
       $ variant_arg $ replay_arg $ mutant_arg $ verbose_arg $ ce_arg
       $ json_arg)
 
+let prockill_cmd =
+  let kills_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "kills" ] ~doc:"Fault-free SIGKILL trials to run.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ]
+          ~doc:"Campaign seed (kill delays, workload mix, sub-trial coins).")
+  in
+  let max_delay_arg =
+    Arg.(
+      value & opt int 25_000
+      & info [ "max-delay-us" ]
+          ~doc:"Upper bound on the wall-clock kill delay in microseconds.")
+  in
+  let mutant_trials_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "mutant-trials" ]
+          ~doc:
+            "Attempts to catch the planted psync-elision mutant (0 \
+             disables the hunt).")
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory for trial images and logs (default: /dev/shm when \
+             writable, else the system temp dir).")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"PARAMS"
+          ~doc:
+            "Re-run one shrunk counterexample string (as printed by a \
+             campaign) instead of running a campaign. Exits 0 if a \
+             violation reproduces.")
+  in
+  let run kills seed max_delay mutant_trials dir replay json =
+    match replay with
+    | Some s -> (
+        let dir =
+          match dir with Some d -> d | None -> Prockill.default_dir ()
+        in
+        match Prockill.replay s ~dir with
+        | Error msg ->
+            prerr_endline msg;
+            exit 2
+        | Ok (p, Some o) ->
+            Fmt.pr "replay %s: violation reproduced@."
+              (Prockill.replay_string p);
+            List.iter
+              (fun v -> Fmt.pr "  %a@." Prockill.pp_violation v)
+              o.Prockill.o_violations;
+            exit 0
+        | Ok (p, None) ->
+            Fmt.pr
+              "replay %s: no violation reproduced (the kill point is real \
+               time; retry)@."
+              (Prockill.replay_string p);
+            exit 1)
+    | None -> (
+        let c =
+          Prockill.run ~kills ~seed ~max_delay_us:max_delay ~mutant_trials
+            ~progress:(fun m -> Fmt.pr "[prockill] %s@." m)
+            ?dir ()
+        in
+        (match json with
+        | Some path -> Obs.Json.to_file path (Prockill.json_of_campaign c)
+        | None -> ());
+        match c.Prockill.c_skipped with
+        | Some reason ->
+            Fmt.pr "prockill: SKIPPED (%s)@." reason;
+            exit 0
+        | None ->
+            let nviol = Prockill.violation_count c in
+            Fmt.pr "prockill: %d kills, %d violation(s)@." c.Prockill.c_kills
+              nviol;
+            List.iter
+              (fun o ->
+                if o.Prockill.o_violations <> [] then begin
+                  Fmt.pr "  trial %d (%s):@." o.Prockill.o_params.Prockill.trial
+                    (Prockill.replay_string o.Prockill.o_params);
+                  List.iter
+                    (fun v -> Fmt.pr "    %a@." Prockill.pp_violation v)
+                    o.Prockill.o_violations
+                end)
+              c.Prockill.c_trials;
+            (match c.Prockill.c_mutant with
+            | None -> ()
+            | Some m ->
+                if m.Prockill.m_detected then begin
+                  Fmt.pr "mutant: psync elision DETECTED after %d trial(s)@."
+                    m.Prockill.m_attempts;
+                  Option.iter
+                    (fun r -> Fmt.pr "  shrunk replay: %s@." r)
+                    m.Prockill.m_replay
+                end
+                else
+                  Fmt.pr "mutant: NOT detected in %d trial(s)@."
+                    m.Prockill.m_attempts);
+            let mutant_ok =
+              match c.Prockill.c_mutant with
+              | None -> true
+              | Some m -> m.Prockill.m_detected
+            in
+            if nviol = 0 && mutant_ok then exit 0 else exit 1)
+  in
+  Cmd.v
+    (Cmd.info "prockill"
+       ~doc:
+         "Real-process SIGKILL crash campaign: fork seeded workloads \
+          against the file-backed backend, kill them at randomised points, \
+          reopen and hold verified recovery to the durability oracles; \
+          then catch the planted psync-elision mutant and shrink the \
+          counterexample to a replayable string.")
+    Term.(
+      const run $ kills_arg $ seed_arg $ max_delay_arg $ mutant_trials_arg
+      $ dir_arg $ replay_arg $ json_arg)
+
 let () =
   let info =
     Cmd.info "respct_experiments"
@@ -956,4 +1083,5 @@ let () =
             crashmatrix_cmd;
             analyze_cmd;
             litmus_cmd;
+            prockill_cmd;
           ]))

@@ -102,25 +102,39 @@ let ops t : Ops.map =
     map_rp = (fun ~slot ~id -> Respct.Runtime.rp t.rt ~slot id);
   }
 
+let heads t = t.heads
+let buckets t = t.buckets
+
 (* Recovery-time view over the persistent image: rebuild the logical
-   contents bucket by bucket (used by crash-consistency tests). *)
-let persisted_bindings mem t =
-  let record cell = Simnvm.Memsys.persisted mem cell in
+   contents bucket by bucket (used by crash-consistency tests).
+   Parameterised over the read function and the geometry so the same walk
+   serves every vantage point — a live map read through [Memsys.persisted],
+   a reopened file image read through a backend's [persisted], or a
+   pre-crash snapshot read through [peek] — including from a process that
+   holds no [t] (the prockill parent reconstructs the walk from the heads
+   base and bucket count in the child's progress log). *)
+let bindings_of ~read ~line_words ~fuel ~heads ~buckets =
   (* Fuel bounds each bucket walk: a corrupt image (the crash explorer
      feeds us adversarial ones) can tie a chain into a cycle. *)
-  let fuel = (Simnvm.Memsys.config mem).Simnvm.Memsys.nvm_words in
   let rec walk node acc fuel =
     if node = 0 then acc
     else if fuel = 0 then failwith "persisted bucket chain is cyclic"
     else
       walk
-        (record (next_cell node))
-        ((Simnvm.Memsys.persisted mem (key_of node), record (value_cell node))
-        :: acc)
+        (read (next_cell node))
+        ((read (key_of node), read (value_cell node)) :: acc)
         (fuel - 1)
   in
   let all = ref [] in
-  for b = 0 to t.buckets - 1 do
-    all := walk (record (head_cell t b)) !all fuel
+  for b = 0 to buckets - 1 do
+    all :=
+      walk (read (Respct.Heap.cell_at_words ~line_words heads b)) !all fuel
   done;
   List.sort compare !all
+
+let persisted_bindings mem t =
+  bindings_of
+    ~read:(Simnvm.Memsys.persisted mem)
+    ~line_words:(Simsched.Env.line_words t.env)
+    ~fuel:(Simnvm.Memsys.config mem).Simnvm.Memsys.nvm_words
+    ~heads:t.heads ~buckets:t.buckets

@@ -28,3 +28,22 @@ val persisted_bindings : Simnvm.Memsys.t -> t -> (int * int) list
 (** Recovery-time oracle: the logical (key, value) bindings readable from
     the NVMM image, sorted (crash-consistency tests compare this against
     the snapshot of the last checkpoint). *)
+
+val heads : t -> int
+(** Base address of the packed bucket-head cell array (log it so an
+    out-of-process oracle can rebuild the walk with {!bindings_of}). *)
+
+val buckets : t -> int
+
+val bindings_of :
+  read:(int -> int) ->
+  line_words:int ->
+  fuel:int ->
+  heads:int ->
+  buckets:int ->
+  (int * int) list
+(** The walk underneath {!persisted_bindings}, parameterised over the read
+    function and geometry: pass a backend's [persisted] (durable image) or
+    [peek] (coherent view) to take the oracle reading from any vantage
+    point, including a process that holds no [t].
+    @raise Failure on a cyclic chain (fuel exhausted). *)

@@ -80,19 +80,23 @@ let ops t : Ops.queue =
   }
 
 (* Recovery-time view: the queue contents in the persistent image, head to
-   tail (used by crash-consistency tests). *)
-let persisted_contents mem t =
-  let record cell = Simnvm.Memsys.persisted mem cell in
-  let sentinel = record t.head_cell in
+   tail (used by crash-consistency tests). Parameterised over the read
+   function, like [Hashmap_respct.bindings_of], so any vantage point (live
+   image, reopened file, pre-crash peek) and any process can take the
+   reading. *)
+let contents_of ~read ~fuel ~head =
+  let sentinel = read head in
   (* Fuel bounds the walk: a corrupt image (the crash explorer feeds us
      adversarial ones) can tie the chain into a cycle. *)
-  let fuel = (Simnvm.Memsys.config mem).Simnvm.Memsys.nvm_words in
   let rec walk node acc fuel =
     if node = 0 then List.rev acc
     else if fuel = 0 then failwith "persisted queue chain is cyclic"
-    else
-      walk (record (next_cell node))
-        (Simnvm.Memsys.persisted mem node :: acc)
-        (fuel - 1)
+    else walk (read (next_cell node)) (read (value_of node) :: acc) (fuel - 1)
   in
-  walk (record (next_cell sentinel)) [] fuel
+  walk (read (next_cell sentinel)) [] fuel
+
+let persisted_contents mem t =
+  contents_of
+    ~read:(Simnvm.Memsys.persisted mem)
+    ~fuel:(Simnvm.Memsys.config mem).Simnvm.Memsys.nvm_words
+    ~head:t.head_cell

@@ -1,0 +1,121 @@
+(** Real-process SIGKILL crash harness over the {!Filemem} backend.
+
+    Forks a child that runs a seeded multi-threaded ResPCT workload
+    (hashmap + partitioned InCLL counters, restart point after every op)
+    against a file-backed image, SIGKILLs it at a randomised wall-clock
+    point, reopens the surviving file in the parent and runs
+    {!Respct.Recovery.run_verified_backend} plus two durability oracles
+    against the child's progress log:
+
+    - {b no lost sealed epoch}: the durable epoch word must be at least
+      the largest epoch the child logged as sealed;
+    - {b last-checkpoint snapshot}: when recovery promises a bit-exact
+      image, the recovered digest must equal the digest the child took at
+      the failed epoch's quiescent instant.
+
+    Campaigns also fork-and-kill a recovery pass itself (idempotence
+    sub-trial) and hunt a planted [Elide_psync] mutant, shrinking any
+    counterexample to a replayable parameter string. The kill point is
+    real time, so reproduction is statistical: shrinking and [--replay]
+    re-run a candidate several times and accept any violating run. *)
+
+type params = {
+  seed : int;
+  trial : int;
+  threads : int;  (** worker threads (slots [0..threads-1]) *)
+  keyspace : int;  (** hashmap keys drawn from [0, keyspace) *)
+  kill_delay_us : int;  (** wall-clock delay after readiness before SIGKILL *)
+  mutant : bool;  (** arm [Filemem.Elide_psync] once steady state is reached *)
+}
+
+val replay_string : params -> string
+(** ["seed=..;trial=..;threads=..;keyspace=..;delay_us=..;mutant=0|1"] *)
+
+val parse_replay : string -> params option
+
+type violation =
+  | Child_error of string
+  | Reopen_failed of string
+  | Unrecoverable_image of string
+  | Lost_sealed_epoch of { durable : int; sealed : int }
+  | Snapshot_mismatch of { epoch : int; expected : int; got : int }
+  | Oracle_walk_failed of { epoch : int; msg : string }
+
+val pp_violation : violation Fmt.t
+
+type outcome = {
+  o_params : params;
+  o_killed : bool;  (** the child died by our SIGKILL (not a clean exit) *)
+  o_finished : bool;  (** the child logged completion before dying *)
+  o_recovery_killed : bool;
+      (** a recovery pass was itself SIGKILLed before the final verified
+          recovery (idempotence sub-trial) *)
+  o_verdict : string;  (** clean / repaired / salvaged / unrecoverable / none *)
+  o_failed_epoch : int;
+  o_sealed_max : int;  (** largest sealed epoch in the child's log, -1 if none *)
+  o_truncated : bool;
+  o_violations : violation list;  (** empty = the trial passed all oracles *)
+}
+
+val run_trial :
+  ?recovery_kill:bool ->
+  ?recovery_kill_delay_us:int ->
+  params ->
+  dir:string ->
+  outcome
+(** One fork / kill / reopen / verify cycle. [recovery_kill] additionally
+    SIGKILLs a recovery process mid-flight before the parent's own
+    verified recovery, proving recovery idempotent. Trial files live
+    under [dir] and are removed afterwards. *)
+
+type mutant_result = {
+  m_detected : bool;
+  m_attempts : int;
+  m_first : outcome option;
+  m_shrunk : outcome option;
+  m_replay : string option;  (** replayable shrunk counterexample *)
+}
+
+type campaign = {
+  c_seed : int;
+  c_kills : int;
+  c_trials : outcome list;
+  c_mutant : mutant_result option;
+  c_skipped : string option;  (** reason, when fork/SIGKILL is unavailable *)
+}
+
+val violation_count : campaign -> int
+
+val run :
+  ?kills:int ->
+  ?seed:int ->
+  ?max_delay_us:int ->
+  ?mutant_trials:int ->
+  ?progress:(string -> unit) ->
+  ?dir:string ->
+  unit ->
+  campaign
+(** Full campaign: [kills] fault-free kill trials (varying thread count,
+    keyspace and kill delay, with seeded recovery-kill sub-trials), then
+    up to [mutant_trials] attempts to catch the planted psync-elision
+    mutant, shrinking the first counterexample. Degrades to a skipped
+    campaign (never raises) where [fork] is unavailable. [dir] defaults
+    to a fresh directory under [/dev/shm] when writable (else the system
+    temp dir). *)
+
+val replay :
+  string -> dir:string -> (params * outcome option, string) result
+(** Re-run a shrunk counterexample string: [Ok (params, Some outcome)]
+    when some attempt reproduced a violation, [Ok (params, None)] when
+    none did (the kill point is real time — retry), [Error _] when the
+    string does not parse. *)
+
+val reproduces : ?attempts:int -> params -> dir:string -> outcome option
+
+val default_dir : unit -> string
+val fork_available : unit -> bool
+
+val json_of_outcome : outcome -> Obs.Json.t
+
+val json_of_campaign : campaign -> Obs.Json.t
+(** Schema ["respct-prockill/v1"]. *)

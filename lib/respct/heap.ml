@@ -151,10 +151,12 @@ let alloc_incll_array_block ctx t n =
 
 let alloc_incll_array ctx t n = fst (alloc_incll_array_block ctx t n)
 
+let cell_at_words ~line_words base i =
+  let per = line_words / Incll.words in
+  base + (i / per * line_words) + (i mod per * Incll.words)
+
 let cell_at env base i =
-  let lw = Simsched.Env.line_words env in
-  let per = lw / Incll.words in
-  base + (i / per * lw) + (i mod per * Incll.words)
+  cell_at_words ~line_words:(Simsched.Env.line_words env) base i
 
 let free (ctx : Pctx.t) t addr ~words =
   Simsched.Scheduler.charge (sched t) cache_op_ns;

@@ -59,6 +59,10 @@ val alloc_incll_array : Pctx.t -> t -> int -> int
 val cell_at : Simsched.Env.t -> int -> int -> Incll.cell
 (** [cell_at env base i]: address of the [i]-th cell of a packed array. *)
 
+val cell_at_words : line_words:int -> int -> int -> Incll.cell
+(** Pure form of {!cell_at} for host-level walkers that hold no
+    environment (e.g. oracle reads over a backend's durable image). *)
+
 val free : Pctx.t -> t -> int -> words:int -> unit
 (** Return a block to the freeing slot's pending list; it becomes reusable
     after the next checkpoint. *)

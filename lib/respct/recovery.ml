@@ -166,25 +166,25 @@ let cell_in_heap (layout : Layout.t) cell =
   cell >= layout.Layout.heap_base
   && cell + Incll.words <= layout.Layout.heap_limit
 
-let run ?(threads = 1) ?(layout : Layout.t option) ?spans mem =
-  let mcfg = Simnvm.Memsys.config mem in
-  let line_words = mcfg.Simnvm.Memsys.line_words in
+let run_backend ?(threads = 1) ?(layout : Layout.t option) ?spans
+    (b : Simnvm.Backend.t) =
+  let line_words = b.Simnvm.Backend.line_words in
   let layout =
     match layout with
     | Some l -> l
     | None ->
-        Layout.v ~line_words ~nvm_words:mcfg.Simnvm.Memsys.nvm_words
+        Layout.v ~line_words ~nvm_words:b.Simnvm.Backend.nvm_words
           ~max_threads:Runtime.default_config.Runtime.max_threads
           ~registry_per_slot:Runtime.default_config.Runtime.registry_per_slot
           ()
   in
   let failed_epoch =
-    Checksum.epoch_of (Simnvm.Memsys.persisted mem layout.Layout.epoch_addr)
+    Checksum.epoch_of (b.Simnvm.Backend.persisted layout.Layout.epoch_addr)
   in
   (* Recovery runs on its own scheduler so its virtual duration is the
      makespan of the parallel scan (Figure 12 measures exactly this). *)
   let sched = Simsched.Scheduler.create ~seed:17 () in
-  let env = Simsched.Env.make mem sched in
+  let env = Simsched.Env.make_backend b sched in
   let rolled = ref [] in
   let scanned = ref 0 in
   ignore
@@ -269,21 +269,24 @@ let run ?(threads = 1) ?(layout : Layout.t option) ?spans mem =
   (* Collect per-thread restart-point ids from the slot table. *)
   let slot_count =
     clamp 0 layout.Layout.max_threads
-      (Simnvm.Memsys.persisted mem (Incll.record layout.Layout.slots_cell))
+      (b.Simnvm.Backend.persisted (Incll.record layout.Layout.slots_cell))
   in
   let rp_ids =
     List.init slot_count (fun slot ->
         let cell =
-          Simnvm.Memsys.persisted mem (layout.Layout.slot_table_base + slot)
+          b.Simnvm.Backend.persisted (layout.Layout.slot_table_base + slot)
         in
         if cell = 0 || not (cell_in_heap layout cell) then (slot, 0)
-        else (slot, Simnvm.Memsys.persisted mem (Incll.record cell)))
+        else (slot, b.Simnvm.Backend.persisted (Incll.record cell)))
   in
   let duration_ns = Simsched.Scheduler.elapsed sched in
   (match spans with
   | Some r -> Obs.Span.emit r ~name:"recovery" ~t0:0.0 ~t1:duration_ns
   | None -> ());
   { failed_epoch; scanned = !scanned; rolled_back = !rolled; duration_ns; rp_ids }
+
+let run ?threads ?layout ?spans mem =
+  run_backend ?threads ?layout ?spans (Simnvm.Backend.of_memsys mem)
 
 (* ------------------------------------------------------------------ *)
 (* Verified scan *)
@@ -292,16 +295,15 @@ let run ?(threads = 1) ?(layout : Layout.t option) ?spans mem =
    raised Media_error (virtual nanoseconds). *)
 let retry_backoff_ns = 100.0
 
-let run_verified ?(max_read_retries = 4) ?(layout : Layout.t option) ?spans
-    mem =
-  let mcfg = Simnvm.Memsys.config mem in
-  let line_words = mcfg.Simnvm.Memsys.line_words in
+let run_verified_backend ?(max_read_retries = 4) ?(layout : Layout.t option)
+    ?spans (b : Simnvm.Backend.t) =
+  let line_words = b.Simnvm.Backend.line_words in
   let layout =
     match layout with
     | Some l -> l
     | None ->
         Layout.v ~integrity:true ~line_words
-          ~nvm_words:mcfg.Simnvm.Memsys.nvm_words
+          ~nvm_words:b.Simnvm.Backend.nvm_words
           ~max_threads:Runtime.default_config.Runtime.max_threads
           ~registry_per_slot:Runtime.default_config.Runtime.registry_per_slot
           ()
@@ -314,7 +316,7 @@ let run_verified ?(max_read_retries = 4) ?(layout : Layout.t option) ?spans
      single fiber keeps the repair log and the media-retry state trivially
      race-free. *)
   let sched = Simsched.Scheduler.create ~seed:17 () in
-  let env = Simsched.Env.make mem sched in
+  let env = Simsched.Env.make_backend b sched in
   let damages = ref [] in
   let add_damage d = damages := d :: !damages in
   let retries = ref 0 in
@@ -322,7 +324,13 @@ let run_verified ?(max_read_retries = 4) ?(layout : Layout.t option) ?spans
      media errors heal on their first raise, so one retry clears them;
      persistent poison survives the budget and is scrubbed (content lost,
      recorded as damage) so the scan can proceed over zeroed media. The
-     raise happens before any cache mutation, so retrying is sound. *)
+     raise happens before any cache mutation, so retrying is sound.
+
+     An address the medium cannot serve at all (a file truncated by a
+     crash during growth, shorter than its header's claimed geometry)
+     surfaces as Invalid_argument from the backend: it grades into the
+     taxonomy as an out-of-bounds range rather than escaping the scan --
+     the read yields 0, whose failing seal then classifies the cell. *)
   let read addr =
     let rec go n =
       match Simsched.Env.load env addr with
@@ -336,9 +344,12 @@ let run_verified ?(max_read_retries = 4) ?(layout : Layout.t option) ?spans
           end
           else begin
             add_damage (Media_failed { line });
-            Simnvm.Memsys.scrub_line mem line;
+            b.Simnvm.Backend.scrub_line line;
             go 0
           end
+      | exception Invalid_argument _ ->
+          add_damage (Range_out_of_bounds { addr; base = addr; count = 1 });
+          0
     in
     go 0
   in
@@ -594,3 +605,7 @@ let run_verified ?(max_read_retries = 4) ?(layout : Layout.t option) ?spans
     verdict = verdict_of_damages !damages;
     read_retries = !retries;
   }
+
+let run_verified ?max_read_retries ?layout ?spans mem =
+  run_verified_backend ?max_read_retries ?layout ?spans
+    (Simnvm.Backend.of_memsys mem)

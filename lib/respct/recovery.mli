@@ -103,6 +103,15 @@ val run :
     (registry lengths and decoded ranges are clamped) but it can silently
     restore wrong data — use {!run_verified} on integrity-mode images. *)
 
+val run_backend :
+  ?threads:int ->
+  ?layout:Layout.t ->
+  ?spans:Obs.Span.t ->
+  Simnvm.Backend.t ->
+  report
+(** {!run} over an arbitrary persistence backend (e.g. [Filemem]).
+    [run ... mem] is [run_backend ... (Simnvm.Backend.of_memsys mem)]. *)
+
 val run_verified :
   ?max_read_retries:int ->
   ?layout:Layout.t ->
@@ -118,3 +127,16 @@ val run_verified :
     [layout] defaults to the integrity layout induced by
     {!Runtime.default_config}.
     @raise Invalid_argument if [layout] was built without [~integrity]. *)
+
+val run_verified_backend :
+  ?max_read_retries:int ->
+  ?layout:Layout.t ->
+  ?spans:Obs.Span.t ->
+  Simnvm.Backend.t ->
+  verified
+(** {!run_verified} over an arbitrary persistence backend. Additionally
+    hardened against truncated media: an address the backend cannot serve
+    (it raises [Invalid_argument], e.g. a file cut short by a crash during
+    growth) grades into the damage taxonomy ([Range_out_of_bounds], then
+    [Metadata_torn]/[Torn_log] as the zero reads fail their seals) instead
+    of escaping as a raw exception. *)

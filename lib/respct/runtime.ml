@@ -128,7 +128,7 @@ let fresh_slot () =
   { active = false; flag = false; to_flush = []; to_flush_len = 0; rp_cell = 0 }
 
 let sched t = Simsched.Env.sched t.env
-let mem t = Simsched.Env.mem t.env
+let bops t = Simsched.Env.backend t.env
 
 (* epoch_of is the identity on raw epoch words, so unpacking is
    unconditional: only integrity mode stores a sealed word. *)
@@ -209,18 +209,18 @@ let bootstrap_ctx t : Pctx.t =
     epoch = (fun () -> -1);
     add_modified =
       (fun addr ->
-        Simnvm.Memsys.pwb (mem t) addr;
-        Simnvm.Memsys.psync (mem t));
+        let b = bops t in
+        b.Simnvm.Backend.pwb addr;
+        b.Simnvm.Backend.psync ());
     wait_epoch_durable = ignore;
     integrity = t.cfg.integrity;
   }
 
 let make_internal ?(cfg = default_config) env =
-  let mcfg = Simnvm.Memsys.config (Simsched.Env.mem env) in
+  let b = Simsched.Env.backend env in
   let layout =
-    Layout.v ~integrity:cfg.integrity
-      ~line_words:mcfg.Simnvm.Memsys.line_words
-      ~nvm_words:mcfg.Simnvm.Memsys.nvm_words ~max_threads:cfg.max_threads
+    Layout.v ~integrity:cfg.integrity ~line_words:b.Simnvm.Backend.line_words
+      ~nvm_words:b.Simnvm.Backend.nvm_words ~max_threads:cfg.max_threads
       ~registry_per_slot:cfg.registry_per_slot ()
   in
   let heap =
@@ -256,15 +256,11 @@ let make_internal ?(cfg = default_config) env =
        re-establishes anyway; [restart] picks up the failed epoch. *)
     cur_epoch =
       Checksum.epoch_of
-        (Simnvm.Memsys.persisted
-           (Simsched.Env.mem env)
-           layout.Layout.epoch_addr);
+        (b.Simnvm.Backend.persisted layout.Layout.epoch_addr);
     slot_epochs =
       Array.make cfg.max_threads
         (Checksum.epoch_of
-           (Simnvm.Memsys.persisted
-              (Simsched.Env.mem env)
-              layout.Layout.epoch_addr));
+           (b.Simnvm.Backend.persisted layout.Layout.epoch_addr));
     fmx = Simsched.Mutex.create ~name:"flush" ();
     flush_work = Simsched.Condvar.create ~name:"flush-work" ();
     flush_done = Simsched.Condvar.create ~name:"flush-done" ();
@@ -308,21 +304,20 @@ let store_commit_record t e =
 
 let create ?cfg env =
   let t = make_internal ?cfg env in
-  let m = mem t in
+  let b = bops t in
   let bctx = bootstrap_ctx t in
   if t.cfg.integrity then store_commit_record t 0;
   store_epoch t 0;
-  Simnvm.Memsys.pwb m t.layout.Layout.epoch_addr;
+  b.Simnvm.Backend.pwb t.layout.Layout.epoch_addr;
   Heap.init_cursor bctx t.heap;
   Incll.init bctx t.layout.Layout.slots_cell 0;
-  let mcfg = Simnvm.Memsys.config m in
   for slot = 0 to t.cfg.max_threads - 1 do
     Incll.init bctx
-      (Layout.reglen_cell t.layout ~line_words:mcfg.Simnvm.Memsys.line_words
+      (Layout.reglen_cell t.layout ~line_words:b.Simnvm.Backend.line_words
          slot)
       0
   done;
-  Simnvm.Memsys.psync m;
+  b.Simnvm.Backend.psync ();
   t
 
 (* Attach a runtime to a memory image that just went through recovery.
@@ -478,14 +473,14 @@ let all_flags_raised t =
    pwb costs are accumulated off the coordinator's clock, divided by the
    pool width, and charged as the parallel flush's makespan. *)
 let flush_with_pool t addrs =
-  let m = mem t in
+  let b = bops t in
   let t0 = Simsched.Scheduler.now (sched t) in
-  let saved = Simnvm.Memsys.get_charge m in
+  let saved = b.Simnvm.Backend.get_charge () in
   let acc = ref 0.0 in
-  Simnvm.Memsys.set_charge m (fun ns -> acc := !acc +. ns);
-  List.iter (fun addr -> Simnvm.Memsys.pwb m addr) addrs;
-  Simnvm.Memsys.psync m;
-  Simnvm.Memsys.set_charge m saved;
+  b.Simnvm.Backend.set_charge (fun ns -> acc := !acc +. ns);
+  List.iter (fun addr -> b.Simnvm.Backend.pwb addr) addrs;
+  b.Simnvm.Backend.psync ();
+  b.Simnvm.Backend.set_charge saved;
   let makespan = !acc /. float_of_int (max 1 t.cfg.flusher_pool) in
   Simsched.Scheduler.charge (sched t) makespan;
   t.stats.flush_ns <- t.stats.flush_ns +. makespan;

@@ -1,9 +1,16 @@
-(* Execution environment binding a memory system to a scheduler.
+(* Execution environment binding a memory backend to a scheduler.
 
    All simulated programs access memory exclusively through these wrappers:
    latencies flow into the running thread's virtual clock (the charge hook is
    installed by [make]) and every access is a preemption point, so the
    scheduler can interleave threads as real hardware would.
+
+   The memory side is a backend behind the Simnvm.Backend seam. The
+   simulator remains a special case with a direct, closure-free call path
+   (one constructor match per access, nothing else changed); any other
+   backend — the mmap'd-file Filemem, chiefly — goes through its record of
+   closures. Sim-only call sites keep using [mem]; backend-generic code
+   uses [backend].
 
    Every wrapper — including the atomic RMWs and pure-compute charges —
    publishes on the world's trace bus (Scheduler.trace_bus), so analyses
@@ -11,8 +18,12 @@
    stream. Emission is guarded on [Trace.active]: an untraced world pays
    one array-length test per access. *)
 
+type backing = Sim of Simnvm.Memsys.t | Ext of Simnvm.Backend.t
+
 type t = {
-  mem : Simnvm.Memsys.t;
+  be : backing;
+  ops : Simnvm.Backend.t; (* cold-path view of [be]; for Sim, of_memsys *)
+  lw : int; (* cached line_words: the hot paths and RMW tokens need it *)
   sched : Scheduler.t;
   bus : Trace.bus;
   rmw_tokens : (int, Mutex.t) Hashtbl.t;
@@ -21,17 +32,39 @@ type t = {
          pure time charge cannot express *)
 }
 
-let make mem sched =
-  Simnvm.Memsys.set_charge mem (fun ns -> Scheduler.charge sched ns);
-  Simnvm.Memsys.set_tid_provider mem (fun () -> Scheduler.current_tid_opt sched);
-  { mem; sched; bus = Scheduler.trace_bus sched; rmw_tokens = Hashtbl.create 64 }
+let init be (ops : Simnvm.Backend.t) sched =
+  ops.Simnvm.Backend.set_charge (fun ns -> Scheduler.charge sched ns);
+  ops.Simnvm.Backend.set_tid_provider (fun () ->
+      Scheduler.current_tid_opt sched);
+  {
+    be;
+    ops;
+    lw = ops.Simnvm.Backend.line_words;
+    sched;
+    bus = Scheduler.trace_bus sched;
+    rmw_tokens = Hashtbl.create 64;
+  }
 
-let mem t = t.mem
+let make mem sched = init (Sim mem) (Simnvm.Backend.of_memsys mem) sched
+let make_backend ops sched = init (Ext ops) ops sched
+
+let mem t =
+  match t.be with
+  | Sim m -> m
+  | Ext b ->
+      invalid_arg
+        ("Env.mem: world runs over external backend " ^ b.Simnvm.Backend.name)
+
+let backend t = t.ops
 let sched t = t.sched
 let bus t = t.bus
 
 let load t addr =
-  let v = Simnvm.Memsys.load t.mem addr in
+  let v =
+    match t.be with
+    | Sim m -> Simnvm.Memsys.load m addr
+    | Ext b -> b.Simnvm.Backend.load addr
+  in
   if Trace.active t.bus then
     Trace.emit t.bus
       (Trace.Load { tid = Scheduler.current_tid_opt t.sched; addr });
@@ -39,21 +72,27 @@ let load t addr =
   v
 
 let store t addr v =
-  Simnvm.Memsys.store t.mem addr v;
+  (match t.be with
+  | Sim m -> Simnvm.Memsys.store m addr v
+  | Ext b -> b.Simnvm.Backend.store addr v);
   if Trace.active t.bus then
     Trace.emit t.bus
       (Trace.Store { tid = Scheduler.current_tid_opt t.sched; addr });
   Scheduler.poll t.sched
 
 let pwb t addr =
-  Simnvm.Memsys.pwb t.mem addr;
+  (match t.be with
+  | Sim m -> Simnvm.Memsys.pwb m addr
+  | Ext b -> b.Simnvm.Backend.pwb addr);
   if Trace.active t.bus then
     Trace.emit t.bus
       (Trace.Pwb { tid = Scheduler.current_tid_opt t.sched; addr });
   Scheduler.poll t.sched
 
 let psync t =
-  Simnvm.Memsys.psync t.mem;
+  (match t.be with
+  | Sim m -> Simnvm.Memsys.psync m
+  | Ext b -> b.Simnvm.Backend.psync ());
   if Trace.active t.bus then
     Trace.emit t.bus (Trace.Psync { tid = Scheduler.current_tid_opt t.sched });
   Scheduler.poll t.sched
@@ -67,8 +106,7 @@ let psync t =
    chain that successive operations wait on. Reentrancy is not supported:
    nest [cas]/[faa] on a different line only. *)
 let serialize_rmw t addr f =
-  let lw = (Simnvm.Memsys.config t.mem).Simnvm.Memsys.line_words in
-  let line = Simnvm.Addr.line_of ~line_words:lw addr in
+  let line = Simnvm.Addr.line_of ~line_words:t.lw addr in
   let token =
     match Hashtbl.find_opt t.rmw_tokens line with
     | Some m -> m
@@ -95,15 +133,25 @@ let emit_rmw t ~addr ~wrote =
     Trace.emit t.bus (Trace.Rmw { tid; addr })
   end
 
+let raw_load t addr =
+  match t.be with
+  | Sim m -> Simnvm.Memsys.load m addr
+  | Ext b -> b.Simnvm.Backend.load addr
+
+let raw_store t addr v =
+  match t.be with
+  | Sim m -> Simnvm.Memsys.store m addr v
+  | Ext b -> b.Simnvm.Backend.store addr v
+
 (* Atomic compare-and-swap: no preemption point separates the read from the
    write, so it is atomic in the simulation exactly as the hardware
    instruction is. Charged as a store plus an RMW penalty; algorithms whose
    RMWs contend on one line must additionally wrap their dependent
    sequences in [serialize_rmw]. *)
 let cas t addr ~expected ~desired =
-  let v = Simnvm.Memsys.load t.mem addr in
+  let v = raw_load t addr in
   let ok = v = expected in
-  if ok then Simnvm.Memsys.store t.mem addr desired;
+  if ok then raw_store t addr desired;
   emit_rmw t ~addr ~wrote:ok;
   Scheduler.charge t.sched 8.0;
   Scheduler.poll t.sched;
@@ -111,8 +159,8 @@ let cas t addr ~expected ~desired =
 
 (* Atomic fetch-and-add, same atomicity argument as [cas]. *)
 let faa t addr delta =
-  let v = Simnvm.Memsys.load t.mem addr in
-  Simnvm.Memsys.store t.mem addr (v + delta);
+  let v = raw_load t addr in
+  raw_store t addr (v + delta);
   emit_rmw t ~addr ~wrote:true;
   Scheduler.charge t.sched 8.0;
   Scheduler.poll t.sched;
@@ -126,4 +174,4 @@ let compute t ns =
       (Trace.Compute { tid = Scheduler.current_tid_opt t.sched; ns });
   Scheduler.poll t.sched
 
-let line_words t = (Simnvm.Memsys.config t.mem).Simnvm.Memsys.line_words
+let line_words t = t.lw
