@@ -271,7 +271,7 @@ let perf_cmd =
   let out_arg =
     Arg.(
       value
-      & opt string "BENCH_PR6.json"
+      & opt string "BENCH_PR9.json"
       & info [ "out" ] ~docv:"FILE" ~doc:"Benchmark document destination.")
   in
   let compare_arg =
@@ -471,9 +471,50 @@ let crashmatrix_cmd =
             "Replay: media-fault seed layered on the image (as printed by a \
              failing --faults run).")
   in
+  let backend_arg =
+    Arg.(
+      value
+      & opt (enum [ ("sim", `Sim); ("file", `File) ]) `Sim
+      & info [ "backend" ]
+          ~doc:
+            "Crash medium: sim (the cache-model dimensions) or file (the \
+             Filemem dimension: virtual power cuts over memory-mapped \
+             images, held to the prockill digest oracles with exact \
+             shrinking; --replay takes its seed=..;..;mutant=.. strings).")
+  in
   let run deep _smoke scenario no_pcso ablation no_schedules faults pipeline
-      replay ops sched_seed mem_seed crash_index image fault_seed =
+      backend replay ops sched_seed mem_seed crash_index image fault_seed =
     let ppf = Fmt.stdout in
+    if backend = `File then begin
+      let dir = Service.Front.fresh_dir () in
+      let ok =
+        match replay with
+        | Some s -> (
+            match Crashtest.Filematrix.replay s ~dir with
+            | Error msg ->
+                Fmt.epr "%s@." msg;
+                exit 2
+            | Ok (_, o) ->
+                if o.Crashtest.Filematrix.fo_violations = [] then begin
+                  Fmt.pf ppf "replay %s: recovery passed (no violation)@." s;
+                  true
+                end
+                else begin
+                  Fmt.pf ppf "replay %s: violation reproduced: %a@." s
+                    Fmt.(list ~sep:comma Crashtest.Filematrix.pp_violation)
+                    o.Crashtest.Filematrix.fo_violations;
+                  false
+                end)
+        | None ->
+            let p =
+              if deep then Crashtest.Matrix.deep else Crashtest.Matrix.smoke
+            in
+            Crashtest.Filematrix.check ~dir p ppf
+      in
+      (try Unix.rmdir dir with Unix.Unix_error (_, _, _) -> ());
+      if not ok then exit 1
+    end
+    else
     match replay with
     | Some id -> (
         let build =
@@ -532,8 +573,8 @@ let crashmatrix_cmd =
     Term.(
       const run $ deep_arg $ smoke_arg $ scenario_arg $ no_pcso_arg
       $ ablation_arg $ no_schedules_arg $ faults_arg $ pipeline_arg
-      $ replay_arg $ ops_arg $ sched_seed_arg $ mem_seed_arg $ crash_index_arg
-      $ image_arg $ fault_seed_arg)
+      $ backend_arg $ replay_arg $ ops_arg $ sched_seed_arg $ mem_seed_arg
+      $ crash_index_arg $ image_arg $ fault_seed_arg)
 
 let analyze_cmd =
   let program_arg =
@@ -1065,6 +1106,175 @@ let prockill_cmd =
       const run $ kills_arg $ seed_arg $ max_delay_arg $ mutant_trials_arg
       $ dir_arg $ replay_arg $ json_arg)
 
+let service_cmd =
+  let preset_arg =
+    Arg.(
+      value
+      & opt (enum [ ("smoke", `Smoke); ("sweep", `Sweep) ]) `Smoke
+      & info [ "preset" ]
+          ~doc:
+            "Service preset: smoke (4 shards, 200 sessions, seconds-scale) \
+             or sweep (the ROADMAP target: 8 shards, 10k sessions, 2^20 \
+             keys, zipfian hot-key storm).")
+  in
+  let smoke_flag =
+    Arg.(
+      value & flag
+      & info [ "smoke" ] ~doc:"Alias for --preset smoke (the default).")
+  in
+  let opt_int name doc =
+    Arg.(value & opt (some int) None & info [ name ] ~doc)
+  in
+  let shards_arg = opt_int "shards" "Override: shard count." in
+  let workers_arg = opt_int "workers" "Override: worker threads per shard." in
+  let sessions_arg = opt_int "sessions" "Override: concurrent client sessions." in
+  let requests_arg = opt_int "requests" "Override: requests per session." in
+  let keys_arg = opt_int "keys" "Override: keyspace size." in
+  let seed_arg = opt_int "seed" "Override: run seed." in
+  let period_us_arg =
+    Arg.(
+      value
+      & opt (some Arg.float) None
+      & info [ "period-us" ] ~doc:"Override: per-shard checkpoint period (µs).")
+  in
+  let backend_arg =
+    Arg.(
+      value
+      & opt (enum [ ("sim", `Sim); ("file", `File) ]) `Sim
+      & info [ "backend" ]
+          ~doc:
+            "Shard medium: sim (in-memory simulator) or file (Filemem \
+             images; enables the end-of-run durability audit and crash \
+             trials).")
+  in
+  let crash_at_arg =
+    Arg.(
+      value
+      & opt (some Arg.float) None
+      & info [ "crash-at-us" ] ~docv:"T"
+          ~doc:
+            "Crash-under-load trial: SIGKILL-style crash of one shard at \
+             virtual instant $(docv) µs (requires --backend file); the \
+             victim recovers via verified recovery while the survivors \
+             keep serving.")
+  in
+  let crash_shard_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "crash-shard" ] ~doc:"Which shard the crash trial kills.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the full structured results (schema respct-service/v1: \
+             per-shard counters, latency/depth/batch histograms, span \
+             summaries, crash report) to $(docv).")
+  in
+  let run preset smoke shards workers sessions requests keys seed period_us
+      backend crash_at_us crash_shard json =
+    let base =
+      match (preset, smoke) with
+      | `Sweep, false -> Service.Front.sweep
+      | _ -> Service.Front.smoke
+    in
+    let ov v = function None -> v | Some x -> x in
+    let dir = match backend with `Sim -> None | `File -> Some (Service.Front.fresh_dir ()) in
+    let cfg =
+      {
+        base with
+        Service.Front.shards = ov base.Service.Front.shards shards;
+        workers = ov base.Service.Front.workers workers;
+        sessions = ov base.Service.Front.sessions sessions;
+        requests = ov base.Service.Front.requests requests;
+        keys = ov base.Service.Front.keys keys;
+        seed = ov base.Service.Front.seed seed;
+        period_ns =
+          (match period_us with
+          | None -> base.Service.Front.period_ns
+          | Some us -> us *. 1_000.0);
+        backend =
+          (match dir with
+          | None -> Service.Front.Sim
+          | Some d -> Service.Front.File d);
+        record_digests = dir <> None;
+      }
+    in
+    let crash_at_ns = Option.map (fun us -> us *. 1_000.0) crash_at_us in
+    let r = Service.Front.run ?crash_at_ns ~crash_shard cfg in
+    let open Service.Front in
+    Printf.printf
+      "service: %d shards x %d workers, %d sessions x %d reqs, %d keys \
+       (zipf %.2f, %d%% reads)\n"
+      cfg.shards cfg.workers cfg.sessions cfg.requests cfg.keys cfg.theta
+      cfg.read_pct;
+    Printf.printf
+      "  completed %d, failed %d, retried %d, rejects %d full / %d down\n"
+      r.r_completed r.r_failed r.r_retried r.r_rejected_full r.r_rejected_down;
+    Printf.printf
+      "  throughput %.3f Mreq/s over %.3f ms; checkpoint stall overlap %.0f \
+       ns\n"
+      r.r_mrps (r.r_makespan_ns /. 1e6) r.r_stall_overlap_ns;
+    List.iter
+      (fun sr ->
+        Printf.printf
+          "  shard %d%s: served %d in %d batches (%d coalesced), max depth \
+           %d, %d ckpts, sealed epoch %d, stall %.0f ns\n"
+          sr.sr_id
+          (if sr.sr_down then " (down)" else "")
+          sr.sr_served sr.sr_batches sr.sr_coalesced sr.sr_max_depth
+          sr.sr_checkpoints sr.sr_sealed sr.sr_stall_ns)
+      r.r_shards;
+    let crash_ok =
+      match r.r_crash with
+      | None -> true
+      | Some cr ->
+          Printf.printf
+            "  crash: shard %d at %.1f µs -> verdict %s, failed epoch %d \
+             (sealed %d)%s, dropped %d, recovery %.0f ns, survivors %.3f \
+             Mreq/s\n"
+            cr.cr_shard (cr.cr_at_ns /. 1e3) cr.cr_verdict cr.cr_failed_epoch
+            cr.cr_sealed_at_crash
+            (match cr.cr_digest_match with
+            | Some true -> ", digest ok"
+            | Some false -> ", DIGEST MISMATCH"
+            | None -> "")
+            cr.cr_dropped cr.cr_recovery_ns cr.cr_survivor_mrps;
+          cr.cr_exact && (not cr.cr_lost_sealed)
+          && cr.cr_digest_match <> Some false
+    in
+    let surv_ok = List.for_all (fun sc -> sc.sc_ok) r.r_survivors in
+    if r.r_survivors <> [] then
+      Printf.printf "  survivor audit: %d/%d ok\n"
+        (List.length (List.filter (fun sc -> sc.sc_ok) r.r_survivors))
+        (List.length r.r_survivors);
+    (match json with
+    | None -> ()
+    | Some path ->
+        (try Obs.Json.to_file path (Service.Front.to_json r)
+         with Sys_error msg ->
+           Printf.eprintf "cannot write --json sink: %s\n" msg;
+           exit 2);
+        Printf.printf "[structured results written to %s]\n" path);
+    (match dir with
+    | Some d -> ( try Unix.rmdir d with Unix.Unix_error (_, _, _) -> ())
+    | None -> ());
+    if not (crash_ok && surv_ok) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "service"
+       ~doc:
+         "Sharded KV service: simulated client sessions through admission \
+          control and consistent-hash routing into independently-\
+          checkpointed ResPCT shards with a rolling checkpoint schedule; \
+          optional crash-under-load trial with verified recovery.")
+    Term.(
+      const run $ preset_arg $ smoke_flag $ shards_arg $ workers_arg
+      $ sessions_arg $ requests_arg $ keys_arg $ seed_arg $ period_us_arg
+      $ backend_arg $ crash_at_arg $ crash_shard_arg $ json_arg)
+
 let () =
   let info =
     Cmd.info "respct_experiments"
@@ -1084,4 +1294,5 @@ let () =
             analyze_cmd;
             litmus_cmd;
             prockill_cmd;
+            service_cmd;
           ]))

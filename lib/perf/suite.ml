@@ -80,11 +80,41 @@ let pipeline_map_sample (scale : Harness.Experiments.scale) () =
         scale.Harness.Experiments.sweep_threads;
       (!ops, !sim))
 
-let benches_for scale =
+(* The sharded KV service front-end (lib/service): sessions, admission,
+   batching and consistent-hash routing over per-shard runtimes, on the
+   Sim backend. The sample is whole-service: completed requests over the
+   run's virtual makespan, so a regression anywhere in the serving path
+   (router, queues, batcher, shard runtimes, rolling checkpoints) moves
+   it. *)
+let service_sample ~big () =
+  let cfg =
+    if big then
+      {
+        Service.Front.smoke with
+        Service.Front.sessions = 500;
+        requests = 12;
+        keys = 40_000;
+        prefill = 10_000;
+      }
+    else
+      {
+        Service.Front.smoke with
+        Service.Front.sessions = 100;
+        requests = 6;
+        keys = 8_000;
+        prefill = 2_000;
+      }
+  in
+  timed (fun () ->
+      let r = Service.Front.run cfg in
+      (r.Service.Front.r_completed, r.Service.Front.r_makespan_ns))
+
+let benches_for ?(big = true) scale =
   [
     ("fig8-map", map_sample scale Harness.Systems.map_kinds);
     ("fig9-queue", queue_sample scale Harness.Systems.queue_kinds);
     ("respct-pipe", pipeline_map_sample scale);
+    ("kv-service", service_sample ~big);
   ]
 
 (* Default preset: the figures' own scale — the ISSUE's "fig8 + fig9
@@ -116,7 +146,7 @@ let smoke_preset =
     p_name = "smoke";
     p_runs = 2;
     p_warmup = 1;
-    p_benches = benches_for smoke_scale;
+    p_benches = benches_for ~big:false smoke_scale;
   }
 
 let preset_of_string = function

@@ -106,12 +106,11 @@ let parse_replay s =
    same way — the child over [Filemem.persisted] at the quiescent
    instant, the parent over the reopened file after recovery. *)
 
-let digest ~read ~heads ~cbase =
+let digest_with ~read ~line_words ~fuel ~heads ~buckets ~cbase ~ncounters =
   let acc = ref 0x9e3779b9 in
   let mix v = acc := (!acc * 1000003) lxor (v land max_int) land 0x3FFFFFFFFFFFF in
   let bindings =
-    Pds.Hashmap_respct.bindings_of ~read ~line_words ~fuel:nvm_words ~heads
-      ~buckets
+    Pds.Hashmap_respct.bindings_of ~read ~line_words ~fuel ~heads ~buckets
   in
   List.iter
     (fun (k, v) ->
@@ -122,6 +121,10 @@ let digest ~read ~heads ~cbase =
     mix (read (Respct.Heap.cell_at_words ~line_words cbase i))
   done;
   !acc
+
+let digest ~read ~heads ~cbase =
+  digest_with ~read ~line_words ~fuel:nvm_words ~heads ~buckets ~cbase
+    ~ncounters
 
 (* ------------------------------------------------------------------ *)
 (* Child side. Runs after [Unix.fork] in the child process; never

@@ -33,6 +33,28 @@ val replay_string : params -> string
 
 val parse_replay : string -> params option
 
+val digest_with :
+  read:(int -> int) ->
+  line_words:int ->
+  fuel:int ->
+  heads:int ->
+  buckets:int ->
+  cbase:int ->
+  ncounters:int ->
+  int
+(** Durable-image digest shared by every backend-level crash oracle: the
+    hashmap's logical bindings (walked via
+    {!Pds.Hashmap_respct.bindings_of} from the [heads] array) followed by
+    [ncounters] raw counter cells at [cbase], folded into one integer.
+    Pass [ncounters:0] when the workload has no counter region. Used by
+    the prockill child/parent pair, the Filemem crash matrix and the
+    service-layer crash trials, so a recovered image can be compared to a
+    digest taken at a quiescent instant on the other side of a crash. *)
+
+val layout_of : Filemem.t -> Respct.Layout.t
+(** Reconstruct the ResPCT layout from a (possibly reopened) file-backed
+    image's self-describing header — the layout recovery needs. *)
+
 type violation =
   | Child_error of string
   | Reopen_failed of string

@@ -1,0 +1,141 @@
+(** Request-level KV serving front-end over N independently-checkpointed
+    ResPCT shards (DESIGN.md §15).
+
+    Simulated client sessions (closed-loop, exponential arrivals and
+    think times, constant per-hop network latency) feed one front-end
+    fiber that routes each request through a consistent-hash ring
+    ({!Router}) into a bounded per-shard admission queue ({!Admission}).
+    Shard workers drain batches, coalesce duplicate puts, execute against
+    the shard's own {!Respct.Runtime} world and hand completions back.
+    Checkpoints roll: each shard's coordinator staggers its deadlines by
+    [period/shards], so no instant pauses every shard at once (the
+    result reports the measured stall overlap).
+
+    Sessions are plain records multiplexed on one fiber — not fibers
+    themselves — because scheduler dispatch is O(live threads); this is
+    what makes 10k+ concurrent sessions simulable.
+
+    Crash-under-load (File backend, integrity mode): at [crash_at_ns]
+    the victim shard's durability path freezes (the SIGKILL instant),
+    its queue closes — clients see typed [Shard_down] rejections — and
+    once its workers drain, the image takes a power cut and runs
+    {!Respct.Recovery.run_verified_backend} inside the simulation while
+    the survivors keep serving. Replies are acked at execution, so the
+    victim legitimately rolls back to its last sealed checkpoint; the
+    report holds recovery to the no-lost-sealed-epoch and
+    checkpoint-digest oracles. *)
+
+type backend_kind =
+  | Sim  (** the in-memory simulator ({!Simnvm.Memsys}) per shard *)
+  | File of string  (** {!Filemem} images under the given directory *)
+
+type config = {
+  shards : int;
+  vnodes : int;  (** ring points per shard *)
+  workers : int;  (** worker threads per shard *)
+  sessions : int;
+  requests : int;  (** requests per session (closed loop) *)
+  keys : int;
+  prefill : int;  (** keys [0, prefill) inserted before traffic starts *)
+  theta : float;  (** zipfian skew of key popularity *)
+  read_pct : int;
+  arrival_ns : float;  (** mean inter-session-arrival gap *)
+  think_ns : float;  (** mean client think time between requests *)
+  net_ns : float;  (** one-way network propagation *)
+  queue_cap : int;
+  batch_max : int;
+  retries : int;  (** per request, on rejection or in-flight drop *)
+  retry_ns : float;  (** mean client backoff before a retry *)
+  period_ns : float;  (** per-shard checkpoint period *)
+  pipeline : bool;  (** pipelined checkpoints (forced off in crash trials) *)
+  integrity : bool;
+  disjoint_keys : bool;  (** partition the keyspace by session *)
+  collect_final : bool;  (** return the merged final (key, value) map *)
+  record_digests : bool;  (** File: digest the durable image per epoch *)
+  seed : int;
+  backend : backend_kind;
+  nvm_words : int;  (** per shard; 0 = size from prefill + traffic *)
+  registry_per_slot : int;
+}
+
+val smoke : config
+(** Seconds-scale: 4 shards, 200 sessions, 20k keys. *)
+
+val sweep : config
+(** The ROADMAP target: 8 shards, 10k sessions, 2^20 keys, zipfian
+    hot-key storm. *)
+
+type shard_report = {
+  sr_id : int;
+  sr_served : int;  (** requests executed (including coalesced puts) *)
+  sr_batches : int;
+  sr_coalesced : int;
+  sr_accepted : int;
+  sr_rejected_full : int;
+  sr_rejected_down : int;
+  sr_max_depth : int;
+  sr_checkpoints : int;
+  sr_sealed : int;
+  sr_stall_ns : float;
+  sr_flush_ns : float;
+  sr_down : bool;
+}
+
+type crash_report = {
+  cr_shard : int;
+  cr_at_ns : float;
+  cr_verdict : string;
+  cr_exact : bool;
+  cr_failed_epoch : int;
+  cr_sealed_at_crash : int;
+  cr_lost_sealed : bool;  (** [true] would be a durability violation *)
+  cr_digest_match : bool option;  (** [None]: no snapshot for that epoch *)
+  cr_dropped : int;  (** requests failed back to clients by the crash *)
+  cr_recovery_ns : float;
+      (** virtual duration of the verified recovery: charged in-sim time
+          plus the modeled full-image media scan (the walk itself reads
+          the free post-crash persisted view) *)
+  cr_survivor_mrps : float;  (** survivors' Mreq/s while the victim is down *)
+}
+
+type survivor_check = {
+  sc_shard : int;
+  sc_verdict : string;
+  sc_failed_epoch : int;
+  sc_sealed : int;
+  sc_ok : bool;
+}
+
+type result = {
+  r_cfg : config;
+  r_makespan_ns : float;
+  r_completed : int;
+  r_failed : int;
+  r_retried : int;
+  r_rejected_full : int;
+  r_rejected_down : int;
+  r_mrps : float;  (** completed requests per virtual µs (Mreq/s) *)
+  r_shards : shard_report list;
+  r_stall_overlap_ns : float;
+      (** virtual time during which >= 2 shards were stalled at once *)
+  r_crash : crash_report option;
+  r_survivors : survivor_check list;
+      (** end-of-run durability audit of every surviving file image *)
+  r_final : (int * int) list option;
+  r_metrics : Obs.Metrics.t;
+  r_span_json : (int * Obs.Json.t) list;
+}
+
+val run : ?crash_at_ns:float -> ?crash_shard:int -> config -> result
+(** Execute one service run. [crash_at_ns] arms the crash-under-load
+    scenario against shard [crash_shard mod shards] (default 0).
+    @raise Invalid_argument on a crash trial without the File backend
+    and integrity mode, or on non-positive dimensions. *)
+
+val to_json : result -> Obs.Json.t
+(** Schema ["respct-service/v1"]. Everything exported is virtual-time or
+    counter data: the same seed yields byte-identical text. *)
+
+val fresh_dir : unit -> string
+(** A fresh private directory for File-backend images ([/dev/shm] when
+    available, else the system temp dir). *)

@@ -492,6 +492,79 @@ let test_ir_plans_survive_and_mutants_die () =
               Alcotest.failf "%s: mutant counterexample does not replay" name))
     Analysis.Corpus.all
 
+(* ------------------------------------------------------------------ *)
+(* Filemem crash matrix: clean trials pass the durability oracles, the
+   planted psync-elision mutant is caught, and counterexample strings
+   round-trip through parse/replay. *)
+
+let with_tmpdir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "fmx-test-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Fun.protect
+    ~finally:(fun () -> try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let fmx_params =
+  {
+    Crashtest.Filematrix.fseed = 42;
+    fthreads = 2;
+    fkeyspace = 96;
+    fops = 200;
+    fcrash_us = 120;
+    fmutant = false;
+  }
+
+let test_filematrix_clean_passes () =
+  with_tmpdir (fun dir ->
+      let o = Crashtest.Filematrix.run_trial fmx_params ~dir in
+      (match o.Crashtest.Filematrix.fo_violations with
+      | [] -> ()
+      | v :: _ ->
+          Alcotest.failf "clean trial violated: %a"
+            Crashtest.Filematrix.pp_violation v);
+      Alcotest.(check bool) "at least one epoch sealed" true
+        (o.Crashtest.Filematrix.fo_sealed_max >= 1);
+      let o2 = Crashtest.Filematrix.run_trial fmx_params ~dir in
+      Alcotest.(check string) "trials deterministic"
+        o.Crashtest.Filematrix.fo_verdict o2.Crashtest.Filematrix.fo_verdict;
+      Alcotest.(check int) "sealed epochs deterministic"
+        o.Crashtest.Filematrix.fo_sealed_max
+        o2.Crashtest.Filematrix.fo_sealed_max)
+
+let test_filematrix_mutant_caught () =
+  with_tmpdir (fun dir ->
+      let p = { fmx_params with Crashtest.Filematrix.fmutant = true } in
+      let o = Crashtest.Filematrix.run_trial p ~dir in
+      (match o.Crashtest.Filematrix.fo_violations with
+      | [] ->
+          Alcotest.fail "Elide_psync mutant slipped past both oracles"
+      | _ -> ());
+      (* the shrunk counterexample must still violate and round-trip *)
+      let q = Crashtest.Filematrix.shrink p ~dir in
+      let oq = Crashtest.Filematrix.run_trial q ~dir in
+      Alcotest.(check bool) "shrunk params still violate" true
+        (oq.Crashtest.Filematrix.fo_violations <> []);
+      let s = Crashtest.Filematrix.replay_string q in
+      match Crashtest.Filematrix.replay s ~dir with
+      | Error msg -> Alcotest.failf "replay %S failed: %s" s msg
+      | Ok (q', o') ->
+          Alcotest.(check bool) "replay parses back the same params" true
+            (q' = q);
+          Alcotest.(check bool) "replay reproduces the violation" true
+            (o'.Crashtest.Filematrix.fo_violations <> []))
+
+let test_filematrix_replay_string_roundtrip () =
+  let s = Crashtest.Filematrix.replay_string fmx_params in
+  (match Crashtest.Filematrix.parse_replay s with
+  | Some p -> Alcotest.(check bool) "round-trips" true (p = fmx_params)
+  | None -> Alcotest.failf "cannot parse own string %S" s);
+  Alcotest.(check bool) "garbage rejected" true
+    (Crashtest.Filematrix.parse_replay "seed=x;nope" = None)
+
 let () =
   Alcotest.run "crashtest"
     [
@@ -551,5 +624,14 @@ let () =
         [
           Alcotest.test_case "plans survive, stripped mutants die" `Slow
             test_ir_plans_survive_and_mutants_die;
+        ] );
+      ( "filematrix",
+        [
+          Alcotest.test_case "clean trial passes, deterministic" `Quick
+            test_filematrix_clean_passes;
+          Alcotest.test_case "mutant caught, shrunk, replays" `Slow
+            test_filematrix_mutant_caught;
+          Alcotest.test_case "replay string round-trips" `Quick
+            test_filematrix_replay_string_roundtrip;
         ] );
     ]

@@ -287,6 +287,122 @@ let test_queue_crash_recovery () =
   Alcotest.(check bool) "at least one trial checked" true (!checked > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Backend-generic oracle walk ([bindings_of]) over a Filemem image.
+
+   [persisted_bindings] ties the walk to Memsys; the raw walker must
+   give the same answer when the durable medium is a file image, read
+   through [Filemem.persisted] after a power cut. *)
+
+let filemem_world seed path =
+  let cfg =
+    {
+      Filemem.default_config with
+      Filemem.nvm_words = 1 lsl 16;
+      Filemem.dram_words = 1 lsl 12;
+      Filemem.evict_rate = 0.0;
+      Filemem.seed;
+    }
+  in
+  let meta =
+    {
+      Filemem.max_threads = 2;
+      Filemem.registry_per_slot = 1 lsl 12;
+      Filemem.integrity = true;
+    }
+  in
+  let fm = Filemem.create ~meta cfg ~path in
+  let sched = Scheduler.create ~seed () in
+  let env = Env.make_backend (Filemem.backend fm) sched in
+  (fm, sched, env)
+
+let test_filemem_oracle_walk () =
+  let path = Filename.temp_file "pds-walk" ".img" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let fm, sched, env = filemem_world 7 path in
+      let rt =
+        Respct.Runtime.create
+          ~cfg:
+            {
+              rt_cfg with
+              Respct.Runtime.max_threads = 2;
+              registry_per_slot = 1 lsl 12;
+              integrity = true;
+            }
+          env
+      in
+      let model = Hashtbl.create 64 in
+      let sealed = ref (-1) in
+      let map = ref None in
+      ignore
+        (Scheduler.spawn ~name:"walk-cp" sched (fun () ->
+             while Option.is_none !map do
+               Scheduler.sleep sched 500.0
+             done;
+             (* the worker deregisters when it finishes, so this checkpoint
+                quiesces trivially and seals the final contents *)
+             Respct.Runtime.run_checkpoint rt ~on_flushed:(fun e ->
+                 sealed := e);
+             Respct.Runtime.stop rt));
+      ignore
+        (Respct.Runtime.spawn rt ~slot:0 (fun _ctx ->
+             let m = Pds.Hashmap_respct.create rt ~slot:0 ~buckets:32 in
+             let rng = Rng.create 99 in
+             for i = 1 to 400 do
+               let key = Rng.int rng 96 in
+               (if Rng.int rng 4 = 0 then begin
+                  ignore (Pds.Hashmap_respct.remove m ~slot:0 ~key);
+                  Hashtbl.remove model key
+                end
+                else begin
+                  ignore (Pds.Hashmap_respct.insert m ~slot:0 ~key ~value:i);
+                  Hashtbl.replace model key i
+                end);
+               Respct.Runtime.rp rt ~slot:0 1
+             done;
+             map := Some m));
+      (match Scheduler.run sched with
+      | Scheduler.Completed -> ()
+      | Scheduler.Crash_interrupt _ -> Alcotest.fail "unexpected crash");
+      Alcotest.(check bool) "a checkpoint sealed" true (!sealed >= 1);
+      let m = Option.get !map in
+      (* power cut: only the durable image survives *)
+      Filemem.crash fm;
+      let v =
+        Respct.Recovery.run_verified_backend
+          ~layout:(Respct.Runtime.layout rt)
+          (Filemem.backend fm)
+      in
+      Alcotest.(check bool)
+        "recovered exactly" true
+        (Respct.Recovery.exact_image v.Respct.Recovery.verdict);
+      let walked =
+        Pds.Hashmap_respct.bindings_of
+          ~read:(Filemem.persisted fm)
+          ~line_words:(Filemem.config fm).Filemem.line_words
+          ~fuel:(1 lsl 16)
+          ~heads:(Pds.Hashmap_respct.heads m)
+          ~buckets:(Pds.Hashmap_respct.buckets m)
+      in
+      let expected =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) model []
+        |> List.sort compare
+      in
+      Alcotest.(check (list (pair int int)))
+        "file-image walk equals the model" expected walked;
+      (* the fuel bound must hold against adversarial images *)
+      Alcotest.check_raises "cyclic-chain fuel bound"
+        (Failure "persisted bucket chain is cyclic") (fun () ->
+          ignore
+            (Pds.Hashmap_respct.bindings_of
+               ~read:(fun _ -> 8)
+               ~line_words:(Filemem.config fm).Filemem.line_words ~fuel:4
+               ~heads:(Pds.Hashmap_respct.heads m)
+               ~buckets:1));
+      Filemem.close fm)
+
+(* ------------------------------------------------------------------ *)
 (* Bump allocator *)
 
 let test_bump_reuse () =
@@ -323,5 +439,10 @@ let () =
             test_map_crash_recovery;
           Alcotest.test_case "queue recovers last checkpoint (6 seeds)" `Quick
             test_queue_crash_recovery;
+        ] );
+      ( "oracle-walk",
+        [
+          Alcotest.test_case "bindings_of over a Filemem image" `Quick
+            test_filemem_oracle_walk;
         ] );
     ]

@@ -1,0 +1,256 @@
+(* Tests for the sharded KV service layer (lib/service): deterministic
+   replay of whole runs, consistent-hash routing stability, admission
+   saturation behaviour, the crash-one-shard-under-load scenario, and a
+   sharded-vs-single differential against the same request stream. *)
+
+module Front = Service.Front
+module Router = Service.Router
+module Admission = Service.Admission
+module Sched = Simsched.Scheduler
+
+(* A config small enough that a test run takes well under a second but
+   still crosses several checkpoint periods on every shard. *)
+let tiny =
+  {
+    Front.smoke with
+    Front.sessions = 60;
+    requests = 6;
+    keys = 4_000;
+    prefill = 1_000;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: equal seeds give byte-identical structured output *)
+
+let test_same_seed_byte_identical () =
+  let run () = Obs.Json.to_string (Front.to_json (Front.run tiny)) in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check string) "same seed, same bytes" a b;
+  let c =
+    Obs.Json.to_string
+      (Front.to_json (Front.run { tiny with Front.seed = tiny.Front.seed + 1 }))
+  in
+  Alcotest.(check bool) "different seed, different run" true (a <> c)
+
+(* ------------------------------------------------------------------ *)
+(* Routing: adding a shard moves only ~K/(N+1) keys, all onto the new
+   shard — the consistent-hashing contract. *)
+
+let qcheck_routing_stability =
+  QCheck.Test.make ~count:30 ~name:"ring stability under shard addition"
+    QCheck.(pair (int_range 2 8) (int_range 0 1_000_000))
+    (fun (n, key_base) ->
+      let before = Router.create ~shards:n ~vnodes:64 in
+      let after = Router.create ~shards:(n + 1) ~vnodes:64 in
+      let nkeys = 2_000 in
+      let moved = ref 0 in
+      for i = 0 to nkeys - 1 do
+        let key = key_base + i in
+        let a = Router.route before key in
+        let b = Router.route after key in
+        if a <> b then begin
+          incr moved;
+          if b <> n then
+            QCheck.Test.fail_reportf
+              "key %d moved %d -> %d, not onto the new shard %d" key a b n
+        end
+      done;
+      let expected = float_of_int nkeys /. float_of_int (n + 1) in
+      let ratio = float_of_int !moved /. expected in
+      if ratio > 2.5 then
+        QCheck.Test.fail_reportf "moved %d keys, expected ~%.0f" !moved
+          expected;
+      if !moved = 0 then
+        QCheck.Test.fail_reportf "no key moved when shard %d appeared" n;
+      true)
+
+let test_ring_deterministic () =
+  let r1 = Router.create ~shards:5 ~vnodes:64 in
+  let r2 = Router.create ~shards:5 ~vnodes:64 in
+  for key = 0 to 999 do
+    Alcotest.(check int)
+      (Printf.sprintf "key %d" key)
+      (Router.route r1 key) (Router.route r2 key)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Admission control: the queue never exceeds its cap, overflow is a
+   typed rejection, and accept/reject counts conserve offers. *)
+
+let test_admission_saturation () =
+  let sched = Sched.create ~seed:3 () in
+  let q = Admission.create sched ~cap:32 in
+  let offered = 600 in
+  let taken = ref 0 in
+  let rejected = ref 0 in
+  let leftover = ref 0 in
+  ignore
+    (Sched.spawn ~name:"producer" sched (fun () ->
+         for i = 1 to offered do
+           (match Admission.offer q i with
+           | Ok depth ->
+               if depth > 32 then Alcotest.fail "depth exceeded cap"
+           | Error Admission.Queue_full -> incr rejected
+           | Error Admission.Shard_down -> Alcotest.fail "queue is not down");
+           (* a fast producer against a slow consumer *)
+           Sched.sleep sched 10.0
+         done;
+         leftover := List.length (Admission.close q)));
+  ignore
+    (Sched.spawn ~name:"consumer" sched (fun () ->
+         let continue = ref true in
+         while !continue do
+           let batch =
+             Admission.take q ~max:8 ~wait:(fun cv mu ->
+                 Simsched.Condvar.wait sched cv mu)
+           in
+           if batch = [] then continue := false
+           else begin
+             taken := !taken + List.length batch;
+             Sched.sleep sched 1_000.0
+           end
+         done));
+  (match Sched.run sched with
+  | Sched.Completed -> ()
+  | Sched.Crash_interrupt _ -> Alcotest.fail "unexpected crash");
+  Alcotest.(check bool) "saturation produced typed rejects" true (!rejected > 0);
+  Alcotest.(check int) "offers conserved" offered
+    (Admission.accepted q + Admission.rejected_full q);
+  Alcotest.(check int) "accepted = taken + returned at close"
+    (Admission.accepted q)
+    (!taken + !leftover);
+  Alcotest.(check bool)
+    (Printf.sprintf "max depth %d within cap" (Admission.max_depth q))
+    true
+    (Admission.max_depth q <= 32)
+
+let test_admission_down_typed () =
+  let sched = Sched.create ~seed:4 () in
+  let q = Admission.create sched ~cap:8 in
+  ignore
+    (Sched.spawn sched (fun () ->
+         ignore (Admission.close q);
+         (match Admission.offer q 1 with
+         | Error Admission.Shard_down -> ()
+         | Ok _ | Error Admission.Queue_full ->
+             Alcotest.fail "offer to a closed queue must be Shard_down");
+         Alcotest.(check int) "down rejects counted" 1
+           (Admission.rejected_down q)));
+  match Sched.run sched with
+  | Sched.Completed -> ()
+  | Sched.Crash_interrupt _ -> Alcotest.fail "unexpected crash"
+
+(* ------------------------------------------------------------------ *)
+(* Crash one shard mid-traffic: survivors keep serving and lose no
+   sealed epoch; the victim recovers to its progress-log digest. *)
+
+let test_crash_one_shard_under_load () =
+  let dir = Front.fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      let cfg =
+        {
+          tiny with
+          Front.sessions = 100;
+          requests = 8;
+          backend = Front.File dir;
+          record_digests = true;
+        }
+      in
+      let r = Front.run ~crash_at_ns:500_000.0 ~crash_shard:1 cfg in
+      match r.Front.r_crash with
+      | None -> Alcotest.fail "crash report missing"
+      | Some cr ->
+          Alcotest.(check bool)
+            (Printf.sprintf "recovered exactly (%s)" cr.Front.cr_verdict)
+            true cr.Front.cr_exact;
+          Alcotest.(check bool) "no sealed epoch lost" false
+            cr.Front.cr_lost_sealed;
+          (if cr.Front.cr_digest_match = Some false then
+             Alcotest.fail "recovered image diverges from progress-log digest");
+          Alcotest.(check bool) "clients saw typed Shard_down rejections" true
+            (r.Front.r_rejected_down > 0);
+          Alcotest.(check bool) "survivors kept serving after the crash" true
+            (cr.Front.cr_survivor_mrps > 0.0);
+          Alcotest.(check bool) "modeled recovery takes virtual time" true
+            (cr.Front.cr_recovery_ns > 0.0);
+          List.iter
+            (fun sc ->
+              Alcotest.(check bool)
+                (Printf.sprintf "survivor %d image durable (%s)"
+                   sc.Front.sc_shard sc.Front.sc_verdict)
+                true sc.Front.sc_ok)
+            r.Front.r_survivors;
+          Alcotest.(check int) "every survivor audited"
+            (cfg.Front.shards - 1)
+            (List.length r.Front.r_survivors))
+
+(* ------------------------------------------------------------------ *)
+(* Differential: for conflict-free (session-disjoint) key sets, a
+   3-shard service and a single-shard service converge to the same
+   final KV map — routing cannot change what the service stores. *)
+
+let final_map cfg =
+  let r = Front.run cfg in
+  Alcotest.(check int) "all requests completed" 0 r.Front.r_failed;
+  List.sort compare (Option.get r.Front.r_final)
+
+let qcheck_sharded_vs_single =
+  QCheck.Test.make ~count:8 ~name:"sharded vs single-shard final map"
+    QCheck.(int_range 1 1_000)
+    (fun seed ->
+      let base =
+        {
+          tiny with
+          Front.sessions = 24;
+          requests = 6;
+          keys = 480;
+          prefill = 120;
+          read_pct = 40;
+          disjoint_keys = true;
+          collect_final = true;
+          seed;
+        }
+      in
+      let sharded = final_map { base with Front.shards = 3 } in
+      let single = final_map { base with Front.shards = 1 } in
+      if sharded <> single then
+        QCheck.Test.fail_reportf
+          "seed %d: 3-shard and 1-shard maps differ (%d vs %d bindings)" seed
+          (List.length sharded) (List.length single);
+      true)
+
+(* ------------------------------------------------------------------ *)
+
+let seeded = Gen_common.to_alcotest ~suite:"service"
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed, byte-identical JSON" `Quick
+            test_same_seed_byte_identical;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "ring deterministic" `Quick test_ring_deterministic;
+          seeded qcheck_routing_stability;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "saturation bounded + typed" `Quick
+            test_admission_saturation;
+          Alcotest.test_case "closed queue rejects Shard_down" `Quick
+            test_admission_down_typed;
+        ] );
+      ( "crash-under-load",
+        [
+          Alcotest.test_case "one shard dies, survivors keep serving" `Slow
+            test_crash_one_shard_under_load;
+        ] );
+      ( "differential",
+        [ seeded qcheck_sharded_vs_single ] );
+    ]
