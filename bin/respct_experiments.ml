@@ -614,24 +614,130 @@ let analyze_cmd =
              restart-point advisor over a recorded simulator run: every \
              dynamically observed WAR variable must be statically logged.")
   in
-  let run program iters out strip dynamic =
+  let persistency_arg =
+    Arg.(
+      value & flag
+      & info [ "persistency" ]
+          ~doc:
+            "Print the persist-state crash summary per program (the \
+             lifecycle mask per persistent variable plus the \
+             must-durable / may-dirty sets) and include it in the JSON \
+             document.")
+  in
+  let mutant_arg =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [
+                  ("strip-psync", Litmus.Axcheck.Strip_psync);
+                  ("redundant-pwb", Litmus.Axcheck.Inject_redundant_pwb);
+                ]))
+          None
+      & info [ "mutant" ] ~docv:"KIND"
+          ~doc:
+            "Plant a flush-discipline mutant ($(b,strip-psync) or \
+             $(b,redundant-pwb)) into every program before linting; \
+             exit 1 iff the expected finding appears — the CI steps \
+             invert this. $(b,strip-psync) additionally runs the \
+             axiomatic gate on the WAL litmus twin and writes a shrunk \
+             replayable counterexample.")
+  in
+  let axcheck_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "axcheck" ] ~docv:"N"
+          ~doc:
+            "Fuzz $(docv) random litmus programs through the static \
+             persist-state analyzer and require every must-durable \
+             claim to hold in every axiomatically-allowed post-crash \
+             state; the first violation is shrunk and written as a \
+             replayable counterexample.")
+  in
+  let axseed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "axcheck-seed" ] ~doc:"Base seed for --axcheck generation.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay an axcheck counterexample file instead of \
+             analysing; exit 1 iff the claim violation reproduces.")
+  in
+  let ce_arg =
+    Arg.(
+      value & opt string "axcheck-counterexample.txt"
+      & info [ "counterexample-out" ] ~docv:"FILE"
+          ~doc:"Where --axcheck and --mutant write a shrunk counterexample.")
+  in
+  let run program iters out strip dynamic persistency mutant axcheck axseed
+      replay ce_file =
     let ppf = Fmt.stdout in
+    match replay with
+    | Some file -> (
+        let text =
+          try In_channel.with_open_text file In_channel.input_all
+          with Sys_error msg ->
+            Fmt.epr "cannot read %s: %s@." file msg;
+            exit 2
+        in
+        match Litmus.Axcheck.counterexample_of_string text with
+        | Error msg ->
+            Fmt.epr "cannot parse %s: %s@." file msg;
+            exit 2
+        | Ok c -> (
+            match Litmus.Axcheck.replay c with
+            | `Reproduced ->
+                Fmt.pf ppf
+                  "replay %s: must-durable claim on %s violated again@."
+                  c.Litmus.Axcheck.cx_prog.Litmus.Prog.name
+                  c.Litmus.Axcheck.cx_loc;
+                exit 1
+            | `Vanished ->
+                Fmt.pf ppf "replay %s: no violation (claim on %s holds)@."
+                  c.Litmus.Axcheck.cx_prog.Litmus.Prog.name
+                  c.Litmus.Axcheck.cx_loc))
+    | None ->
+    let corpus = Analysis.Corpus.all @ Analysis.Corpus.flush_corpus in
     let selected =
       match program with
-      | None -> Analysis.Corpus.all
+      | None -> corpus
       | Some n -> (
-          match List.filter (fun (cn, _) -> cn = n) Analysis.Corpus.all with
+          match List.filter (fun (cn, _) -> cn = n) corpus with
           | [] ->
               Fmt.epr "unknown program %s (know: %s)@." n
-                (String.concat ", " (List.map fst Analysis.Corpus.all));
+                (String.concat ", " (List.map fst corpus));
               exit 2
           | l -> l)
     in
     let failed = ref false in
+    let expected_rule =
+      match mutant with
+      | None -> None
+      | Some Litmus.Axcheck.Strip_psync ->
+          Some "missing-psync-before-dependent-publish"
+      | Some Litmus.Axcheck.Inject_redundant_pwb -> Some "redundant-pwb"
+    in
+    let mutant_hits = ref 0 in
     let docs =
       List.map
         (fun (cname, prog) ->
-          let p, plan = Analysis.Placement.infer (prog ~iters) in
+          let base = prog ~iters in
+          let base =
+            match mutant with
+            | None -> base
+            | Some Litmus.Axcheck.Strip_psync ->
+                Analysis.Flushlint.strip_psync base
+            | Some Litmus.Axcheck.Inject_redundant_pwb ->
+                Analysis.Flushlint.inject_redundant_pwb base
+          in
+          let p, plan = Analysis.Placement.infer base in
           let plan =
             match strip with
             | None -> plan
@@ -645,11 +751,33 @@ let analyze_cmd =
           let findings = Analysis.Lint.run ~plan p in
           Fmt.pf ppf "== %s ==@.%a@." cname Analysis.Placement.pp_plan plan;
           List.iter (Fmt.pf ppf "%a@." Analysis.Lint.pp_finding) findings;
+          (match expected_rule with
+          | None -> ()
+          | Some r ->
+              let hits =
+                List.filter
+                  (fun (f : Analysis.Lint.finding) ->
+                    Analysis.Lint.rule_name f.Analysis.Lint.rule = r)
+                  findings
+              in
+              mutant_hits := !mutant_hits + List.length hits);
           let errors = Analysis.Lint.errors findings in
           if errors <> [] then begin
             failed := true;
             Fmt.pf ppf "%d error(s)@." (List.length errors)
           end;
+          let pers_json =
+            if not persistency then []
+            else begin
+              let summary =
+                Analysis.Persistate.summarize
+                  ~crash_var:Litmus.World.halt_var
+                  (Analysis.Persistate.create p)
+              in
+              Fmt.pf ppf "%a@." Analysis.Persistate.pp_summary summary;
+              [ ("persistency", Analysis.Persistate.summary_to_json summary) ]
+            end
+          in
           let dyn_json =
             if not dynamic then []
             else begin
@@ -684,18 +812,89 @@ let analyze_cmd =
                ("plan", Analysis.Placement.plan_to_json p plan);
                ("lint", Analysis.Lint.to_json p findings);
              ]
-            @ dyn_json))
+            @ pers_json @ dyn_json))
         selected
+    in
+    let write_ce text =
+      try
+        Out_channel.with_open_text ce_file (fun oc ->
+            Out_channel.output_string oc text)
+      with Sys_error msg -> Fmt.epr "cannot write %s: %s@." ce_file msg
+    in
+    (match (mutant, expected_rule) with
+    | Some m, Some r ->
+        let mname = Litmus.Axcheck.mutant_name m in
+        if !mutant_hits > 0 then begin
+          failed := true;
+          Fmt.pf ppf "mutant %s caught statically: %d %s finding(s)@." mname
+            !mutant_hits r
+        end
+        else Fmt.pf ppf "mutant %s NOT caught (no %s finding)@." mname r;
+        if m = Litmus.Axcheck.Strip_psync then begin
+          let variant = Litmus.Axiom.Pcso_lazy in
+          let shrunk =
+            Litmus.Axcheck.minimize ~mutant:m ~variant Litmus.Axcheck.demo
+          in
+          let claims = Litmus.Axcheck.static_claims shrunk in
+          let rep =
+            Litmus.Axcheck.check ~variant ~claims
+              (Litmus.Axcheck.apply_mutant m shrunk)
+          in
+          match rep.Litmus.Axcheck.r_violations with
+          | [] ->
+              failed := true;
+              Fmt.pf ppf
+                "axcheck: stripped WAL twin shows no claim violation — \
+                 the gate lost its teeth@."
+          | v :: _ ->
+              let c =
+                {
+                  Litmus.Axcheck.cx_prog = shrunk;
+                  cx_variant = variant;
+                  cx_mutant = Some m;
+                  cx_loc = v.Litmus.Axcheck.v_loc;
+                }
+              in
+              let text = Litmus.Axcheck.counterexample_to_string c in
+              write_ce text;
+              Fmt.pf ppf
+                "axcheck: WAL twin claim violated under %s (replay with \
+                 analyze --replay %s):@.%s"
+                mname ce_file text
+        end
+    | _ -> ());
+    let ax_json =
+      match axcheck with
+      | None -> []
+      | Some n ->
+          let r = Litmus.Axcheck.fuzz ~n ~seed:axseed () in
+          Fmt.pf ppf
+            "axcheck: %d programs tested, %d skipped (state cap), %d \
+             must-durable claims verified@."
+            r.Litmus.Axcheck.fz_tested r.Litmus.Axcheck.fz_skipped
+            r.Litmus.Axcheck.fz_claims;
+          (match r.Litmus.Axcheck.fz_failure with
+          | None -> ()
+          | Some c ->
+              failed := true;
+              let text = Litmus.Axcheck.counterexample_to_string c in
+              write_ce text;
+              Fmt.pf ppf
+                "axcheck: shrunk soundness violation (replay with analyze \
+                 --replay %s):@.%s"
+                ce_file text);
+          [ ("axcheck", Litmus.Axcheck.fuzz_to_json r) ]
     in
     (match out with
     | None -> ()
     | Some path -> (
         let doc =
           Obs.Json.Obj
-            [
-              ("schema", Obs.Json.String "respct-analyze/v1");
-              ("programs", Obs.Json.List docs);
-            ]
+            ([
+               ("schema", Obs.Json.String "respct-analyze/v2");
+               ("programs", Obs.Json.List docs);
+             ]
+            @ ax_json)
         in
         try
           Obs.Json.to_file path doc;
@@ -709,10 +908,15 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:
          "Static persistency analysis over the IR corpus: infer restart \
-          points and the InCLL-logging plan, run the lint, emit JSON \
-          diagnostics; nonzero exit on any error finding (the CI gate).")
+          points and the InCLL-logging plan, run the lint and the \
+          persist-state flush-discipline rules, gate the analyzer's \
+          must-durable claims against the axiomatic PCSO spec \
+          (--axcheck), emit JSON diagnostics; nonzero exit on any error \
+          finding (the CI gate).")
     Term.(
-      const run $ program_arg $ iters_arg $ out_arg $ strip_arg $ dynamic_arg)
+      const run $ program_arg $ iters_arg $ out_arg $ strip_arg $ dynamic_arg
+      $ persistency_arg $ mutant_arg $ axcheck_arg $ axseed_arg $ replay_arg
+      $ ce_arg)
 
 let litmus_cmd =
   let corpus_arg =

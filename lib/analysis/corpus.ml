@@ -90,8 +90,48 @@ let kv_update ~iters : Ir.program =
       ];
   }
 
+(* A write-ahead-log append loop in the *explicit-flush* discipline:
+   payload persisted and fenced before the commit mark is published,
+   then the mark persisted and fenced in turn. Write-only persistent
+   state (no WAR, nothing logged), so it exercises exactly the rules
+   the Persistate lattice adds: stripping the psyncs leaves the commit
+   publish racing an unfenced payload pwb
+   (missing-psync-before-dependent-publish), and duplicating a pwb is
+   flagged redundant. Lives in [flush_corpus], not [all]: the dynamic
+   strip-log mutant gates require a non-empty logging plan. *)
+let wal_append ~iters : Ir.program =
+  {
+    Ir.pname = "wal-append";
+    persistent = [ ("payload", 0); ("commit", 0) ];
+    transient = [ ("seq", 0) ];
+    threads =
+      [
+        {
+          Ir.tname = "writer";
+          body =
+            [
+              set "seq" (i 0);
+              Ir.While
+                ( v "seq" < i iters,
+                  [
+                    set "payload" ((v "seq" * i 10) + i 1);
+                    Ir.Pwb "payload";
+                    Ir.Psync;
+                    set "commit" (v "seq" + i 1);
+                    Ir.Pwb "commit";
+                    Ir.Psync;
+                    set "seq" (v "seq" + i 1);
+                  ] );
+            ];
+        };
+      ];
+  }
+
 let all : (string * (iters:int -> Ir.program)) list =
   [
     ("bank-transfer", fun ~iters -> bank_transfer ~iters);
     ("kv-update", fun ~iters -> kv_update ~iters);
   ]
+
+let flush_corpus : (string * (iters:int -> Ir.program)) list =
+  [ ("wal-append", fun ~iters -> wal_append ~iters) ]

@@ -12,5 +12,18 @@ val kv_update : iters:int -> Ir.program
     (RAW: tracked only), branch-selected read-modify-write slots and a
     size counter (WAR: logged). *)
 
+val wal_append : iters:int -> Ir.program
+(** Single-threaded WAL append in the explicit-flush discipline:
+    [payload] pwb'd and psync'd before the [commit] mark is published,
+    then the mark flushed in turn. Write-only persistent state, so the
+    inferred plan logs nothing — the {!Flushlint} rules are the whole
+    story. *)
+
 val all : (string * (iters:int -> Ir.program)) list
-(** Name-indexed corpus, used by the [analyze] CLI and the CI gate. *)
+(** Name-indexed corpus, used by the [analyze] CLI and the CI gate.
+    Every entry here must produce a non-empty logging plan (the
+    crashmatrix strip-log mutant gates depend on it). *)
+
+val flush_corpus : (string * (iters:int -> Ir.program)) list
+(** Explicit-flush programs linted by [analyze] alongside {!all} but
+    excluded from the strip-log dynamic gates. *)

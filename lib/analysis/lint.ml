@@ -12,6 +12,12 @@ type rule =
   | Rp_in_critical_section
   | Unreachable_rp
   | Lockset_race
+  | Flush_missing_pwb_at_rp
+  | Flush_missing_psync_publish
+  | Flush_redundant_pwb
+  | Flush_psync_no_pending
+  | Flush_torn_cross_line
+  | Flush_persist_order_race
 
 type finding = {
   rule : rule;
@@ -34,6 +40,14 @@ let rule_name = function
   | Rp_in_critical_section -> "restart-point-in-critical-section"
   | Unreachable_rp -> "unreachable-restart-point"
   | Lockset_race -> "lockset-race"
+  | Flush_missing_pwb_at_rp -> Flushlint.kind_name Flushlint.Missing_pwb_at_rp
+  | Flush_missing_psync_publish ->
+      Flushlint.kind_name Flushlint.Missing_psync_publish
+  | Flush_redundant_pwb -> Flushlint.kind_name Flushlint.Redundant_pwb
+  | Flush_psync_no_pending -> Flushlint.kind_name Flushlint.Psync_no_pending
+  | Flush_torn_cross_line -> Flushlint.kind_name Flushlint.Torn_cross_line
+  | Flush_persist_order_race ->
+      Flushlint.kind_name Flushlint.Persist_order_race
 
 let severity_name = function Error -> "error" | Warning -> "warning"
 
@@ -211,16 +225,65 @@ let race_findings (p : Ir.program) =
            rc.Lockset.rc_threads))
     (Lockset.races p)
 
-let run ?plan (p : Ir.program) : finding list =
-  match Ir.check p with
-  | _ :: _ as errs ->
-      List.map (fun m -> finding Ill_formed Error m) errs
-  | [] ->
-      let plan_part =
-        match plan with Some pl -> plan_findings p pl | None -> []
+(* --- flush discipline (Persistate-driven, see Flushlint) ----------- *)
+
+let flush_findings ?lines (p : Ir.program) =
+  List.map
+    (fun (f : Flushlint.finding) ->
+      let rule =
+        match f.Flushlint.fl_kind with
+        | Flushlint.Missing_pwb_at_rp -> Flush_missing_pwb_at_rp
+        | Flushlint.Missing_psync_publish -> Flush_missing_psync_publish
+        | Flushlint.Redundant_pwb -> Flush_redundant_pwb
+        | Flushlint.Psync_no_pending -> Flush_psync_no_pending
+        | Flushlint.Torn_cross_line -> Flush_torn_cross_line
+        | Flushlint.Persist_order_race -> Flush_persist_order_race
       in
-      store_outside_region p @ plan_part @ lock_findings p
-      @ unreachable_rps p @ race_findings p
+      let severity =
+        if Flushlint.is_error f.Flushlint.fl_kind then Error else Warning
+      in
+      {
+        rule;
+        severity;
+        thread = f.Flushlint.fl_thread;
+        var = f.Flushlint.fl_var;
+        lock = None;
+        rp = f.Flushlint.fl_rp;
+        site = f.Flushlint.fl_site;
+        message = f.Flushlint.fl_message;
+      })
+    (Flushlint.run ?lines p)
+
+(* Deterministic report: sort findings on every identifying field, then
+   dedupe on the identity (rule, thread, site, var, lock, rp) so path-
+   and thread-cross-product rules report each concrete site once and
+   [analyze --json] is byte-stable across runs and list-append order. *)
+let normalize (fs : finding list) : finding list =
+  let key f = (rule_name f.rule, f.thread, f.site, f.var, f.lock, f.rp) in
+  let sorted =
+    List.sort
+      (fun a b ->
+        compare (key a, a.message) (key b, b.message))
+      fs
+  in
+  let rec dedupe = function
+    | a :: b :: rest when key a = key b -> dedupe (a :: rest)
+    | a :: rest -> a :: dedupe rest
+    | [] -> []
+  in
+  dedupe sorted
+
+let run ?plan ?lines (p : Ir.program) : finding list =
+  normalize
+    (match Ir.check p with
+    | _ :: _ as errs ->
+        List.map (fun m -> finding Ill_formed Error m) errs
+    | [] ->
+        let plan_part =
+          match plan with Some pl -> plan_findings p pl | None -> []
+        in
+        store_outside_region p @ plan_part @ lock_findings p
+        @ unreachable_rps p @ race_findings p @ flush_findings ?lines p)
 
 let errors fs = List.filter (fun f -> f.severity = Error) fs
 

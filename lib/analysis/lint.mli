@@ -20,6 +20,14 @@ type rule =
   | Rp_in_critical_section
   | Unreachable_rp
   | Lockset_race
+  | Flush_missing_pwb_at_rp
+      (** persistent var may be dirty at a restart point
+          ({!Flushlint.Missing_pwb_at_rp}) *)
+  | Flush_missing_psync_publish
+  | Flush_redundant_pwb
+  | Flush_psync_no_pending
+  | Flush_torn_cross_line
+  | Flush_persist_order_race
 
 type finding = {
   rule : rule;
@@ -32,8 +40,13 @@ type finding = {
   message : string;
 }
 
-val run : ?plan:Placement.plan -> Ir.program -> finding list
-(** Without [?plan], plan-conformance rules are skipped. *)
+val run :
+  ?plan:Placement.plan -> ?lines:(Ir.var -> int) -> Ir.program -> finding list
+(** Without [?plan], plan-conformance rules are skipped. [lines] is the
+    cache-line layout for the flush-discipline rules (see
+    {!Persistate.create}). The result is normalized: sorted on every
+    identifying field and deduped by (rule, thread, site, var, lock,
+    rp), so the JSON report is byte-deterministic. *)
 
 val errors : finding list -> finding list
 val rule_name : rule -> string

@@ -26,8 +26,19 @@ type result = { outcomes : Outcomes.t; complete : bool; states : int }
    equality is outcome-equivalent to operational dirtiness, because
    writing back a value-clean word never changes the image. [pending]
    (Pcso_lazy only) is the sorted set of lines with an issued but not
-   yet applied pwb. *)
-let allowed ?(max_states = 300_000) ~variant (p : Prog.t) : result =
+   yet applied pwb.
+
+   [enumerate] is the DFS core shared by [allowed] (the outcome sets
+   the worlds are checked against) and [Axcheck] (which needs the full
+   (mem, pmem) pair at each terminal state to judge the static
+   analyzer's must-durable claims). [record] fires at every terminal
+   state — explicit [Crash] executed, or all threads done — including
+   the extra terminals reached by post-crash spontaneous write-backs;
+   the arrays are the DFS working state, so callers must copy what they
+   retain. Under [Eadr] the observable image is [mem] (the crash drains
+   the cache), and [record] still receives the raw pair. *)
+let enumerate ?(max_states = 300_000) ~variant
+    ~(record : int array -> int array -> unit) (p : Prog.t) : bool * int =
   let loc_list = Prog.locs p in
   let n = List.length loc_list in
   let idx = Hashtbl.create 8 in
@@ -44,7 +55,6 @@ let allowed ?(max_states = 300_000) ~variant (p : Prog.t) : result =
   let bodies = Array.of_list (List.map Array.of_list p.Prog.threads) in
   let nt = Array.length bodies in
   let visited = Hashtbl.create 4096 in
-  let outcomes = ref Outcomes.empty in
   let states = ref 0 in
   let capped = ref false in
   let flush_line pmem mem lid =
@@ -76,11 +86,7 @@ let allowed ?(max_states = 300_000) ~variant (p : Prog.t) : result =
               pcs;
             !ok
           in
-          if halted || all_done then
-            outcomes :=
-              Outcomes.add
-                (Array.to_list (if variant = Eadr then mem else pmem))
-                !outcomes;
+          if halted || all_done then record mem pmem;
           (* program steps *)
           if not halted then
             Array.iteri
@@ -175,7 +181,18 @@ let allowed ?(max_states = 300_000) ~variant (p : Prog.t) : result =
     end
   in
   go (Array.make n 0) (Array.make n 0) (Array.make nt 0) false [];
-  { outcomes = !outcomes; complete = not !capped; states = !states }
+  (not !capped, !states)
+
+let allowed ?max_states ~variant (p : Prog.t) : result =
+  let outcomes = ref Outcomes.empty in
+  let record mem pmem =
+    outcomes :=
+      Outcomes.add
+        (Array.to_list (if variant = Eadr then mem else pmem))
+        !outcomes
+  in
+  let complete, states = enumerate ?max_states ~variant ~record p in
+  { outcomes = !outcomes; complete; states }
 
 let mem_outcome r o = Outcomes.mem o r.outcomes
 

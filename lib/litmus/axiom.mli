@@ -49,6 +49,20 @@ val allowed : ?max_states:int -> variant:variant -> Prog.t -> result
     bounds it for adversarial generator output — check [complete]
     before treating the set as exact. *)
 
+val enumerate :
+  ?max_states:int ->
+  variant:variant ->
+  record:(int array -> int array -> unit) ->
+  Prog.t ->
+  bool * int
+(** The DFS core under [allowed], exposed for {!Axcheck}: [record]
+    fires with the coherent memory and persistent image (in
+    {!Prog.locs} order) at every terminal state — including the extra
+    terminals post-crash spontaneous write-backs reach. The arrays are
+    the working state; copy what you retain. Under [Eadr] the
+    observable image is the first array. Returns
+    [(complete, states_visited)]. *)
+
 val mem_outcome : result -> int list -> bool
 
 val pp_outcome : Prog.loc list -> int list Fmt.t

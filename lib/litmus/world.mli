@@ -50,6 +50,24 @@ val run_cfg_of_variant : Axiom.variant -> run_cfg
 
 val addr_of_loc : Prog.t -> Prog.loc -> Simnvm.Addr.t
 
+val drive :
+  sched_seed:int ->
+  load:(int -> int) ->
+  store:(int -> int -> unit) ->
+  pwb:(int -> unit) ->
+  psync:(unit -> unit) ->
+  Prog.t ->
+  bool
+(** Run one seeded schedule of the program against raw memory-op
+    callbacks (addresses from {!addr_of_loc}), one op per scheduler
+    pick; returns [true] iff a [Crash] executed. The hook {!Axcheck}
+    and the Filemem dynamic oracle drive arbitrary backends with. *)
+
+val halt_var : Analysis.Ir.var
+(** The transient flag [Crash] compiles to an assignment of; the
+    stepper and the {!Analysis.Persistate} crash summaries both key on
+    it. *)
+
 val compile : Prog.t -> Analysis.Ir.program
 (** The IR compilation the [Ir_mem] world runs: stores/loads become
     assignments (loads into transient registers), [Faa] becomes one

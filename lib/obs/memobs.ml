@@ -18,6 +18,12 @@ type t = {
   pwbs : Metrics.counter;
   clean_pwbs : Metrics.counter;
   psyncs : Metrics.counter;
+  noop_psyncs : Metrics.counter;
+  mutable flush_armed : bool;
+      (* a dirty pwb was issued since the last psync: the next psync
+         actually retires something. Clean pwbs don't arm — fencing
+         them is exactly the no-op the static Psync_no_pending rule
+         flags. *)
   evictions : Metrics.counter;
   crashes : Metrics.counter;
   faults_torn : Metrics.counter;
@@ -44,6 +50,7 @@ let make registry =
   let pwbs = c "pwbs" in
   let clean_pwbs = c "pwbs.clean" in
   let psyncs = c "psyncs" in
+  let noop_psyncs = c "psyncs.noop" in
   let evictions = c "evictions" in
   let crashes = c "crashes" in
   let faults_torn = c "faults.torn" in
@@ -65,6 +72,8 @@ let make registry =
     pwbs;
     clean_pwbs;
     psyncs;
+    noop_psyncs;
+    flush_armed = false;
     evictions;
     crashes;
     faults_torn;
@@ -92,8 +101,12 @@ let subscriber p (ev : Simnvm.Event.t) =
       Metrics.incr p.nvm_writebacks
   | Simnvm.Event.Pwb { dirty; _ } ->
       Metrics.incr p.pwbs;
-      if not dirty then Metrics.incr p.clean_pwbs
-  | Simnvm.Event.Psync _ -> Metrics.incr p.psyncs
+      if dirty then p.flush_armed <- true
+      else Metrics.incr p.clean_pwbs
+  | Simnvm.Event.Psync _ ->
+      Metrics.incr p.psyncs;
+      if not p.flush_armed then Metrics.incr p.noop_psyncs;
+      p.flush_armed <- false
   | Simnvm.Event.Eviction _ -> Metrics.incr p.evictions
   | Simnvm.Event.Crash _ -> Metrics.incr p.crashes
   | Simnvm.Event.Fault_injected f -> (

@@ -237,6 +237,61 @@ let branchy_ir ?(threads = 2) ~seed ~n () : Ir.program =
     threads;
   }
 
+(* Straight-line flush-aware family for the Axcheck soundness battery:
+   only litmus-fragment shapes (constant stores, loads into transient
+   registers, Faa-shaped RMWs, Pwb/Psync, at most one Crash compiled as
+   the halt-flag assignment), so [Litmus.Axcheck.compile_ir] always
+   accepts them and the Persistate claims can be judged against the
+   axiomatic enumeration. 1–2 threads to also exercise the multi-writer
+   demotion and the catch-the-other-thread-anywhere crash join. *)
+let flushline_ir ~seed ~n : Ir.program =
+  let rng = Rng.create seed in
+  let nv = 2 + Rng.int rng 2 in
+  let pvars = List.filteri (fun i _ -> i < nv) [ "x"; "y"; "z" ] in
+  let regs = [ "r0"; "r1" ] in
+  let nt = 1 + Rng.int rng 2 in
+  let op () =
+    match Rng.int rng 8 with
+    | 0 | 1 | 2 -> Ir.Assign (ir_choose rng pvars, Ir.Int (1 + Rng.int rng 9))
+    | 3 | 4 -> Ir.Pwb (ir_choose rng pvars)
+    | 5 -> Ir.Psync
+    | 6 -> Ir.Assign (ir_choose rng regs, Ir.Var (ir_choose rng pvars))
+    | _ ->
+        let v = ir_choose rng pvars in
+        Ir.Assign (v, Ir.Binop (Ir.Add, Ir.Var v, Ir.Int (1 + Rng.int rng 3)))
+  in
+  let bodies =
+    List.init nt (fun _ ->
+        List.init (1 + Rng.int rng (max 1 n)) (fun _ -> op ()))
+  in
+  let has_crash = Rng.int rng 3 < 2 in
+  let bodies =
+    if not has_crash then bodies
+    else
+      let t = Rng.int rng nt in
+      let crash = Ir.Assign (Litmus.World.halt_var, Ir.Int 1) in
+      List.mapi
+        (fun i b ->
+          if i <> t then b
+          else
+            let pos = Rng.int rng (List.length b + 1) in
+            List.filteri (fun j _ -> j < pos) b
+            @ [ crash ]
+            @ List.filteri (fun j _ -> j >= pos) b)
+        bodies
+  in
+  {
+    Ir.pname = Fmt.str "flushline-%d" seed;
+    persistent = List.map (fun v -> (v, 0)) pvars;
+    transient =
+      List.map (fun v -> (v, 0)) regs
+      @ (if has_crash then [ (Litmus.World.halt_var, 0) ] else []);
+    threads =
+      List.mapi
+        (fun i body -> { Ir.tname = Fmt.str "t%d" i; body })
+        bodies;
+  }
+
 let arb_straightline_ir ?(max_seed = 1_000_000) ~n () =
   QCheck.make
     ~print:(fun seed -> Ir.program_to_string (straightline_ir ~seed ~n))
@@ -245,6 +300,11 @@ let arb_straightline_ir ?(max_seed = 1_000_000) ~n () =
 let arb_branchy_ir ?(max_seed = 1_000_000) ?threads ~n () =
   QCheck.make
     ~print:(fun seed -> Ir.program_to_string (branchy_ir ?threads ~seed ~n ()))
+    QCheck.Gen.(1 -- max_seed)
+
+let arb_flushline_ir ?(max_seed = 1_000_000) ~n () =
+  QCheck.make
+    ~print:(fun seed -> Ir.program_to_string (flushline_ir ~seed ~n))
     QCheck.Gen.(1 -- max_seed)
 
 (* ------------------------------------------------------------------ *)

@@ -372,6 +372,317 @@ let test_interp_kv () =
   Alcotest.check Alcotest.int "journal" 31 (final "journal")
 
 (* ------------------------------------------------------------------ *)
+(* Persistate: the persist-state lattice *)
+
+let flush_prog ?persistent:(pv = [ ("a", 0); ("b", 0) ]) body =
+  {
+    Ir.pname = "fp";
+    persistent = pv;
+    transient = [ ("t", 0) ];
+    threads = [ { Ir.tname = "main"; body } ];
+  }
+
+let summary_of ?lines ?crash_var p =
+  Persistate.summarize ?crash_var (Persistate.create ?lines p)
+
+let in_must s v = Dataflow.Vars.mem v s.Persistate.s_must_durable
+let in_dirty s v = Dataflow.Vars.mem v s.Persistate.s_may_dirty
+
+let test_persistate_lifecycle () =
+  let s = summary_of (flush_prog [ set "a" (stmt_i 1) ]) in
+  Alcotest.check Alcotest.bool "store leaves a dirty" true (in_dirty s "a");
+  Alcotest.check Alcotest.bool "dirty is not durable" false (in_must s "a");
+  Alcotest.check Alcotest.bool "never-written stays durable" true
+    (in_must s "b");
+  let s = summary_of (flush_prog [ set "a" (stmt_i 1); Ir.Pwb "a" ]) in
+  Alcotest.check Alcotest.bool "pwb clears dirty" false (in_dirty s "a");
+  Alcotest.check Alcotest.bool "unfenced pwb is not durable" false
+    (in_must s "a");
+  Alcotest.check Alcotest.bool "pwb leaves a pending" true
+    (Dataflow.Vars.mem "a" s.Persistate.s_may_pending);
+  let s =
+    summary_of (flush_prog [ set "a" (stmt_i 1); Ir.Pwb "a"; Ir.Psync ])
+  in
+  Alcotest.check Alcotest.bool "pwb;psync is durable" true (in_must s "a")
+
+let test_persistate_line_mates () =
+  (* pwb is line-granular: flushing a also flushes its line-mate b *)
+  let p =
+    flush_prog
+      [ set "a" (stmt_i 1); set "b" (stmt_i 2); Ir.Pwb "a"; Ir.Psync ]
+  in
+  let s = summary_of ~lines:(fun _ -> 0) p in
+  Alcotest.check Alcotest.bool "a durable" true (in_must s "a");
+  Alcotest.check Alcotest.bool "line-mate b durable too" true (in_must s "b");
+  (* default layout: separate lines, b stays dirty *)
+  let s = summary_of p in
+  Alcotest.check Alcotest.bool "separate line b stays dirty" true
+    (in_dirty s "b");
+  Alcotest.check Alcotest.bool "separate line b not durable" false
+    (in_must s "b")
+
+let test_persistate_branch_join () =
+  (* one arm dirties a: the join keeps both lifecycle states *)
+  let s =
+    summary_of (flush_prog [ Ir.If (stmt_v "t", [ set "a" (stmt_i 1) ], []) ])
+  in
+  Alcotest.check Alcotest.bool "may-dirty across the branch" true
+    (in_dirty s "a");
+  Alcotest.check Alcotest.bool "not durable on every path" false
+    (in_must s "a")
+
+let test_persistate_multi_writer () =
+  let p =
+    {
+      Ir.pname = "mw";
+      persistent = [ ("a", 0) ];
+      transient = [];
+      threads =
+        [
+          { Ir.tname = "w0"; body = [ set "a" (stmt_i 1); Ir.Pwb "a"; Ir.Psync ] };
+          { Ir.tname = "w1"; body = [ set "a" (stmt_i 2); Ir.Pwb "a"; Ir.Psync ] };
+        ];
+    }
+  in
+  let s = summary_of p in
+  Alcotest.check Alcotest.bool "multi-writer demoted" true
+    (Dataflow.Vars.mem "a" s.Persistate.s_multi_writer);
+  Alcotest.check Alcotest.bool "no durable claim for a racing var" false
+    (in_must s "a")
+
+let test_persistate_crash_truncation () =
+  (* the store to b sits after the crash: it never executes, so the
+     crash summary may still claim b — while the normal-termination
+     summary sees it dirty *)
+  let p =
+    flush_prog
+      [
+        set "a" (stmt_i 1);
+        Ir.Pwb "a";
+        Ir.Psync;
+        set "t" (stmt_i 1);
+        set "b" (stmt_i 1);
+      ]
+  in
+  let s = summary_of ~crash_var:"t" p in
+  Alcotest.check Alcotest.bool "a durable at crash" true (in_must s "a");
+  Alcotest.check Alcotest.bool "post-crash store invisible" true
+    (in_must s "b");
+  let s = summary_of p in
+  Alcotest.check Alcotest.bool "normal exit sees b dirty" true (in_dirty s "b")
+
+(* ------------------------------------------------------------------ *)
+(* Flushlint rules *)
+
+let kinds fs = List.map (fun (f : Flushlint.finding) -> f.Flushlint.fl_kind) fs
+
+let test_flushlint_rules () =
+  let has k p = List.mem k (kinds (Flushlint.run p)) in
+  Alcotest.check Alcotest.bool "missing-pwb-before-restart-point" true
+    (has Flushlint.Missing_pwb_at_rp
+       (flush_prog
+          [ set "a" (stmt_i 1); Ir.Pwb "a"; Ir.Psync; set "b" (stmt_i 1); Ir.Rp 0 ]));
+  Alcotest.check Alcotest.bool "missing-psync-before-dependent-publish" true
+    (has Flushlint.Missing_psync_publish
+       (flush_prog [ set "a" (stmt_i 1); Ir.Pwb "a"; set "b" (stmt_i 1) ]));
+  Alcotest.check Alcotest.bool "redundant-pwb" true
+    (has Flushlint.Redundant_pwb (flush_prog [ Ir.Pwb "a" ]));
+  Alcotest.check Alcotest.bool "psync-with-no-pending" true
+    (has Flushlint.Psync_no_pending
+       (flush_prog [ set "a" (stmt_i 1); Ir.Psync ]));
+  Alcotest.check Alcotest.bool "cross-line-torn-logging" true
+    (has Flushlint.Torn_cross_line
+       (flush_prog
+          [
+            set "a" (stmt_i 1);
+            Ir.Pwb "a";
+            Ir.Psync;
+            set "a" (stmt_i 2);
+            set "b" (stmt_i 1);
+          ]));
+  (* flush-free programs are out of scope, whatever their dirt *)
+  Alcotest.check Alcotest.int "no flushes, no findings" 0
+    (List.length (Flushlint.run (flush_prog [ set "a" (stmt_i 1); set "b" (stmt_i 1) ])))
+
+let race_prog locked =
+  let guard body =
+    if locked then (Ir.Acquire 0 :: body) @ [ Ir.Release 0 ] else body
+  in
+  {
+    Ir.pname = "race";
+    persistent = [ ("x", 0) ];
+    transient = [];
+    threads =
+      [
+        { Ir.tname = "w"; body = guard [ set "x" (stmt_i 1) ] };
+        { Ir.tname = "f"; body = guard [ Ir.Pwb "x"; Ir.Psync ] };
+      ];
+  }
+
+let test_flushlint_race () =
+  Alcotest.check Alcotest.bool "unlocked cross-thread flush races" true
+    (List.mem Flushlint.Persist_order_race (kinds (Flushlint.run (race_prog false))));
+  Alcotest.check Alcotest.bool "a common lock orders persist" false
+    (List.mem Flushlint.Persist_order_race (kinds (Flushlint.run (race_prog true))))
+
+let test_flushlint_wal_append () =
+  let p = Corpus.wal_append ~iters:3 in
+  Alcotest.check Alcotest.int "wal-append lints clean" 0
+    (List.length (Flushlint.run p));
+  let stripped = Flushlint.strip_psync p in
+  let ks = kinds (Flushlint.run stripped) in
+  Alcotest.check Alcotest.bool "strip-psync caught" true
+    (List.mem Flushlint.Missing_psync_publish ks);
+  Alcotest.check Alcotest.bool "strip-psync is error grade" true
+    (List.exists Flushlint.is_error ks);
+  let doubled = Flushlint.inject_redundant_pwb p in
+  let ks = kinds (Flushlint.run doubled) in
+  Alcotest.check Alcotest.bool "redundant-pwb caught" true
+    (List.mem Flushlint.Redundant_pwb ks);
+  Alcotest.check Alcotest.bool "redundant-pwb is warning grade" false
+    (List.exists Flushlint.is_error ks)
+
+let test_lint_flush_integration () =
+  (* through the Placement + Lint front door, as the CLI runs it *)
+  let lint_of prog =
+    let p, plan = Placement.infer prog in
+    Lint.run ~plan p
+  in
+  Alcotest.check Alcotest.int "wal-append clean end to end" 0
+    (List.length (lint_of (Corpus.wal_append ~iters:3)));
+  let fs = lint_of (Flushlint.strip_psync (Corpus.wal_append ~iters:3)) in
+  Alcotest.check Alcotest.bool "strip-psync is a lint error" true
+    (List.mem Lint.Flush_missing_psync_publish (rules fs) && Lint.errors fs <> []);
+  let fs = lint_of (Flushlint.inject_redundant_pwb (Corpus.wal_append ~iters:3)) in
+  Alcotest.check Alcotest.bool "redundant-pwb is a lint warning" true
+    (List.mem Lint.Flush_redundant_pwb (rules fs) && Lint.errors fs = [])
+
+let test_lint_deterministic () =
+  let prog = Flushlint.strip_psync (Corpus.wal_append ~iters:3) in
+  let once () =
+    let p, plan = Placement.infer prog in
+    let fs = Lint.run ~plan p in
+    (fs, Obs.Json.to_string (Lint.to_json p fs))
+  in
+  let fs1, j1 = once () and fs2, j2 = once () in
+  Alcotest.check Alcotest.bool "same findings" true (fs1 = fs2);
+  Alcotest.(check string) "same bytes" j1 j2;
+  Alcotest.check Alcotest.bool "at least two findings to order" true
+    (List.length fs1 >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Pwb/Psync uniformity: well-formedness, both interpreters, round-trip *)
+
+let test_flush_ir_uniformity () =
+  Alcotest.check Alcotest.bool "flush corpus well-formed" true
+    (List.for_all
+       (fun (_, prog) -> Ir.well_formed (prog ~iters:3))
+       Corpus.flush_corpus);
+  Alcotest.check Alcotest.bool "pwb of transient rejected" false
+    (Ir.well_formed (flush_prog [ Ir.Pwb "t" ]));
+  Alcotest.check Alcotest.bool "bare psync accepted" true
+    (Ir.well_formed (flush_prog [ Ir.Psync ]))
+
+let test_wal_append_interp () =
+  let obs = Exec.interp (Corpus.wal_append ~iters:4) in
+  Alcotest.check Alcotest.bool "completes" true obs.Exec.completed;
+  let final v = List.assoc v obs.Exec.finals in
+  Alcotest.check Alcotest.int "payload" 31 (final "payload");
+  Alcotest.check Alcotest.int "commit" 4 (final "commit")
+
+let test_wal_append_run_mem () =
+  let mem = Simnvm.Memsys.create Simnvm.Memsys.default_config in
+  let lw = Simnvm.Memsys.default_config.Simnvm.Memsys.line_words in
+  let addr_of = function
+    | "payload" -> Some 0
+    | "commit" -> Some lw
+    | _ -> None
+  in
+  let o = Exec.run_mem ~mem ~addr_of (Corpus.wal_append ~iters:4) in
+  Alcotest.check Alcotest.bool "run_mem completes" true o.Exec.mo_completed;
+  (* every iteration ends pwb;psync — the image tracks the finals *)
+  Alcotest.check Alcotest.int "payload persisted" 31
+    (Simnvm.Memsys.persisted mem 0);
+  Alcotest.check Alcotest.int "commit persisted" 4
+    (Simnvm.Memsys.persisted mem lw)
+
+let test_compile_ir_round_trip () =
+  let demo = Litmus.Axcheck.demo in
+  match
+    Litmus.Axcheck.compile_ir ~layout:demo.Litmus.Prog.layout
+      (Litmus.World.compile demo)
+  with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok rt ->
+      Alcotest.(check string)
+        "compile_ir inverts World.compile"
+        (Litmus.Prog.to_string demo)
+        (Litmus.Prog.to_string rt)
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic mutant confirmations *)
+
+let test_strip_psync_dynamic () =
+  (* the stripped WAL twin really loses data over the file-backed
+     medium: pwbs mark lines pending but no psync ever copies them *)
+  let run prog =
+    let path = Filename.temp_file "axdyn" ".img" in
+    let fm = Filemem.create Filemem.default_config ~path in
+    let b = Filemem.backend fm in
+    let halted =
+      Litmus.World.drive ~sched_seed:1 ~load:b.Simnvm.Backend.load
+        ~store:b.Simnvm.Backend.store ~pwb:b.Simnvm.Backend.pwb
+        ~psync:b.Simnvm.Backend.psync prog
+    in
+    Filemem.crash fm;
+    let persisted loc =
+      Filemem.persisted fm (Litmus.World.addr_of_loc prog loc)
+    in
+    let r = List.map (fun l -> (l, persisted l)) (Litmus.Prog.locs prog) in
+    Filemem.close fm;
+    Sys.remove path;
+    (halted, r)
+  in
+  let demo = Litmus.Axcheck.demo in
+  let claims = Litmus.Axcheck.static_claims demo in
+  Alcotest.check Alcotest.bool "claims to test" true
+    (claims.Litmus.Axcheck.c_must_durable <> []);
+  let halted, clean = run demo in
+  Alcotest.check Alcotest.bool "demo crashes" true halted;
+  Alcotest.check Alcotest.int "clean run persists payload" 7
+    (List.assoc "payload" clean);
+  Alcotest.check Alcotest.int "clean run persists commit" 1
+    (List.assoc "commit" clean);
+  let _, lost = run (Litmus.Axcheck.strip_psync demo) in
+  Alcotest.check Alcotest.bool
+    "stripped run loses a claimed location" true
+    (List.exists
+       (fun l -> List.assoc l lost = 0)
+       claims.Litmus.Axcheck.c_must_durable)
+
+let test_redundant_pwb_dynamic () =
+  (* the injected duplicate pwb can never see a dirty line: the Memobs
+     clean-pwb counter is the dynamic witness for the static warning *)
+  let clean_pwbs prog =
+    let mem = Simnvm.Memsys.create Simnvm.Memsys.default_config in
+    let r = Obs.Metrics.create () in
+    let _probe, _sub = Obs.Memobs.attach r mem in
+    let lw = Simnvm.Memsys.default_config.Simnvm.Memsys.line_words in
+    let addr_of = function
+      | "payload" -> Some 0
+      | "commit" -> Some lw
+      | _ -> None
+    in
+    let o = Exec.run_mem ~mem ~addr_of prog in
+    Alcotest.check Alcotest.bool "completes" true o.Exec.mo_completed;
+    Obs.Metrics.value (Obs.Metrics.counter r "mem.pwbs.clean")
+  in
+  Alcotest.check Alcotest.int "baseline has no clean pwb" 0
+    (clean_pwbs (Corpus.wal_append ~iters:4));
+  Alcotest.check Alcotest.bool "mutant issues clean pwbs" true
+    (clean_pwbs (Flushlint.inject_redundant_pwb (Corpus.wal_append ~iters:4)) > 0)
+
+(* ------------------------------------------------------------------ *)
 (* QCheck soundness: static analysis vs the interpreter *)
 
 let merge a b =
@@ -417,10 +728,60 @@ let branchy_sound =
           Dataflow.Vars.subset obs.Exec.war static_war)
         [ 0; 1; 2 ])
 
+(* ------------------------------------------------------------------ *)
+(* QCheck soundness: persist-state claims vs the axiomatic spec *)
+
+let axcheck_litmus_sound =
+  QCheck.Test.make ~count:500
+    ~name:"axcheck: litmus must-durable claims hold in every allowed state"
+    Gen_common.arb_litmus_prog
+    (fun p ->
+      QCheck.assume (Litmus.Prog.well_formed p);
+      let r = Litmus.Axcheck.check p in
+      r.Litmus.Axcheck.r_skipped || r.Litmus.Axcheck.r_violations = [])
+
+let axcheck_ir_sound =
+  QCheck.Test.make ~count:400
+    ~name:"axcheck: compiled flushline IR claims hold (two layouts)"
+    (Gen_common.arb_flushline_ir ~n:6 ())
+    (fun seed ->
+      let p = Gen_common.flushline_ir ~seed ~n:6 in
+      List.for_all
+        (fun lines ->
+          match Litmus.Axcheck.compile_ir ?lines p with
+          | Error e -> QCheck.Test.fail_reportf "compile_ir: %s" e
+          | Ok lp ->
+              let r = Litmus.Axcheck.check lp in
+              r.Litmus.Axcheck.r_skipped
+              || r.Litmus.Axcheck.r_violations = [])
+        [ None; Some (fun _ -> 0) ])
+
+let may_dirty_refmodel =
+  QCheck.Test.make ~count:300
+    ~name:"refmodel cache-dirty lines are statically may-dirty"
+    Gen_common.arb_litmus_prog
+    (fun p ->
+      QCheck.assume (Litmus.Prog.well_formed p);
+      let claims = Litmus.Axcheck.static_claims p in
+      let dirty = Litmus.Axcheck.ref_dirty_lines ~sched_seed:7 p in
+      List.for_all
+        (fun line ->
+          List.exists
+            (fun l ->
+              Litmus.Prog.line_of p l = line
+              && List.mem l claims.Litmus.Axcheck.c_may_dirty)
+            (Litmus.Prog.locs p))
+        dirty)
+
 let qcheck_tests =
   List.map
     (fun t -> Gen_common.to_alcotest ~suite:"analysis" t)
     [ straightline_exact; branchy_sound ]
+
+let axcheck_qcheck_tests =
+  List.map
+    (fun t -> Gen_common.to_alcotest ~suite:"analysis-axcheck" t)
+    [ axcheck_litmus_sound; axcheck_ir_sound; may_dirty_refmodel ]
 
 let () =
   Alcotest.run "analysis"
@@ -476,5 +837,45 @@ let () =
         ] );
       ( "exec",
         [ Alcotest.test_case "kv interpreter finals" `Quick test_interp_kv ] );
+      ( "persistate",
+        [
+          Alcotest.test_case "flush lifecycle" `Quick test_persistate_lifecycle;
+          Alcotest.test_case "line-granular pwb" `Quick
+            test_persistate_line_mates;
+          Alcotest.test_case "branch join" `Quick test_persistate_branch_join;
+          Alcotest.test_case "multi-writer demotion" `Quick
+            test_persistate_multi_writer;
+          Alcotest.test_case "crash truncation" `Quick
+            test_persistate_crash_truncation;
+        ] );
+      ( "flushlint",
+        [
+          Alcotest.test_case "per-thread rules" `Quick test_flushlint_rules;
+          Alcotest.test_case "persist-order race" `Quick test_flushlint_race;
+          Alcotest.test_case "wal-append and its mutants" `Quick
+            test_flushlint_wal_append;
+          Alcotest.test_case "lint front door" `Quick
+            test_lint_flush_integration;
+          Alcotest.test_case "deterministic output" `Quick
+            test_lint_deterministic;
+        ] );
+      ( "flush-uniformity",
+        [
+          Alcotest.test_case "well-formedness" `Quick test_flush_ir_uniformity;
+          Alcotest.test_case "wal-append interp finals" `Quick
+            test_wal_append_interp;
+          Alcotest.test_case "wal-append over the memory system" `Quick
+            test_wal_append_run_mem;
+          Alcotest.test_case "compile_ir round-trip" `Quick
+            test_compile_ir_round_trip;
+        ] );
+      ( "mutants-dynamic",
+        [
+          Alcotest.test_case "strip-psync loses data on filemem" `Quick
+            test_strip_psync_dynamic;
+          Alcotest.test_case "redundant-pwb trips the clean-pwb counter"
+            `Quick test_redundant_pwb_dynamic;
+        ] );
       ("soundness", qcheck_tests);
+      ("axcheck-soundness", axcheck_qcheck_tests);
     ]

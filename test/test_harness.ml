@@ -371,6 +371,51 @@ let test_crashmatrix_golden () =
   Alcotest.(check string) "verdict counts byte-identical" crashmatrix_golden
     (Buffer.contents buf)
 
+(* The lint's JSON output is a CI artifact: the diagnostics document for
+   a fixed multi-finding program is pinned byte-for-byte, which is what
+   makes the `analyze --json` gate diffable. Findings are normalized
+   (sorted and deduped), so the order below is a contract, not an
+   accident of CFG traversal. *)
+let lint_golden =
+  {|{"schema":"respct-lint/v1","program":"lint-golden","errors":4,"warnings":2,"findings":[{"rule":"cross-line-torn-logging","severity":"warning","thread":"main","var":null,"lock":null,"rp":null,"site":null,"message":"thread main can exit with {a, b} dirty across 2 cache lines; a crash persists an arbitrary subset of the lines, tearing the record"},{"rule":"missing-psync-before-dependent-publish","severity":"error","thread":"main","var":"b","lock":null,"rp":null,"site":"main[2]","message":"thread main publishes persistent b at main[2] while {a} still has an unfenced pwb; without a psync the publish can persist first"},{"rule":"missing-psync-before-dependent-publish","severity":"error","thread":"main","var":"a","lock":null,"rp":null,"site":"main[7]","message":"thread main publishes persistent a at main[7] while {b} still has an unfenced pwb; without a psync the publish can persist first"},{"rule":"missing-pwb-before-restart-point","severity":"error","thread":"main","var":"a","lock":null,"rp":1,"site":"main[9]","message":"restart point 1 in thread main at main[9] can be reached with persistent a stored but never pwb'd; rollback would replay a store the image never received"},{"rule":"missing-pwb-before-restart-point","severity":"error","thread":"main","var":"b","lock":null,"rp":1,"site":"main[9]","message":"restart point 1 in thread main at main[9] can be reached with persistent b stored but never pwb'd; rollback would replay a store the image never received"},{"rule":"redundant-pwb","severity":"warning","thread":"main","var":"a","lock":null,"rp":null,"site":"main[4]","message":"pwb of a in thread main at main[4] is redundant on every path: nothing on its line can be dirty here"}]}|}
+
+let lint_golden_prog =
+  let open Analysis in
+  {
+    Ir.pname = "lint-golden";
+    persistent = [ ("a", 0); ("b", 0) ];
+    transient = [ ("t", 0) ];
+    threads =
+      [
+        {
+          Ir.tname = "main";
+          body =
+            [
+              Ir.Assign ("a", Ir.Int 1);
+              Ir.Pwb "a";
+              Ir.Assign ("b", Ir.Int 1);
+              Ir.Psync;
+              Ir.Pwb "a";
+              Ir.Pwb "b";
+              Ir.Rp 0;
+              Ir.Assign ("a", Ir.Int 2);
+              Ir.Assign ("b", Ir.Int 2);
+              Ir.Rp 1;
+            ];
+        };
+      ];
+  }
+
+let test_lint_json_golden () =
+  let render () =
+    Obs.Json.to_string
+      (Analysis.Lint.to_json lint_golden_prog
+         (Analysis.Lint.run lint_golden_prog))
+  in
+  Alcotest.(check string) "lint json byte-identical" lint_golden (render ());
+  Alcotest.(check string) "re-run produces the same bytes" (render ())
+    (render ())
+
 (* The static analyzer and the dynamic trace advisor automate the same
    section 3.3.2 rule from opposite ends; on the IR corpus they must
    agree (every dynamically observed WAR variable statically logged)
@@ -427,6 +472,8 @@ let () =
         [
           Alcotest.test_case "fig9 table" `Quick test_fig9_golden;
           Alcotest.test_case "crashmatrix smoke" `Quick test_crashmatrix_golden;
+          Alcotest.test_case "lint diagnostics json" `Quick
+            test_lint_json_golden;
         ] );
       ( "rp advisor",
         [

@@ -287,6 +287,88 @@ let completeness_exhaustive () =
     layouts;
   Alcotest.(check int) "family size" 128 !checked
 
+(* --- axcheck: the static-durability soundness gate -------------------- *)
+
+module Axcheck = Litmus.Axcheck
+
+let axcheck_demo_clean () =
+  let r = Axcheck.check Axcheck.demo in
+  Alcotest.(check bool) "not skipped" false r.Axcheck.r_skipped;
+  Alcotest.(check int) "no violations" 0 (List.length r.Axcheck.r_violations);
+  Alcotest.(check (list string))
+    "claims both WAL fields" [ "payload"; "commit" ] r.Axcheck.r_claimed;
+  Alcotest.check (Alcotest.float 1e-9) "claims are empirically tight" 1.0
+    (Axcheck.precision r)
+
+let axcheck_demo_mutant () =
+  (* the original's claims judged against the stripped enumeration *)
+  let claims = Axcheck.static_claims Axcheck.demo in
+  let r = Axcheck.check ~claims (Axcheck.strip_psync Axcheck.demo) in
+  Alcotest.(check bool) "stripped demo violates" true
+    (r.Axcheck.r_violations <> []);
+  (* shrink, round-trip the replay file, reproduce *)
+  let variant = Axiom.Pcso_lazy in
+  let shrunk =
+    Axcheck.minimize ~mutant:Axcheck.Strip_psync ~variant Axcheck.demo
+  in
+  Alcotest.(check bool) "shrunk program still violates" true
+    (Axcheck.violates ~mutant:Axcheck.Strip_psync ~variant shrunk);
+  Alcotest.(check bool) "shrunk no larger than the demo" true
+    (List.length (Prog.locs shrunk) <= List.length (Prog.locs Axcheck.demo));
+  let sc = Axcheck.static_claims shrunk in
+  let sr =
+    Axcheck.check ~variant ~claims:sc (Axcheck.strip_psync shrunk)
+  in
+  match sr.Axcheck.r_violations with
+  | [] -> Alcotest.fail "shrunk claims no longer violate"
+  | v :: _ -> (
+      let c =
+        {
+          Axcheck.cx_prog = shrunk;
+          cx_variant = variant;
+          cx_mutant = Some Axcheck.Strip_psync;
+          cx_loc = v.Axcheck.v_loc;
+        }
+      in
+      let txt = Axcheck.counterexample_to_string c in
+      match Axcheck.counterexample_of_string txt with
+      | Error msg -> Alcotest.failf "replay file did not parse: %s" msg
+      | Ok c' -> (
+          Alcotest.(check string)
+            "loc survives the round-trip" c.Axcheck.cx_loc c'.Axcheck.cx_loc;
+          match Axcheck.replay c' with
+          | `Reproduced -> ()
+          | `Vanished -> Alcotest.fail "parsed counterexample vanished"))
+
+let axcheck_redundant_pwb_neutral () =
+  (* duplicating pwbs changes no outcome: the axiomatic gate stays
+     green, so catching this mutant is the lint's (and the clean-pwb
+     counter's) job *)
+  let claims = Axcheck.static_claims Axcheck.demo in
+  let r = Axcheck.check ~claims (Axcheck.inject_redundant_pwb Axcheck.demo) in
+  Alcotest.(check int) "outcome-neutral" 0 (List.length r.Axcheck.r_violations)
+
+let axcheck_fuzz_clean () =
+  let r = Axcheck.fuzz ~n:150 ~seed:5 () in
+  (match r.Axcheck.fz_failure with
+  | None -> ()
+  | Some c ->
+      Alcotest.failf "soundness violation:@.%s"
+        (Axcheck.counterexample_to_string c));
+  Alcotest.(check bool) "some claims exercised" true (r.Axcheck.fz_claims > 0)
+
+let axcheck_fuzz_mutant () =
+  match Axcheck.fuzz ~n:150 ~seed:5 ~mutate:Axcheck.Strip_psync () with
+  | { Axcheck.fz_failure = None; fz_tested; fz_skipped; _ } ->
+      Alcotest.failf "strip-psync survived %d fuzzed programs (%d skipped)"
+        fz_tested fz_skipped
+  | { Axcheck.fz_failure = Some c; _ } -> (
+      Alcotest.(check bool) "failure records the mutant" true
+        (c.Axcheck.cx_mutant = Some Axcheck.Strip_psync);
+      match Axcheck.replay c with
+      | `Reproduced -> ()
+      | `Vanished -> Alcotest.fail "minimized fuzz failure vanished")
+
 let () =
   Alcotest.run "litmus"
     [
@@ -318,5 +400,17 @@ let () =
         [
           Alcotest.test_case "exhaustive family: reachable = allowed" `Quick
             completeness_exhaustive;
+        ] );
+      ( "axcheck",
+        [
+          Alcotest.test_case "WAL demo claims verified" `Quick
+            axcheck_demo_clean;
+          Alcotest.test_case "strip-psync shrunk and replayed" `Quick
+            axcheck_demo_mutant;
+          Alcotest.test_case "redundant-pwb outcome-neutral" `Quick
+            axcheck_redundant_pwb_neutral;
+          Alcotest.test_case "fuzz clean baseline" `Quick axcheck_fuzz_clean;
+          Alcotest.test_case "fuzz detects strip-psync" `Quick
+            axcheck_fuzz_mutant;
         ] );
     ]

@@ -127,6 +127,32 @@ let test_memobs_probe () =
   Alcotest.(check int) "probe detached" 2 (v "loads");
   Alcotest.(check int) "stats still counting" 3 s.Simnvm.Stats.loads
 
+let test_flush_discipline_counters () =
+  (* the dynamic twins of the static redundant-pwb / psync-no-pending
+     rules: clean pwbs and unarmed psyncs *)
+  let mem = Simnvm.Memsys.create Simnvm.Memsys.default_config in
+  let r = Obs.Metrics.create () in
+  let _probe, _sub = Obs.Memobs.attach r mem in
+  let v name = Obs.Metrics.value (Obs.Metrics.counter r ("mem." ^ name)) in
+  Simnvm.Memsys.store mem 0 7;
+  Simnvm.Memsys.pwb mem 0;
+  Simnvm.Memsys.psync mem;
+  Alcotest.(check int) "armed psync is not a noop" 0 (v "psyncs.noop");
+  Alcotest.(check int) "dirty pwb is not clean" 0 (v "pwbs.clean");
+  Simnvm.Memsys.psync mem;
+  Alcotest.(check int) "psync with nothing pending" 1 (v "psyncs.noop");
+  Simnvm.Memsys.pwb mem 0;
+  Alcotest.(check int) "pwb of a clean line" 1 (v "pwbs.clean");
+  Simnvm.Memsys.psync mem;
+  Alcotest.(check int) "clean pwb does not arm" 2 (v "psyncs.noop");
+  Simnvm.Memsys.store mem 0 9;
+  Simnvm.Memsys.pwb mem 0;
+  Simnvm.Memsys.pwb mem 0;
+  Alcotest.(check int) "duplicate pwb is clean" 2 (v "pwbs.clean");
+  Simnvm.Memsys.psync mem;
+  Alcotest.(check int) "rearmed by the dirty pwb" 2 (v "psyncs.noop");
+  Alcotest.(check int) "every pwb counted" 4 (v "pwbs")
+
 let test_run_point_json () =
   let r = Obs.Metrics.create () in
   Obs.Metrics.incr (Obs.Metrics.counter r "x");
@@ -185,6 +211,8 @@ let () =
       ( "probes",
         [
           Alcotest.test_case "memobs pipeline probe" `Quick test_memobs_probe;
+          Alcotest.test_case "flush-discipline counters" `Quick
+            test_flush_discipline_counters;
           Alcotest.test_case "run point json" `Quick test_run_point_json;
         ] );
     ]
